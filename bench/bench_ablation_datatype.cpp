@@ -1,0 +1,125 @@
+// Ablation A3 (DESIGN.md): cost of the derived-datatype pack/unpack engine
+// that MPI_Alltoallw rides on, versus a plain contiguous memcpy.
+//
+// DDR describes every transfer with subarray datatypes (paper §III-C uses
+// MPI_Alltoallw "since custom subarray types are needed"); this bench
+// quantifies the packing overhead by shape: interior 3-D boxes pack whole
+// x-rows (cheap), thin column-like boxes degrade to many small segments.
+//
+// google-benchmark binary; runs standalone with default settings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "minimpi/datatype.hpp"
+
+namespace {
+
+using mpi::Datatype;
+using mpi::Order;
+
+constexpr int kNx = 128, kNy = 128, kNz = 64;
+
+std::vector<std::byte>& volume() {
+  static std::vector<std::byte> v = [] {
+    std::vector<std::byte> out(static_cast<std::size_t>(kNx) * kNy * kNz * 4);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = static_cast<std::byte>(i * 2654435761u >> 24);
+    return out;
+  }();
+  return v;
+}
+
+Datatype subarray3d(int sx, int sy, int sz, int ox, int oy, int oz) {
+  const int sizes[] = {kNx, kNy, kNz};
+  const int sub[] = {sx, sy, sz};
+  const int starts[] = {ox, oy, oz};
+  return Datatype::subarray(sizes, sub, starts, Datatype::bytes(4),
+                            Order::fortran);
+}
+
+void BM_MemcpyBaseline(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> dst(bytes);
+  for (auto _ : state) {
+    std::memcpy(dst.data(), volume().data(), bytes);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MemcpyBaseline)->Arg(64 * 64 * 32 * 4);
+
+void BM_PackInteriorBox(benchmark::State& state) {
+  // 64x64x32 box in the middle: packs 64*4-byte rows (2048 segments).
+  const Datatype t = subarray3d(64, 64, 32, 32, 32, 16);
+  std::vector<std::byte> dst(t.size());
+  for (auto _ : state) {
+    t.pack(volume().data(), 1, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_PackInteriorBox);
+
+void BM_PackFullXSlab(benchmark::State& state) {
+  // Full-width slab (contiguous rows of kNx): the consecutive strategy's
+  // favourable case — long dense runs.
+  const Datatype t = subarray3d(kNx, kNy, 8, 0, 0, 16);
+  std::vector<std::byte> dst(t.size());
+  for (auto _ : state) {
+    t.pack(volume().data(), 1, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_PackFullXSlab);
+
+void BM_PackThinColumn(benchmark::State& state) {
+  // 2x64x64 column: worst case — 4096 segments of 8 bytes.
+  const Datatype t = subarray3d(2, 64, 64, 63, 32, 0);
+  std::vector<std::byte> dst(t.size());
+  for (auto _ : state) {
+    t.pack(volume().data(), 1, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_PackThinColumn);
+
+void BM_UnpackInteriorBox(benchmark::State& state) {
+  const Datatype t = subarray3d(64, 64, 32, 32, 32, 16);
+  std::vector<std::byte> packed(t.size());
+  t.pack(volume().data(), 1, packed.data());
+  std::vector<std::byte> dst(t.extent());
+  for (auto _ : state) {
+    t.unpack(packed.data(), 1, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_UnpackInteriorBox);
+
+void BM_PackVectorStride(benchmark::State& state) {
+  // Strided vector: every other float of a large run.
+  const Datatype t =
+      Datatype::vector(1 << 15, 1, 2, Datatype::of<float>());
+  std::vector<std::byte> dst(t.size());
+  for (auto _ : state) {
+    t.pack(volume().data(), 1, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_PackVectorStride);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Reproduces Table II of the paper: "TIFF load time results".
+//
+// Loads the artificial TIFF series (depth-exact scaled stand-in for the
+// paper's 4096 x (4096x2048) x 32-bit, 128 GB data set) at 3^3..6^3 ranks
+// with three strategies: No DDR, DDR round-robin, DDR consecutive. Times are
+// simulated seconds on the Cooley calibration (see bench/common.hpp and
+// EXPERIMENTS.md); the paper's wall-clock numbers are printed alongside.
+//
+// Environment knobs: DDR_BENCH_REPS (default 10), DDR_BENCH_MAXP (default
+// 216: skip scales above this).
+
+#include <cstdio>
+#include <vector>
+
+#include "tiff_experiment.hpp"
+
+int main() {
+  const int reps = bench::env_int("DDR_BENCH_REPS", 10);
+  const int maxp = bench::env_int("DDR_BENCH_MAXP", 216);
+
+  bench::TiffBenchConfig cfg;
+  const std::string dir = bench::ensure_series(cfg);
+  const loader::SeriesInfo series = bench::series_info(cfg, dir);
+
+  struct PaperRow {
+    int procs;
+    const char* label;
+    double no_ddr, rr, consec;
+  };
+  const PaperRow paper[] = {{27, "3^3 (27)", 283.0, 39.3, 49.2},
+                            {64, "4^3 (64)", 204.6, 18.9, 18.9},
+                            {125, "5^3 (125)", 188.2, 11.1, 10.4},
+                            {216, "6^3 (216)", 165.3, 9.7, 6.6}};
+
+  std::printf("Table II reproduction: TIFF load time (simulated seconds, "
+              "%d repetitions)\n", reps);
+  std::printf("full-scale geometry: %d slices of %dx%d 32-bit (128 GB)\n\n",
+              cfg.depth, cfg.full_width, cfg.full_height);
+  std::printf("%-10s | %-16s %-18s %-18s | paper: %-7s %-7s %-7s\n",
+              "Processes", "No DDR", "DDR (RoundRobin)", "DDR (Consecutive)",
+              "NoDDR", "RR", "Consec");
+  std::printf("-----------+----------------------------------------------"
+              "--------+------------------------\n");
+
+  for (const PaperRow& row : paper) {
+    if (row.procs > maxp) continue;
+    const auto no_ddr = bench::measure(row.procs, loader::Strategy::no_ddr,
+                                       series, cfg, reps);
+    const auto rr = bench::measure(row.procs, loader::Strategy::ddr_round_robin,
+                                   series, cfg, reps);
+    const auto consec = bench::measure(
+        row.procs, loader::Strategy::ddr_consecutive, series, cfg, reps);
+    std::printf("%-10s | %-16s %-18s %-18s | %-7.1f %-7.1f %-7.1f\n",
+                row.label, bench::pm(no_ddr).c_str(), bench::pm(rr).c_str(),
+                bench::pm(consec).c_str(), row.no_ddr, row.rr, row.consec);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nkey shape checks (paper): DDR >> No DDR at every scale; "
+              "round-robin wins at 27; consecutive wins at 216\n");
+  std::printf("max speed-up in the paper: 165.3 / 6.6 = 24.9x (consecutive "
+              "at 216 ranks)\n");
+  return 0;
+}

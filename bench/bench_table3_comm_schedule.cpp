@@ -1,0 +1,64 @@
+// Reproduces Table III of the paper: "Communication scheduling of
+// MPI_Alltoallw according to the data redistribution technique".
+//
+// Pure schedule accounting at FULL paper scale — 4096 slices of 4096x2048
+// 32-bit pixels (128 GB) split into k^3 near-cubic bricks — computed
+// analytically from the DDR mapping geometry. No pixel data is touched, so
+// these numbers are exact, not simulated.
+
+#include <cstdio>
+
+#include "ddr/mapping.hpp"
+#include "loader/tiff_loader.hpp"
+
+int main() {
+  constexpr double kMiB = 1024.0 * 1024.0;
+  constexpr int kW = 4096, kH = 2048, kD = 4096;
+
+  struct PaperRow {
+    int k;
+    const char* label;
+    int rr_rounds;
+    double rr_mb;
+    int consec_rounds;
+    double consec_mb;
+  };
+  const PaperRow paper[] = {{3, "3^3 (27)", 152, 30.81, 1, 4315.12},
+                            {4, "4^3 (64)", 64, 31.50, 1, 1920.00},
+                            {5, "5^3 (125)", 33, 31.74, 1, 1006.63},
+                            {6, "6^3 (216)", 19, 31.85, 1, 589.95}};
+
+  std::printf("Table III reproduction: communication schedule of the TIFF "
+              "redistribution (exact, full 128 GB geometry)\n\n");
+  std::printf("%-10s | %-28s | %-28s | paper (consec / RR)\n", "Processes",
+              "DDR (Consecutive)", "DDR (Round-Robin)");
+  std::printf("%-10s | %-6s %-21s | %-6s %-21s |\n", "", "Rounds",
+              "Data/proc/round (MiB)", "Rounds", "Data/proc/round (MiB)");
+  std::printf("-----------+------------------------------+---------------"
+              "---------------+---------------------------\n");
+
+  for (const PaperRow& row : paper) {
+    const int p = row.k * row.k * row.k;
+    const std::array<int, 3> grid{row.k, row.k, row.k};
+
+    const ddr::GlobalLayout consec = loader::plan_layout(
+        p, kW, kH, kD, loader::Strategy::ddr_consecutive, grid);
+    const ddr::GlobalLayout rr = loader::plan_layout(
+        p, kW, kH, kD, loader::Strategy::ddr_round_robin, grid);
+    const ddr::MappingStats sc = ddr::compute_stats(consec, 4);
+    const ddr::MappingStats sr = ddr::compute_stats(rr, 4);
+
+    std::printf("%-10s | %-6d %-21.2f | %-6d %-21.2f | %d/%.2f  %d/%.2f\n",
+                row.label, sc.rounds,
+                sc.mean_bytes_sent_per_rank_per_round / kMiB, sr.rounds,
+                sr.mean_bytes_sent_per_rank_per_round / kMiB,
+                row.consec_rounds, row.consec_mb, row.rr_rounds, row.rr_mb);
+  }
+
+  std::printf("\nderived properties (paper section IV-A):\n");
+  std::printf("  * rounds == max chunks owned by any process "
+              "(ceil(4096 images / P) for round-robin, 1 for consecutive)\n");
+  std::printf("  * total bytes crossing the network are identical for both "
+              "techniques; only the schedule differs\n");
+  return 0;
+}

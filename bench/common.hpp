@@ -1,0 +1,100 @@
+#pragma once
+
+/// Shared helpers for the table/figure reproduction benches: the scaled
+/// network model (physically small messages charged at full-problem size),
+/// the Cooley calibration used by the TIFF experiments, and table printing.
+///
+/// Calibration rationale (see EXPERIMENTS.md):
+///  * The paper's artificial data set is 4096 slices of 4096x2048 32-bit
+///    pixels (128 GB). The benches read a series with the SAME slice count
+///    (so every chunk/round count is exact) but physically tiny slices;
+///    `byte_scale` converts message and file sizes back to full scale when
+///    charging virtual time.
+///  * IoModel reproduces per-rank GPFS streaming (~160 MB/s) with an
+///    aggregate cap — this alone reproduces the paper's No-DDR column to
+///    within a few percent.
+///  * The link model adds (a) bandwidth sharing of the 56 Gbps node link,
+///    (b) a large-message saturation term (penalizes the consecutive
+///    method's multi-GB rounds at small scale), and (c) a per-message
+///    latency representing collective software overhead (penalizes the
+///    round-robin method's many alltoallw rounds at large scale).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "simnet/models.hpp"
+#include "simnet/stats.hpp"
+#include "simnet/workclock.hpp"
+
+namespace bench {
+
+/// Wraps a LinkModel, multiplying message sizes by `byte_scale` so that
+/// physically scaled-down payloads are charged at full-problem size.
+class ScaledLinkModel final : public mpi::NetworkModel {
+ public:
+  ScaledLinkModel(const simnet::LinkParams& params, double byte_scale)
+      : inner_(params), scale_(byte_scale) {}
+
+  [[nodiscard]] double send_overhead(std::size_t bytes) const override {
+    return inner_.send_overhead(scaled(bytes));
+  }
+  [[nodiscard]] double transfer_time(std::size_t bytes, int src,
+                                     int dst) const override {
+    return inner_.transfer_time(scaled(bytes), src, dst);
+  }
+  [[nodiscard]] double recv_overhead(std::size_t bytes) const override {
+    return inner_.recv_overhead(scaled(bytes));
+  }
+
+ private:
+  [[nodiscard]] std::size_t scaled(std::size_t bytes) const {
+    return static_cast<std::size_t>(static_cast<double>(bytes) * scale_);
+  }
+  simnet::LinkModel inner_;
+  double scale_;
+};
+
+/// Link calibration for the Table II / Fig. 3 experiments.
+[[nodiscard]] inline simnet::LinkParams tiff_link_params() {
+  simnet::LinkParams p;
+  // Per-message cost of an alltoallw lane at cluster scale (software
+  // latency + synchronization); this is what makes 152 rounds expensive.
+  p.latency_s = 3.0e-4;
+  p.link_bandwidth_Bps = 7.0e9;  // 56 Gbps
+  p.ranks_per_node = 2;
+  p.send_overhead_s = 2.0e-6;
+  p.recv_overhead_s = 2.0e-6;
+  p.send_overhead_s_per_B = 1.0e-10;
+  p.recv_overhead_s_per_B = 1.0e-10;
+  // Effective bandwidth halves per 100 MiB of message size: multi-GB rounds
+  // (consecutive method at small scale) pay heavily, 32 MiB rounds barely.
+  p.saturation_bytes = 100.0 * 1024 * 1024;
+  return p;
+}
+
+/// GPFS calibration for the TIFF experiments (see file header).
+[[nodiscard]] inline simnet::IoModel tiff_io_model() {
+  simnet::IoModel io;
+  io.per_rank_Bps = 1.6e8;
+  io.aggregate_Bps = 28.0e9;
+  io.open_latency_s = 1.0e-3;
+  return io;
+}
+
+/// Integer environment override with default (lets `bench_*` binaries run
+/// quickly in constrained setups: e.g. DDR_BENCH_REPS=2 ./bench_table2...).
+[[nodiscard]] inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// "mean +/- stdev" cell, paper style.
+[[nodiscard]] inline std::string pm(const simnet::Stats& s, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f +/- %.*f", precision, s.mean(),
+                precision, s.stdev());
+  return buf;
+}
+
+}  // namespace bench

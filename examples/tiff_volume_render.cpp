@@ -1,0 +1,94 @@
+// Use case A end-to-end (paper §IV-A, Fig. 2): parallel visualization of a
+// 3-D TIFF stack.
+//
+// 1. Generates a tooth-phantom TIFF series (stand-in for the APS CT scans).
+// 2. Loads it on 8 ranks with DDR (consecutive strategy): each rank reads
+//    1/8 of the slices, then DDR redistributes pixels into near-cubic DVR
+//    bricks.
+// 3. Ray-casts and composites a volume rendering with the dental colormap
+//    and writes tooth.ppm + tooth.jpg.
+// 4. Loads the same series with the No-DDR baseline and reports the
+//    redundant-read counts that motivate the paper's Table II.
+//
+// Run: ./tiff_volume_render [output_dir]
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "dvr/dvr.hpp"
+#include "image/colormap.hpp"
+#include "image/png.hpp"
+#include "jpegenc/jpeg.hpp"
+#include "loader/tiff_loader.hpp"
+#include "minimpi/minimpi.hpp"
+#include "tiff/phantom.hpp"
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const std::string series_dir =
+      (std::filesystem::temp_directory_path() / "ddr_example_tooth").string();
+
+  constexpr int kW = 96, kH = 96, kD = 96;
+  constexpr int kRanks = 8;
+
+  std::printf("generating %dx%dx%d tooth phantom series (16-bit TIFF)...\n",
+              kW, kH, kD);
+  std::filesystem::remove_all(series_dir);
+  tiff::write_phantom_series(series_dir, kW, kH, kD, 16);
+
+  loader::SeriesInfo series;
+  series.dir = series_dir;
+  series.width = kW;
+  series.height = kH;
+  series.depth = kD;
+  series.bytes_per_sample = 2;
+  series.max_sample_value = 65535.0;
+
+  // --- DDR load + distributed render -------------------------------------
+  std::atomic<int> ddr_reads{0};
+  std::printf("loading with DDR (consecutive) on %d ranks...\n", kRanks);
+  mpi::run(kRanks, [&](mpi::Comm& comm) {
+    loader::LoadStats stats;
+    const dvr::Brick brick = loader::load_brick(
+        comm, series, loader::Strategy::ddr_consecutive, nullptr, &stats);
+    ddr_reads.fetch_add(stats.images_read);
+
+    dvr::TransferFunction tf;
+    tf.colormap = &img::Colormap::tooth();
+    tf.threshold = 0.18;
+    tf.opacity_scale = 0.10;
+    const img::RgbImage rendering = dvr::distributed_render(
+        comm, brick, {kW, kH, kD}, dvr::Axis::y, tf);
+
+    if (comm.rank() == 0) {
+      rendering.write_ppm(out_dir + "/tooth.ppm");
+      jpeg::write_file(out_dir + "/tooth.jpg", rendering);
+      img::write_png(out_dir + "/tooth.png", rendering);
+      std::printf("wrote %s/tooth.{ppm,jpg,png} (%ux%u)\n", out_dir.c_str(),
+                  rendering.width(), rendering.height());
+    }
+  });
+
+  // --- baseline comparison -------------------------------------------------
+  std::atomic<int> baseline_reads{0};
+  std::printf("loading the same series without DDR (baseline)...\n");
+  mpi::run(kRanks, [&](mpi::Comm& comm) {
+    loader::LoadStats stats;
+    (void)loader::load_brick(comm, series, loader::Strategy::no_ddr, nullptr,
+                             &stats);
+    baseline_reads.fetch_add(stats.images_read);
+  });
+
+  std::printf(
+      "\nfile reads: DDR = %d (each of the %d slices read once), "
+      "baseline = %d (%.1fx redundant)\n",
+      ddr_reads.load(), kD, baseline_reads.load(),
+      static_cast<double>(baseline_reads.load()) / ddr_reads.load());
+  std::printf("this redundancy is what Table II's ~25x load-time gap "
+              "comes from at scale.\n");
+
+  std::filesystem::remove_all(series_dir);
+  return 0;
+}

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file box.hpp
+/// Axis-aligned integer box algebra over the global data domain.
+///
+/// DDR's data mapping (paper §III-B) is pure geometry: every pair of
+/// (owned chunk, needed chunk) is intersected to decide what each rank sends
+/// and receives. Boxes are half-open integer intervals per dimension:
+/// [lo, hi) — an empty box has hi <= lo in some dimension.
+///
+/// Dimension convention (matches the paper's parameter layout): index 0 is
+/// the fastest-varying (x) axis, so a linearized element lives at
+/// x + dims[0]*(y + dims[1]*z).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ddr {
+
+/// Maximum rank of the data domain (the paper supports 1D/2D/3D).
+inline constexpr int kMaxDims = 3;
+
+/// Half-open integer box [lo, hi) in up to kMaxDims dimensions.
+/// Unused trailing dimensions are kept as [0, 1) so volume math stays
+/// uniform.
+struct Box {
+  int ndims = 0;
+  std::array<std::int64_t, kMaxDims> lo{{0, 0, 0}};
+  std::array<std::int64_t, kMaxDims> hi{{1, 1, 1}};
+
+  /// Builds a box from dims/offsets arrays as the public API passes them
+  /// ([x, y, z] order, one entry per dimension).
+  static Box from_dims_offsets(int ndims, const int* dims, const int* offsets) {
+    Box b;
+    b.ndims = ndims;
+    for (int d = 0; d < kMaxDims; ++d) {
+      if (d < ndims) {
+        b.lo[static_cast<std::size_t>(d)] = offsets[d];
+        b.hi[static_cast<std::size_t>(d)] =
+            static_cast<std::int64_t>(offsets[d]) + dims[d];
+      } else {
+        b.lo[static_cast<std::size_t>(d)] = 0;
+        b.hi[static_cast<std::size_t>(d)] = 1;
+      }
+    }
+    return b;
+  }
+
+  [[nodiscard]] std::int64_t extent(int d) const {
+    const auto k = static_cast<std::size_t>(d);
+    return hi[k] > lo[k] ? hi[k] - lo[k] : 0;
+  }
+
+  [[nodiscard]] bool empty() const {
+    for (int d = 0; d < (ndims > 0 ? ndims : 1); ++d)
+      if (extent(d) <= 0) return true;
+    return ndims == 0;
+  }
+
+  /// Number of elements inside the box (0 when empty).
+  [[nodiscard]] std::int64_t volume() const {
+    if (empty()) return 0;
+    std::int64_t v = 1;
+    for (int d = 0; d < ndims; ++d) v *= extent(d);
+    return v;
+  }
+
+  [[nodiscard]] bool contains(const Box& other) const {
+    if (other.empty()) return true;
+    for (int d = 0; d < ndims; ++d) {
+      const auto k = static_cast<std::size_t>(d);
+      if (other.lo[k] < lo[k] || other.hi[k] > hi[k]) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const Box& a, const Box& b) {
+    if (a.ndims != b.ndims) return false;
+    for (int d = 0; d < a.ndims; ++d) {
+      const auto k = static_cast<std::size_t>(d);
+      if (a.lo[k] != b.lo[k] || a.hi[k] != b.hi[k]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string describe() const {
+    std::string s = "[";
+    for (int d = 0; d < ndims; ++d) {
+      const auto k = static_cast<std::size_t>(d);
+      if (d) s += ",";
+      s += std::to_string(lo[k]) + ":" + std::to_string(hi[k]);
+    }
+    return s + ")";
+  }
+};
+
+/// Intersection of two boxes (same ndims). Empty result has volume 0.
+[[nodiscard]] inline Box intersect(const Box& a, const Box& b) {
+  Box r;
+  r.ndims = a.ndims;
+  for (int d = 0; d < a.ndims; ++d) {
+    const auto k = static_cast<std::size_t>(d);
+    r.lo[k] = a.lo[k] > b.lo[k] ? a.lo[k] : b.lo[k];
+    r.hi[k] = a.hi[k] < b.hi[k] ? a.hi[k] : b.hi[k];
+  }
+  return r;
+}
+
+/// True when the boxes share at least one element.
+[[nodiscard]] inline bool overlaps(const Box& a, const Box& b) {
+  return intersect(a, b).volume() > 0;
+}
+
+/// Smallest box containing both inputs (ignores empty inputs).
+[[nodiscard]] inline Box bounding_box(const Box& a, const Box& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  Box r;
+  r.ndims = a.ndims;
+  for (int d = 0; d < a.ndims; ++d) {
+    const auto k = static_cast<std::size_t>(d);
+    r.lo[k] = a.lo[k] < b.lo[k] ? a.lo[k] : b.lo[k];
+    r.hi[k] = a.hi[k] > b.hi[k] ? a.hi[k] : b.hi[k];
+  }
+  return r;
+}
+
+}  // namespace ddr

@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file ddr.hpp
+/// Umbrella header for the DDR (Dynamic Data Redistribution) library.
+///
+/// Reproduces Marrinan et al., "Automated Dynamic Data Redistribution"
+/// (IPPS 2017). Two API surfaces:
+///  * ddr::Redistributor — modern C++ (redistributor.hpp)
+///  * DDR_* functions   — the paper's three-call C-style API (ddr.h)
+
+#include "ddr/box.hpp"            // IWYU pragma: export
+#include "ddr/ddr.h"              // IWYU pragma: export
+#include "ddr/error.hpp"          // IWYU pragma: export
+#include "ddr/halo.hpp"           // IWYU pragma: export
+#include "ddr/layout.hpp"         // IWYU pragma: export
+#include "ddr/mapping.hpp"        // IWYU pragma: export
+#include "ddr/redistributor.hpp"  // IWYU pragma: export

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file layout.hpp
+/// Chunk and layout descriptions: what each rank owns and needs.
+///
+/// Terminology follows the paper (§III-B):
+///  * a rank OWNS any number of chunks of the global domain before
+///    redistribution; owned chunks across all ranks must be mutually
+///    exclusive and complete;
+///  * a rank NEEDS exactly one contiguous chunk after redistribution;
+///    needed chunks may overlap between ranks and may leave holes.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ddr/box.hpp"
+
+namespace ddr {
+
+/// One contiguous N-D chunk: dims[d] elements starting at offsets[d] in the
+/// global domain ([x, y, z] order, fastest axis first).
+struct Chunk {
+  int ndims = 0;
+  std::array<int, kMaxDims> dims{{1, 1, 1}};
+  std::array<int, kMaxDims> offsets{{0, 0, 0}};
+
+  Chunk() = default;
+
+  Chunk(int nd, std::span<const int> dim_values,
+        std::span<const int> offset_values) {
+    ndims = nd;
+    for (int d = 0; d < kMaxDims; ++d) {
+      const auto k = static_cast<std::size_t>(d);
+      dims[k] = d < nd ? dim_values[k] : 1;
+      offsets[k] = d < nd ? offset_values[k] : 0;
+    }
+  }
+
+  /// Convenience constructors for the three supported ranks.
+  static Chunk d1(int nx, int ox) {
+    const int d[] = {nx}, o[] = {ox};
+    return Chunk(1, d, o);
+  }
+  static Chunk d2(int nx, int ny, int ox, int oy) {
+    const int d[] = {nx, ny}, o[] = {ox, oy};
+    return Chunk(2, d, o);
+  }
+  static Chunk d3(int nx, int ny, int nz, int ox, int oy, int oz) {
+    const int d[] = {nx, ny, nz}, o[] = {ox, oy, oz};
+    return Chunk(3, d, o);
+  }
+
+  [[nodiscard]] Box box() const {
+    return Box::from_dims_offsets(ndims, dims.data(), offsets.data());
+  }
+
+  /// Elements in the chunk.
+  [[nodiscard]] std::int64_t volume() const {
+    std::int64_t v = 1;
+    for (int d = 0; d < ndims; ++d) v *= dims[static_cast<std::size_t>(d)];
+    return v;
+  }
+
+  [[nodiscard]] std::string describe() const { return box().describe(); }
+
+  friend bool operator==(const Chunk& a, const Chunk& b) {
+    return a.ndims == b.ndims && a.dims == b.dims && a.offsets == b.offsets;
+  }
+};
+
+/// The chunks one rank owns, in the order they are packed in its data
+/// buffer (chunk i's elements immediately follow chunk i-1's).
+using OwnedLayout = std::vector<Chunk>;
+
+/// The chunks one rank needs after redistribution, packed consecutively in
+/// its destination buffer. The paper's published library supports exactly
+/// one needed chunk per rank; multiple chunks implement its §V future-work
+/// extension ("support for more data patterns") — e.g. a block plus
+/// separate halo regions. Needed chunks may overlap and may leave holes.
+using NeededLayout = std::vector<Chunk>;
+
+/// Full redistribution problem: every rank's owned and needed chunks.
+/// Index: rank.
+struct GlobalLayout {
+  std::vector<OwnedLayout> owned;
+  std::vector<NeededLayout> needed;
+
+  [[nodiscard]] int nranks() const { return static_cast<int>(owned.size()); }
+
+  /// Maximum number of chunks owned by any rank == number of
+  /// MPI_Alltoallw rounds (paper §III-C).
+  [[nodiscard]] int rounds() const {
+    std::size_t m = 0;
+    for (const auto& o : owned) m = m > o.size() ? m : o.size();
+    return static_cast<int>(m);
+  }
+
+  /// Bounding box of everything owned (the global domain when the owned
+  /// layout is complete).
+  [[nodiscard]] Box domain() const {
+    Box d;
+    bool first = true;
+    for (const auto& rank_chunks : owned)
+      for (const auto& c : rank_chunks) {
+        d = first ? c.box() : bounding_box(d, c.box());
+        first = false;
+      }
+    return d;
+  }
+};
+
+/// Validation result for the paper's send-side contract: owned chunks must
+/// be mutually exclusive and complete over the domain.
+struct LayoutValidation {
+  bool exclusive = true;  ///< no two owned chunks overlap
+  bool complete = true;   ///< owned chunks tile their bounding box exactly
+  std::string detail;     ///< human-readable diagnosis when invalid
+
+  [[nodiscard]] bool ok() const { return exclusive && complete; }
+};
+
+/// Checks mutual exclusivity and completeness of the owned side.
+/// O(n^2) in the total chunk count; intended for setup-time validation.
+[[nodiscard]] LayoutValidation validate_owned(const GlobalLayout& layout);
+
+}  // namespace ddr

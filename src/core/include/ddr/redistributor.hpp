@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file redistributor.hpp
+/// The modern C++ face of the DDR library.
+///
+/// Mirrors the paper's three-call workflow:
+///   1. construct a Redistributor (DDR_NewDataDescriptor),
+///   2. setup() with what this rank owns and needs (DDR_SetupDataMapping),
+///   3. redistribute() as often as the data changes (DDR_ReorganizeData).
+///
+/// Example (the paper's E1, per rank):
+/// \code
+///   ddr::Redistributor r(comm, sizeof(float));
+///   ddr::OwnedLayout own{ddr::Chunk::d2(8, 1, 0, rank),
+///                        ddr::Chunk::d2(8, 1, 0, rank + 4)};
+///   ddr::Chunk need = ddr::Chunk::d2(4, 4, 4 * (rank % 2), 4 * (rank / 2));
+///   r.setup(own, need);
+///   r.redistribute(std::as_bytes(std::span(data_own)),
+///                  std::as_writable_bytes(std::span(data_need)));
+/// \endcode
+
+#include <cstddef>
+#include <span>
+
+#include "ddr/mapping.hpp"
+#include "minimpi/comm.hpp"
+
+namespace ddr {
+
+/// How redistribute() moves the data.
+enum class Backend {
+  /// MPI_Alltoallw with subarray datatypes, one call per round — the
+  /// algorithm the paper describes (§III-C).
+  alltoallw,
+  /// Direct nonblocking send/recv per non-empty transfer — the paper's
+  /// future-work optimization for sparse mappings (§V).
+  point_to_point,
+};
+
+/// Options controlling setup behaviour.
+struct SetupOptions {
+  /// Validate the paper's send-side contract (owned chunks mutually
+  /// exclusive and complete). Costs O(total_chunks^2) box intersections at
+  /// setup time; throws ddr-flavoured mpi::Error when violated.
+  bool validate_owned_layout = true;
+
+  Backend backend = Backend::alltoallw;
+};
+
+/// Per-rank redistribution engine.
+///
+/// Thread-compatible: one Redistributor per rank thread; redistribute() is
+/// collective over the communicator given at construction.
+class Redistributor {
+ public:
+  /// \param comm       communicator spanning all participating ranks
+  /// \param elem_size  bytes per domain element (the paper's 4th descriptor
+  ///                   parameter; the element MPI type collapses to its size)
+  Redistributor(mpi::Comm comm, std::size_t elem_size);
+
+  /// Collective. Declares what this rank owns (any number of chunks, packed
+  /// consecutively in the source buffer) and the one chunk it needs.
+  /// Gathers every rank's declaration and computes the geometric mapping.
+  void setup(const OwnedLayout& owned, const Chunk& needed,
+             const SetupOptions& options = {});
+
+  /// Collective. Extension of the paper's interface (§V future work,
+  /// "support for more data patterns"): this rank needs SEVERAL chunks,
+  /// packed consecutively in the destination buffer in the given order.
+  /// Needed chunks may overlap each other and other ranks' needs.
+  void setup(const OwnedLayout& owned, const NeededLayout& needed,
+             const SetupOptions& options = {});
+
+  /// Collective. Moves the data: `owned_data` must hold owned_bytes(),
+  /// `needed_data` must hold needed_bytes(). Repeatable on fresh data
+  /// without re-running setup (paper §III-C).
+  void redistribute(std::span<const std::byte> owned_data,
+                    std::span<std::byte> needed_data) const;
+
+  /// Bytes this rank's concatenated owned chunks occupy.
+  [[nodiscard]] std::size_t owned_bytes() const { return mapping_.owned_bytes; }
+
+  /// Bytes this rank's needed chunk occupies.
+  [[nodiscard]] std::size_t needed_bytes() const {
+    return mapping_.needed_bytes;
+  }
+
+  /// Number of alltoallw rounds (== max chunks owned by any rank).
+  [[nodiscard]] int rounds() const {
+    return static_cast<int>(mapping_.rounds.size());
+  }
+
+  /// Schedule statistics of the current mapping (Table III numbers).
+  [[nodiscard]] const MappingStats& stats() const { return stats_; }
+
+  /// The global layout gathered during setup (diagnostics and tests).
+  [[nodiscard]] const GlobalLayout& global_layout() const { return layout_; }
+
+  [[nodiscard]] bool is_setup() const { return setup_done_; }
+
+  [[nodiscard]] const mpi::Comm& comm() const { return comm_; }
+
+ private:
+  void execute_alltoallw(std::span<const std::byte> owned_data,
+                         std::span<std::byte> needed_data) const;
+  void execute_p2p(std::span<const std::byte> owned_data,
+                   std::span<std::byte> needed_data) const;
+
+  mpi::Comm comm_;
+  std::size_t elem_size_;
+  Backend backend_ = Backend::alltoallw;
+  bool setup_done_ = false;
+  GlobalLayout layout_;
+  DataMapping mapping_;
+  MappingStats stats_;
+};
+
+}  // namespace ddr

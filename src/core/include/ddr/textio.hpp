@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file textio.hpp
+/// Plain-text serialization of redistribution layouts, used by the ddrinfo
+/// command-line tool and handy for bug reports / regression fixtures.
+///
+/// Format (one logical declaration per line, '#' starts a comment):
+///
+///     ndims 2
+///     elem 4
+///     rank own 8x1@0,0 own 8x1@0,4 need 4x4@0,0
+///     rank own 8x1@0,1 own 8x1@0,5 need 4x4@4,0
+///
+/// Each `rank` line declares the next rank: any number of `own` chunks and
+/// any number of `need` chunks (the multi-chunk receive extension), each as
+/// DIMS@OFFSETS with 'x'-separated dims and ','-separated offsets, fastest
+/// axis first.
+
+#include <iosfwd>
+#include <string>
+
+#include "ddr/layout.hpp"
+
+namespace ddr {
+
+/// A parsed layout problem.
+struct LayoutSpec {
+  int ndims = 0;
+  std::size_t elem_size = 0;
+  GlobalLayout layout;
+};
+
+/// Parses the text format; throws ddr::Error with a line-numbered message
+/// on malformed input.
+[[nodiscard]] LayoutSpec parse_layout(std::istream& in);
+
+/// Convenience overload for in-memory text.
+[[nodiscard]] LayoutSpec parse_layout(const std::string& text);
+
+/// Serializes a spec back to the text format (parse(format(x)) == x).
+[[nodiscard]] std::string format_layout(const LayoutSpec& spec);
+
+}  // namespace ddr

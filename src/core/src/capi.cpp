@@ -1,0 +1,124 @@
+#include "ddr/ddr.h"
+
+#include <memory>
+#include <span>
+
+#include "ddr/error.hpp"
+#include "ddr/redistributor.hpp"
+
+/// The opaque descriptor: descriptor metadata plus the C++ engine.
+struct DDR_DataDescriptor {
+  int nprocs = 0;
+  DDR_DataType data_type = DDR_DATA_TYPE_1D;
+  DDR_ElementType element_type = DDR_BYTES;
+  std::size_t element_size = 0;
+  std::unique_ptr<ddr::Redistributor> engine;
+};
+
+DDR_DataDescriptor* DDR_NewDataDescriptor(int nprocs, DDR_DataType data_type,
+                                          DDR_ElementType element_type,
+                                          std::size_t element_size,
+                                          const mpi::Comm& comm) {
+  ddr::require(comm.valid(), "DDR_NewDataDescriptor: invalid communicator");
+  ddr::require(nprocs == comm.size(),
+               "DDR_NewDataDescriptor: nprocs (" + std::to_string(nprocs) +
+                   ") != communicator size (" + std::to_string(comm.size()) +
+                   ")");
+  ddr::require(data_type >= DDR_DATA_TYPE_1D && data_type <= DDR_DATA_TYPE_3D,
+               "DDR_NewDataDescriptor: data_type must be 1D, 2D or 3D");
+  auto* desc = new DDR_DataDescriptor;
+  desc->nprocs = nprocs;
+  desc->data_type = data_type;
+  desc->element_type = element_type;
+  desc->element_size = element_size;
+  desc->engine = std::make_unique<ddr::Redistributor>(comm, element_size);
+  return desc;
+}
+
+void DDR_SetupDataMapping(int rank, int nprocs, int chunks_own,
+                          const int* dims_own, const int* offsets_own,
+                          const int* dims_need, const int* offsets_need,
+                          DDR_DataDescriptor* desc) {
+  ddr::require(desc != nullptr && desc->engine != nullptr,
+               "DDR_SetupDataMapping: null descriptor");
+  ddr::require(nprocs == desc->nprocs,
+               "DDR_SetupDataMapping: nprocs differs from the descriptor's");
+  ddr::require(rank == desc->engine->comm().rank(),
+               "DDR_SetupDataMapping: rank differs from the communicator's");
+  ddr::require(chunks_own >= 0, "DDR_SetupDataMapping: negative chunk count");
+  const int nd = static_cast<int>(desc->data_type);
+
+  // The flattened P4/P5 arrays hold chunks_own * ndims entries
+  // (paper §III-B: "the number of total elements in the sending dimensions
+  // and offsets parameters must be equal to the number of chunks owned ...
+  // multiplied by the number of dimensions").
+  ddr::OwnedLayout owned;
+  owned.reserve(static_cast<std::size_t>(chunks_own));
+  for (int c = 0; c < chunks_own; ++c) {
+    owned.emplace_back(
+        nd, std::span<const int>(dims_own + c * nd, static_cast<std::size_t>(nd)),
+        std::span<const int>(offsets_own + c * nd,
+                             static_cast<std::size_t>(nd)));
+  }
+  const ddr::Chunk needed(
+      nd, std::span<const int>(dims_need, static_cast<std::size_t>(nd)),
+      std::span<const int>(offsets_need, static_cast<std::size_t>(nd)));
+
+  desc->engine->setup(owned, needed);
+}
+
+void DDR_SetupDataMappingMulti(int rank, int nprocs, int chunks_own,
+                               const int* dims_own, const int* offsets_own,
+                               int chunks_need, const int* dims_need,
+                               const int* offsets_need,
+                               DDR_DataDescriptor* desc) {
+  ddr::require(desc != nullptr && desc->engine != nullptr,
+               "DDR_SetupDataMappingMulti: null descriptor");
+  ddr::require(nprocs == desc->nprocs,
+               "DDR_SetupDataMappingMulti: nprocs differs from descriptor's");
+  ddr::require(rank == desc->engine->comm().rank(),
+               "DDR_SetupDataMappingMulti: rank differs from communicator's");
+  ddr::require(chunks_own >= 0 && chunks_need >= 1,
+               "DDR_SetupDataMappingMulti: bad chunk counts");
+  const int nd = static_cast<int>(desc->data_type);
+
+  ddr::OwnedLayout owned;
+  owned.reserve(static_cast<std::size_t>(chunks_own));
+  for (int c = 0; c < chunks_own; ++c)
+    owned.emplace_back(
+        nd, std::span<const int>(dims_own + c * nd, static_cast<std::size_t>(nd)),
+        std::span<const int>(offsets_own + c * nd,
+                             static_cast<std::size_t>(nd)));
+  ddr::NeededLayout needed;
+  needed.reserve(static_cast<std::size_t>(chunks_need));
+  for (int c = 0; c < chunks_need; ++c)
+    needed.emplace_back(
+        nd,
+        std::span<const int>(dims_need + c * nd, static_cast<std::size_t>(nd)),
+        std::span<const int>(offsets_need + c * nd,
+                             static_cast<std::size_t>(nd)));
+
+  desc->engine->setup(owned, needed);
+}
+
+void DDR_ReorganizeData(int nprocs, const void* data_own, void* data_need,
+                        DDR_DataDescriptor* desc) {
+  ddr::require(desc != nullptr && desc->engine != nullptr,
+               "DDR_ReorganizeData: null descriptor");
+  ddr::require(nprocs == desc->nprocs,
+               "DDR_ReorganizeData: nprocs differs from the descriptor's");
+  const ddr::Redistributor& r = *desc->engine;
+  r.redistribute(
+      std::span<const std::byte>(static_cast<const std::byte*>(data_own),
+                                 r.owned_bytes()),
+      std::span<std::byte>(static_cast<std::byte*>(data_need),
+                           r.needed_bytes()));
+}
+
+void DDR_FreeDataDescriptor(DDR_DataDescriptor* desc) { delete desc; }
+
+ddr::Redistributor& DDR_GetRedistributor(DDR_DataDescriptor* desc) {
+  ddr::require(desc != nullptr && desc->engine != nullptr,
+               "DDR_GetRedistributor: null descriptor");
+  return *desc->engine;
+}

@@ -1,0 +1,71 @@
+#include "ddr/halo.hpp"
+
+#include <algorithm>
+
+#include "ddr/error.hpp"
+
+namespace ddr {
+
+std::array<int, kMaxDims> BlockDecomposition::coords_of(int rank) const {
+  require(rank >= 0 && rank < nranks(), "coords_of: rank out of range");
+  std::array<int, kMaxDims> c{{0, 0, 0}};
+  for (int d = 0; d < ndims; ++d) {
+    const auto k = static_cast<std::size_t>(d);
+    c[k] = rank % grid[k];
+    rank /= grid[k];
+  }
+  return c;
+}
+
+Chunk BlockDecomposition::block_of(int rank) const {
+  require(ndims >= 1 && ndims <= kMaxDims,
+          "block_of: ndims must be 1, 2 or 3");
+  const auto pos = coords_of(rank);
+  Chunk c;
+  c.ndims = ndims;
+  for (int d = 0; d < ndims; ++d) {
+    const auto k = static_cast<std::size_t>(d);
+    require(grid[k] >= 1 && domain[k] >= grid[k],
+            "block_of: each axis needs at least one element per rank");
+    const int base = domain[k] / grid[k];
+    const int rem = domain[k] % grid[k];
+    const int extra = pos[k] < rem ? 1 : 0;
+    c.dims[k] = base + extra;
+    c.offsets[k] = base * pos[k] + std::min(pos[k], rem);
+  }
+  return c;
+}
+
+HaloExchanger::HaloExchanger(const mpi::Comm& comm,
+                             const BlockDecomposition& decomp, int halo_width,
+                             std::size_t elem_size, Backend backend)
+    : redistributor_(comm, elem_size) {
+  require(halo_width >= 0, "HaloExchanger: halo width must be >= 0");
+  require(decomp.nranks() == comm.size(),
+          "HaloExchanger: decomposition expects " +
+              std::to_string(decomp.nranks()) + " ranks, communicator has " +
+              std::to_string(comm.size()));
+  block_ = decomp.block_of(comm.rank());
+
+  // Padded region: grow by the halo and clamp to the domain.
+  padded_ = block_;
+  for (int d = 0; d < decomp.ndims; ++d) {
+    const auto k = static_cast<std::size_t>(d);
+    const int lo = std::max(0, block_.offsets[k] - halo_width);
+    const int hi = std::min(decomp.domain[k],
+                            block_.offsets[k] + block_.dims[k] + halo_width);
+    padded_.offsets[k] = lo;
+    padded_.dims[k] = hi - lo;
+  }
+
+  SetupOptions opts;
+  opts.backend = backend;
+  redistributor_.setup({block_}, padded_, opts);
+}
+
+void HaloExchanger::exchange(std::span<const std::byte> block_data,
+                             std::span<std::byte> padded_data) const {
+  redistributor_.redistribute(block_data, padded_data);
+}
+
+}  // namespace ddr

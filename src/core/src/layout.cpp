@@ -1,0 +1,57 @@
+#include "ddr/layout.hpp"
+
+#include <sstream>
+
+namespace ddr {
+
+LayoutValidation validate_owned(const GlobalLayout& layout) {
+  LayoutValidation v;
+
+  // Flatten all owned chunks with their owning rank for diagnostics.
+  struct Owned {
+    int rank;
+    int index;
+    Box box;
+  };
+  std::vector<Owned> all;
+  for (int r = 0; r < layout.nranks(); ++r) {
+    const auto& chunks = layout.owned[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < chunks.size(); ++i)
+      all.push_back({r, static_cast<int>(i), chunks[i].box()});
+  }
+
+  // Mutual exclusivity: no two owned chunks may share an element
+  // (paper §III-B: "no two processes should own the same data").
+  std::int64_t total_volume = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    total_volume += all[i].box.volume();
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      if (overlaps(all[i].box, all[j].box)) {
+        v.exclusive = false;
+        std::ostringstream os;
+        os << "owned chunks overlap: rank " << all[i].rank << " chunk "
+           << all[i].index << " " << all[i].box.describe() << " vs rank "
+           << all[j].rank << " chunk " << all[j].index << " "
+           << all[j].box.describe();
+        v.detail = os.str();
+        return v;
+      }
+    }
+  }
+
+  // Completeness: disjoint chunks tile the bounding box exactly iff their
+  // volumes sum to the box volume ("collectively the entire data domain
+  // should be owned by some process").
+  const Box domain = layout.domain();
+  if (total_volume != domain.volume()) {
+    v.complete = false;
+    std::ostringstream os;
+    os << "owned chunks do not cover the domain " << domain.describe()
+       << ": covered " << total_volume << " of " << domain.volume()
+       << " elements";
+    v.detail = os.str();
+  }
+  return v;
+}
+
+}  // namespace ddr

@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file dvr.hpp
+/// Distributed direct volume rendering (DVR).
+///
+/// The consumer side of the paper's use case A (§IV-A): "the entire volume
+/// is broken into equally sized boxes that are as close to cubes as
+/// possible", each rank renders its brick, and partial images are
+/// composited. This is a CPU ray-caster (orthographic, axis-aligned view)
+/// — the paper used GPUs, but the data-distribution requirement DDR serves
+/// (each rank needs one contiguous brick) is identical.
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "ddr/layout.hpp"
+#include "image/colormap.hpp"
+#include "image/image.hpp"
+#include "minimpi/comm.hpp"
+
+namespace dvr {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Viewing axis for the orthographic camera (rays travel along +axis,
+/// i.e. the slice with the smallest coordinate is in front).
+enum class Axis { x, y, z };
+
+/// Splits `nranks` into a 3-D brick grid (bx, by, bz) with
+/// bx * by * bz == nranks, chosen so bricks of the given global volume are
+/// as close to cubes as possible (minimal total surface area).
+[[nodiscard]] std::array<int, 3> brick_grid(int nranks,
+                                            const std::array<int, 3>& dims);
+
+/// The brick (as a DDR chunk) that `rank` renders under the given grid.
+/// Remainders are spread over the leading bricks of each axis.
+[[nodiscard]] ddr::Chunk brick_of(int rank, const std::array<int, 3>& grid,
+                                  const std::array<int, 3>& dims);
+
+/// Scalar brick: placement within the global volume plus normalized sample
+/// data in [0, 1], x fastest.
+struct Brick {
+  ddr::Chunk chunk;          ///< placement (3-D)
+  std::vector<float> data;   ///< chunk.volume() samples
+
+  [[nodiscard]] float sample(int x, int y, int z) const {
+    return data[(static_cast<std::size_t>(z) *
+                     static_cast<std::size_t>(chunk.dims[1]) +
+                 static_cast<std::size_t>(y)) *
+                    static_cast<std::size_t>(chunk.dims[0]) +
+                static_cast<std::size_t>(x)];
+  }
+};
+
+/// Colormap + opacity ramp.
+struct TransferFunction {
+  const img::Colormap* colormap = &img::Colormap::tooth();
+  double threshold = 0.15;   ///< samples below are fully transparent
+  double opacity_scale = 0.08;  ///< per-sample opacity at t == 1
+
+  /// Per-sample opacity for normalized value t.
+  [[nodiscard]] double alpha(double t) const {
+    if (t <= threshold) return 0.0;
+    return opacity_scale * (t - threshold) / (1.0 - threshold);
+  }
+};
+
+/// Premultiplied RGBA accumulation pixel.
+struct RgbaF {
+  float r = 0, g = 0, b = 0, a = 0;
+};
+
+/// Floating-point accumulation image.
+class FloatImage {
+ public:
+  FloatImage() = default;
+  FloatImage(int width, int height)
+      : width_(width),
+        height_(height),
+        pixels_(static_cast<std::size_t>(width) *
+                static_cast<std::size_t>(height)) {}
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] RgbaF& at(int x, int y) {
+    return pixels_[static_cast<std::size_t>(y) *
+                       static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] const RgbaF& at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(y) *
+                       static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::vector<RgbaF>& pixels() { return pixels_; }
+  [[nodiscard]] const std::vector<RgbaF>& pixels() const { return pixels_; }
+
+ private:
+  int width_ = 0, height_ = 0;
+  std::vector<RgbaF> pixels_;
+};
+
+/// Image-plane footprint (offset and size) of a brick under `axis`.
+struct Footprint {
+  int x0 = 0, y0 = 0, width = 0, height = 0;
+  int depth_index = 0;  ///< position along the view axis (0 = front)
+};
+
+[[nodiscard]] Footprint footprint_of(const ddr::Chunk& chunk, Axis axis);
+
+/// Ray-casts one brick front-to-back into an image covering its footprint.
+[[nodiscard]] FloatImage raycast_brick(const Brick& brick, Axis axis,
+                                       const TransferFunction& tf);
+
+/// Composites `back` behind `front` in place ("over" operator on
+/// premultiplied RGBA): front = front OVER back.
+void composite_over(FloatImage& front, const FloatImage& back);
+
+/// Converts an accumulation image to 8-bit RGB over a background color.
+[[nodiscard]] img::RgbImage finalize(const FloatImage& acc,
+                                     img::Rgb background = {0, 0, 0});
+
+/// How partial images are combined across ranks.
+enum class Compositor {
+  /// Every rank sends its footprint image to rank 0, which composites in
+  /// depth order. Simple; the root becomes the bottleneck at scale.
+  direct_send,
+  /// Binary swap (Ma et al.; used by the vl3 renderer the paper's authors
+  /// built): log2(P) pairwise exchange rounds, each halving the image
+  /// region a rank composites, then a gather of the disjoint pieces.
+  /// Requires a power-of-two rank count.
+  binary_swap,
+};
+
+/// Fully distributed render: every rank ray-casts its brick, partial images
+/// are composited in depth order. Returns the final image on rank 0 (empty
+/// image elsewhere). Collective.
+[[nodiscard]] img::RgbImage distributed_render(
+    const mpi::Comm& comm, const Brick& local_brick,
+    const std::array<int, 3>& global_dims, Axis axis,
+    const TransferFunction& tf,
+    Compositor compositor = Compositor::direct_send);
+
+}  // namespace dvr

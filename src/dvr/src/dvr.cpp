@@ -1,0 +1,334 @@
+#include "dvr/dvr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "minimpi/datatype.hpp"
+
+namespace dvr {
+
+namespace {
+
+/// Axis index triple (view axis, image-u axis, image-v axis).
+struct AxisMap {
+  int view, u, v;
+};
+
+AxisMap axis_map(Axis axis) {
+  switch (axis) {
+    case Axis::x:
+      return {0, 1, 2};  // image plane: (y, z)
+    case Axis::y:
+      return {1, 0, 2};  // image plane: (x, z)
+    default:
+      return {2, 0, 1};  // image plane: (x, y)
+  }
+}
+
+}  // namespace
+
+std::array<int, 3> brick_grid(int nranks, const std::array<int, 3>& dims) {
+  if (nranks < 1) throw Error("brick_grid: need at least one rank");
+  std::array<int, 3> best{nranks, 1, 1};
+  double best_surface = -1.0;
+  for (int bx = 1; bx <= nranks; ++bx) {
+    if (nranks % bx != 0) continue;
+    const int rest = nranks / bx;
+    for (int by = 1; by <= rest; ++by) {
+      if (rest % by != 0) continue;
+      const int bz = rest / by;
+      // Per-brick extents under this grid.
+      const double ex = static_cast<double>(dims[0]) / bx;
+      const double ey = static_cast<double>(dims[1]) / by;
+      const double ez = static_cast<double>(dims[2]) / bz;
+      const double surface = ex * ey + ey * ez + ex * ez;
+      if (best_surface < 0 || surface < best_surface) {
+        best_surface = surface;
+        best = {bx, by, bz};
+      }
+    }
+  }
+  return best;
+}
+
+ddr::Chunk brick_of(int rank, const std::array<int, 3>& grid,
+                    const std::array<int, 3>& dims) {
+  const int total = grid[0] * grid[1] * grid[2];
+  if (rank < 0 || rank >= total) throw Error("brick_of: rank out of range");
+  const std::array<int, 3> pos{rank % grid[0], (rank / grid[0]) % grid[1],
+                               rank / (grid[0] * grid[1])};
+  ddr::Chunk c;
+  c.ndims = 3;
+  for (int d = 0; d < 3; ++d) {
+    const auto k = static_cast<std::size_t>(d);
+    const int base = dims[k] / grid[k];
+    const int rem = dims[k] % grid[k];
+    // The first `rem` bricks along the axis get one extra element.
+    const int extra = pos[k] < rem ? 1 : 0;
+    c.dims[k] = base + extra;
+    c.offsets[k] = base * pos[k] + std::min(pos[k], rem);
+  }
+  return c;
+}
+
+Footprint footprint_of(const ddr::Chunk& chunk, Axis axis) {
+  const AxisMap m = axis_map(axis);
+  Footprint fp;
+  fp.x0 = chunk.offsets[static_cast<std::size_t>(m.u)];
+  fp.y0 = chunk.offsets[static_cast<std::size_t>(m.v)];
+  fp.width = chunk.dims[static_cast<std::size_t>(m.u)];
+  fp.height = chunk.dims[static_cast<std::size_t>(m.v)];
+  fp.depth_index = chunk.offsets[static_cast<std::size_t>(m.view)];
+  return fp;
+}
+
+FloatImage raycast_brick(const Brick& brick, Axis axis,
+                         const TransferFunction& tf) {
+  if (brick.chunk.ndims != 3) throw Error("raycast_brick: need a 3-D chunk");
+  if (static_cast<std::int64_t>(brick.data.size()) != brick.chunk.volume())
+    throw Error("raycast_brick: data size does not match chunk volume");
+  const AxisMap m = axis_map(axis);
+  const Footprint fp = footprint_of(brick.chunk, axis);
+  const int depth = brick.chunk.dims[static_cast<std::size_t>(m.view)];
+
+  FloatImage out(fp.width, fp.height);
+  std::array<int, 3> c{};  // local coordinates
+  for (int v = 0; v < fp.height; ++v) {
+    for (int u = 0; u < fp.width; ++u) {
+      double r = 0, g = 0, b = 0, a = 0;
+      for (int w = 0; w < depth && a < 0.995; ++w) {
+        c[static_cast<std::size_t>(m.u)] = u;
+        c[static_cast<std::size_t>(m.v)] = v;
+        c[static_cast<std::size_t>(m.view)] = w;
+        const double t = brick.sample(c[0], c[1], c[2]);
+        const double sa = tf.alpha(t);
+        if (sa <= 0.0) continue;
+        const img::Rgb col = (*tf.colormap)(t);
+        const double contrib = (1.0 - a) * sa;
+        r += contrib * col.r / 255.0;
+        g += contrib * col.g / 255.0;
+        b += contrib * col.b / 255.0;
+        a += contrib;
+      }
+      out.at(u, v) = RgbaF{static_cast<float>(r), static_cast<float>(g),
+                           static_cast<float>(b), static_cast<float>(a)};
+    }
+  }
+  return out;
+}
+
+void composite_over(FloatImage& front, const FloatImage& back) {
+  if (front.width() != back.width() || front.height() != back.height())
+    throw Error("composite_over: image sizes differ");
+  auto& fp = front.pixels();
+  const auto& bp = back.pixels();
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    const float keep = 1.0f - fp[i].a;
+    fp[i].r += keep * bp[i].r;
+    fp[i].g += keep * bp[i].g;
+    fp[i].b += keep * bp[i].b;
+    fp[i].a += keep * bp[i].a;
+  }
+}
+
+img::RgbImage finalize(const FloatImage& acc, img::Rgb background) {
+  img::RgbImage out(static_cast<std::uint32_t>(acc.width()),
+                    static_cast<std::uint32_t>(acc.height()));
+  auto clamp8 = [](double v) {
+    return static_cast<std::uint8_t>(
+        std::clamp(std::lround(v * 255.0), 0L, 255L));
+  };
+  for (int y = 0; y < acc.height(); ++y)
+    for (int x = 0; x < acc.width(); ++x) {
+      const RgbaF& p = acc.at(x, y);
+      const double keep = 1.0 - p.a;
+      out.at(static_cast<std::uint32_t>(x), static_cast<std::uint32_t>(y)) =
+          img::Rgb{clamp8(p.r + keep * background.r / 255.0),
+                   clamp8(p.g + keep * background.g / 255.0),
+                   clamp8(p.b + keep * background.b / 255.0)};
+    }
+  return out;
+}
+
+namespace {
+
+/// Binary-swap compositing. Ranks are ordered front-to-back; stage k pairs
+/// order-position i with i ^ 2^k, exchanging complementary halves of the
+/// remaining pixel region. The OVER operator is associative, so combining
+/// depth-contiguous subtrees stage by stage yields the exact sequential
+/// composite. Requires a power-of-two rank count.
+img::RgbImage binary_swap(const mpi::Comm& comm, const FloatImage& partial,
+                          const Footprint& fp,
+                          const std::array<int, 3>& global_dims, Axis axis) {
+  const int p = comm.size();
+  if ((p & (p - 1)) != 0)
+    throw Error("binary_swap: rank count must be a power of two");
+  const AxisMap m = axis_map(axis);
+  const int img_w = global_dims[static_cast<std::size_t>(m.u)];
+  const int img_h = global_dims[static_cast<std::size_t>(m.v)];
+  const std::size_t npx =
+      static_cast<std::size_t>(img_w) * static_cast<std::size_t>(img_h);
+
+  // Gather footprints to establish the global depth order.
+  const mpi::Datatype fpt = mpi::Datatype::bytes(sizeof(Footprint));
+  std::vector<Footprint> fps(static_cast<std::size_t>(p));
+  comm.allgather(&fp, 1, fpt, fps.data(), 1, fpt);
+  std::vector<int> order(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) order[static_cast<std::size_t>(r)] = r;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& fa = fps[static_cast<std::size_t>(a)];
+    const auto& fb = fps[static_cast<std::size_t>(b)];
+    return fa.depth_index != fb.depth_index ? fa.depth_index < fb.depth_index
+                                            : a < b;
+  });
+  int pos = -1;
+  for (int i = 0; i < p; ++i)
+    if (order[static_cast<std::size_t>(i)] == comm.rank()) pos = i;
+
+  // Splat the footprint image into the full plane (flat RGBA array).
+  std::vector<RgbaF> plane(npx);
+  for (int v = 0; v < fp.height; ++v)
+    for (int u = 0; u < fp.width; ++u)
+      plane[static_cast<std::size_t>(fp.y0 + v) *
+                static_cast<std::size_t>(img_w) +
+            static_cast<std::size_t>(fp.x0 + u)] = partial.at(u, v);
+
+  const mpi::Datatype px = mpi::Datatype::bytes(sizeof(RgbaF));
+  std::size_t lo = 0, hi = npx;
+  constexpr int kTag = 0x0B5;
+  for (int mask = 1; mask < p; mask <<= 1) {
+    const int partner = order[static_cast<std::size_t>(pos ^ mask)];
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const bool keep_first = (pos & mask) == 0;
+    const std::size_t keep_lo = keep_first ? lo : mid;
+    const std::size_t keep_hi = keep_first ? mid : hi;
+    const std::size_t send_lo = keep_first ? mid : lo;
+    const std::size_t send_hi = keep_first ? hi : mid;
+
+    std::vector<RgbaF> incoming(keep_hi - keep_lo);
+    comm.sendrecv(plane.data() + send_lo, send_hi - send_lo, px, partner, kTag,
+                  incoming.data(), incoming.size(), px, partner, kTag);
+
+    // (pos & mask) == 0 means my subtree is in FRONT of the partner's.
+    for (std::size_t i = 0; i < incoming.size(); ++i) {
+      RgbaF& mine = plane[keep_lo + i];
+      const RgbaF& theirs = incoming[i];
+      if (keep_first) {
+        const float keep = 1.0f - mine.a;
+        mine.r += keep * theirs.r;
+        mine.g += keep * theirs.g;
+        mine.b += keep * theirs.b;
+        mine.a += keep * theirs.a;
+      } else {
+        RgbaF out = theirs;
+        const float keep = 1.0f - out.a;
+        out.r += keep * mine.r;
+        out.g += keep * mine.g;
+        out.b += keep * mine.b;
+        out.a += keep * mine.a;
+        mine = out;
+      }
+    }
+    lo = keep_lo;
+    hi = keep_hi;
+  }
+
+  // Gather the disjoint pieces on rank 0. Piece boundaries depend only on
+  // the order position, so rank 0 can recompute them.
+  if (comm.rank() != 0) {
+    comm.send(plane.data() + lo, hi - lo, px, 0, kTag + 1);
+    return img::RgbImage{};
+  }
+  FloatImage full(img_w, img_h);
+  auto region_of = [&](int position) {
+    std::size_t rlo = 0, rhi = npx;
+    for (int mask = 1; mask < p; mask <<= 1) {
+      const std::size_t mid = rlo + (rhi - rlo) / 2;
+      if ((position & mask) == 0) {
+        rhi = mid;
+      } else {
+        rlo = mid;
+      }
+    }
+    return std::pair{rlo, rhi};
+  };
+  for (int i = 0; i < p; ++i) {
+    const int r = order[static_cast<std::size_t>(i)];
+    const auto [rlo, rhi] = region_of(i);
+    if (r == 0) {
+      std::copy(plane.begin() + static_cast<std::ptrdiff_t>(rlo),
+                plane.begin() + static_cast<std::ptrdiff_t>(rhi),
+                full.pixels().begin() + static_cast<std::ptrdiff_t>(rlo));
+    } else {
+      comm.recv(full.pixels().data() + rlo, rhi - rlo, px, r, kTag + 1);
+    }
+  }
+  return finalize(full);
+}
+
+}  // namespace
+
+img::RgbImage distributed_render(const mpi::Comm& comm,
+                                 const Brick& local_brick,
+                                 const std::array<int, 3>& global_dims,
+                                 Axis axis, const TransferFunction& tf,
+                                 Compositor compositor) {
+  const AxisMap m = axis_map(axis);
+  const FloatImage partial = raycast_brick(local_brick, axis, tf);
+  const Footprint fp = footprint_of(local_brick.chunk, axis);
+
+  if (compositor == Compositor::binary_swap)
+    return binary_swap(comm, partial, fp, global_dims, axis);
+
+  // Gather footprints and partial images on rank 0 and composite in depth
+  // order (direct-send compositing; binary swap would only matter at scale).
+  const mpi::Datatype fpt = mpi::Datatype::bytes(sizeof(Footprint));
+  std::vector<Footprint> fps(static_cast<std::size_t>(comm.size()));
+  comm.gather(&fp, 1, fpt, fps.data(), 1, fpt, 0);
+
+  const mpi::Datatype px = mpi::Datatype::bytes(sizeof(RgbaF));
+  if (comm.rank() != 0) {
+    comm.send(partial.pixels().data(), partial.pixels().size(), px, 0, 0);
+    return img::RgbImage{};
+  }
+
+  std::vector<FloatImage> partials(static_cast<std::size_t>(comm.size()));
+  partials[0] = partial;
+  for (int r = 1; r < comm.size(); ++r) {
+    const Footprint& f = fps[static_cast<std::size_t>(r)];
+    FloatImage im(f.width, f.height);
+    comm.recv(im.pixels().data(), im.pixels().size(), px, r, 0);
+    partials[static_cast<std::size_t>(r)] = std::move(im);
+  }
+
+  // Depth-sorted rank order (front = smallest view-axis offset).
+  std::vector<int> order(static_cast<std::size_t>(comm.size()));
+  for (int r = 0; r < comm.size(); ++r) order[static_cast<std::size_t>(r)] = r;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return fps[static_cast<std::size_t>(a)].depth_index <
+           fps[static_cast<std::size_t>(b)].depth_index;
+  });
+
+  const int img_w = global_dims[static_cast<std::size_t>(m.u)];
+  const int img_h = global_dims[static_cast<std::size_t>(m.v)];
+  FloatImage full(img_w, img_h);
+  // Composite back-to-front per pixel column: iterate front-to-back and use
+  // OVER accumulation into the full-plane image.
+  for (int r : order) {
+    const Footprint& f = fps[static_cast<std::size_t>(r)];
+    const FloatImage& im = partials[static_cast<std::size_t>(r)];
+    for (int v = 0; v < f.height; ++v)
+      for (int u = 0; u < f.width; ++u) {
+        RgbaF& dst = full.at(f.x0 + u, f.y0 + v);
+        const RgbaF& src = im.at(u, v);
+        const float keep = 1.0f - dst.a;
+        dst.r += keep * src.r;
+        dst.g += keep * src.g;
+        dst.b += keep * src.b;
+        dst.a += keep * src.a;
+      }
+  }
+  return finalize(full);
+}
+
+}  // namespace dvr

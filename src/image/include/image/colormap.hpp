@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file colormap.hpp
+/// Piecewise-linear colormaps. The paper uses two: a blue-white-red
+/// diverging map for LBM vorticity (§IV-B) and a warm dental map for the
+/// tooth rendering (Fig. 2, right).
+
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace img {
+
+/// Piecewise-linear colormap over t in [0, 1]; values outside are clamped.
+class Colormap {
+ public:
+  struct Stop {
+    double t;
+    double r, g, b;  // components in [0, 1]
+  };
+
+  explicit Colormap(std::vector<Stop> stops);
+
+  /// Maps a normalized scalar to a color.
+  [[nodiscard]] Rgb operator()(double t) const;
+
+  /// Maps with explicit input range: v in [lo, hi] -> [0, 1].
+  [[nodiscard]] Rgb map(double v, double lo, double hi) const;
+
+  // --- presets -------------------------------------------------------------
+
+  /// Diverging blue-white-red (paper §IV-B: LBM vorticity frames).
+  static const Colormap& blue_white_red();
+
+  /// Linear grayscale.
+  static const Colormap& grayscale();
+
+  /// Warm dental map for the tooth phantom (Fig. 2 right: dark red ->
+  /// orange -> ivory for increasing density).
+  static const Colormap& tooth();
+
+  /// Perceptually-ordered dark-blue -> green -> yellow map for general
+  /// fields.
+  static const Colormap& viridis_like();
+
+ private:
+  std::vector<Stop> stops_;
+};
+
+}  // namespace img

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file image.hpp
+/// Simple 8-bit RGB(A) raster used by the visualization pipelines
+/// (DVR renderings, LBM frames) and fed to the PPM/JPEG encoders.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace img {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One sRGB pixel.
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+/// Row-major 8-bit RGB image.
+class RgbImage {
+ public:
+  RgbImage() = default;
+  RgbImage(std::uint32_t width, std::uint32_t height, Rgb fill = {});
+
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+
+  [[nodiscard]] Rgb& at(std::uint32_t x, std::uint32_t y) {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  [[nodiscard]] const Rgb& at(std::uint32_t x, std::uint32_t y) const {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  [[nodiscard]] std::span<const Rgb> pixels() const { return pixels_; }
+  [[nodiscard]] std::span<Rgb> pixels() { return pixels_; }
+
+  /// Serializes as binary PPM (P6).
+  [[nodiscard]] std::vector<std::byte> encode_ppm() const;
+
+  /// Writes a binary PPM file.
+  void write_ppm(const std::string& path) const;
+
+ private:
+  std::uint32_t width_ = 0, height_ = 0;
+  std::vector<Rgb> pixels_;
+};
+
+}  // namespace img

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file png.hpp
+/// Minimal PNG writer (and a matching subset reader used by tests).
+///
+/// Rendered frames and DVR images are more useful to downstream users as
+/// PNG than PPM. No zlib is available offline, so the IDAT stream uses
+/// DEFLATE "stored" (uncompressed) blocks — a perfectly valid zlib stream
+/// that any PNG viewer accepts; CRC-32 and Adler-32 are implemented here.
+/// For the compressed-output experiments (Table IV) use the JPEG codec;
+/// PNG exists for lossless, viewable artifacts.
+///
+/// Writer output: 8-bit RGB, color type 2, filter 0 on every scanline.
+/// Reader: accepts exactly what the writer emits (tests only).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace img {
+
+/// Serializes as PNG (see file comment for the encoding choices).
+[[nodiscard]] std::vector<std::byte> encode_png(const RgbImage& image);
+
+/// Writes a PNG file.
+void write_png(const std::string& path, const RgbImage& image);
+
+/// Parses a PNG produced by encode_png (subset: 8-bit RGB, stored-deflate,
+/// filter 0). Throws img::Error on anything else.
+[[nodiscard]] RgbImage decode_png(std::span<const std::byte> file);
+
+/// CRC-32 (ISO 3309 / PNG) of a byte range — exposed for tests.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data);
+
+/// Adler-32 (RFC 1950) of a byte range — exposed for tests.
+[[nodiscard]] std::uint32_t adler32(std::span<const std::byte> data);
+
+}  // namespace img

@@ -1,0 +1,63 @@
+#include "image/colormap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace img {
+
+Colormap::Colormap(std::vector<Stop> stops) : stops_(std::move(stops)) {
+  if (stops_.size() < 2) throw Error("colormap: need at least two stops");
+  for (std::size_t i = 1; i < stops_.size(); ++i)
+    if (stops_[i].t <= stops_[i - 1].t)
+      throw Error("colormap: stops must be strictly increasing in t");
+}
+
+Rgb Colormap::operator()(double t) const {
+  t = std::clamp(t, stops_.front().t, stops_.back().t);
+  std::size_t hi = 1;
+  while (hi + 1 < stops_.size() && stops_[hi].t < t) ++hi;
+  const Stop& a = stops_[hi - 1];
+  const Stop& b = stops_[hi];
+  const double u = (t - a.t) / (b.t - a.t);
+  auto chan = [&](double ca, double cb) {
+    const double v = std::clamp(ca + (cb - ca) * u, 0.0, 1.0);
+    return static_cast<std::uint8_t>(std::lround(v * 255.0));
+  };
+  return Rgb{chan(a.r, b.r), chan(a.g, b.g), chan(a.b, b.b)};
+}
+
+Rgb Colormap::map(double v, double lo, double hi) const {
+  const double t = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+  return (*this)(t);
+}
+
+const Colormap& Colormap::blue_white_red() {
+  static const Colormap cm({{0.0, 0.10, 0.15, 0.75},
+                            {0.5, 1.00, 1.00, 1.00},
+                            {1.0, 0.80, 0.10, 0.10}});
+  return cm;
+}
+
+const Colormap& Colormap::grayscale() {
+  static const Colormap cm({{0.0, 0.0, 0.0, 0.0}, {1.0, 1.0, 1.0, 1.0}});
+  return cm;
+}
+
+const Colormap& Colormap::tooth() {
+  static const Colormap cm({{0.00, 0.05, 0.02, 0.02},
+                            {0.25, 0.45, 0.10, 0.05},
+                            {0.55, 0.85, 0.45, 0.15},
+                            {0.80, 0.95, 0.80, 0.55},
+                            {1.00, 1.00, 0.98, 0.90}});
+  return cm;
+}
+
+const Colormap& Colormap::viridis_like() {
+  static const Colormap cm({{0.00, 0.27, 0.00, 0.33},
+                            {0.33, 0.13, 0.37, 0.55},
+                            {0.66, 0.13, 0.66, 0.47},
+                            {1.00, 0.99, 0.91, 0.14}});
+  return cm;
+}
+
+}  // namespace img

@@ -1,0 +1,35 @@
+#include "image/image.hpp"
+
+#include <fstream>
+
+namespace img {
+
+RgbImage::RgbImage(std::uint32_t width, std::uint32_t height, Rgb fill)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width) * height, fill) {}
+
+std::vector<std::byte> RgbImage::encode_ppm() const {
+  const std::string header = "P6\n" + std::to_string(width_) + " " +
+                             std::to_string(height_) + "\n255\n";
+  std::vector<std::byte> out;
+  out.reserve(header.size() + pixels_.size() * 3);
+  for (char ch : header) out.push_back(static_cast<std::byte>(ch));
+  for (const Rgb& p : pixels_) {
+    out.push_back(static_cast<std::byte>(p.r));
+    out.push_back(static_cast<std::byte>(p.g));
+    out.push_back(static_cast<std::byte>(p.b));
+  }
+  return out;
+}
+
+void RgbImage::write_ppm(const std::string& path) const {
+  const auto data = encode_ppm();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("image: cannot create " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw Error("image: short write to " + path);
+}
+
+}  // namespace img

@@ -1,0 +1,216 @@
+#include "image/png.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace img {
+
+namespace {
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[n] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void be32(std::vector<std::byte>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::byte>(v >> 24));
+  out.push_back(static_cast<std::byte>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::byte>(v & 0xff));
+}
+
+std::uint32_t read_be32(std::span<const std::byte> d, std::size_t off) {
+  if (off + 4 > d.size()) throw Error("png: truncated");
+  return (static_cast<std::uint32_t>(d[off]) << 24) |
+         (static_cast<std::uint32_t>(d[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(d[off + 2]) << 8) |
+         static_cast<std::uint32_t>(d[off + 3]);
+}
+
+/// Appends one chunk: length, type, payload, CRC over type+payload.
+void append_chunk(std::vector<std::byte>& out, const char type[4],
+                  std::span<const std::byte> payload) {
+  be32(out, static_cast<std::uint32_t>(payload.size()));
+  std::vector<std::byte> crc_region;
+  crc_region.reserve(4 + payload.size());
+  for (int i = 0; i < 4; ++i)
+    crc_region.push_back(static_cast<std::byte>(type[i]));
+  crc_region.insert(crc_region.end(), payload.begin(), payload.end());
+  out.insert(out.end(), crc_region.begin(), crc_region.end());
+  be32(out, crc32(crc_region));
+}
+
+constexpr std::uint8_t kSignature[8] = {0x89, 'P',  'N',  'G',
+                                        0x0d, 0x0a, 0x1a, 0x0a};
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  const auto& t = crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (std::byte b : data)
+    c = t[(c ^ static_cast<std::uint32_t>(b)) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t adler32(std::span<const std::byte> data) {
+  std::uint32_t a = 1, b = 0;
+  for (std::byte x : data) {
+    a = (a + static_cast<std::uint32_t>(x)) % 65521u;
+    b = (b + a) % 65521u;
+  }
+  return (b << 16) | a;
+}
+
+std::vector<std::byte> encode_png(const RgbImage& image) {
+  if (image.width() == 0 || image.height() == 0)
+    throw Error("png: cannot encode an empty image");
+
+  std::vector<std::byte> out;
+  for (std::uint8_t b : kSignature) out.push_back(static_cast<std::byte>(b));
+
+  // IHDR.
+  std::vector<std::byte> ihdr;
+  be32(ihdr, image.width());
+  be32(ihdr, image.height());
+  ihdr.push_back(std::byte{8});  // bit depth
+  ihdr.push_back(std::byte{2});  // color type: truecolor RGB
+  ihdr.push_back(std::byte{0});  // compression: deflate
+  ihdr.push_back(std::byte{0});  // filter method
+  ihdr.push_back(std::byte{0});  // no interlace
+  append_chunk(out, "IHDR", ihdr);
+
+  // Raw scanlines: filter byte 0 + RGB triplets.
+  const std::size_t row_bytes = 1 + 3 * static_cast<std::size_t>(image.width());
+  std::vector<std::byte> raw;
+  raw.reserve(row_bytes * image.height());
+  for (std::uint32_t y = 0; y < image.height(); ++y) {
+    raw.push_back(std::byte{0});  // filter: none
+    for (std::uint32_t x = 0; x < image.width(); ++x) {
+      const Rgb& p = image.at(x, y);
+      raw.push_back(static_cast<std::byte>(p.r));
+      raw.push_back(static_cast<std::byte>(p.g));
+      raw.push_back(static_cast<std::byte>(p.b));
+    }
+  }
+
+  // zlib stream: 2-byte header, DEFLATE stored blocks, Adler-32 trailer.
+  std::vector<std::byte> idat;
+  idat.push_back(std::byte{0x78});
+  idat.push_back(std::byte{0x01});
+  std::size_t off = 0;
+  while (off < raw.size()) {
+    const std::size_t len = std::min<std::size_t>(65535, raw.size() - off);
+    const bool final = off + len == raw.size();
+    idat.push_back(std::byte{static_cast<std::uint8_t>(final ? 1 : 0)});
+    idat.push_back(static_cast<std::byte>(len & 0xff));
+    idat.push_back(static_cast<std::byte>(len >> 8));
+    idat.push_back(static_cast<std::byte>(~len & 0xff));
+    idat.push_back(static_cast<std::byte>((~len >> 8) & 0xff));
+    idat.insert(idat.end(), raw.begin() + static_cast<std::ptrdiff_t>(off),
+                raw.begin() + static_cast<std::ptrdiff_t>(off + len));
+    off += len;
+  }
+  be32(idat, adler32(raw));
+  append_chunk(out, "IDAT", idat);
+  append_chunk(out, "IEND", {});
+  return out;
+}
+
+void write_png(const std::string& path, const RgbImage& image) {
+  const auto data = encode_png(image);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("png: cannot create " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw Error("png: short write to " + path);
+}
+
+RgbImage decode_png(std::span<const std::byte> file) {
+  if (file.size() < 8 ||
+      std::memcmp(file.data(), kSignature, 8) != 0)
+    throw Error("png: bad signature");
+
+  std::uint32_t width = 0, height = 0;
+  std::vector<std::byte> idat;
+  std::size_t pos = 8;
+  while (pos + 8 <= file.size()) {
+    const std::uint32_t len = read_be32(file, pos);
+    if (pos + 12 + len > file.size()) throw Error("png: truncated chunk");
+    const char t0 = static_cast<char>(file[pos + 4]);
+    const char t1 = static_cast<char>(file[pos + 5]);
+    const char t2 = static_cast<char>(file[pos + 6]);
+    const char t3 = static_cast<char>(file[pos + 7]);
+    const std::span<const std::byte> payload = file.subspan(pos + 8, len);
+    // Verify the chunk CRC.
+    std::vector<std::byte> crc_region(file.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+                                      file.begin() + static_cast<std::ptrdiff_t>(pos + 8 + len));
+    if (crc32(crc_region) != read_be32(file, pos + 8 + len))
+      throw Error("png: chunk CRC mismatch");
+
+    if (t0 == 'I' && t1 == 'H' && t2 == 'D' && t3 == 'R') {
+      if (len != 13) throw Error("png: bad IHDR");
+      width = read_be32(payload, 0);
+      height = read_be32(payload, 4);
+      if (payload[8] != std::byte{8} || payload[9] != std::byte{2})
+        throw Error("png: only 8-bit RGB is supported");
+    } else if (t0 == 'I' && t1 == 'D' && t2 == 'A' && t3 == 'T') {
+      idat.insert(idat.end(), payload.begin(), payload.end());
+    } else if (t0 == 'I' && t1 == 'E' && t2 == 'N' && t3 == 'D') {
+      break;
+    }
+    pos += 12 + len;
+  }
+  if (width == 0 || height == 0) throw Error("png: missing IHDR");
+  if (static_cast<std::uint64_t>(width) * height > (1ull << 26))
+    throw Error("png: image too large for this reader");
+
+  // Inflate (stored blocks only).
+  if (idat.size() < 6) throw Error("png: IDAT too small");
+  std::vector<std::byte> raw;
+  std::size_t ip = 2;  // skip zlib header
+  for (;;) {
+    if (ip + 5 > idat.size()) throw Error("png: truncated deflate stream");
+    const auto flags = static_cast<std::uint8_t>(idat[ip]);
+    if ((flags & 0x06) != 0)
+      throw Error("png: only stored deflate blocks are supported");
+    const std::size_t len = static_cast<std::size_t>(idat[ip + 1]) |
+                            (static_cast<std::size_t>(idat[ip + 2]) << 8);
+    ip += 5;
+    if (ip + len > idat.size()) throw Error("png: stored block overruns IDAT");
+    raw.insert(raw.end(), idat.begin() + static_cast<std::ptrdiff_t>(ip),
+               idat.begin() + static_cast<std::ptrdiff_t>(ip + len));
+    ip += len;
+    if ((flags & 1) != 0) break;
+  }
+  if (ip + 4 > idat.size() || adler32(raw) != read_be32(idat, ip))
+    throw Error("png: Adler-32 mismatch");
+
+  const std::size_t row_bytes = 1 + 3 * static_cast<std::size_t>(width);
+  if (raw.size() != row_bytes * height)
+    throw Error("png: decompressed size mismatch");
+  RgbImage image(width, height);
+  for (std::uint32_t y = 0; y < height; ++y) {
+    const std::byte* row = raw.data() + static_cast<std::size_t>(y) * row_bytes;
+    if (row[0] != std::byte{0})
+      throw Error("png: only filter 0 is supported");
+    for (std::uint32_t x = 0; x < width; ++x) {
+      image.at(x, y) = Rgb{static_cast<std::uint8_t>(row[1 + 3 * x]),
+                           static_cast<std::uint8_t>(row[2 + 3 * x]),
+                           static_cast<std::uint8_t>(row[3 + 3 * x])};
+    }
+  }
+  return image;
+}
+
+}  // namespace img

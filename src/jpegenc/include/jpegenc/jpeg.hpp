@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file jpeg.hpp
+/// Baseline JPEG (JFIF) codec, written from scratch.
+///
+/// The paper's second use case saves rendered LBM frames "as a compressed
+/// JPEG image" instead of raw float arrays, which is where Table IV's
+/// ~99.5 % data reduction comes from. No JPEG library is available offline,
+/// so this module implements the baseline sequential DCT process of
+/// ITU-T T.81: BT.601 color transform, optional 4:2:0 chroma subsampling,
+/// 8x8 forward DCT, Annex-K quantization tables with libjpeg-style quality
+/// scaling, and canonical Huffman entropy coding.
+///
+/// A matching decoder is provided so tests can verify roundtrip fidelity
+/// (PSNR bounds), not just container well-formedness.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace jpeg {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Chroma subsampling mode.
+enum class Subsampling {
+  s444,  ///< no subsampling (one 8x8 chroma block per luma block)
+  s420,  ///< 2x2 chroma subsampling (the common photographic default)
+};
+
+struct EncodeOptions {
+  /// libjpeg-compatible quality in [1, 100]; the paper's use case sits in
+  /// the default photographic range.
+  int quality = 75;
+  Subsampling subsampling = Subsampling::s420;
+  /// Emit a restart marker every N MCUs (0 = none). Restart markers bound
+  /// the damage of stream corruption and enable parallel decoding.
+  int restart_interval = 0;
+};
+
+/// Encodes an RGB image as baseline JFIF.
+[[nodiscard]] std::vector<std::byte> encode(const img::RgbImage& image,
+                                            const EncodeOptions& options = {});
+
+/// Convenience: encode and write to disk.
+void write_file(const std::string& path, const img::RgbImage& image,
+                const EncodeOptions& options = {});
+
+/// Decodes a baseline JFIF stream produced by this encoder (baseline
+/// sequential, 3 components, 4:4:4 or 4:2:0, no restart markers).
+[[nodiscard]] img::RgbImage decode(std::span<const std::byte> file);
+
+}  // namespace jpeg

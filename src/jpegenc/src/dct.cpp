@@ -1,0 +1,70 @@
+#include "dct.hpp"
+
+#include <cmath>
+
+namespace jpeg::detail {
+
+namespace {
+
+/// Cosine basis c[u][x] = cos((2x+1) u pi / 16) scaled by the DCT norm.
+struct Basis {
+  double c[8][8];
+  double alpha[8];
+  Basis() {
+    const double pi = std::acos(-1.0);
+    for (int u = 0; u < 8; ++u) {
+      alpha[u] = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int x = 0; x < 8; ++x)
+        c[u][x] = std::cos((2.0 * x + 1.0) * u * pi / 16.0);
+    }
+  }
+};
+
+const Basis& basis() {
+  static const Basis b;
+  return b;
+}
+
+}  // namespace
+
+void fdct8x8(Block& b) {
+  const Basis& B = basis();
+  Block tmp{};
+  // Rows.
+  for (int y = 0; y < 8; ++y)
+    for (int u = 0; u < 8; ++u) {
+      double s = 0;
+      for (int x = 0; x < 8; ++x) s += b[static_cast<std::size_t>(y * 8 + x)] * B.c[u][x];
+      tmp[static_cast<std::size_t>(y * 8 + u)] = s * B.alpha[u];
+    }
+  // Columns.
+  for (int u = 0; u < 8; ++u)
+    for (int v = 0; v < 8; ++v) {
+      double s = 0;
+      for (int y = 0; y < 8; ++y) s += tmp[static_cast<std::size_t>(y * 8 + u)] * B.c[v][y];
+      b[static_cast<std::size_t>(v * 8 + u)] = s * B.alpha[v];
+    }
+}
+
+void idct8x8(Block& b) {
+  const Basis& B = basis();
+  Block tmp{};
+  // Columns.
+  for (int u = 0; u < 8; ++u)
+    for (int y = 0; y < 8; ++y) {
+      double s = 0;
+      for (int v = 0; v < 8; ++v)
+        s += B.alpha[v] * b[static_cast<std::size_t>(v * 8 + u)] * B.c[v][y];
+      tmp[static_cast<std::size_t>(y * 8 + u)] = s;
+    }
+  // Rows.
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) {
+      double s = 0;
+      for (int u = 0; u < 8; ++u)
+        s += B.alpha[u] * tmp[static_cast<std::size_t>(y * 8 + u)] * B.c[u][x];
+      b[static_cast<std::size_t>(y * 8 + x)] = s;
+    }
+}
+
+}  // namespace jpeg::detail

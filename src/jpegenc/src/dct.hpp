@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file dct.hpp
+/// 8x8 forward and inverse DCT-II (separable, double precision).
+/// Plain textbook transforms — clarity over throughput; the benches charge
+/// render/encode CPU time through the virtual clock regardless.
+
+#include <array>
+
+namespace jpeg::detail {
+
+using Block = std::array<double, 64>;
+
+/// In-place forward DCT of an 8x8 block (level-shifted samples in,
+/// frequency coefficients out).
+void fdct8x8(Block& b);
+
+/// In-place inverse DCT.
+void idct8x8(Block& b);
+
+}  // namespace jpeg::detail

@@ -1,0 +1,295 @@
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "dct.hpp"
+#include "huffman.hpp"
+#include "jpegenc/jpeg.hpp"
+#include "tables.hpp"
+
+namespace jpeg {
+
+namespace detail {
+namespace {
+
+/// MSB-first bit writer with 0xFF byte stuffing (T.81 B.1.1.5).
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::byte>& out) : out_(out) {}
+
+  void put(std::uint32_t bits, int nbits) {
+    acc_ = (acc_ << nbits) | (bits & ((1u << nbits) - 1u));
+    n_ += nbits;
+    while (n_ >= 8) {
+      const auto b = static_cast<std::uint8_t>((acc_ >> (n_ - 8)) & 0xffu);
+      out_.push_back(static_cast<std::byte>(b));
+      if (b == 0xff) out_.push_back(std::byte{0x00});  // stuffing
+      n_ -= 8;
+    }
+  }
+
+  /// Pads the final partial byte with 1-bits (T.81 F.1.2.3).
+  void flush() {
+    if (n_ > 0) put(0x7f, 8 - n_);
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+  std::uint32_t acc_ = 0;
+  int n_ = 0;
+};
+
+void marker(std::vector<std::byte>& out, std::uint8_t m) {
+  out.push_back(std::byte{0xff});
+  out.push_back(static_cast<std::byte>(m));
+}
+void be16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v >> 8));
+  out.push_back(static_cast<std::byte>(v & 0xff));
+}
+void u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+
+/// One component plane (doubles, level-shifted later per block).
+struct Plane {
+  int width = 0, height = 0;
+  std::vector<double> samples;
+
+  [[nodiscard]] double at_clamped(int x, int y) const {
+    x = std::clamp(x, 0, width - 1);
+    y = std::clamp(y, 0, height - 1);
+    return samples[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                   static_cast<std::size_t>(x)];
+  }
+};
+
+/// BT.601 full-range RGB -> YCbCr planes.
+void color_transform(const img::RgbImage& image, Plane& y, Plane& cb,
+                     Plane& cr) {
+  const int w = static_cast<int>(image.width());
+  const int h = static_cast<int>(image.height());
+  y.width = cb.width = cr.width = w;
+  y.height = cb.height = cr.height = h;
+  y.samples.resize(static_cast<std::size_t>(w) * static_cast<std::size_t>(h));
+  cb.samples.resize(y.samples.size());
+  cr.samples.resize(y.samples.size());
+  std::size_t i = 0;
+  for (const img::Rgb& p : image.pixels()) {
+    const double r = p.r, g = p.g, b = p.b;
+    y.samples[i] = 0.299 * r + 0.587 * g + 0.114 * b;
+    cb.samples[i] = 128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b;
+    cr.samples[i] = 128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b;
+    ++i;
+  }
+}
+
+/// 2x2 box-filter downsample.
+Plane downsample2x2(const Plane& in) {
+  Plane out;
+  out.width = (in.width + 1) / 2;
+  out.height = (in.height + 1) / 2;
+  out.samples.resize(static_cast<std::size_t>(out.width) *
+                     static_cast<std::size_t>(out.height));
+  for (int y = 0; y < out.height; ++y)
+    for (int x = 0; x < out.width; ++x) {
+      const double s = in.at_clamped(2 * x, 2 * y) +
+                       in.at_clamped(2 * x + 1, 2 * y) +
+                       in.at_clamped(2 * x, 2 * y + 1) +
+                       in.at_clamped(2 * x + 1, 2 * y + 1);
+      out.samples[static_cast<std::size_t>(y) *
+                      static_cast<std::size_t>(out.width) +
+                  static_cast<std::size_t>(x)] = s / 4.0;
+    }
+  return out;
+}
+
+/// Encodes one quantized 8x8 block; updates the component's DC predictor.
+void encode_block(BitWriter& bw, const Plane& plane, int bx, int by,
+                  const std::array<int, 64>& quant, const HuffEncoder& dc,
+                  const HuffEncoder& ac, int& dc_pred) {
+  Block block{};
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      block[static_cast<std::size_t>(y * 8 + x)] =
+          plane.at_clamped(bx + x, by + y) - 128.0;
+  fdct8x8(block);
+
+  std::array<int, 64> zz{};
+  for (int i = 0; i < 64; ++i) {
+    const int nat = kZigzag[static_cast<std::size_t>(i)];
+    const double q = quant[static_cast<std::size_t>(nat)];
+    zz[static_cast<std::size_t>(i)] = static_cast<int>(
+        std::lround(block[static_cast<std::size_t>(nat)] / q));
+  }
+
+  // DC difference.
+  const int diff = zz[0] - dc_pred;
+  dc_pred = zz[0];
+  const int dc_cat = bit_category(diff);
+  bw.put(dc.code[static_cast<std::size_t>(dc_cat)],
+         dc.len[static_cast<std::size_t>(dc_cat)]);
+  if (dc_cat > 0) bw.put(magnitude_bits(diff, dc_cat), dc_cat);
+
+  // AC run-length coding.
+  int run = 0;
+  for (int i = 1; i < 64; ++i) {
+    const int v = zz[static_cast<std::size_t>(i)];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      bw.put(ac.code[0xf0], ac.len[0xf0]);  // ZRL
+      run -= 16;
+    }
+    const int cat = bit_category(v);
+    const int sym = (run << 4) | cat;
+    bw.put(ac.code[static_cast<std::size_t>(sym)],
+           ac.len[static_cast<std::size_t>(sym)]);
+    bw.put(magnitude_bits(v, cat), cat);
+    run = 0;
+  }
+  if (run > 0) bw.put(ac.code[0x00], ac.len[0x00]);  // EOB
+}
+
+void write_dqt(std::vector<std::byte>& out, int id,
+               const std::array<int, 64>& quant) {
+  marker(out, 0xdb);
+  be16(out, 67);
+  u8(out, static_cast<std::uint8_t>(id));  // 8-bit precision, table id
+  for (int i = 0; i < 64; ++i)
+    u8(out, static_cast<std::uint8_t>(
+               quant[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(i)])]));
+}
+
+void write_dht(std::vector<std::byte>& out, std::uint8_t tc_th,
+               const HuffSpec& spec) {
+  marker(out, 0xc4);
+  be16(out, static_cast<std::uint16_t>(19 + spec.nvals));
+  u8(out, tc_th);
+  for (int i = 0; i < 16; ++i) u8(out, spec.bits[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < spec.nvals; ++i) u8(out, spec.vals[i]);
+}
+
+}  // namespace
+}  // namespace detail
+
+std::vector<std::byte> encode(const img::RgbImage& image,
+                              const EncodeOptions& options) {
+  using namespace detail;
+  if (image.width() == 0 || image.height() == 0)
+    throw Error("jpeg: cannot encode an empty image");
+  if (options.quality < 1 || options.quality > 100)
+    throw Error("jpeg: quality must be in [1, 100]");
+
+  const auto lq = scale_quant(kLumaQuant, options.quality);
+  const auto cq = scale_quant(kChromaQuant, options.quality);
+  const HuffEncoder dc_l(kDcLuma), ac_l(kAcLuma);
+  const HuffEncoder dc_c(kDcChroma), ac_c(kAcChroma);
+  const bool s420 = options.subsampling == Subsampling::s420;
+
+  Plane y, cb, cr;
+  color_transform(image, y, cb, cr);
+  if (s420) {
+    cb = downsample2x2(cb);
+    cr = downsample2x2(cr);
+  }
+
+  std::vector<std::byte> out;
+  out.reserve(image.width() * image.height() / 4 + 1024);
+
+  // SOI + JFIF APP0.
+  marker(out, 0xd8);
+  marker(out, 0xe0);
+  be16(out, 16);
+  for (char ch : {'J', 'F', 'I', 'F', '\0'}) u8(out, static_cast<std::uint8_t>(ch));
+  u8(out, 1); u8(out, 1);     // version 1.1
+  u8(out, 0);                 // density units: none
+  be16(out, 1); be16(out, 1); // aspect ratio 1:1
+  u8(out, 0); u8(out, 0);     // no thumbnail
+
+  write_dqt(out, 0, lq);
+  write_dqt(out, 1, cq);
+
+  // SOF0 (baseline).
+  marker(out, 0xc0);
+  be16(out, 17);
+  u8(out, 8);  // precision
+  be16(out, static_cast<std::uint16_t>(image.height()));
+  be16(out, static_cast<std::uint16_t>(image.width()));
+  u8(out, 3);  // components
+  const std::uint8_t y_sampling = s420 ? 0x22 : 0x11;
+  u8(out, 1); u8(out, y_sampling); u8(out, 0);  // Y
+  u8(out, 2); u8(out, 0x11); u8(out, 1);        // Cb
+  u8(out, 3); u8(out, 0x11); u8(out, 1);        // Cr
+
+  write_dht(out, 0x00, kDcLuma);
+  write_dht(out, 0x10, kAcLuma);
+  write_dht(out, 0x01, kDcChroma);
+  write_dht(out, 0x11, kAcChroma);
+
+  if (options.restart_interval < 0)
+    throw Error("jpeg: restart interval must be >= 0");
+  if (options.restart_interval > 0) {
+    marker(out, 0xdd);  // DRI
+    be16(out, 4);
+    be16(out, static_cast<std::uint16_t>(options.restart_interval));
+  }
+
+  // SOS.
+  marker(out, 0xda);
+  be16(out, 12);
+  u8(out, 3);
+  u8(out, 1); u8(out, 0x00);
+  u8(out, 2); u8(out, 0x11);
+  u8(out, 3); u8(out, 0x11);
+  u8(out, 0); u8(out, 63); u8(out, 0);  // full spectral range, no approx
+
+  // Entropy-coded data: interleaved MCUs.
+  BitWriter bw(out);
+  int dc_y = 0, dc_cb = 0, dc_cr = 0;
+  const int mcu_px = s420 ? 16 : 8;
+  const int mcus_x = (static_cast<int>(image.width()) + mcu_px - 1) / mcu_px;
+  const int mcus_y = (static_cast<int>(image.height()) + mcu_px - 1) / mcu_px;
+  int mcu_index = 0;
+  int rst = 0;
+  for (int my = 0; my < mcus_y; ++my) {
+    for (int mx = 0; mx < mcus_x; ++mx) {
+      if (options.restart_interval > 0 && mcu_index > 0 &&
+          mcu_index % options.restart_interval == 0) {
+        bw.flush();  // byte-align before the marker
+        marker(out, static_cast<std::uint8_t>(0xd0 + rst));
+        rst = (rst + 1) & 7;
+        dc_y = dc_cb = dc_cr = 0;  // predictors reset at every restart
+      }
+      ++mcu_index;
+      if (s420) {
+        for (int sub = 0; sub < 4; ++sub)
+          encode_block(bw, y, mx * 16 + (sub % 2) * 8, my * 16 + (sub / 2) * 8,
+                       lq, dc_l, ac_l, dc_y);
+        encode_block(bw, cb, mx * 8, my * 8, cq, dc_c, ac_c, dc_cb);
+        encode_block(bw, cr, mx * 8, my * 8, cq, dc_c, ac_c, dc_cr);
+      } else {
+        encode_block(bw, y, mx * 8, my * 8, lq, dc_l, ac_l, dc_y);
+        encode_block(bw, cb, mx * 8, my * 8, cq, dc_c, ac_c, dc_cb);
+        encode_block(bw, cr, mx * 8, my * 8, cq, dc_c, ac_c, dc_cr);
+      }
+    }
+  }
+  bw.flush();
+  marker(out, 0xd9);  // EOI
+  return out;
+}
+
+void write_file(const std::string& path, const img::RgbImage& image,
+                const EncodeOptions& options) {
+  const auto data = encode(image, options);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("jpeg: cannot create " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw Error("jpeg: short write to " + path);
+}
+
+}  // namespace jpeg

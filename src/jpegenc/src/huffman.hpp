@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file huffman.hpp
+/// Canonical Huffman code construction from a (BITS, HUFFVAL) specification
+/// (ITU-T T.81 Annex C), shared by encoder and decoder.
+
+#include <array>
+#include <cstdint>
+
+#include "tables.hpp"
+
+namespace jpeg::detail {
+
+/// Encoder-side table: symbol -> (code, length).
+struct HuffEncoder {
+  std::array<std::uint16_t, 256> code{};
+  std::array<std::uint8_t, 256> len{};
+
+  explicit HuffEncoder(const HuffSpec& spec) {
+    std::uint16_t next_code = 0;
+    int k = 0;
+    for (int l = 1; l <= 16; ++l) {
+      for (int i = 0; i < spec.bits[static_cast<std::size_t>(l - 1)]; ++i) {
+        const std::uint8_t sym = spec.vals[k++];
+        code[sym] = next_code++;
+        len[sym] = static_cast<std::uint8_t>(l);
+      }
+      next_code = static_cast<std::uint16_t>(next_code << 1);
+    }
+  }
+};
+
+/// Decoder-side table: per code length, the [mincode, maxcode] range and the
+/// index of the first symbol of that length (T.81 F.2.2.3).
+struct HuffDecoder {
+  std::array<std::int32_t, 17> mincode{};
+  std::array<std::int32_t, 17> maxcode{};  // -1 when no codes of this length
+  std::array<int, 17> valptr{};
+  std::array<std::uint8_t, 256> vals{};
+  int nvals = 0;
+
+  explicit HuffDecoder(const HuffSpec& spec) {
+    nvals = spec.nvals;
+    for (int i = 0; i < spec.nvals; ++i)
+      vals[static_cast<std::size_t>(i)] = spec.vals[i];
+    std::int32_t code = 0;
+    int k = 0;
+    for (int l = 1; l <= 16; ++l) {
+      const int count = spec.bits[static_cast<std::size_t>(l - 1)];
+      if (count == 0) {
+        maxcode[static_cast<std::size_t>(l)] = -1;
+      } else {
+        valptr[static_cast<std::size_t>(l)] = k;
+        mincode[static_cast<std::size_t>(l)] = code;
+        code += count;
+        k += count;
+        maxcode[static_cast<std::size_t>(l)] = code - 1;
+      }
+      code <<= 1;
+    }
+  }
+};
+
+/// Magnitude category of a DC difference or AC coefficient (number of bits
+/// needed to represent |v|).
+inline int bit_category(int v) {
+  int a = v < 0 ? -v : v;
+  int n = 0;
+  while (a != 0) {
+    a >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// JPEG's one's-complement style magnitude bits for a signed value.
+inline std::uint16_t magnitude_bits(int v, int category) {
+  return static_cast<std::uint16_t>(
+      v >= 0 ? v : v + (1 << category) - 1);
+}
+
+/// Inverse of magnitude_bits (T.81 F.2.2.1 EXTEND).
+inline int extend(int bits, int category) {
+  if (category == 0) return 0;
+  return bits < (1 << (category - 1)) ? bits - (1 << category) + 1 : bits;
+}
+
+}  // namespace jpeg::detail

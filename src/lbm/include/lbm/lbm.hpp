@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file lbm.hpp
+/// Two-dimensional Lattice-Boltzmann (D2Q9) fluid solver.
+///
+/// Reproduces the paper's simulation substrate for use case B (§IV-B): "a
+/// simple Lattice Boltzmann method (LBM) for computing fluid flows in a
+/// two-dimensional space ... a barrier inside the domain that forces the
+/// fluid to flow around it, creating more turbulent flow patterns. The
+/// simulation application splits the data into slices ... each rank only
+/// needs to communicate with two other ranks at most."
+///
+/// The solver is split into a serial slab kernel (Slab) and a distributed
+/// driver (DistributedLbm) that owns the slice decomposition and halo
+/// exchange over minimpi. Slabs are full-width horizontal slices, exactly
+/// the paper's decomposition.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+
+namespace lbm {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Domain boundary handling.
+enum class BoundaryMode {
+  /// Left-edge inflow at speed u0, outflow on the right, fixed top/bottom
+  /// (the paper's wind-tunnel setup).
+  wind_tunnel,
+  /// Fully periodic box (used by conservation tests).
+  periodic,
+};
+
+/// Solver parameters.
+struct Params {
+  int nx = 256;  ///< global width (x, fastest axis)
+  int ny = 64;   ///< global height (y; sliced across ranks)
+  double viscosity = 0.02;
+  double u0 = 0.10;  ///< inflow speed (lattice units)
+  BoundaryMode boundary = BoundaryMode::wind_tunnel;
+  /// Solid-cell predicate over global (x, y); empty = no barrier.
+  std::function<bool(int, int)> barrier;
+
+  /// The paper's barrier: a short vertical line in the left third of the
+  /// domain.
+  [[nodiscard]] static std::function<bool(int, int)> vertical_barrier(
+      int x, int y_lo, int y_hi) {
+    return [x, y_lo, y_hi](int cx, int cy) {
+      return cx == x && cy >= y_lo && cy <= y_hi;
+    };
+  }
+};
+
+/// Macroscopic state of one cell.
+struct CellState {
+  double rho = 0.0;
+  double ux = 0.0;
+  double uy = 0.0;
+};
+
+/// Scalar fields derivable from the simulation state. The paper's use case
+/// renders vorticity but notes that "many other variables (e.g. velocity,
+/// density, etc.) are required for computation and could also be streamed
+/// and rendered".
+enum class Field {
+  vorticity,  ///< discrete curl of the velocity
+  density,    ///< rho
+  speed,      ///< |u|
+  ux,         ///< x velocity component
+  uy,         ///< y velocity component
+};
+
+/// Serial D2Q9 kernel over a full-width slab [y0, y0 + local_ny) of the
+/// global grid, with one halo row above and below.
+class Slab {
+ public:
+  Slab(const Params& params, int y0, int local_ny);
+
+  [[nodiscard]] int y0() const { return y0_; }
+  [[nodiscard]] int local_ny() const { return local_ny_; }
+  [[nodiscard]] int nx() const { return params_.nx; }
+
+  /// Collision step on all interior cells (pure local work).
+  void collide();
+
+  /// Streaming step; requires halo rows to hold the neighbouring slabs'
+  /// post-collision distributions. Applies bounce-back at solid cells and
+  /// the domain boundary conditions.
+  void stream();
+
+  /// Post-collision distributions of boundary rows, packed for the halo
+  /// exchange: 9 directions x nx doubles.
+  void pack_row(int local_y, std::span<double> out) const;
+  void unpack_halo(bool top, std::span<const double> in);
+
+  /// Macroscopic state at local coordinates (halo rows accessible with
+  /// local_y == -1 and local_ny()).
+  [[nodiscard]] CellState cell(int x, int local_y) const;
+
+  /// Vorticity (discrete curl) at local coordinates; needs valid halos.
+  [[nodiscard]] double vorticity(int x, int local_y) const;
+
+  /// True if the global cell is solid.
+  [[nodiscard]] bool solid(int x, int global_y) const;
+
+  /// Total mass over interior cells (conservation diagnostics).
+  [[nodiscard]] double mass() const;
+
+ private:
+  friend class DistributedLbm;
+
+  [[nodiscard]] std::size_t idx(int x, int local_y) const {
+    // +1: row 0 is the bottom halo.
+    return static_cast<std::size_t>(local_y + 1) *
+               static_cast<std::size_t>(params_.nx) +
+           static_cast<std::size_t>(x);
+  }
+  void init_equilibrium();
+  void apply_edges();
+
+  Params params_;
+  int y0_ = 0;
+  int local_ny_ = 0;
+  // f_[d]: distribution for direction d over (local_ny + 2) * nx cells.
+  std::array<std::vector<double>, 9> f_;
+  std::array<std::vector<double>, 9> f_next_;
+  std::vector<std::uint8_t> solid_;  // interior + halos
+};
+
+/// Distributed solver: slices the global grid across the communicator's
+/// ranks and runs halo exchanges between steps (at most two neighbours per
+/// rank, as in the paper).
+class DistributedLbm {
+ public:
+  DistributedLbm(mpi::Comm comm, const Params& params);
+
+  /// Advances the simulation one time step (collide + halo exchange +
+  /// stream). Collective.
+  void step();
+
+  /// Advances `n` steps.
+  void run(int n);
+
+  [[nodiscard]] const Slab& slab() const { return slab_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Rows owned by `rank`: [row_start(rank), row_start(rank+1)).
+  [[nodiscard]] int row_start(int rank) const;
+
+  /// Vorticity of the locally owned slab, row-major floats (x fastest) —
+  /// this is the "variable of interest" streamed to analysis in the paper.
+  [[nodiscard]] std::vector<float> local_vorticity() const;
+
+  /// Any derivable scalar field of the locally owned slab.
+  [[nodiscard]] std::vector<float> local_field(Field field) const;
+
+  /// Global mass (allreduce over interior cells).
+  [[nodiscard]] double global_mass() const;
+
+ private:
+  void exchange_halos();
+
+  mpi::Comm comm_;
+  Params params_;
+  Slab slab_;
+  int up_ = -1, down_ = -1;  // neighbour ranks (-1: none)
+};
+
+}  // namespace lbm

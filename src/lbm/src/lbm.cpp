@@ -1,0 +1,316 @@
+#include "lbm/lbm.hpp"
+
+#include <cmath>
+
+#include "minimpi/datatype.hpp"
+
+namespace lbm {
+
+namespace {
+
+// D2Q9 stencil. Direction 0 is the rest particle.
+constexpr int kEx[9] = {0, 1, 0, -1, 0, 1, -1, -1, 1};
+constexpr int kEy[9] = {0, 0, 1, 0, -1, 1, 1, -1, -1};
+constexpr int kOpp[9] = {0, 3, 1, 4, 2, 7, 8, 5, 6};
+constexpr double kW[9] = {4.0 / 9.0,  1.0 / 9.0,  1.0 / 9.0,
+                          1.0 / 9.0,  1.0 / 9.0,  1.0 / 36.0,
+                          1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0};
+
+/// Equilibrium distribution for direction d.
+double feq(int d, double rho, double ux, double uy) {
+  const double eu = kEx[d] * ux + kEy[d] * uy;
+  const double u2 = ux * ux + uy * uy;
+  return kW[d] * rho * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * u2);
+}
+
+}  // namespace
+
+Slab::Slab(const Params& params, int y0, int local_ny)
+    : params_(params), y0_(y0), local_ny_(local_ny) {
+  if (params_.nx < 3 || params_.ny < 3)
+    throw Error("lbm: grid must be at least 3x3");
+  if (local_ny_ < 1) throw Error("lbm: slab must own at least one row");
+  const std::size_t cells = static_cast<std::size_t>(local_ny_ + 2) *
+                            static_cast<std::size_t>(params_.nx);
+  for (int d = 0; d < 9; ++d) {
+    f_[static_cast<std::size_t>(d)].assign(cells, 0.0);
+    f_next_[static_cast<std::size_t>(d)].assign(cells, 0.0);
+  }
+  solid_.assign(cells, 0);
+  for (int ly = -1; ly <= local_ny_; ++ly) {
+    const int gy = y0_ + ly;
+    for (int x = 0; x < params_.nx; ++x) {
+      const bool s = params_.barrier && gy >= 0 && gy < params_.ny &&
+                     params_.barrier(x, gy);
+      solid_[idx(x, ly)] = s ? 1 : 0;
+    }
+  }
+  init_equilibrium();
+}
+
+void Slab::init_equilibrium() {
+  const double u0 =
+      params_.boundary == BoundaryMode::wind_tunnel ? params_.u0 : 0.0;
+  for (int ly = -1; ly <= local_ny_; ++ly)
+    for (int x = 0; x < params_.nx; ++x)
+      for (int d = 0; d < 9; ++d)
+        f_[static_cast<std::size_t>(d)][idx(x, ly)] = feq(d, 1.0, u0, 0.0);
+}
+
+bool Slab::solid(int x, int global_y) const {
+  const int ly = global_y - y0_;
+  if (ly < -1 || ly > local_ny_) return false;
+  return solid_[idx(x, ly)] != 0;
+}
+
+CellState Slab::cell(int x, int local_y) const {
+  CellState s;
+  for (int d = 0; d < 9; ++d) {
+    const double v = f_[static_cast<std::size_t>(d)][idx(x, local_y)];
+    s.rho += v;
+    s.ux += v * kEx[d];
+    s.uy += v * kEy[d];
+  }
+  if (s.rho > 0.0) {
+    s.ux /= s.rho;
+    s.uy /= s.rho;
+  }
+  return s;
+}
+
+void Slab::collide() {
+  const double omega = 1.0 / (3.0 * params_.viscosity + 0.5);
+  for (int ly = 0; ly < local_ny_; ++ly) {
+    for (int x = 0; x < params_.nx; ++x) {
+      const std::size_t i = idx(x, ly);
+      if (solid_[i] != 0) continue;
+      double rho = 0, mx = 0, my = 0;
+      for (int d = 0; d < 9; ++d) {
+        const double v = f_[static_cast<std::size_t>(d)][i];
+        rho += v;
+        mx += v * kEx[d];
+        my += v * kEy[d];
+      }
+      const double ux = rho > 0 ? mx / rho : 0.0;
+      const double uy = rho > 0 ? my / rho : 0.0;
+      for (int d = 0; d < 9; ++d) {
+        double& v = f_[static_cast<std::size_t>(d)][i];
+        v += omega * (feq(d, rho, ux, uy) - v);
+      }
+    }
+  }
+}
+
+void Slab::stream() {
+  const bool periodic = params_.boundary == BoundaryMode::periodic;
+  const int nx = params_.nx;
+  for (int ly = 0; ly < local_ny_; ++ly) {
+    for (int x = 0; x < nx; ++x) {
+      const std::size_t i = idx(x, ly);
+      if (solid_[i] != 0) {
+        for (int d = 0; d < 9; ++d)
+          f_next_[static_cast<std::size_t>(d)][i] = 0.0;
+        continue;
+      }
+      for (int d = 0; d < 9; ++d) {
+        int sx = x - kEx[d];
+        const int sy = ly - kEy[d];
+        if (periodic) {
+          sx = (sx + nx) % nx;
+        } else {
+          // Edge columns are re-imposed by apply_edges(); clamping here just
+          // avoids out-of-bounds reads.
+          if (sx < 0) sx = 0;
+          if (sx >= nx) sx = nx - 1;
+        }
+        const std::size_t src = idx(sx, sy);
+        f_next_[static_cast<std::size_t>(d)][i] =
+            solid_[src] != 0 ? f_[static_cast<std::size_t>(kOpp[d])][i]
+                             : f_[static_cast<std::size_t>(d)][src];
+      }
+    }
+  }
+  for (int d = 0; d < 9; ++d)
+    std::swap(f_[static_cast<std::size_t>(d)],
+              f_next_[static_cast<std::size_t>(d)]);
+  apply_edges();
+}
+
+void Slab::apply_edges() {
+  if (params_.boundary != BoundaryMode::wind_tunnel) return;
+  const double u0 = params_.u0;
+  auto set_eq = [&](int x, int ly) {
+    const std::size_t i = idx(x, ly);
+    for (int d = 0; d < 9; ++d)
+      f_[static_cast<std::size_t>(d)][i] = feq(d, 1.0, u0, 0.0);
+  };
+  // Left/right columns of every owned row.
+  for (int ly = 0; ly < local_ny_; ++ly) {
+    set_eq(0, ly);
+    set_eq(params_.nx - 1, ly);
+  }
+  // Global top/bottom rows, if owned.
+  if (y0_ == 0)
+    for (int x = 0; x < params_.nx; ++x) set_eq(x, 0);
+  if (y0_ + local_ny_ == params_.ny)
+    for (int x = 0; x < params_.nx; ++x) set_eq(x, local_ny_ - 1);
+}
+
+void Slab::pack_row(int local_y, std::span<double> out) const {
+  const auto nx = static_cast<std::size_t>(params_.nx);
+  if (out.size() != 9 * nx) throw Error("lbm: pack_row buffer size mismatch");
+  for (int d = 0; d < 9; ++d)
+    for (std::size_t x = 0; x < nx; ++x)
+      out[static_cast<std::size_t>(d) * nx + x] =
+          f_[static_cast<std::size_t>(d)][idx(static_cast<int>(x), local_y)];
+}
+
+void Slab::unpack_halo(bool top, std::span<const double> in) {
+  const auto nx = static_cast<std::size_t>(params_.nx);
+  if (in.size() != 9 * nx) throw Error("lbm: unpack_halo buffer size mismatch");
+  const int ly = top ? local_ny_ : -1;
+  for (int d = 0; d < 9; ++d)
+    for (std::size_t x = 0; x < nx; ++x)
+      f_[static_cast<std::size_t>(d)][idx(static_cast<int>(x), ly)] =
+          in[static_cast<std::size_t>(d) * nx + x];
+}
+
+double Slab::vorticity(int x, int local_y) const {
+  const int xm = x > 0 ? x - 1 : x;
+  const int xp = x < params_.nx - 1 ? x + 1 : x;
+  int ym = local_y - 1, yp = local_y + 1;
+  // At global domain edges there is no halo beyond; clamp.
+  if (y0_ + ym < 0) ym = local_y;
+  if (y0_ + yp >= params_.ny) yp = local_y;
+  return (cell(xp, local_y).uy - cell(xm, local_y).uy) -
+         (cell(x, yp).ux - cell(x, ym).ux);
+}
+
+double Slab::mass() const {
+  double m = 0.0;
+  for (int ly = 0; ly < local_ny_; ++ly)
+    for (int x = 0; x < params_.nx; ++x) {
+      const std::size_t i = idx(x, ly);
+      if (solid_[i] != 0) continue;
+      for (int d = 0; d < 9; ++d) m += f_[static_cast<std::size_t>(d)][i];
+    }
+  return m;
+}
+
+// --- DistributedLbm ----------------------------------------------------------
+
+namespace {
+int balanced_row_start(int ny, int nranks, int rank) {
+  return static_cast<int>((static_cast<std::int64_t>(ny) * rank) / nranks);
+}
+}  // namespace
+
+DistributedLbm::DistributedLbm(mpi::Comm comm, const Params& params)
+    : comm_(std::move(comm)),
+      params_(params),
+      slab_(params, balanced_row_start(params.ny, comm_.size(), comm_.rank()),
+            balanced_row_start(params.ny, comm_.size(), comm_.rank() + 1) -
+                balanced_row_start(params.ny, comm_.size(), comm_.rank())) {
+  const int p = comm_.size();
+  if (p > params_.ny)
+    throw Error("lbm: more ranks than grid rows");
+  const int r = comm_.rank();
+  if (params_.boundary == BoundaryMode::periodic) {
+    up_ = (r + 1) % p;
+    down_ = (r - 1 + p) % p;
+  } else {
+    up_ = r + 1 < p ? r + 1 : -1;
+    down_ = r > 0 ? r - 1 : -1;
+  }
+}
+
+int DistributedLbm::row_start(int rank) const {
+  return balanced_row_start(params_.ny, comm_.size(), rank);
+}
+
+void DistributedLbm::step() {
+  slab_.collide();
+  exchange_halos();  // streaming pulls from post-collision neighbour rows
+  slab_.stream();
+  exchange_halos();  // keep halos current so boundary-row vorticity is exact
+}
+
+void DistributedLbm::exchange_halos() {
+  // Halo exchange of boundary rows: at most two neighbours, as the paper's
+  // slice decomposition promises.
+  const auto nx = static_cast<std::size_t>(params_.nx);
+  const mpi::Datatype dbl = mpi::Datatype::of<double>();
+  constexpr int kTagUp = 101, kTagDown = 102;
+  std::vector<double> send_top(9 * nx), send_bottom(9 * nx);
+  std::vector<double> recv_top(9 * nx), recv_bottom(9 * nx);
+  std::vector<mpi::Request> reqs;
+  if (up_ >= 0)
+    reqs.push_back(comm_.irecv(recv_top.data(), recv_top.size(), dbl, up_,
+                               kTagDown));
+  if (down_ >= 0)
+    reqs.push_back(comm_.irecv(recv_bottom.data(), recv_bottom.size(), dbl,
+                               down_, kTagUp));
+  if (up_ >= 0) {
+    slab_.pack_row(slab_.local_ny() - 1, send_top);
+    reqs.push_back(
+        comm_.isend(send_top.data(), send_top.size(), dbl, up_, kTagUp));
+  }
+  if (down_ >= 0) {
+    slab_.pack_row(0, send_bottom);
+    reqs.push_back(comm_.isend(send_bottom.data(), send_bottom.size(), dbl,
+                               down_, kTagDown));
+  }
+  mpi::wait_all(reqs);
+  if (up_ >= 0) slab_.unpack_halo(/*top=*/true, recv_top);
+  if (down_ >= 0) slab_.unpack_halo(/*top=*/false, recv_bottom);
+}
+
+void DistributedLbm::run(int n) {
+  for (int i = 0; i < n; ++i) step();
+}
+
+std::vector<float> DistributedLbm::local_vorticity() const {
+  return local_field(Field::vorticity);
+}
+
+std::vector<float> DistributedLbm::local_field(Field field) const {
+  std::vector<float> out(static_cast<std::size_t>(slab_.local_ny()) *
+                         static_cast<std::size_t>(params_.nx));
+  std::size_t i = 0;
+  for (int ly = 0; ly < slab_.local_ny(); ++ly) {
+    for (int x = 0; x < params_.nx; ++x) {
+      double v = 0.0;
+      switch (field) {
+        case Field::vorticity:
+          v = slab_.vorticity(x, ly);
+          break;
+        case Field::density:
+          v = slab_.cell(x, ly).rho;
+          break;
+        case Field::speed: {
+          const CellState c = slab_.cell(x, ly);
+          v = std::sqrt(c.ux * c.ux + c.uy * c.uy);
+          break;
+        }
+        case Field::ux:
+          v = slab_.cell(x, ly).ux;
+          break;
+        case Field::uy:
+          v = slab_.cell(x, ly).uy;
+          break;
+      }
+      out[i++] = static_cast<float>(v);
+    }
+  }
+  return out;
+}
+
+double DistributedLbm::global_mass() const {
+  const double local = slab_.mass();
+  double total = 0.0;
+  comm_.allreduce(&local, &total, 1, mpi::Datatype::of<double>(),
+                  mpi::Op::sum<double>());
+  return total;
+}
+
+}  // namespace lbm

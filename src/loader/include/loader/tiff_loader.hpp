@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file tiff_loader.hpp
+/// Parallel TIFF-stack loading strategies (paper §IV-A).
+///
+/// Three ways for P ranks to land one brick of a W x H x D volume each:
+///
+///  * no_ddr          — every rank reads and decodes EVERY slice its brick
+///                      intersects (slices are shared by whole brick layers,
+///                      so each file is read by many ranks and most decoded
+///                      pixels are thrown away); the paper's baseline.
+///  * ddr_round_robin — slice z is read only by rank z % P; each slice is a
+///                      separate DDR chunk, so the redistribution runs
+///                      ceil(D / P) alltoallw rounds.
+///  * ddr_consecutive — rank r reads a contiguous run of slices forming ONE
+///                      chunk; the redistribution runs a single round with
+///                      large messages.
+///
+/// Costs are charged to the rank's virtual clock: file reads through an
+/// analytic IoModel (deterministic), decode through measured thread-CPU
+/// time, network through the minimpi NetworkModel installed on the run.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ddr/redistributor.hpp"
+#include "dvr/dvr.hpp"
+#include "minimpi/comm.hpp"
+#include "simnet/workclock.hpp"
+
+namespace loader {
+
+enum class Strategy { no_ddr, ddr_round_robin, ddr_consecutive };
+
+[[nodiscard]] const char* to_string(Strategy s);
+
+/// Metadata of a TIFF series on disk (all slices same shape).
+struct SeriesInfo {
+  std::string dir;
+  int width = 0;
+  int height = 0;
+  int depth = 0;                  ///< number of slices
+  std::size_t bytes_per_sample = 4;
+  double max_sample_value = 4294967295.0;  ///< for normalization
+
+  /// When > 0, I/O virtual time is charged as if each slice had this many
+  /// bytes (benches read physically tiny slices that stand in for the
+  /// paper's 32 MiB images; see bench/common.hpp).
+  double simulated_slice_bytes = 0.0;
+
+  /// Multiplier applied to measured decode CPU time before charging it
+  /// (scales tiny-slice decode up to full-slice cost).
+  double decode_scale = 1.0;
+
+  /// When set, use this brick grid instead of deriving one from the series
+  /// dimensions (benches force the FULL-scale geometry's grid onto the
+  /// physically scaled series so the communication structure is preserved).
+  std::optional<std::array<int, 3>> brick_grid_override;
+
+  [[nodiscard]] double charged_slice_bytes() const {
+    return simulated_slice_bytes > 0.0
+               ? simulated_slice_bytes
+               : static_cast<double>(slice_bytes());
+  }
+
+  [[nodiscard]] std::size_t slice_bytes() const {
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
+           bytes_per_sample;
+  }
+};
+
+/// Per-rank accounting of one load or store.
+struct LoadStats {
+  int images_read = 0;
+  int images_written = 0;
+  std::size_t bytes_read = 0;
+  std::size_t bytes_written = 0;
+  double decode_cpu_s = 0.0;   ///< also encode time on the write path
+  int redistribution_rounds = 0;
+};
+
+/// A load split into its two phases so benches can time the data movement
+/// separately from the one-time mapping setup (the paper's mapping "is only
+/// required once"; see bench/common.hpp for why the phases are separated).
+class PreparedLoad {
+ public:
+  /// Collective: computes this rank's brick, its slice assignment, and (for
+  /// the DDR strategies) the DDR mapping.
+  PreparedLoad(const mpi::Comm& comm, const SeriesInfo& series,
+               Strategy strategy);
+
+  /// Reads the assigned slices and (for DDR strategies) redistributes
+  /// pixels into the brick. Collective; repeatable.
+  [[nodiscard]] dvr::Brick execute(const simnet::IoModel* io = nullptr,
+                                   LoadStats* stats = nullptr) const;
+
+  [[nodiscard]] const ddr::Chunk& brick_chunk() const { return brick_; }
+  [[nodiscard]] Strategy strategy() const { return strategy_; }
+
+ private:
+  mpi::Comm comm_;
+  SeriesInfo series_;
+  Strategy strategy_;
+  ddr::Chunk brick_;
+  std::vector<int> my_slices_;
+  std::optional<ddr::Redistributor> redistributor_;
+};
+
+/// Convenience: prepare + execute in one call. Collective over `comm`.
+///
+/// \param io  optional filesystem cost model; when set, read costs are
+///            charged to comm.clock() (decode CPU time is always charged).
+[[nodiscard]] dvr::Brick load_brick(const mpi::Comm& comm,
+                                    const SeriesInfo& series, Strategy strategy,
+                                    const simnet::IoModel* io = nullptr,
+                                    LoadStats* stats = nullptr);
+
+/// The DDR layout a given strategy produces, without touching any pixel
+/// data — used by the full-scale schedule analytics of Table III.
+/// \param grid  optional brick grid; derived from the dimensions when unset.
+[[nodiscard]] ddr::GlobalLayout plan_layout(
+    int nranks, int width, int height, int depth, Strategy strategy,
+    std::optional<std::array<int, 3>> grid = std::nullopt);
+
+/// The write path (paper §I, goal 1: "reduce overall application disk read
+/// and write time by facilitating load-balanced I/O"): every rank holds one
+/// brick of the volume; DDR redistributes pixels to slice-writer ranks,
+/// which encode and write the TIFF series.
+///
+/// The slice assignment mirrors the load strategies: `ddr_consecutive`
+/// writers own a contiguous slab (one needed chunk), `ddr_round_robin`
+/// writers own interleaved slices (a multi-chunk needed layout — the §V
+/// extension in action). `no_ddr` is not meaningful for writes (a rank
+/// cannot write a fraction of a TIFF) and is rejected.
+///
+/// Collective over `comm`. `brick_raw` holds the brick's raw samples
+/// (bytes_per_sample each, x fastest) for the chunk this rank renders.
+void store_volume(const mpi::Comm& comm, const SeriesInfo& series,
+                  const ddr::Chunk& brick_chunk,
+                  std::span<const std::byte> brick_raw, Strategy strategy,
+                  const simnet::IoModel* io = nullptr,
+                  LoadStats* stats = nullptr);
+
+}  // namespace loader

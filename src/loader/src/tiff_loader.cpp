@@ -1,0 +1,265 @@
+#include "loader/tiff_loader.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "ddr/error.hpp"
+#include "tiff/tiff.hpp"
+
+namespace loader {
+
+namespace {
+
+/// Balanced contiguous split of `extent` over `parts`.
+std::pair<int, int> split_range(int extent, int parts, int i) {
+  const auto lo = static_cast<int>(static_cast<std::int64_t>(extent) * i / parts);
+  const auto hi =
+      static_cast<int>(static_cast<std::int64_t>(extent) * (i + 1) / parts);
+  return {lo, hi};
+}
+
+/// Slice indices a rank reads under a strategy.
+std::vector<int> slices_of(int rank, int nranks, int depth, Strategy s) {
+  std::vector<int> out;
+  if (s == Strategy::ddr_round_robin) {
+    for (int z = rank; z < depth; z += nranks) out.push_back(z);
+  } else {
+    const auto [lo, hi] = split_range(depth, nranks, rank);
+    for (int z = lo; z < hi; ++z) out.push_back(z);
+  }
+  return out;
+}
+
+/// DDR chunks for a rank's slices: one per slice (round-robin) or one slab
+/// (consecutive).
+ddr::OwnedLayout owned_of(int rank, int nranks, int width, int height,
+                          int depth, Strategy s) {
+  ddr::OwnedLayout owned;
+  if (s == Strategy::ddr_round_robin) {
+    for (int z : slices_of(rank, nranks, depth, s))
+      owned.push_back(ddr::Chunk::d3(width, height, 1, 0, 0, z));
+  } else {
+    const auto [lo, hi] = split_range(depth, nranks, rank);
+    if (hi > lo)
+      owned.push_back(ddr::Chunk::d3(width, height, hi - lo, 0, 0, lo));
+  }
+  return owned;
+}
+
+/// Reads + decodes one slice, charging the clock.
+tiff::GrayImage read_slice(const mpi::Comm& comm, const SeriesInfo& series,
+                           int z, const simnet::IoModel* io,
+                           LoadStats* stats) {
+  if (io != nullptr)
+    comm.clock().advance(
+        io->read_time(series.charged_slice_bytes(), comm.size(), 1));
+  const double t0 = simnet::ThreadCpuTimer::now();
+  tiff::GrayImage img = tiff::read_file(tiff::slice_path(series.dir, z));
+  const double decode_s =
+      (simnet::ThreadCpuTimer::now() - t0) * series.decode_scale;
+  comm.clock().advance(decode_s);
+  if (stats != nullptr) {
+    ++stats->images_read;
+    stats->bytes_read += series.slice_bytes();
+    stats->decode_cpu_s += decode_s;
+  }
+  return img;
+}
+
+/// Converts raw brick samples to normalized floats.
+dvr::Brick to_brick(const ddr::Chunk& chunk,
+                    const std::vector<std::byte>& raw,
+                    const SeriesInfo& series) {
+  dvr::Brick b;
+  b.chunk = chunk;
+  const std::size_t n = static_cast<std::size_t>(chunk.volume());
+  b.data.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = 0;
+    switch (series.bytes_per_sample) {
+      case 1: {
+        std::uint8_t u;
+        std::memcpy(&u, raw.data() + i, 1);
+        v = u;
+        break;
+      }
+      case 2: {
+        std::uint16_t u;
+        std::memcpy(&u, raw.data() + 2 * i, 2);
+        v = u;
+        break;
+      }
+      default: {
+        std::uint32_t u;
+        std::memcpy(&u, raw.data() + 4 * i, 4);
+        v = u;
+        break;
+      }
+    }
+    b.data[i] = static_cast<float>(v / series.max_sample_value);
+  }
+  return b;
+}
+
+}  // namespace
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::no_ddr:
+      return "No DDR";
+    case Strategy::ddr_round_robin:
+      return "DDR (Round-Robin)";
+    default:
+      return "DDR (Consecutive)";
+  }
+}
+
+ddr::GlobalLayout plan_layout(int nranks, int width, int height, int depth,
+                              Strategy strategy,
+                              std::optional<std::array<int, 3>> grid_opt) {
+  const std::array<int, 3> dims{width, height, depth};
+  const auto grid = grid_opt ? *grid_opt : dvr::brick_grid(nranks, dims);
+  ddr::GlobalLayout layout;
+  for (int r = 0; r < nranks; ++r) {
+    layout.owned.push_back(owned_of(r, nranks, width, height, depth, strategy));
+    layout.needed.push_back({dvr::brick_of(r, grid, dims)});
+  }
+  return layout;
+}
+
+PreparedLoad::PreparedLoad(const mpi::Comm& comm, const SeriesInfo& series,
+                           Strategy strategy)
+    : comm_(comm), series_(series), strategy_(strategy) {
+  const int rank = comm.rank();
+  const int nranks = comm.size();
+  const std::array<int, 3> dims{series.width, series.height, series.depth};
+  const std::array<int, 3> grid = series.brick_grid_override
+                                      ? *series.brick_grid_override
+                                      : dvr::brick_grid(nranks, dims);
+  brick_ = dvr::brick_of(rank, grid, dims);
+  if (strategy == Strategy::no_ddr) {
+    // Baseline reads every slice its brick intersects.
+    for (int lz = 0; lz < brick_.dims[2]; ++lz)
+      my_slices_.push_back(brick_.offsets[2] + lz);
+    return;
+  }
+  my_slices_ = slices_of(rank, nranks, series.depth, strategy);
+  redistributor_.emplace(comm, series.bytes_per_sample);
+  redistributor_->setup(owned_of(rank, nranks, series.width, series.height,
+                                 series.depth, strategy),
+                        brick_);
+}
+
+dvr::Brick PreparedLoad::execute(const simnet::IoModel* io,
+                                 LoadStats* stats) const {
+  const std::size_t bps = series_.bytes_per_sample;
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(series_.width) * bps;
+
+  if (strategy_ == Strategy::no_ddr) {
+    // Baseline: read and decode every slice the brick intersects, keep only
+    // the brick's (x, y) window, discard the rest.
+    std::vector<std::byte> raw(static_cast<std::size_t>(brick_.volume()) *
+                               bps);
+    const std::size_t brick_row_bytes =
+        static_cast<std::size_t>(brick_.dims[0]) * bps;
+    for (std::size_t i = 0; i < my_slices_.size(); ++i) {
+      const tiff::GrayImage img =
+          read_slice(comm_, series_, my_slices_[i], io, stats);
+      simnet::ThreadCpuTimer timer(comm_.clock());  // extraction is CPU work
+      for (int ly = 0; ly < brick_.dims[1]; ++ly) {
+        const std::size_t src_off =
+            static_cast<std::size_t>(brick_.offsets[1] + ly) * row_bytes +
+            static_cast<std::size_t>(brick_.offsets[0]) * bps;
+        const std::size_t dst_off =
+            (i * static_cast<std::size_t>(brick_.dims[1]) +
+             static_cast<std::size_t>(ly)) *
+            brick_row_bytes;
+        std::memcpy(raw.data() + dst_off, img.pixels().data() + src_off,
+                    brick_row_bytes);
+      }
+    }
+    if (stats != nullptr) stats->redistribution_rounds = 0;
+    return to_brick(brick_, raw, series_);
+  }
+
+  // DDR strategies: read only the assigned slices, concatenate into the
+  // owned buffer, then redistribute pixels to bricks.
+  std::vector<std::byte> owned_data(my_slices_.size() * series_.slice_bytes());
+  for (std::size_t i = 0; i < my_slices_.size(); ++i) {
+    const tiff::GrayImage img =
+        read_slice(comm_, series_, my_slices_[i], io, stats);
+    simnet::ThreadCpuTimer timer(comm_.clock());
+    std::memcpy(owned_data.data() + i * series_.slice_bytes(),
+                img.pixels().data(), series_.slice_bytes());
+  }
+  std::vector<std::byte> raw(static_cast<std::size_t>(brick_.volume()) * bps);
+  redistributor_->redistribute(owned_data, raw);
+  if (stats != nullptr)
+    stats->redistribution_rounds = redistributor_->rounds();
+  return to_brick(brick_, raw, series_);
+}
+
+dvr::Brick load_brick(const mpi::Comm& comm, const SeriesInfo& series,
+                      Strategy strategy, const simnet::IoModel* io,
+                      LoadStats* stats) {
+  const PreparedLoad prepared(comm, series, strategy);
+  return prepared.execute(io, stats);
+}
+
+void store_volume(const mpi::Comm& comm, const SeriesInfo& series,
+                  const ddr::Chunk& brick_chunk,
+                  std::span<const std::byte> brick_raw, Strategy strategy,
+                  const simnet::IoModel* io, LoadStats* stats) {
+  if (strategy == Strategy::no_ddr)
+    throw ddr::Error(
+        "store_volume: the No-DDR baseline cannot write (a rank cannot emit "
+        "a fraction of a TIFF); use a DDR strategy");
+  const int rank = comm.rank();
+  const int nranks = comm.size();
+  const std::size_t bps = series.bytes_per_sample;
+
+  // Writers' slice assignment reuses the load-side chunking: one slab chunk
+  // (consecutive) or one chunk per slice (round-robin; a multi-chunk needed
+  // layout exercising the §V extension).
+  const std::vector<int> mine =
+      slices_of(rank, nranks, series.depth, strategy);
+  const ddr::NeededLayout need = owned_of(rank, nranks, series.width,
+                                          series.height, series.depth,
+                                          strategy);
+
+  ddr::Redistributor rd(comm, bps);
+  rd.setup({brick_chunk}, need);
+  if (stats != nullptr) stats->redistribution_rounds = rd.rounds();
+
+  std::vector<std::byte> slices_raw(rd.needed_bytes());
+  rd.redistribute(brick_raw, slices_raw);
+
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    const double t0 = simnet::ThreadCpuTimer::now();
+    tiff::ImageInfo info;
+    info.width = static_cast<std::uint32_t>(series.width);
+    info.height = static_cast<std::uint32_t>(series.height);
+    info.bits_per_sample = static_cast<std::uint16_t>(8 * bps);
+    info.format = tiff::SampleFormat::uint_;
+    std::vector<std::byte> pixels(series.slice_bytes());
+    std::memcpy(pixels.data(), slices_raw.data() + i * series.slice_bytes(),
+                series.slice_bytes());
+    tiff::write_file(tiff::slice_path(series.dir, mine[i]),
+                     tiff::GrayImage(info, std::move(pixels)));
+    const double encode_s =
+        (simnet::ThreadCpuTimer::now() - t0) * series.decode_scale;
+    comm.clock().advance(encode_s);
+    if (io != nullptr)
+      comm.clock().advance(
+          io->write_time(series.charged_slice_bytes(), comm.size(), 1));
+    if (stats != nullptr) {
+      ++stats->images_written;
+      stats->bytes_written += series.slice_bytes();
+      stats->decode_cpu_s += encode_s;
+    }
+  }
+}
+
+}  // namespace loader

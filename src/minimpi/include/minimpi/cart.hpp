@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file cart.hpp
+/// Cartesian process topologies (the MPI_Cart_* family, minus rank
+/// reordering, which a threads-as-ranks runtime has no use for).
+///
+/// Axis 0 varies fastest in the rank <-> coordinates mapping, consistent
+/// with the [x, y, z] convention used across this repository.
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+
+namespace mpi {
+
+/// A communicator with an attached N-dimensional grid structure.
+class CartComm {
+ public:
+  /// Wraps `comm` in a grid of the given extents. The product of `dims`
+  /// must equal comm.size(). `periods[d]` makes axis d wrap around.
+  CartComm(Comm comm, std::span<const int> dims,
+           std::span<const bool> periods);
+
+  /// Balanced factorization of `nranks` into `ndims` extents, most-balanced
+  /// first (MPI_Dims_create with all entries free).
+  [[nodiscard]] static std::vector<int> dims_create(int nranks, int ndims);
+
+  [[nodiscard]] const Comm& comm() const { return comm_; }
+  [[nodiscard]] int ndims() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] const std::vector<int>& dims() const { return dims_; }
+
+  /// Grid coordinates of a rank (MPI_Cart_coords).
+  [[nodiscard]] std::vector<int> coords(int rank) const;
+
+  /// Rank at the given coordinates (MPI_Cart_rank). Periodic axes wrap;
+  /// out-of-range coordinates on non-periodic axes return -1.
+  [[nodiscard]] int rank_of(std::span<const int> coords) const;
+
+  /// Source and destination ranks for a shift of `disp` along `dim`
+  /// (MPI_Cart_shift): first = where my data comes FROM, second = where my
+  /// data goes TO; -1 where the grid edge cuts the shift off.
+  [[nodiscard]] std::pair<int, int> shift(int dim, int disp) const;
+
+ private:
+  Comm comm_;
+  std::vector<int> dims_;
+  std::vector<bool> periods_;
+};
+
+}  // namespace mpi

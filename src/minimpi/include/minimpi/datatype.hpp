@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file datatype.hpp
+/// Derived datatypes for minimpi.
+///
+/// A Datatype describes a (possibly non-contiguous) layout of typed data in
+/// memory, exactly in the spirit of MPI derived datatypes. It is represented
+/// as an immutable tree of constructors (named, contiguous, vector, hvector,
+/// subarray, struct). The two fundamental quantities are:
+///
+///   * size()   — the number of bytes of actual data in one element
+///                (MPI_Type_size)
+///   * extent() — the span of memory, in bytes, that one element covers,
+///                including holes (MPI_Type_get_extent)
+///
+/// The pack/unpack engine flattens a datatype into a sequence of contiguous
+/// byte segments. This is the machinery MPI_Alltoallw relies on when given
+/// subarray types, and it is exercised heavily by the DDR library.
+///
+/// Datatype values are cheap to copy (shared immutable payload) and are
+/// thread-safe to use concurrently once constructed.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "minimpi/error.hpp"
+
+namespace mpi {
+
+/// Index ordering for subarray types.
+/// `c`: the LAST index varies fastest (row-major, like MPI_ORDER_C).
+/// `fortran`: the FIRST index varies fastest (column-major).
+enum class Order : std::uint8_t { c, fortran };
+
+namespace detail {
+struct TypeNode;
+}  // namespace detail
+
+/// Immutable handle to a (possibly derived) datatype.
+class Datatype {
+ public:
+  /// Default-constructed datatype is a zero-byte placeholder.
+  Datatype();
+
+  /// Bytes of actual data per element.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Memory span per element, including holes.
+  [[nodiscard]] std::size_t extent() const noexcept;
+
+  /// True when one element is a single contiguous run (size == extent and no
+  /// internal reordering), so pack/unpack degrade to memcpy.
+  [[nodiscard]] bool contiguous() const noexcept;
+
+  /// Human-readable description, e.g. "subarray{sizes=[4,8],sub=[4,4],...}".
+  [[nodiscard]] std::string describe() const;
+
+  /// Invokes `fn(offset_bytes, length_bytes)` once per contiguous segment of
+  /// `count` consecutive elements rooted at byte offset 0, in packed order.
+  void for_each_segment(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& fn) const;
+
+  /// Packs `count` elements from `src` (laid out per this type) into the
+  /// dense buffer `dst`. `dst` must hold at least count * size() bytes.
+  void pack(const std::byte* src, std::size_t count, std::byte* dst) const;
+
+  /// Unpacks `count` elements from the dense buffer `src` into `dst`
+  /// (laid out per this type).
+  void unpack(const std::byte* src, std::size_t count, std::byte* dst) const;
+
+  // --- constructors -------------------------------------------------------
+
+  /// A contiguous run of `n` raw bytes.
+  static Datatype bytes(std::size_t n);
+
+  /// Named type for a trivially copyable T (float, double, int, ...).
+  template <typename T>
+  static Datatype of() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return bytes(sizeof(T));
+  }
+
+  /// `count` consecutive copies of `inner`.
+  static Datatype contiguous(std::size_t count, const Datatype& inner);
+
+  /// `count` blocks of `blocklen` inner elements, block starts separated by
+  /// `stride` inner-extents (MPI_Type_vector).
+  static Datatype vector(std::size_t count, std::size_t blocklen,
+                         std::ptrdiff_t stride, const Datatype& inner);
+
+  /// Like vector but stride is given in bytes (MPI_Type_create_hvector).
+  static Datatype hvector(std::size_t count, std::size_t blocklen,
+                          std::ptrdiff_t stride_bytes, const Datatype& inner);
+
+  /// N-dimensional subarray (MPI_Type_create_subarray): a `subsizes` box at
+  /// `starts` within a `sizes` array of `inner` elements.
+  static Datatype subarray(std::span<const int> sizes,
+                           std::span<const int> subsizes,
+                           std::span<const int> starts, const Datatype& inner,
+                           Order order = Order::c);
+
+  /// Heterogeneous struct (MPI_Type_create_struct): block i is
+  /// `blocklens[i]` copies of `types[i]` at byte displacement `displs[i]`.
+  /// The extent is max(displ + blocklen*extent) over blocks.
+  static Datatype strukt(std::span<const int> blocklens,
+                         std::span<const std::ptrdiff_t> displs,
+                         std::span<const Datatype> types);
+
+  /// Irregular blocks of one type (MPI_Type_indexed): block i is
+  /// `blocklens[i]` inner elements starting `displs[i]` inner-extents from
+  /// the origin.
+  static Datatype indexed(std::span<const int> blocklens,
+                          std::span<const int> displs, const Datatype& inner);
+
+  /// Indexed with a constant block length
+  /// (MPI_Type_create_indexed_block).
+  static Datatype indexed_block(int blocklen, std::span<const int> displs,
+                                const Datatype& inner);
+
+  /// `inner` with its extent overridden (MPI_Type_create_resized).
+  static Datatype resized(const Datatype& inner, std::size_t new_extent);
+
+  friend bool operator==(const Datatype& a, const Datatype& b) noexcept {
+    return a.node_ == b.node_;
+  }
+
+ private:
+  explicit Datatype(std::shared_ptr<const detail::TypeNode> node);
+  std::shared_ptr<const detail::TypeNode> node_;
+};
+
+}  // namespace mpi

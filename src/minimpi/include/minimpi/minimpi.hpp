@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file minimpi.hpp
+/// Umbrella header for the minimpi runtime: a from-scratch MPI-subset
+/// message-passing library where ranks are threads of one process.
+///
+/// minimpi exists so that the DDR library (src/core) and the paper's two use
+/// cases can run, unmodified in structure, on a machine without an MPI
+/// installation. See DESIGN.md §2 for the substitution rationale.
+
+#include "minimpi/cart.hpp"      // IWYU pragma: export
+#include "minimpi/comm.hpp"      // IWYU pragma: export
+#include "minimpi/datatype.hpp"  // IWYU pragma: export
+#include "minimpi/error.hpp"     // IWYU pragma: export
+#include "minimpi/op.hpp"        // IWYU pragma: export
+#include "minimpi/runtime.hpp"   // IWYU pragma: export
+#include "minimpi/sim.hpp"       // IWYU pragma: export
+#include "minimpi/status.hpp"    // IWYU pragma: export

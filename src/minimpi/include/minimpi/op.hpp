@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file op.hpp
+/// Reduction operators for reduce/allreduce (MPI_Op).
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+namespace mpi {
+
+/// A reduction operator combining `count` elements:
+/// `inout[i] = fn(inout[i], in[i])`. Operators must be associative and are
+/// assumed commutative (minimpi's reduction trees exploit commutativity,
+/// like most MPI implementations do for builtin ops).
+class Op {
+ public:
+  using Fn = std::function<void(void* inout, const void* in, std::size_t count)>;
+
+  explicit Op(Fn fn) : fn_(std::move(fn)) {}
+
+  void apply(void* inout, const void* in, std::size_t count) const {
+    fn_(inout, in, count);
+  }
+
+  template <typename T>
+  static Op sum() {
+    return Op([](void* inout, const void* in, std::size_t count) {
+      auto* a = static_cast<T*>(inout);
+      const auto* b = static_cast<const T*>(in);
+      for (std::size_t i = 0; i < count; ++i) a[i] = a[i] + b[i];
+    });
+  }
+
+  template <typename T>
+  static Op min() {
+    return Op([](void* inout, const void* in, std::size_t count) {
+      auto* a = static_cast<T*>(inout);
+      const auto* b = static_cast<const T*>(in);
+      for (std::size_t i = 0; i < count; ++i) a[i] = std::min(a[i], b[i]);
+    });
+  }
+
+  template <typename T>
+  static Op max() {
+    return Op([](void* inout, const void* in, std::size_t count) {
+      auto* a = static_cast<T*>(inout);
+      const auto* b = static_cast<const T*>(in);
+      for (std::size_t i = 0; i < count; ++i) a[i] = std::max(a[i], b[i]);
+    });
+  }
+
+  template <typename T>
+  static Op logical_or() {
+    return Op([](void* inout, const void* in, std::size_t count) {
+      auto* a = static_cast<T*>(inout);
+      const auto* b = static_cast<const T*>(in);
+      for (std::size_t i = 0; i < count; ++i) a[i] = a[i] || b[i];
+    });
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace mpi

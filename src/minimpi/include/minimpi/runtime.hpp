@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file runtime.hpp
+/// The minimpi launcher: runs an SPMD function across N rank threads.
+///
+/// Equivalent of `mpirun -np N ./app`: every rank executes `rank_main` with
+/// its own world Comm. Ranks are std::threads sharing one address space;
+/// message payloads are still copied through mailboxes so code keeps honest
+/// MPI semantics (no accidental shared-memory aliasing).
+
+#include <functional>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/sim.hpp"
+
+namespace mpi {
+
+/// Options for a run.
+struct RunOptions {
+  /// Optional network cost model; charges per-message virtual time.
+  /// Not owned; must outlive the run.
+  const NetworkModel* network = nullptr;
+};
+
+/// Result of a completed run.
+struct RunResult {
+  /// Final per-rank virtual clock values, seconds (index = world rank).
+  std::vector<double> vtimes;
+
+  /// Simulated makespan: max over ranks of the virtual clock.
+  [[nodiscard]] double makespan() const;
+};
+
+/// Runs `rank_main` on `nranks` rank threads and joins them.
+///
+/// If any rank throws, all pending receives are aborted (so no rank hangs),
+/// every thread is joined, and the first exception is rethrown in the caller.
+RunResult run(int nranks, const std::function<void(Comm&)>& rank_main,
+              const RunOptions& opts = {});
+
+}  // namespace mpi

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file sim.hpp
+/// Virtual-time hooks for performance simulation.
+///
+/// minimpi runs ranks as threads of one process, so wall-clock time cannot
+/// reproduce the timing behaviour of a distributed-memory cluster. Instead,
+/// every rank carries a VirtualClock. Local work charges the clock directly
+/// (measured thread-CPU time or modeled cost); message transfers charge it
+/// through an optional NetworkModel installed at mpi::run() time.
+///
+/// Semantics follow a LogGP-style model:
+///   * send:  sender clock += send_overhead(bytes); message departs at the
+///            sender's clock value.
+///   * recv:  receiver clock = max(receiver clock,
+///                                 depart + transfer_time(bytes, src, dst))
+///            + recv_overhead(bytes).
+///
+/// With no model installed all costs are zero and the clocks only reflect
+/// explicitly charged local work.
+
+#include <algorithm>
+#include <cstddef>
+
+namespace mpi {
+
+/// Per-rank simulated clock, in seconds.
+class VirtualClock {
+ public:
+  [[nodiscard]] double now() const noexcept { return t_; }
+
+  /// Adds `dt` seconds of local work. Negative charges are ignored.
+  void advance(double dt) noexcept { t_ += std::max(0.0, dt); }
+
+  /// Moves the clock forward to `t` if `t` is later (used for message
+  /// arrival and synchronization).
+  void sync_to(double t) noexcept { t_ = std::max(t_, t); }
+
+  void reset() noexcept { t_ = 0.0; }
+
+ private:
+  double t_ = 0.0;
+};
+
+/// Cost model for message transfers between world ranks.
+/// Implementations live in the simnet library; minimpi only consumes the
+/// interface. All times are in seconds, sizes in bytes. Implementations
+/// must be thread-safe (const methods called concurrently from rank threads).
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  /// CPU time the sender spends injecting a message (LogGP "o").
+  [[nodiscard]] virtual double send_overhead(std::size_t bytes) const = 0;
+
+  /// Wire time from departure to availability at the receiver
+  /// (latency + bytes / effective_bandwidth).
+  [[nodiscard]] virtual double transfer_time(std::size_t bytes, int src_world,
+                                             int dst_world) const = 0;
+
+  /// CPU time the receiver spends draining a matched message.
+  [[nodiscard]] virtual double recv_overhead(std::size_t bytes) const = 0;
+};
+
+}  // namespace mpi

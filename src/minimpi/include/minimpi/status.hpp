@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file status.hpp
+/// Receive status and wildcard constants.
+
+#include <cstddef>
+
+namespace mpi {
+
+/// Wildcard source rank for recv/probe (MPI_ANY_SOURCE).
+inline constexpr int any_source = -1;
+/// Wildcard tag for recv/probe (MPI_ANY_TAG).
+inline constexpr int any_tag = -1;
+
+/// Result of a completed receive or probe (MPI_Status).
+struct Status {
+  int source = -1;          ///< rank the message came from
+  int tag = -1;             ///< tag the message was sent with
+  std::size_t bytes = 0;    ///< packed payload size in bytes
+
+  /// Number of elements of a type with the given packed size
+  /// (MPI_Get_count). Returns SIZE_MAX-equivalent misuse as 0 remainder
+  /// handled by caller; partial elements are an error in MPI and here we
+  /// simply truncate toward zero.
+  [[nodiscard]] std::size_t count(std::size_t element_size) const {
+    return element_size == 0 ? 0 : bytes / element_size;
+  }
+};
+
+}  // namespace mpi

@@ -1,0 +1,91 @@
+#include "minimpi/cart.hpp"
+
+#include <algorithm>
+
+namespace mpi {
+
+CartComm::CartComm(Comm comm, std::span<const int> dims,
+                   std::span<const bool> periods)
+    : comm_(std::move(comm)),
+      dims_(dims.begin(), dims.end()),
+      periods_(periods.begin(), periods.end()) {
+  require(comm_.valid(), ErrorClass::invalid_comm,
+          "CartComm: invalid communicator");
+  require(!dims_.empty() && dims_.size() == periods_.size(),
+          ErrorClass::invalid_argument,
+          "CartComm: dims and periods must be non-empty and equal length");
+  int total = 1;
+  for (int d : dims_) {
+    require(d >= 1, ErrorClass::invalid_argument,
+            "CartComm: grid extents must be >= 1");
+    total *= d;
+  }
+  require(total == comm_.size(), ErrorClass::invalid_argument,
+          "CartComm: grid holds " + std::to_string(total) +
+              " ranks but the communicator has " +
+              std::to_string(comm_.size()));
+}
+
+std::vector<int> CartComm::dims_create(int nranks, int ndims) {
+  require(nranks >= 1 && ndims >= 1, ErrorClass::invalid_argument,
+          "dims_create: need positive nranks and ndims");
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  // Repeatedly assign the largest remaining prime factor to the currently
+  // smallest extent — the standard balanced heuristic.
+  int rest = nranks;
+  std::vector<int> factors;
+  for (int f = 2; f * f <= rest; ++f)
+    while (rest % f == 0) {
+      factors.push_back(f);
+      rest /= f;
+    }
+  if (rest > 1) factors.push_back(rest);
+  std::sort(factors.rbegin(), factors.rend());
+  for (int f : factors) {
+    auto smallest = std::min_element(dims.begin(), dims.end());
+    *smallest *= f;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+std::vector<int> CartComm::coords(int rank) const {
+  require(rank >= 0 && rank < comm_.size(), ErrorClass::invalid_rank,
+          "coords: rank out of range");
+  std::vector<int> c(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    c[d] = rank % dims_[d];
+    rank /= dims_[d];
+  }
+  return c;
+}
+
+int CartComm::rank_of(std::span<const int> coords) const {
+  require(coords.size() == dims_.size(), ErrorClass::invalid_argument,
+          "rank_of: coordinate rank mismatch");
+  int rank = 0;
+  int stride = 1;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    int c = coords[d];
+    if (periods_[d]) {
+      c = ((c % dims_[d]) + dims_[d]) % dims_[d];
+    } else if (c < 0 || c >= dims_[d]) {
+      return -1;
+    }
+    rank += c * stride;
+    stride *= dims_[d];
+  }
+  return rank;
+}
+
+std::pair<int, int> CartComm::shift(int dim, int disp) const {
+  require(dim >= 0 && dim < ndims(), ErrorClass::invalid_argument,
+          "shift: dimension out of range");
+  std::vector<int> c = coords(comm_.rank());
+  std::vector<int> src = c, dst = c;
+  src[static_cast<std::size_t>(dim)] -= disp;
+  dst[static_cast<std::size_t>(dim)] += disp;
+  return {rank_of(src), rank_of(dst)};
+}
+
+}  // namespace mpi

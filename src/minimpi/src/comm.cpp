@@ -1,0 +1,770 @@
+#include "minimpi/comm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <cstring>
+#include <numeric>
+
+#include "impl.hpp"
+
+namespace mpi {
+
+using detail::CommImpl;
+using detail::Mailbox;
+using detail::Message;
+using detail::World;
+
+namespace detail {
+
+void World::abort_all() { aborted.store(true, std::memory_order_release); }
+
+CommImpl::CommImpl(std::shared_ptr<World> w, std::vector<int> group_world_ranks)
+    : world(std::move(w)),
+      group(std::move(group_world_ranks)),
+      size(static_cast<int>(group.size())),
+      coll_seq(group.size(), 0),
+      split_seq(group.size(), 0) {
+  user_box.reserve(group.size());
+  coll_box.reserve(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    user_box.push_back(std::make_unique<Mailbox>());
+    coll_box.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Comm make_comm(std::shared_ptr<CommImpl> impl, int rank) {
+  return Comm(std::move(impl), rank);
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr auto kAbortPollInterval = std::chrono::milliseconds(5);
+
+[[noreturn]] void throw_aborted() {
+  throw Error(ErrorClass::internal,
+              "minimpi: run aborted because another rank threw");
+}
+
+bool matches(const Message& m, int src, int tag) {
+  return (src == any_source || m.src == src) &&
+         (tag == any_tag || m.tag == tag);
+}
+
+void post(Mailbox& box, Message&& msg) {
+  {
+    std::lock_guard lk(box.m);
+    box.q.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+/// Blocks until a message matching (src, tag) is available and removes it.
+Message take(Mailbox& box, const World& w, int src, int tag) {
+  std::unique_lock lk(box.m);
+  for (;;) {
+    for (auto it = box.q.begin(); it != box.q.end(); ++it) {
+      if (matches(*it, src, tag)) {
+        Message m = std::move(*it);
+        box.q.erase(it);
+        return m;
+      }
+    }
+    if (w.aborted.load(std::memory_order_acquire)) throw_aborted();
+    box.cv.wait_for(lk, kAbortPollInterval);
+  }
+}
+
+/// Non-blocking variant of take().
+std::optional<Message> try_take(Mailbox& box, int src, int tag) {
+  std::lock_guard lk(box.m);
+  for (auto it = box.q.begin(); it != box.q.end(); ++it) {
+    if (matches(*it, src, tag)) {
+      Message m = std::move(*it);
+      box.q.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Sends a pre-packed payload: charges the sender clock and stamps the
+/// departure time.
+void send_packed(const CommImpl& impl, int my_rank, std::vector<std::byte> payload,
+                 int dest, int tag, bool collective) {
+  World& w = *impl.world;
+  if (w.aborted.load(std::memory_order_acquire)) throw_aborted();
+  const std::size_t bytes = payload.size();
+  VirtualClock& clk =
+      w.clocks[static_cast<std::size_t>(impl.group[static_cast<std::size_t>(my_rank)])];
+  if (w.network != nullptr) clk.advance(w.network->send_overhead(bytes));
+  Message msg;
+  msg.src = my_rank;
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+  msg.depart_vtime = clk.now();
+  Mailbox& box = collective ? *impl.coll_box[static_cast<std::size_t>(dest)]
+                            : *impl.user_box[static_cast<std::size_t>(dest)];
+  post(box, std::move(msg));
+}
+
+/// Charges the receiver clock for a matched message.
+void charge_recv(const CommImpl& impl, int my_rank, const Message& msg) {
+  World& w = *impl.world;
+  VirtualClock& clk =
+      w.clocks[static_cast<std::size_t>(impl.group[static_cast<std::size_t>(my_rank)])];
+  if (w.network != nullptr) {
+    const int src_world = impl.group[static_cast<std::size_t>(msg.src)];
+    const int dst_world = impl.group[static_cast<std::size_t>(my_rank)];
+    clk.sync_to(msg.depart_vtime +
+                w.network->transfer_time(msg.payload.size(), src_world, dst_world));
+    clk.advance(w.network->recv_overhead(msg.payload.size()));
+  } else {
+    // Even without a cost model, preserve causality of the virtual clocks.
+    clk.sync_to(msg.depart_vtime);
+  }
+}
+
+/// Shared blocking-receive implementation (used by Comm::recv and
+/// Request::wait).
+Status do_recv(const CommImpl& impl, int my_rank, void* buf, std::size_t count,
+               const Datatype& type, int src, int tag, bool collective) {
+  Mailbox& box = collective ? *impl.coll_box[static_cast<std::size_t>(my_rank)]
+                            : *impl.user_box[static_cast<std::size_t>(my_rank)];
+  Message msg = take(box, *impl.world, src, tag);
+  charge_recv(impl, my_rank, msg);
+
+  const std::size_t capacity = count * type.size();
+  require(msg.payload.size() <= capacity, ErrorClass::truncate,
+          "recv: message (" + std::to_string(msg.payload.size()) +
+              " B) larger than receive buffer (" + std::to_string(capacity) +
+              " B)");
+  std::size_t elems = 0;
+  if (type.size() > 0) {
+    require(msg.payload.size() % type.size() == 0, ErrorClass::truncate,
+            "recv: message is not a whole number of receive-type elements");
+    elems = msg.payload.size() / type.size();
+  } else {
+    require(msg.payload.empty(), ErrorClass::truncate,
+            "recv: non-empty message matched a zero-size receive type");
+  }
+  if (elems > 0) type.unpack(msg.payload.data(), elems, static_cast<std::byte*>(buf));
+  return Status{msg.src, msg.tag, msg.payload.size()};
+}
+
+std::vector<std::byte> pack_elements(const void* buf, std::size_t count,
+                                     const Datatype& type) {
+  std::vector<std::byte> payload(count * type.size());
+  if (!payload.empty())
+    type.pack(static_cast<const std::byte*>(buf), count, payload.data());
+  return payload;
+}
+
+/// Collective tag from a 64-bit sequence number.
+int coll_tag(std::uint64_t seq) { return static_cast<int>(seq & 0x3fffffffu); }
+
+void check_rank(const CommImpl& impl, int r, const char* what) {
+  require(r >= 0 && r < impl.size, ErrorClass::invalid_rank,
+          std::string(what) + ": rank " + std::to_string(r) +
+              " outside communicator of size " + std::to_string(impl.size));
+}
+
+}  // namespace
+
+// --- Comm basics -----------------------------------------------------------
+
+int Comm::size() const noexcept { return impl_ ? impl_->size : 0; }
+
+VirtualClock& Comm::clock() const {
+  require(valid(), ErrorClass::invalid_comm, "clock: invalid communicator");
+  return impl_->world
+      ->clocks[static_cast<std::size_t>(impl_->group[static_cast<std::size_t>(rank_)])];
+}
+
+int Comm::world_rank(int rank_in_comm) const {
+  require(valid(), ErrorClass::invalid_comm, "world_rank: invalid communicator");
+  check_rank(*impl_, rank_in_comm, "world_rank");
+  return impl_->group[static_cast<std::size_t>(rank_in_comm)];
+}
+
+std::uint64_t Comm::next_coll_seq() const {
+  return impl_->coll_seq[static_cast<std::size_t>(rank_)]++;
+}
+
+// --- point-to-point --------------------------------------------------------
+
+void Comm::send(const void* buf, std::size_t count, const Datatype& type,
+                int dest, int tag) const {
+  require(valid(), ErrorClass::invalid_comm, "send: invalid communicator");
+  check_rank(*impl_, dest, "send");
+  require(tag >= 0, ErrorClass::invalid_tag, "send: tag must be >= 0");
+  send_packed(*impl_, rank_, pack_elements(buf, count, type), dest, tag,
+              /*collective=*/false);
+}
+
+Status Comm::recv(void* buf, std::size_t count, const Datatype& type,
+                  int source, int tag) const {
+  require(valid(), ErrorClass::invalid_comm, "recv: invalid communicator");
+  if (source != any_source) check_rank(*impl_, source, "recv");
+  require(tag >= 0 || tag == any_tag, ErrorClass::invalid_tag,
+          "recv: tag must be >= 0 or any_tag");
+  return do_recv(*impl_, rank_, buf, count, type, source, tag,
+                 /*collective=*/false);
+}
+
+Request Comm::isend(const void* buf, std::size_t count, const Datatype& type,
+                    int dest, int tag) const {
+  // minimpi sends are buffered-eager, so an isend is complete on return.
+  send(buf, count, type, dest, tag);
+  Request r;
+  r.kind_ = Request::Kind::done_send;
+  r.done_status_ = Status{rank_, tag, count * type.size()};
+  return r;
+}
+
+Request Comm::irecv(void* buf, std::size_t count, const Datatype& type,
+                    int source, int tag) const {
+  require(valid(), ErrorClass::invalid_comm, "irecv: invalid communicator");
+  if (source != any_source) check_rank(*impl_, source, "irecv");
+  Request r;
+  r.kind_ = Request::Kind::pending_recv;
+  r.impl_ = impl_;
+  r.rank_ = rank_;
+  r.buf_ = buf;
+  r.count_ = count;
+  r.type_ = type;
+  r.src_ = source;
+  r.tag_ = tag;
+  return r;
+}
+
+Status Comm::sendrecv(const void* sendbuf, std::size_t sendcount,
+                      const Datatype& sendtype, int dest, int sendtag,
+                      void* recvbuf, std::size_t recvcount,
+                      const Datatype& recvtype, int source,
+                      int recvtag) const {
+  send(sendbuf, sendcount, sendtype, dest, sendtag);
+  return recv(recvbuf, recvcount, recvtype, source, recvtag);
+}
+
+Status Comm::probe(int source, int tag) const {
+  require(valid(), ErrorClass::invalid_comm, "probe: invalid communicator");
+  Mailbox& box = *impl_->user_box[static_cast<std::size_t>(rank_)];
+  std::unique_lock lk(box.m);
+  for (;;) {
+    for (const auto& m : box.q)
+      if (matches(m, source, tag)) return Status{m.src, m.tag, m.payload.size()};
+    if (impl_->world->aborted.load(std::memory_order_acquire)) throw_aborted();
+    box.cv.wait_for(lk, kAbortPollInterval);
+  }
+}
+
+std::optional<Status> Comm::iprobe(int source, int tag) const {
+  require(valid(), ErrorClass::invalid_comm, "iprobe: invalid communicator");
+  Mailbox& box = *impl_->user_box[static_cast<std::size_t>(rank_)];
+  std::lock_guard lk(box.m);
+  for (const auto& m : box.q)
+    if (matches(m, source, tag)) return Status{m.src, m.tag, m.payload.size()};
+  return std::nullopt;
+}
+
+// --- Request ----------------------------------------------------------------
+
+Status Request::wait() {
+  require(valid(), ErrorClass::invalid_argument, "wait: invalid request");
+  if (kind_ == Kind::done_send) {
+    kind_ = Kind::invalid;
+    return done_status_;
+  }
+  Status s = do_recv(*impl_, rank_, buf_, count_, type_, src_, tag_,
+                     /*collective=*/false);
+  kind_ = Kind::invalid;
+  return s;
+}
+
+std::optional<Status> Request::test() {
+  require(valid(), ErrorClass::invalid_argument, "test: invalid request");
+  if (kind_ == Kind::done_send) {
+    kind_ = Kind::invalid;
+    return done_status_;
+  }
+  Mailbox& box = *impl_->user_box[static_cast<std::size_t>(rank_)];
+  std::optional<Message> msg = try_take(box, src_, tag_);
+  if (!msg) return std::nullopt;
+  // Re-inject and complete through the common path so truncation checks and
+  // clock charging stay in one place.
+  charge_recv(*impl_, rank_, *msg);
+  const std::size_t capacity = count_ * type_.size();
+  require(msg->payload.size() <= capacity, ErrorClass::truncate,
+          "test: message larger than receive buffer");
+  if (type_.size() > 0 && !msg->payload.empty())
+    type_.unpack(msg->payload.data(), msg->payload.size() / type_.size(),
+                 static_cast<std::byte*>(buf_));
+  Status s{msg->src, msg->tag, msg->payload.size()};
+  kind_ = Kind::invalid;
+  return s;
+}
+
+std::vector<Status> wait_all(std::span<Request> reqs) {
+  std::vector<Status> out;
+  out.reserve(reqs.size());
+  for (auto& r : reqs) out.push_back(r.wait());
+  return out;
+}
+
+std::pair<std::size_t, Status> wait_any(std::span<Request> reqs) {
+  for (;;) {
+    bool any_valid = false;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (!reqs[i].valid()) continue;
+      any_valid = true;
+      if (auto s = reqs[i].test()) return {i, *s};
+    }
+    require(any_valid, ErrorClass::invalid_argument,
+            "wait_any: no valid requests");
+    std::this_thread::yield();
+  }
+}
+
+// --- internal collective channel --------------------------------------------
+
+void Comm::coll_send(const void* buf, std::size_t bytes, int dest,
+                     int tag) const {
+  std::vector<std::byte> payload(bytes);
+  if (bytes > 0) std::memcpy(payload.data(), buf, bytes);
+  send_packed(*impl_, rank_, std::move(payload), dest, tag,
+              /*collective=*/true);
+}
+
+Status Comm::coll_recv(void* buf, std::size_t capacity, int src,
+                       int tag) const {
+  Mailbox& box = *impl_->coll_box[static_cast<std::size_t>(rank_)];
+  Message msg = take(box, *impl_->world, src, tag);
+  charge_recv(*impl_, rank_, msg);
+  require(msg.payload.size() <= capacity, ErrorClass::truncate,
+          "collective: internal message larger than buffer");
+  if (!msg.payload.empty()) std::memcpy(buf, msg.payload.data(), msg.payload.size());
+  return Status{msg.src, msg.tag, msg.payload.size()};
+}
+
+// --- collectives -------------------------------------------------------------
+
+void Comm::barrier() const {
+  require(valid(), ErrorClass::invalid_comm, "barrier: invalid communicator");
+  const int p = size();
+  const int tag = coll_tag(next_coll_seq());
+  // Dissemination barrier: after ceil(log2 p) rounds every rank has
+  // transitively heard from every other rank (and the virtual clocks have
+  // converged to the global maximum).
+  for (int k = 1; k < p; k <<= 1) {
+    const int dest = (rank_ + k) % p;
+    const int src = (rank_ - k % p + p) % p;
+    coll_send(nullptr, 0, dest, tag);
+    coll_recv(nullptr, 0, src, tag);
+  }
+}
+
+void Comm::bcast(void* buf, std::size_t count, const Datatype& type,
+                 int root) const {
+  require(valid(), ErrorClass::invalid_comm, "bcast: invalid communicator");
+  check_rank(*impl_, root, "bcast");
+  const int p = size();
+  const int tag = coll_tag(next_coll_seq());
+  if (p == 1) return;
+
+  const std::size_t bytes = count * type.size();
+  std::vector<std::byte> packed(bytes);
+  const int vr = (rank_ - root + p) % p;  // rank relative to root
+
+  if (vr == 0) {
+    if (bytes > 0)
+      type.pack(static_cast<const std::byte*>(buf), count, packed.data());
+  } else {
+    // Receive from the parent in the binomial tree.
+    int mask = 1;
+    while ((vr & mask) == 0) mask <<= 1;
+    const int parent = ((vr & ~mask) + root) % p;
+    coll_recv(packed.data(), bytes, parent, tag);
+    if (bytes > 0) type.unpack(packed.data(), count, static_cast<std::byte*>(buf));
+  }
+  // Forward to children: peel leading zeros below the bit that brought the
+  // data here (root uses the full mask range).
+  int mask = 1;
+  while (mask < p && (vr & mask) == 0) mask <<= 1;
+  for (int child_bit = mask >> 1; child_bit > 0; child_bit >>= 1) {
+    const int child_vr = vr | child_bit;
+    if (child_vr < p && child_vr != vr)
+      coll_send(packed.data(), bytes, (child_vr + root) % p, tag);
+  }
+  // Note: for vr == 0 the loop above leaves mask at the first power of two
+  // >= p, so the root forwards to all of its binomial children.
+}
+
+void Comm::reduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                  const Datatype& type, const Op& op, int root) const {
+  require(valid(), ErrorClass::invalid_comm, "reduce: invalid communicator");
+  check_rank(*impl_, root, "reduce");
+  require(type.contiguous(), ErrorClass::invalid_datatype,
+          "reduce: only contiguous element types are supported");
+  const int p = size();
+  const int tag = coll_tag(next_coll_seq());
+  const std::size_t bytes = count * type.size();
+
+  std::vector<std::byte> accum(bytes), incoming(bytes);
+  if (bytes > 0) std::memcpy(accum.data(), sendbuf, bytes);
+
+  const int vr = (rank_ - root + p) % p;
+  // Binomial reduction tree (commutative ops).
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((vr & mask) == 0) {
+      const int peer_vr = vr | mask;
+      if (peer_vr < p) {
+        coll_recv(incoming.data(), bytes, (peer_vr + root) % p, tag);
+        op.apply(accum.data(), incoming.data(), count);
+      }
+    } else {
+      const int parent = ((vr & ~mask) + root) % p;
+      coll_send(accum.data(), bytes, parent, tag);
+      break;
+    }
+  }
+  if (rank_ == root && bytes > 0) std::memcpy(recvbuf, accum.data(), bytes);
+}
+
+void Comm::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                     const Datatype& type, const Op& op) const {
+  reduce(sendbuf, recvbuf, count, type, op, 0);
+  bcast(recvbuf, count, type, 0);
+}
+
+void Comm::scan(const void* sendbuf, void* recvbuf, std::size_t count,
+                const Datatype& type, const Op& op) const {
+  require(valid(), ErrorClass::invalid_comm, "scan: invalid communicator");
+  require(type.contiguous(), ErrorClass::invalid_datatype,
+          "scan: only contiguous element types are supported");
+  const int p = size();
+  const int tag = coll_tag(next_coll_seq());
+  const std::size_t bytes = count * type.size();
+
+  // Linear chain: simple and exactly matches MPI's ordered-operation
+  // requirement for non-commutative ops.
+  std::vector<std::byte> accum(bytes);
+  if (bytes > 0) std::memcpy(accum.data(), sendbuf, bytes);
+  if (rank_ > 0) {
+    std::vector<std::byte> incoming(bytes);
+    coll_recv(incoming.data(), bytes, rank_ - 1, tag);
+    // accum = op(prefix, mine): apply with the prefix as inout would flip
+    // the order, so combine into the incoming prefix and take that.
+    op.apply(incoming.data(), accum.data(), count);
+    accum = std::move(incoming);
+  }
+  if (rank_ + 1 < p) coll_send(accum.data(), bytes, rank_ + 1, tag);
+  if (bytes > 0) std::memcpy(recvbuf, accum.data(), bytes);
+}
+
+void Comm::exscan(const void* sendbuf, void* recvbuf, std::size_t count,
+                  const Datatype& type, const Op& op) const {
+  require(valid(), ErrorClass::invalid_comm, "exscan: invalid communicator");
+  require(type.contiguous(), ErrorClass::invalid_datatype,
+          "exscan: only contiguous element types are supported");
+  const int p = size();
+  const int tag = coll_tag(next_coll_seq());
+  const std::size_t bytes = count * type.size();
+
+  std::vector<std::byte> prefix(bytes);
+  if (rank_ > 0) {
+    coll_recv(prefix.data(), bytes, rank_ - 1, tag);
+    if (bytes > 0) std::memcpy(recvbuf, prefix.data(), bytes);
+  }
+  if (rank_ + 1 < p) {
+    // Forward op(prefix, mine) — just `mine` from rank 0.
+    std::vector<std::byte> next(bytes);
+    if (bytes > 0) std::memcpy(next.data(), sendbuf, bytes);
+    if (rank_ > 0) {
+      op.apply(prefix.data(), next.data(), count);
+      next = std::move(prefix);
+    }
+    coll_send(next.data(), bytes, rank_ + 1, tag);
+  }
+}
+
+void Comm::gather(const void* sendbuf, std::size_t sendcount,
+                  const Datatype& sendtype, void* recvbuf,
+                  std::size_t recvcount, const Datatype& recvtype,
+                  int root) const {
+  const int p = size();
+  std::vector<int> counts(static_cast<std::size_t>(p),
+                          static_cast<int>(recvcount));
+  std::vector<int> displs(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i)
+    displs[static_cast<std::size_t>(i)] = static_cast<int>(recvcount) * i;
+  gatherv(sendbuf, sendcount, sendtype, recvbuf, counts, displs, recvtype,
+          root);
+}
+
+void Comm::gatherv(const void* sendbuf, std::size_t sendcount,
+                   const Datatype& sendtype, void* recvbuf,
+                   std::span<const int> recvcounts, std::span<const int> displs,
+                   const Datatype& recvtype, int root) const {
+  require(valid(), ErrorClass::invalid_comm, "gatherv: invalid communicator");
+  check_rank(*impl_, root, "gatherv");
+  const int p = size();
+  const int tag = coll_tag(next_coll_seq());
+
+  if (rank_ != root) {
+    std::vector<std::byte> packed = pack_elements(sendbuf, sendcount, sendtype);
+    coll_send(packed.data(), packed.size(), root, tag);
+    return;
+  }
+  require(recvcounts.size() == static_cast<std::size_t>(p) &&
+              displs.size() == static_cast<std::size_t>(p),
+          ErrorClass::invalid_argument,
+          "gatherv: recvcounts/displs must have comm-size entries");
+  auto* out = static_cast<std::byte*>(recvbuf);
+  for (int r = 0; r < p; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    const auto n = static_cast<std::size_t>(recvcounts[i]);
+    std::byte* dst = out + static_cast<std::size_t>(displs[i]) * recvtype.extent();
+    if (r == rank_) {
+      // Self contribution: pack+unpack keeps sendtype/recvtype independent.
+      std::vector<std::byte> tmp = pack_elements(sendbuf, sendcount, sendtype);
+      require(tmp.size() == n * recvtype.size(), ErrorClass::invalid_argument,
+              "gatherv: send/recv byte counts differ for local contribution");
+      if (n > 0) recvtype.unpack(tmp.data(), n, dst);
+    } else {
+      std::vector<std::byte> tmp(n * recvtype.size());
+      const Status s = coll_recv(tmp.data(), tmp.size(), r, tag);
+      require(s.bytes == tmp.size(), ErrorClass::truncate,
+              "gatherv: contribution size mismatch");
+      if (n > 0) recvtype.unpack(tmp.data(), n, dst);
+    }
+  }
+}
+
+void Comm::allgather(const void* sendbuf, std::size_t sendcount,
+                     const Datatype& sendtype, void* recvbuf,
+                     std::size_t recvcount, const Datatype& recvtype) const {
+  gather(sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, 0);
+  bcast(recvbuf, recvcount * static_cast<std::size_t>(size()), recvtype, 0);
+}
+
+void Comm::allgatherv(const void* sendbuf, std::size_t sendcount,
+                      const Datatype& sendtype, void* recvbuf,
+                      std::span<const int> recvcounts,
+                      std::span<const int> displs,
+                      const Datatype& recvtype) const {
+  gatherv(sendbuf, sendcount, sendtype, recvbuf, recvcounts, displs, recvtype,
+          0);
+  // Broadcast the full gathered region (from displacement 0 to the end of the
+  // furthest block).
+  std::size_t end_elems = 0;
+  for (std::size_t i = 0; i < recvcounts.size(); ++i)
+    end_elems = std::max(
+        end_elems, static_cast<std::size_t>(displs[i]) +
+                       static_cast<std::size_t>(recvcounts[i]));
+  bcast(recvbuf, end_elems, recvtype, 0);
+}
+
+void Comm::scatter(const void* sendbuf, std::size_t sendcount,
+                   const Datatype& sendtype, void* recvbuf,
+                   std::size_t recvcount, const Datatype& recvtype,
+                   int root) const {
+  const int p = size();
+  std::vector<int> counts(static_cast<std::size_t>(p),
+                          static_cast<int>(sendcount));
+  std::vector<int> displs(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i)
+    displs[static_cast<std::size_t>(i)] = static_cast<int>(sendcount) * i;
+  scatterv(sendbuf, counts, displs, sendtype, recvbuf, recvcount, recvtype,
+           root);
+}
+
+void Comm::scatterv(const void* sendbuf, std::span<const int> sendcounts,
+                    std::span<const int> displs, const Datatype& sendtype,
+                    void* recvbuf, std::size_t recvcount,
+                    const Datatype& recvtype, int root) const {
+  require(valid(), ErrorClass::invalid_comm, "scatterv: invalid communicator");
+  check_rank(*impl_, root, "scatterv");
+  const int p = size();
+  const int tag = coll_tag(next_coll_seq());
+
+  if (rank_ == root) {
+    require(sendcounts.size() == static_cast<std::size_t>(p) &&
+                displs.size() == static_cast<std::size_t>(p),
+            ErrorClass::invalid_argument,
+            "scatterv: sendcounts/displs must have comm-size entries");
+    const auto* in = static_cast<const std::byte*>(sendbuf);
+    for (int r = 0; r < p; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      const auto n = static_cast<std::size_t>(sendcounts[i]);
+      const std::byte* src =
+          in + static_cast<std::size_t>(displs[i]) * sendtype.extent();
+      std::vector<std::byte> tmp(n * sendtype.size());
+      if (n > 0) sendtype.pack(src, n, tmp.data());
+      if (r == rank_) {
+        require(tmp.size() == recvcount * recvtype.size(),
+                ErrorClass::invalid_argument,
+                "scatterv: send/recv byte counts differ for local slice");
+        if (recvcount > 0)
+          recvtype.unpack(tmp.data(), recvcount,
+                          static_cast<std::byte*>(recvbuf));
+      } else {
+        coll_send(tmp.data(), tmp.size(), r, tag);
+      }
+    }
+  } else {
+    std::vector<std::byte> tmp(recvcount * recvtype.size());
+    const Status s = coll_recv(tmp.data(), tmp.size(), root, tag);
+    require(s.bytes == tmp.size(), ErrorClass::truncate,
+            "scatterv: slice size mismatch");
+    if (recvcount > 0)
+      recvtype.unpack(tmp.data(), recvcount, static_cast<std::byte*>(recvbuf));
+  }
+}
+
+void Comm::alltoall(const void* sendbuf, std::size_t sendcount,
+                    const Datatype& sendtype, void* recvbuf,
+                    std::size_t recvcount, const Datatype& recvtype) const {
+  const int p = size();
+  std::vector<int> scounts(static_cast<std::size_t>(p),
+                           static_cast<int>(sendcount));
+  std::vector<int> rcounts(static_cast<std::size_t>(p),
+                           static_cast<int>(recvcount));
+  std::vector<int> sdispls(static_cast<std::size_t>(p));
+  std::vector<int> rdispls(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    sdispls[static_cast<std::size_t>(i)] = static_cast<int>(sendcount) * i;
+    rdispls[static_cast<std::size_t>(i)] = static_cast<int>(recvcount) * i;
+  }
+  alltoallv(sendbuf, scounts, sdispls, sendtype, recvbuf, rcounts, rdispls,
+            recvtype);
+}
+
+void Comm::alltoallv(const void* sendbuf, std::span<const int> sendcounts,
+                     std::span<const int> sdispls, const Datatype& sendtype,
+                     void* recvbuf, std::span<const int> recvcounts,
+                     std::span<const int> rdispls,
+                     const Datatype& recvtype) const {
+  const int p = size();
+  std::vector<std::ptrdiff_t> sdb(static_cast<std::size_t>(p));
+  std::vector<std::ptrdiff_t> rdb(static_cast<std::size_t>(p));
+  std::vector<Datatype> stypes(static_cast<std::size_t>(p), sendtype);
+  std::vector<Datatype> rtypes(static_cast<std::size_t>(p), recvtype);
+  for (int i = 0; i < p; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    sdb[k] = sdispls[k] * static_cast<std::ptrdiff_t>(sendtype.extent());
+    rdb[k] = rdispls[k] * static_cast<std::ptrdiff_t>(recvtype.extent());
+  }
+  alltoallw(sendbuf, sendcounts, sdb, stypes, recvbuf, recvcounts, rdb, rtypes);
+}
+
+void Comm::alltoallw(const void* sendbuf, std::span<const int> sendcounts,
+                     std::span<const std::ptrdiff_t> sdispls,
+                     std::span<const Datatype> sendtypes, void* recvbuf,
+                     std::span<const int> recvcounts,
+                     std::span<const std::ptrdiff_t> rdispls,
+                     std::span<const Datatype> recvtypes) const {
+  require(valid(), ErrorClass::invalid_comm, "alltoallw: invalid communicator");
+  const int p = size();
+  const auto np = static_cast<std::size_t>(p);
+  require(sendcounts.size() == np && sdispls.size() == np &&
+              sendtypes.size() == np && recvcounts.size() == np &&
+              rdispls.size() == np && recvtypes.size() == np,
+          ErrorClass::invalid_argument,
+          "alltoallw: all argument arrays must have comm-size entries");
+  const int tag = coll_tag(next_coll_seq());
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+
+  auto pack_for = [&](int dest) {
+    const auto k = static_cast<std::size_t>(dest);
+    const auto n = static_cast<std::size_t>(sendcounts[k]);
+    std::vector<std::byte> payload(n * sendtypes[k].size());
+    if (!payload.empty()) sendtypes[k].pack(in + sdispls[k], n, payload.data());
+    return payload;
+  };
+  auto unpack_from = [&](int src, const std::byte* data, std::size_t bytes) {
+    const auto k = static_cast<std::size_t>(src);
+    const auto n = static_cast<std::size_t>(recvcounts[k]);
+    require(bytes == n * recvtypes[k].size(), ErrorClass::truncate,
+            "alltoallw: received " + std::to_string(bytes) +
+                " B but expected " + std::to_string(n * recvtypes[k].size()) +
+                " B from rank " + std::to_string(src));
+    if (n > 0 && bytes > 0) recvtypes[k].unpack(data, n, out + rdispls[k]);
+  };
+
+  // Local portion first.
+  {
+    std::vector<std::byte> self = pack_for(rank_);
+    unpack_from(rank_, self.data(), self.size());
+  }
+  // Pairwise exchange: at step s, send to rank+s, receive from rank-s.
+  for (int s = 1; s < p; ++s) {
+    const int dest = (rank_ + s) % p;
+    const int src = (rank_ - s + p) % p;
+    std::vector<std::byte> payload = pack_for(dest);
+    send_packed(*impl_, rank_, std::move(payload), dest, tag,
+                /*collective=*/true);
+    Mailbox& box = *impl_->coll_box[static_cast<std::size_t>(rank_)];
+    Message msg = take(box, *impl_->world, src, tag);
+    charge_recv(*impl_, rank_, msg);
+    unpack_from(src, msg.payload.data(), msg.payload.size());
+  }
+}
+
+// --- communicator management -------------------------------------------------
+
+Comm Comm::split(int color, int key) const {
+  require(valid(), ErrorClass::invalid_comm, "split: invalid communicator");
+  const int p = size();
+  struct CK {
+    int color, key, rank;
+  };
+  const CK mine{color, key, rank_};
+  std::vector<CK> all(static_cast<std::size_t>(p));
+  allgather(&mine, 1, Datatype::bytes(sizeof(CK)), all.data(), 1,
+            Datatype::bytes(sizeof(CK)));
+
+  const std::uint64_t seq = impl_->split_seq[static_cast<std::size_t>(rank_)]++;
+  if (color < 0) return Comm{};  // not a member of any new communicator
+
+  // Members of my color, ordered by (key, rank).
+  std::vector<CK> members;
+  for (const auto& ck : all)
+    if (ck.color == color) members.push_back(ck);
+  std::sort(members.begin(), members.end(), [](const CK& a, const CK& b) {
+    return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+  });
+
+  std::vector<int> group;
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    group.push_back(impl_->group[static_cast<std::size_t>(members[i].rank)]);
+    if (members[i].rank == rank_) my_new_rank = static_cast<int>(i);
+  }
+  require(my_new_rank >= 0, ErrorClass::internal, "split: self not in group");
+
+  // Rendezvous: the first member to arrive creates the child communicator.
+  std::shared_ptr<CommImpl> child;
+  {
+    std::lock_guard lk(impl_->split_m);
+    const auto kk = std::make_pair(seq, color);
+    auto it = impl_->split_pending.find(kk);
+    if (it == impl_->split_pending.end()) {
+      child = std::make_shared<CommImpl>(impl_->world, group);
+      if (members.size() > 1)
+        impl_->split_pending.emplace(
+            kk, std::make_pair(child, static_cast<int>(members.size()) - 1));
+    } else {
+      child = it->second.first;
+      if (--it->second.second == 0) impl_->split_pending.erase(it);
+    }
+  }
+  return Comm(std::move(child), my_new_rank);
+}
+
+Comm Comm::dup() const { return split(0, rank_); }
+
+}  // namespace mpi

@@ -1,0 +1,390 @@
+#include "minimpi/datatype.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+
+namespace mpi {
+namespace detail {
+
+enum class Kind : std::uint8_t {
+  bytes,
+  contiguous,
+  hvector,   // vector is lowered to hvector at construction
+  subarray,
+  strukt,
+  resized,
+};
+
+struct StructBlock {
+  int blocklen = 0;
+  std::ptrdiff_t displ = 0;
+  std::shared_ptr<const TypeNode> type;
+};
+
+struct TypeNode {
+  Kind kind = Kind::bytes;
+  std::size_t size = 0;    // packed bytes per element
+  std::size_t extent = 0;  // memory span per element
+  bool contiguous = false;
+
+  // bytes: size/extent only.
+  // contiguous: count x inner
+  // hvector: count blocks of blocklen inner, stride_bytes apart
+  std::size_t count = 0;
+  std::size_t blocklen = 0;
+  std::ptrdiff_t stride_bytes = 0;
+  std::shared_ptr<const TypeNode> inner;
+
+  // subarray
+  std::vector<int> sizes, subsizes, starts;  // normalized to Order::c
+  // strukt
+  std::vector<StructBlock> blocks;
+  // resized keeps `inner` and overrides extent.
+};
+
+namespace {
+
+using SegmentFn = std::function<void(std::size_t, std::size_t)>;
+
+/// Emits the contiguous segments of one element of `n` rooted at `base`,
+/// in packed order.
+void visit(const TypeNode& n, std::size_t base, const SegmentFn& fn) {
+  switch (n.kind) {
+    case Kind::bytes:
+      if (n.size > 0) fn(base, n.size);
+      return;
+    case Kind::contiguous: {
+      const TypeNode& in = *n.inner;
+      if (in.contiguous) {
+        if (n.size > 0) fn(base, n.count * in.size);
+      } else {
+        for (std::size_t i = 0; i < n.count; ++i)
+          visit(in, base + i * in.extent, fn);
+      }
+      return;
+    }
+    case Kind::hvector: {
+      const TypeNode& in = *n.inner;
+      for (std::size_t i = 0; i < n.count; ++i) {
+        const std::size_t block_base =
+            base + static_cast<std::size_t>(static_cast<std::ptrdiff_t>(i) *
+                                            n.stride_bytes);
+        if (in.contiguous) {
+          if (n.blocklen * in.size > 0) fn(block_base, n.blocklen * in.size);
+        } else {
+          for (std::size_t j = 0; j < n.blocklen; ++j)
+            visit(in, block_base + j * in.extent, fn);
+        }
+      }
+      return;
+    }
+    case Kind::subarray: {
+      if (n.size == 0) return;  // empty sub-box: nothing to emit
+      const TypeNode& in = *n.inner;
+      const int ndims = static_cast<int>(n.sizes.size());
+      // Row strides in bytes for each dimension (Order::c normalized:
+      // last dimension contiguous).
+      std::vector<std::size_t> stride(static_cast<std::size_t>(ndims));
+      stride[static_cast<std::size_t>(ndims - 1)] = in.extent;
+      for (int d = ndims - 2; d >= 0; --d)
+        stride[static_cast<std::size_t>(d)] =
+            stride[static_cast<std::size_t>(d + 1)] *
+            static_cast<std::size_t>(n.sizes[static_cast<std::size_t>(d + 1)]);
+
+      // Iterate over all index tuples of the subarray except the innermost
+      // dimension, which forms a contiguous run when `in` is contiguous.
+      std::vector<int> idx(static_cast<std::size_t>(ndims), 0);
+      const bool dense_rows = in.contiguous;
+      const auto row_len = static_cast<std::size_t>(
+          n.subsizes[static_cast<std::size_t>(ndims - 1)]);
+      for (;;) {
+        std::size_t off = base;
+        for (int d = 0; d < ndims - 1; ++d)
+          off += stride[static_cast<std::size_t>(d)] *
+                 static_cast<std::size_t>(n.starts[static_cast<std::size_t>(d)] +
+                                          idx[static_cast<std::size_t>(d)]);
+        off += stride[static_cast<std::size_t>(ndims - 1)] *
+               static_cast<std::size_t>(n.starts[static_cast<std::size_t>(ndims - 1)]);
+        if (dense_rows) {
+          if (row_len * in.size > 0) fn(off, row_len * in.size);
+        } else {
+          for (std::size_t j = 0; j < row_len; ++j)
+            visit(in, off + j * in.extent, fn);
+        }
+        // Odometer increment over dims [0, ndims-2].
+        int d = ndims - 2;
+        for (; d >= 0; --d) {
+          auto& i = idx[static_cast<std::size_t>(d)];
+          if (++i < n.subsizes[static_cast<std::size_t>(d)]) break;
+          i = 0;
+        }
+        if (d < 0) break;
+      }
+      return;
+    }
+    case Kind::strukt: {
+      for (const auto& b : n.blocks) {
+        const TypeNode& in = *b.type;
+        const std::size_t block_base =
+            base + static_cast<std::size_t>(b.displ);
+        if (in.contiguous) {
+          const std::size_t len = static_cast<std::size_t>(b.blocklen) * in.size;
+          if (len > 0) fn(block_base, len);
+        } else {
+          for (int j = 0; j < b.blocklen; ++j)
+            visit(in, block_base + static_cast<std::size_t>(j) * in.extent, fn);
+        }
+      }
+      return;
+    }
+    case Kind::resized:
+      visit(*n.inner, base, fn);
+      return;
+  }
+}
+
+std::shared_ptr<const TypeNode> make_bytes(std::size_t nbytes) {
+  auto n = std::make_shared<TypeNode>();
+  n->kind = Kind::bytes;
+  n->size = nbytes;
+  n->extent = nbytes;
+  n->contiguous = true;
+  return n;
+}
+
+}  // namespace
+}  // namespace detail
+
+using detail::Kind;
+using detail::TypeNode;
+
+Datatype::Datatype() : node_(detail::make_bytes(0)) {}
+Datatype::Datatype(std::shared_ptr<const TypeNode> node)
+    : node_(std::move(node)) {}
+
+std::size_t Datatype::size() const noexcept { return node_->size; }
+std::size_t Datatype::extent() const noexcept { return node_->extent; }
+bool Datatype::contiguous() const noexcept { return node_->contiguous; }
+
+Datatype Datatype::bytes(std::size_t n) {
+  return Datatype(detail::make_bytes(n));
+}
+
+Datatype Datatype::contiguous(std::size_t count, const Datatype& inner) {
+  auto n = std::make_shared<TypeNode>();
+  n->kind = Kind::contiguous;
+  n->count = count;
+  n->inner = inner.node_;
+  n->size = count * inner.size();
+  n->extent = count * inner.extent();
+  n->contiguous = inner.contiguous();
+  return Datatype(std::move(n));
+}
+
+Datatype Datatype::vector(std::size_t count, std::size_t blocklen,
+                          std::ptrdiff_t stride, const Datatype& inner) {
+  return hvector(count, blocklen,
+                 stride * static_cast<std::ptrdiff_t>(inner.extent()), inner);
+}
+
+Datatype Datatype::hvector(std::size_t count, std::size_t blocklen,
+                           std::ptrdiff_t stride_bytes, const Datatype& inner) {
+  auto n = std::make_shared<TypeNode>();
+  n->kind = Kind::hvector;
+  n->count = count;
+  n->blocklen = blocklen;
+  n->stride_bytes = stride_bytes;
+  n->inner = inner.node_;
+  n->size = count * blocklen * inner.size();
+  if (count == 0) {
+    n->extent = 0;
+  } else {
+    // Extent spans from the first block to the end of the last block.
+    const auto last_start = static_cast<std::ptrdiff_t>(count - 1) * stride_bytes;
+    require(last_start >= 0, ErrorClass::invalid_datatype,
+            "hvector: negative strides are not supported");
+    n->extent = static_cast<std::size_t>(last_start) +
+                blocklen * inner.extent();
+  }
+  n->contiguous =
+      inner.contiguous() &&
+      (count <= 1 ||
+       stride_bytes == static_cast<std::ptrdiff_t>(blocklen * inner.extent()));
+  return Datatype(std::move(n));
+}
+
+Datatype Datatype::subarray(std::span<const int> sizes,
+                            std::span<const int> subsizes,
+                            std::span<const int> starts, const Datatype& inner,
+                            Order order) {
+  const std::size_t ndims = sizes.size();
+  require(ndims >= 1, ErrorClass::invalid_datatype, "subarray: ndims >= 1");
+  require(subsizes.size() == ndims && starts.size() == ndims,
+          ErrorClass::invalid_datatype,
+          "subarray: sizes/subsizes/starts must have equal length");
+  auto n = std::make_shared<TypeNode>();
+  n->kind = Kind::subarray;
+  n->inner = inner.node_;
+  n->sizes.assign(sizes.begin(), sizes.end());
+  n->subsizes.assign(subsizes.begin(), subsizes.end());
+  n->starts.assign(starts.begin(), starts.end());
+  if (order == Order::fortran) {
+    std::reverse(n->sizes.begin(), n->sizes.end());
+    std::reverse(n->subsizes.begin(), n->subsizes.end());
+    std::reverse(n->starts.begin(), n->starts.end());
+  }
+  std::size_t full = 1, sub = 1;
+  for (std::size_t d = 0; d < ndims; ++d) {
+    require(n->sizes[d] > 0, ErrorClass::invalid_datatype,
+            "subarray: sizes must be positive");
+    require(n->subsizes[d] >= 0, ErrorClass::invalid_datatype,
+            "subarray: subsizes must be non-negative");
+    require(n->starts[d] >= 0 && n->starts[d] + n->subsizes[d] <= n->sizes[d],
+            ErrorClass::invalid_datatype,
+            "subarray: sub-box must lie inside the full array");
+    full *= static_cast<std::size_t>(n->sizes[d]);
+    sub *= static_cast<std::size_t>(n->subsizes[d]);
+  }
+  n->size = sub * inner.size();
+  n->extent = full * inner.extent();
+  n->contiguous = false;  // conservatively; degenerate cases still pack fine
+  return Datatype(std::move(n));
+}
+
+Datatype Datatype::strukt(std::span<const int> blocklens,
+                          std::span<const std::ptrdiff_t> displs,
+                          std::span<const Datatype> types) {
+  const std::size_t nb = blocklens.size();
+  require(displs.size() == nb && types.size() == nb,
+          ErrorClass::invalid_datatype,
+          "struct: blocklens/displs/types must have equal length");
+  auto n = std::make_shared<TypeNode>();
+  n->kind = Kind::strukt;
+  std::size_t size = 0, extent = 0;
+  for (std::size_t i = 0; i < nb; ++i) {
+    require(blocklens[i] >= 0, ErrorClass::invalid_datatype,
+            "struct: negative blocklen");
+    require(displs[i] >= 0, ErrorClass::invalid_datatype,
+            "struct: negative displacements are not supported");
+    detail::StructBlock b;
+    b.blocklen = blocklens[i];
+    b.displ = displs[i];
+    b.type = types[i].node_;
+    size += static_cast<std::size_t>(blocklens[i]) * b.type->size;
+    extent = std::max(extent, static_cast<std::size_t>(displs[i]) +
+                                  static_cast<std::size_t>(blocklens[i]) *
+                                      b.type->extent);
+    n->blocks.push_back(std::move(b));
+  }
+  n->size = size;
+  n->extent = extent;
+  n->contiguous = false;
+  return Datatype(std::move(n));
+}
+
+Datatype Datatype::indexed(std::span<const int> blocklens,
+                           std::span<const int> displs,
+                           const Datatype& inner) {
+  require(blocklens.size() == displs.size(), ErrorClass::invalid_datatype,
+          "indexed: blocklens/displs must have equal length");
+  // Lower to a struct: displacements become byte offsets of inner extents.
+  std::vector<std::ptrdiff_t> byte_displs;
+  std::vector<Datatype> types;
+  byte_displs.reserve(displs.size());
+  types.reserve(displs.size());
+  for (std::size_t i = 0; i < displs.size(); ++i) {
+    byte_displs.push_back(static_cast<std::ptrdiff_t>(displs[i]) *
+                          static_cast<std::ptrdiff_t>(inner.extent()));
+    types.push_back(inner);
+  }
+  return strukt(blocklens, byte_displs, types);
+}
+
+Datatype Datatype::indexed_block(int blocklen, std::span<const int> displs,
+                                 const Datatype& inner) {
+  const std::vector<int> blocklens(displs.size(), blocklen);
+  return indexed(blocklens, displs, inner);
+}
+
+Datatype Datatype::resized(const Datatype& inner, std::size_t new_extent) {
+  auto n = std::make_shared<TypeNode>();
+  n->kind = Kind::resized;
+  n->inner = inner.node_;
+  n->size = inner.size();
+  n->extent = new_extent;
+  n->contiguous = inner.contiguous() && inner.extent() == new_extent;
+  return Datatype(std::move(n));
+}
+
+void Datatype::for_each_segment(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) const {
+  for (std::size_t i = 0; i < count; ++i)
+    detail::visit(*node_, i * node_->extent, fn);
+}
+
+void Datatype::pack(const std::byte* src, std::size_t count,
+                    std::byte* dst) const {
+  if (node_->contiguous) {
+    std::memcpy(dst, src, count * node_->size);
+    return;
+  }
+  std::size_t cursor = 0;
+  for_each_segment(count, [&](std::size_t off, std::size_t len) {
+    std::memcpy(dst + cursor, src + off, len);
+    cursor += len;
+  });
+}
+
+void Datatype::unpack(const std::byte* src, std::size_t count,
+                      std::byte* dst) const {
+  if (node_->contiguous) {
+    std::memcpy(dst, src, count * node_->size);
+    return;
+  }
+  std::size_t cursor = 0;
+  for_each_segment(count, [&](std::size_t off, std::size_t len) {
+    std::memcpy(dst + off, src + cursor, len);
+    cursor += len;
+  });
+}
+
+std::string Datatype::describe() const {
+  std::ostringstream os;
+  const TypeNode& n = *node_;
+  switch (n.kind) {
+    case Kind::bytes:
+      os << "bytes{" << n.size << "}";
+      break;
+    case Kind::contiguous:
+      os << "contiguous{count=" << n.count << "}";
+      break;
+    case Kind::hvector:
+      os << "hvector{count=" << n.count << ",blocklen=" << n.blocklen
+         << ",stride=" << n.stride_bytes << "B}";
+      break;
+    case Kind::subarray: {
+      auto join = [](const std::vector<int>& v) {
+        std::string s = "[";
+        for (std::size_t i = 0; i < v.size(); ++i)
+          s += (i ? "," : "") + std::to_string(v[i]);
+        return s + "]";
+      };
+      os << "subarray{sizes=" << join(n.sizes) << ",sub=" << join(n.subsizes)
+         << ",starts=" << join(n.starts) << "}";
+      break;
+    }
+    case Kind::strukt:
+      os << "struct{" << n.blocks.size() << " blocks}";
+      break;
+    case Kind::resized:
+      os << "resized{extent=" << n.extent << "}";
+      break;
+  }
+  os << " size=" << n.size << " extent=" << n.extent;
+  return os.str();
+}
+
+}  // namespace mpi

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file impl.hpp
+/// Internal shared state of the minimpi runtime (not installed).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/sim.hpp"
+
+namespace mpi::detail {
+
+/// One in-flight message.
+struct Message {
+  int src = -1;  // rank in the communicator
+  int tag = -1;
+  std::vector<std::byte> payload;
+  double depart_vtime = 0.0;  // sender's clock when the message left
+};
+
+/// Per-destination-rank mailbox. Senders push; the owner rank matches and
+/// pops. `cv` wakes the owner on new arrivals and on global abort.
+struct Mailbox {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<Message> q;
+};
+
+/// Whole-run shared state. One World per mpi::run().
+struct World {
+  explicit World(int nranks, const NetworkModel* net)
+      : size(nranks), network(net), clocks(static_cast<std::size_t>(nranks)) {}
+
+  int size;
+  const NetworkModel* network;  // nullable
+  std::vector<VirtualClock> clocks;  // index: world rank
+
+  // Set when a rank throws; blocked receives wake up and abort.
+  std::atomic<bool> aborted{false};
+
+  void abort_all();
+};
+
+/// Shared state of one communicator.
+struct CommImpl {
+  CommImpl(std::shared_ptr<World> w, std::vector<int> group_world_ranks);
+
+  std::shared_ptr<World> world;
+  /// Maps communicator rank -> world rank.
+  std::vector<int> group;
+  int size;
+
+  /// User-facing message channel and the internal collective channel
+  /// (separate so user tags can never collide with collective traffic).
+  std::vector<std::unique_ptr<Mailbox>> user_box;
+  std::vector<std::unique_ptr<Mailbox>> coll_box;
+
+  /// Per-rank collective sequence numbers. Each rank only touches its own
+  /// slot; collectives called in the same order on all ranks stay aligned.
+  std::vector<std::uint64_t> coll_seq;
+
+  // --- split() rendezvous -------------------------------------------------
+  // All ranks compute the same grouping from an allgather; the first member
+  // of each new group to arrive creates the child CommImpl, later members
+  // pick it up. Keyed by (per-rank split sequence, color) — the split
+  // sequence is aligned across ranks because split() is a collective.
+  std::mutex split_m;
+  std::map<std::pair<std::uint64_t, int>,
+           std::pair<std::shared_ptr<CommImpl>, int /*remaining pickups*/>>
+      split_pending;
+  std::vector<std::uint64_t> split_seq;
+};
+
+}  // namespace mpi::detail

@@ -1,0 +1,63 @@
+#include "minimpi/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <iostream>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "impl.hpp"
+
+namespace mpi {
+
+double RunResult::makespan() const {
+  double m = 0.0;
+  for (double t : vtimes) m = std::max(m, t);
+  return m;
+}
+
+RunResult run(int nranks, const std::function<void(Comm&)>& rank_main,
+              const RunOptions& opts) {
+  require(nranks >= 1, ErrorClass::invalid_argument,
+          "run: need at least one rank");
+  require(static_cast<bool>(rank_main), ErrorClass::invalid_argument,
+          "run: rank_main must be callable");
+
+  auto world = std::make_shared<detail::World>(nranks, opts.network);
+  std::vector<int> group(static_cast<std::size_t>(nranks));
+  std::iota(group.begin(), group.end(), 0);
+  auto impl = std::make_shared<detail::CommImpl>(world, std::move(group));
+
+  std::mutex err_m;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm = detail::make_comm(impl, r);
+        rank_main(comm);
+      } catch (...) {
+        {
+          std::lock_guard lk(err_m);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Wake every blocked receive so no rank hangs waiting for a message
+        // the failed rank will never send.
+        world->abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  RunResult result;
+  result.vtimes.reserve(world->clocks.size());
+  for (const auto& c : world->clocks) result.vtimes.push_back(c.now());
+  return result;
+}
+
+}  // namespace mpi

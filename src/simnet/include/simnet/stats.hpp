@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small online statistics accumulator for repeated benchmark runs
+/// (the paper reports mean ± stdev over 10 repetitions).
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace simnet {
+
+/// Welford online mean/variance.
+class Stats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double stdev() const noexcept {
+    return n_ < 2 ? 0.0 : std::sqrt(m2_ / static_cast<double>(n_ - 1));
+  }
+
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace simnet

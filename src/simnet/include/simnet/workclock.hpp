@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file workclock.hpp
+/// Charging local work (I/O, decode, compute) to a rank's virtual clock.
+///
+/// Two mechanisms:
+///  * IoModel — analytic: charge bytes / effective_bandwidth, where the
+///    effective per-rank bandwidth respects an aggregate filesystem cap
+///    shared by all concurrently reading ranks (GPFS-style).
+///  * ThreadCpuTimer — empirical: measures this thread's actual CPU time
+///    (CLOCK_THREAD_CPUTIME_ID), which is immune to the oversubscription
+///    that running 216 rank threads on one core causes. Used for decode
+///    and render work, so run-to-run variation in the benches is genuine.
+
+#include <ctime>
+
+#include "minimpi/sim.hpp"
+
+namespace simnet {
+
+/// Parallel-filesystem read/write cost model.
+struct IoModel {
+  double per_rank_Bps = 1.6e8;    ///< streaming bandwidth of one rank
+  double aggregate_Bps = 28.0e9;  ///< filesystem-wide cap
+  double open_latency_s = 1.0e-3; ///< metadata cost per file open
+
+  /// Time for one rank to read `bytes` while `concurrent_readers` ranks hit
+  /// the filesystem at once, spread over `file_opens` files.
+  [[nodiscard]] double read_time(double bytes, int concurrent_readers,
+                                 int file_opens = 1) const {
+    const double cap = aggregate_Bps / (concurrent_readers > 0
+                                            ? concurrent_readers
+                                            : 1);
+    const double bw = per_rank_Bps < cap ? per_rank_Bps : cap;
+    return open_latency_s * file_opens + bytes / bw;
+  }
+
+  /// Writes share the same bandwidth structure.
+  [[nodiscard]] double write_time(double bytes, int concurrent_writers,
+                                  int file_opens = 1) const {
+    return read_time(bytes, concurrent_writers, file_opens);
+  }
+};
+
+/// Cooley-era GPFS approximation used by the TIFF benches.
+[[nodiscard]] inline IoModel cooley_io() { return IoModel{}; }
+
+/// Measures this thread's CPU time between construction and stop()/dtor and
+/// charges it to the given virtual clock. Scale lets callers map scaled-down
+/// local work to full-scale simulated seconds (scale=1 charges as-is).
+class ThreadCpuTimer {
+ public:
+  explicit ThreadCpuTimer(mpi::VirtualClock& clock, double scale = 1.0)
+      : clock_(clock), scale_(scale), start_(now()) {}
+
+  ThreadCpuTimer(const ThreadCpuTimer&) = delete;
+  ThreadCpuTimer& operator=(const ThreadCpuTimer&) = delete;
+
+  ~ThreadCpuTimer() { stop(); }
+
+  /// Charges the elapsed CPU time once; further calls are no-ops.
+  void stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    clock_.advance((now() - start_) * scale_);
+  }
+
+  [[nodiscard]] static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+ private:
+  mpi::VirtualClock& clock_;
+  double scale_;
+  double start_;
+  bool stopped_ = false;
+};
+
+}  // namespace simnet

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file stream.hpp
+/// M-to-N in-transit streaming (paper §IV-B, Fig. 4).
+///
+/// "Data is sent from M simulation ranks to N analysis ranks. After
+/// receiving intermediate data, the analysis resource leverages our library
+/// to redistribute data from how it was laid out in the simulation
+/// application to how it needs to be laid out for the application
+/// performing analysis."
+///
+/// The paper runs two separate MPI applications coupled by a transport
+/// (GLEAN/ADIOS-style). Here both groups live in one minimpi world split in
+/// two (DESIGN.md §2): the producer/consumer mapping, framing, and the
+/// consumer-side DDR redistribution are identical; only the wire differs.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "ddr/layout.hpp"
+#include "minimpi/comm.hpp"
+
+namespace stream {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Contiguous assignment of M producers onto N consumers (Fig. 4: with
+/// M=10, N=4 the first two consumers hear from 3 producers, the last two
+/// from 2). Works for any M >= N >= 1; "in-transit streaming can be
+/// achieved without uniform mapping".
+class MNMapping {
+ public:
+  MNMapping(int producers, int consumers);
+
+  [[nodiscard]] int producers() const { return m_; }
+  [[nodiscard]] int consumers() const { return n_; }
+
+  /// Consumer index a producer streams to.
+  [[nodiscard]] int consumer_of(int producer) const;
+
+  /// Half-open range [first, last) of producers a consumer hears from.
+  [[nodiscard]] std::pair<int, int> producers_of(int consumer) const;
+
+ private:
+  int m_ = 0, n_ = 0;
+};
+
+/// Frame metadata accompanying each streamed slab.
+struct FrameHeader {
+  std::int64_t step = 0;  ///< simulation step the data belongs to
+  std::int32_t y0 = 0;    ///< first global row of the slab
+  std::int32_t ny = 0;    ///< rows in the slab
+  std::int32_t nx = 0;    ///< row width
+};
+
+/// One received slab.
+struct Frame {
+  FrameHeader header;
+  int producer_world_rank = -1;
+  std::vector<float> data;
+};
+
+/// Producer-side endpoint: streams float slabs to one consumer.
+class Producer {
+ public:
+  /// \param world  communicator containing both groups
+  /// \param consumer_world_rank  destination rank in `world`
+  Producer(mpi::Comm world, int consumer_world_rank);
+
+  /// Sends one frame (header + header.ny * header.nx floats).
+  void send_frame(const FrameHeader& header, std::span<const float> data);
+
+ private:
+  mpi::Comm world_;
+  int consumer_ = -1;
+};
+
+/// Consumer-side endpoint: receives one frame per producer per step.
+class Consumer {
+ public:
+  Consumer(mpi::Comm world, std::vector<int> producer_world_ranks);
+
+  /// Blocks until one frame from every producer has arrived; frames are
+  /// returned ordered by producer rank. All frames of a step must carry the
+  /// same step id (checked).
+  [[nodiscard]] std::vector<Frame> receive_step();
+
+  [[nodiscard]] const std::vector<int>& producers() const {
+    return producers_;
+  }
+
+ private:
+  mpi::Comm world_;
+  std::vector<int> producers_;
+};
+
+// --- consumer-side layout (Fig. 5) -----------------------------------------
+
+/// Splits `consumers` into a 2-D grid (cx, cy) so that rectangles of an
+/// nx-by-ny domain are "as close to square as possible" (paper §IV-B).
+[[nodiscard]] std::array<int, 2> consumer_grid(int consumers, int nx, int ny);
+
+/// The near-square rectangle consumer `j` needs, as a 2-D DDR chunk.
+[[nodiscard]] ddr::Chunk consumer_rect(int j, const std::array<int, 2>& grid,
+                                       int nx, int ny);
+
+/// The owned chunks a consumer holds after receive_step(): one full-width
+/// slab per producer, in producer order — the "before" side of Fig. 5.
+[[nodiscard]] ddr::OwnedLayout frames_layout(const std::vector<Frame>& frames);
+
+/// Concatenates frame payloads in producer order (the DDR owned buffer).
+[[nodiscard]] std::vector<float> concat_frames(const std::vector<Frame>& frames);
+
+}  // namespace stream

@@ -1,0 +1,142 @@
+#include "stream/stream.hpp"
+
+#include <algorithm>
+
+#include "minimpi/datatype.hpp"
+
+namespace stream {
+
+namespace {
+/// Distinct user tags so stream traffic cannot collide with application
+/// messages on the shared world communicator.
+constexpr int kHeaderTag = 0x57A10;
+constexpr int kPayloadTag = 0x57A11;
+}  // namespace
+
+MNMapping::MNMapping(int producers, int consumers)
+    : m_(producers), n_(consumers) {
+  if (consumers < 1 || producers < consumers)
+    throw Error("MNMapping: need producers >= consumers >= 1");
+}
+
+int MNMapping::consumer_of(int producer) const {
+  if (producer < 0 || producer >= m_)
+    throw Error("MNMapping: producer out of range");
+  // Contiguous blocks; the first (m % n) consumers take one extra producer.
+  const int base = m_ / n_;
+  const int rem = m_ % n_;
+  const int fat = rem * (base + 1);  // producers served by the fat consumers
+  if (producer < fat) return producer / (base + 1);
+  return rem + (producer - fat) / base;
+}
+
+std::pair<int, int> MNMapping::producers_of(int consumer) const {
+  if (consumer < 0 || consumer >= n_)
+    throw Error("MNMapping: consumer out of range");
+  const int base = m_ / n_;
+  const int rem = m_ % n_;
+  const int extra = std::min(consumer, rem);
+  const int first = consumer * base + extra;
+  const int count = base + (consumer < rem ? 1 : 0);
+  return {first, first + count};
+}
+
+Producer::Producer(mpi::Comm world, int consumer_world_rank)
+    : world_(std::move(world)), consumer_(consumer_world_rank) {
+  if (!world_.valid()) throw Error("Producer: invalid communicator");
+  if (consumer_ < 0 || consumer_ >= world_.size())
+    throw Error("Producer: consumer rank out of range");
+}
+
+void Producer::send_frame(const FrameHeader& header,
+                          std::span<const float> data) {
+  if (static_cast<std::size_t>(header.ny) * static_cast<std::size_t>(header.nx) !=
+      data.size())
+    throw Error("send_frame: payload size does not match header");
+  world_.send(&header, 1, mpi::Datatype::bytes(sizeof(FrameHeader)), consumer_,
+              kHeaderTag);
+  world_.send(data.data(), data.size(), mpi::Datatype::of<float>(), consumer_,
+              kPayloadTag);
+}
+
+Consumer::Consumer(mpi::Comm world, std::vector<int> producer_world_ranks)
+    : world_(std::move(world)), producers_(std::move(producer_world_ranks)) {
+  if (!world_.valid()) throw Error("Consumer: invalid communicator");
+  if (producers_.empty()) throw Error("Consumer: no producers");
+  std::sort(producers_.begin(), producers_.end());
+}
+
+std::vector<Frame> Consumer::receive_step() {
+  std::vector<Frame> frames;
+  frames.reserve(producers_.size());
+  for (int p : producers_) {
+    Frame f;
+    f.producer_world_rank = p;
+    world_.recv(&f.header, 1, mpi::Datatype::bytes(sizeof(FrameHeader)), p,
+                kHeaderTag);
+    f.data.resize(static_cast<std::size_t>(f.header.ny) *
+                  static_cast<std::size_t>(f.header.nx));
+    world_.recv(f.data.data(), f.data.size(), mpi::Datatype::of<float>(), p,
+                kPayloadTag);
+    frames.push_back(std::move(f));
+  }
+  for (const Frame& f : frames)
+    if (f.header.step != frames.front().header.step)
+      throw Error("receive_step: producers disagree on the step id");
+  return frames;
+}
+
+std::array<int, 2> consumer_grid(int consumers, int nx, int ny) {
+  if (consumers < 1) throw Error("consumer_grid: need at least one consumer");
+  std::array<int, 2> best{consumers, 1};
+  double best_perimeter = -1.0;
+  for (int cx = 1; cx <= consumers; ++cx) {
+    if (consumers % cx != 0) continue;
+    const int cy = consumers / cx;
+    const double ex = static_cast<double>(nx) / cx;
+    const double ey = static_cast<double>(ny) / cy;
+    const double perimeter = ex + ey;  // minimized by near-square rectangles
+    if (best_perimeter < 0 || perimeter < best_perimeter) {
+      best_perimeter = perimeter;
+      best = {cx, cy};
+    }
+  }
+  return best;
+}
+
+ddr::Chunk consumer_rect(int j, const std::array<int, 2>& grid, int nx,
+                         int ny) {
+  const int total = grid[0] * grid[1];
+  if (j < 0 || j >= total) throw Error("consumer_rect: index out of range");
+  const int jx = j % grid[0];
+  const int jy = j / grid[0];
+  auto split = [](int extent, int parts, int i) {
+    const int base = extent / parts;
+    const int rem = extent % parts;
+    const int off = base * i + std::min(i, rem);
+    const int len = base + (i < rem ? 1 : 0);
+    return std::pair{off, len};
+  };
+  const auto [ox, lx] = split(nx, grid[0], jx);
+  const auto [oy, ly] = split(ny, grid[1], jy);
+  return ddr::Chunk::d2(lx, ly, ox, oy);
+}
+
+ddr::OwnedLayout frames_layout(const std::vector<Frame>& frames) {
+  ddr::OwnedLayout owned;
+  owned.reserve(frames.size());
+  for (const Frame& f : frames)
+    owned.push_back(ddr::Chunk::d2(f.header.nx, f.header.ny, 0, f.header.y0));
+  return owned;
+}
+
+std::vector<float> concat_frames(const std::vector<Frame>& frames) {
+  std::vector<float> out;
+  std::size_t total = 0;
+  for (const Frame& f : frames) total += f.data.size();
+  out.reserve(total);
+  for (const Frame& f : frames) out.insert(out.end(), f.data.begin(), f.data.end());
+  return out;
+}
+
+}  // namespace stream

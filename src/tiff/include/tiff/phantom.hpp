@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file phantom.hpp
+/// Synthetic CT-like volumes for the paper's use case A.
+///
+/// The paper's authentic data (primate tooth, mouse brain — APS CT scans) is
+/// not available; its own benchmark already substituted "an artificial TIFF
+/// data [set] that had the largest resolution and bit-depth of our authentic
+/// data sets" (§IV-A). We go one step further and generate a tooth-like
+/// phantom: nested ellipsoidal shells (enamel / dentin / pulp) with smooth
+/// density transitions and a deterministic pseudo-noise texture, so DVR
+/// renderings of the phantom have recognizable structure (Fig. 2).
+
+#include <cstdint>
+
+#include "tiff/tiff.hpp"
+
+namespace tiff {
+
+/// Deterministic tooth-like density field on the unit cube, in [0, 1].
+/// Coordinates are normalized slice coordinates: x, y, z in [0, 1).
+[[nodiscard]] double tooth_phantom(double x, double y, double z);
+
+/// Samples one z-slice of the phantom into a grayscale image.
+/// \param width,height  slice resolution
+/// \param z,depth       slice index and total slice count
+/// \param bits          8, 16 or 32 bits per sample (uint)
+[[nodiscard]] GrayImage phantom_slice(std::uint32_t width,
+                                      std::uint32_t height, int z, int depth,
+                                      std::uint16_t bits);
+
+/// Writes a full phantom TIFF series (depth slices) into `dir`.
+void write_phantom_series(const std::string& dir, std::uint32_t width,
+                          std::uint32_t height, int depth, std::uint16_t bits);
+
+}  // namespace tiff

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file tiff.hpp
+/// Minimal TIFF 6.0 reader/writer, written from scratch for the paper's
+/// first use case (parallel loading of grayscale CT slice stacks, §IV-A).
+///
+/// Supported subset — exactly what scientific CT stacks use:
+///  * single-sample (grayscale) images,
+///  * 8/16/32-bit unsigned integer or 32-bit float samples,
+///  * uncompressed strips (any RowsPerStrip) and uncompressed tiles
+///    (TIFF 6.0 §15, used by large stitched CT mosaics),
+///  * little- and big-endian files on read; little-endian on write.
+///
+/// The semantics the DDR paper leans on is intentionally reproduced: a TIFF
+/// must be decoded as a whole image — there is no API to fetch "just a few
+/// pixels", which is why redundant reads dominate the No-DDR baseline.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tiff {
+
+/// Thrown on malformed files or unsupported features.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Sample interpretation (TIFF tag 339).
+enum class SampleFormat : std::uint16_t {
+  uint_ = 1,
+  float_ = 3,
+};
+
+/// Image metadata.
+struct ImageInfo {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::uint16_t bits_per_sample = 8;
+  SampleFormat format = SampleFormat::uint_;
+
+  [[nodiscard]] std::size_t bytes_per_sample() const {
+    return bits_per_sample / 8u;
+  }
+  [[nodiscard]] std::size_t pixel_bytes() const {
+    return static_cast<std::size_t>(width) * height * bytes_per_sample();
+  }
+};
+
+/// A decoded grayscale image: metadata plus row-major samples
+/// (native-endian, x fastest).
+class GrayImage {
+ public:
+  GrayImage() = default;
+  GrayImage(ImageInfo info, std::vector<std::byte> pixels);
+
+  /// Allocates a zeroed image.
+  static GrayImage zeros(std::uint32_t width, std::uint32_t height,
+                         std::uint16_t bits_per_sample,
+                         SampleFormat format = SampleFormat::uint_);
+
+  [[nodiscard]] const ImageInfo& info() const { return info_; }
+  [[nodiscard]] std::span<const std::byte> pixels() const { return pixels_; }
+  [[nodiscard]] std::span<std::byte> pixels() { return pixels_; }
+
+  /// Sample value converted to double (uint formats are NOT normalized).
+  [[nodiscard]] double value(std::uint32_t x, std::uint32_t y) const;
+
+  /// Stores a double into the sample, clamping integer formats to range.
+  void set_value(std::uint32_t x, std::uint32_t y, double v);
+
+ private:
+  ImageInfo info_;
+  std::vector<std::byte> pixels_;
+};
+
+/// Decodes a TIFF from memory. Accepts II (little) and MM (big) byte order.
+[[nodiscard]] GrayImage decode(std::span<const std::byte> file);
+
+/// Reads and decodes a TIFF file from disk.
+[[nodiscard]] GrayImage read_file(const std::string& path);
+
+/// Encodes to an uncompressed little-endian TIFF.
+/// \param rows_per_strip  0 = single strip holding the whole image.
+[[nodiscard]] std::vector<std::byte> encode(const GrayImage& image,
+                                            std::uint32_t rows_per_strip = 0);
+
+/// Encodes as a TILED TIFF (TIFF 6.0 §15). Tile extents must be multiples
+/// of 16 per the specification; edge tiles are zero-padded.
+[[nodiscard]] std::vector<std::byte> encode_tiled(const GrayImage& image,
+                                                  std::uint32_t tile_width,
+                                                  std::uint32_t tile_length);
+
+/// Writes a TIFF file to disk.
+void write_file(const std::string& path, const GrayImage& image,
+                std::uint32_t rows_per_strip = 0);
+
+// --- series helpers (a "TIFF stack" is a directory of numbered slices) ----
+
+/// Filename of slice `index` inside `dir` (zero-padded, .tif).
+[[nodiscard]] std::string slice_path(const std::string& dir, int index);
+
+/// Writes `depth` slices produced by `slice_fn(z)` into `dir`.
+void write_series(const std::string& dir, int depth,
+                  const std::function<GrayImage(int)>& slice_fn);
+
+}  // namespace tiff

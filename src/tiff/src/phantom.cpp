@@ -1,0 +1,98 @@
+#include "tiff/phantom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tiff {
+
+namespace {
+
+/// Cheap deterministic value noise (hash of lattice coordinates, smoothed).
+double hash_noise(int xi, int yi, int zi) {
+  std::uint32_t h = static_cast<std::uint32_t>(xi) * 374761393u +
+                    static_cast<std::uint32_t>(yi) * 668265263u +
+                    static_cast<std::uint32_t>(zi) * 2147483647u;
+  h = (h ^ (h >> 13)) * 1274126177u;
+  h ^= h >> 16;
+  return static_cast<double>(h & 0xffffffu) / static_cast<double>(0xffffff);
+}
+
+double smooth_noise(double x, double y, double z, double freq) {
+  const double fx = x * freq, fy = y * freq, fz = z * freq;
+  const int xi = static_cast<int>(std::floor(fx));
+  const int yi = static_cast<int>(std::floor(fy));
+  const int zi = static_cast<int>(std::floor(fz));
+  const double tx = fx - xi, ty = fy - yi, tz = fz - zi;
+  auto lerp = [](double a, double b, double t) { return a + (b - a) * t; };
+  double c[2][2];
+  for (int dz = 0; dz < 2; ++dz)
+    for (int dy = 0; dy < 2; ++dy)
+      c[dz][dy] = lerp(hash_noise(xi, yi + dy, zi + dz),
+                       hash_noise(xi + 1, yi + dy, zi + dz), tx);
+  const double c0 = lerp(c[0][0], c[0][1], ty);
+  const double c1 = lerp(c[1][0], c[1][1], ty);
+  return lerp(c0, c1, tz);
+}
+
+/// Normalized radius within an ellipsoid centred at (cx, cy, cz).
+double ellipse_r(double x, double y, double z, double cx, double cy, double cz,
+                 double rx, double ry, double rz) {
+  const double dx = (x - cx) / rx, dy = (y - cy) / ry, dz = (z - cz) / rz;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+double smoothstep(double lo, double hi, double v) {
+  const double t = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+  return t * t * (3.0 - 2.0 * t);
+}
+
+}  // namespace
+
+double tooth_phantom(double x, double y, double z) {
+  // Crown: a flattened ellipsoid near the top; root: two prongs below.
+  const double crown = ellipse_r(x, y, z, 0.5, 0.5, 0.62, 0.34, 0.30, 0.30);
+  const double root_a = ellipse_r(x, y, z, 0.40, 0.5, 0.28, 0.12, 0.14, 0.30);
+  const double root_b = ellipse_r(x, y, z, 0.62, 0.5, 0.28, 0.12, 0.14, 0.30);
+  const double body = std::min({crown, root_a, root_b});
+
+  if (body > 1.15) return 0.02 * smooth_noise(x, y, z, 24.0);  // air + noise
+
+  // Enamel (hard, bright) on the outside of the crown; dentin inside;
+  // pulp chamber (dark) at the centre of the crown.
+  double density = 0.0;
+  density += 0.95 * (1.0 - smoothstep(0.92, 1.12, crown));  // crown body
+  density -= 0.55 * (1.0 - smoothstep(0.30, 0.45, crown));  // pulp cavity
+  density += 0.70 * (1.0 - smoothstep(0.90, 1.10, root_a));
+  density += 0.70 * (1.0 - smoothstep(0.90, 1.10, root_b));
+  // Enamel cap: thin high-density shell on the upper crown surface.
+  if (z > 0.62 && crown > 0.75 && crown < 1.02) density += 0.25;
+  // CT texture.
+  density += 0.06 * (smooth_noise(x, y, z, 40.0) - 0.5);
+  return std::clamp(density, 0.0, 1.0);
+}
+
+GrayImage phantom_slice(std::uint32_t width, std::uint32_t height, int z,
+                        int depth, std::uint16_t bits) {
+  GrayImage img = GrayImage::zeros(width, height, bits, SampleFormat::uint_);
+  const double max_val =
+      bits == 8 ? 255.0 : (bits == 16 ? 65535.0 : 4294967295.0);
+  const double zn = depth > 1 ? static_cast<double>(z) / (depth - 1) : 0.5;
+  for (std::uint32_t y = 0; y < height; ++y) {
+    const double yn = height > 1 ? static_cast<double>(y) / (height - 1) : 0.5;
+    for (std::uint32_t x = 0; x < width; ++x) {
+      const double xn = width > 1 ? static_cast<double>(x) / (width - 1) : 0.5;
+      img.set_value(x, y, tooth_phantom(xn, yn, zn) * max_val);
+    }
+  }
+  return img;
+}
+
+void write_phantom_series(const std::string& dir, std::uint32_t width,
+                          std::uint32_t height, int depth,
+                          std::uint16_t bits) {
+  write_series(dir, depth, [&](int z) {
+    return phantom_slice(width, height, z, depth, bits);
+  });
+}
+
+}  // namespace tiff

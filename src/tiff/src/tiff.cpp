@@ -1,0 +1,527 @@
+#include "tiff/tiff.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace tiff {
+
+namespace {
+
+// TIFF tag numbers used by the subset.
+enum Tag : std::uint16_t {
+  kImageWidth = 256,
+  kImageLength = 257,
+  kBitsPerSample = 258,
+  kCompression = 259,
+  kPhotometric = 262,
+  kStripOffsets = 273,
+  kSamplesPerPixel = 277,
+  kRowsPerStrip = 278,
+  kStripByteCounts = 279,
+  kTileWidth = 322,
+  kTileLength = 323,
+  kTileOffsets = 324,
+  kTileByteCounts = 325,
+  kSampleFormat = 339,
+};
+
+// TIFF field types.
+enum FieldType : std::uint16_t { kShort = 3, kLong = 4 };
+
+// std::byteswap is C++23; provide the two widths we need.
+std::uint16_t bswap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+}
+std::uint32_t bswap32(std::uint32_t v) {
+  return (v >> 24) | ((v >> 8) & 0x0000ff00u) | ((v << 8) & 0x00ff0000u) |
+         (v << 24);
+}
+
+struct Cursor {
+  std::span<const std::byte> data;
+  bool big_endian = false;
+
+  [[nodiscard]] std::uint16_t u16(std::size_t off) const {
+    if (off + 2 > data.size()) throw Error("tiff: truncated file (u16)");
+    std::uint16_t v;
+    std::memcpy(&v, data.data() + off, 2);
+    return big_endian ? bswap16(v) : v;
+  }
+  [[nodiscard]] std::uint32_t u32(std::size_t off) const {
+    if (off + 4 > data.size()) throw Error("tiff: truncated file (u32)");
+    std::uint32_t v;
+    std::memcpy(&v, data.data() + off, 4);
+    return big_endian ? bswap32(v) : v;
+  }
+};
+
+struct Entry {
+  std::uint16_t tag = 0;
+  std::uint16_t type = 0;
+  std::uint32_t count = 0;
+  std::uint32_t value_or_offset = 0;  // raw (endian-corrected) word
+  std::size_t entry_offset = 0;       // byte offset of the 12-byte entry
+};
+
+/// Reads array element `i` of an entry (inline when it fits in 4 bytes).
+std::uint32_t entry_value(const Cursor& c, const Entry& e, std::uint32_t i) {
+  const std::size_t elem = e.type == kShort ? 2 : 4;
+  if (e.type != kShort && e.type != kLong)
+    throw Error("tiff: unsupported field type " + std::to_string(e.type));
+  if (i >= e.count) throw Error("tiff: value index out of range");
+  const std::size_t total = elem * e.count;
+  const std::size_t base =
+      total <= 4 ? e.entry_offset + 8 : static_cast<std::size_t>(e.value_or_offset);
+  const std::size_t off = base + elem * i;
+  return e.type == kShort ? c.u16(off) : c.u32(off);
+}
+
+void append_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xff));
+  out.push_back(static_cast<std::byte>(v >> 8));
+}
+void append_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  append_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+  append_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+struct WireEntry {
+  std::uint16_t tag, type;
+  std::uint32_t count, value;
+};
+
+void append_entry(std::vector<std::byte>& out, const WireEntry& e) {
+  append_u16(out, e.tag);
+  append_u16(out, e.type);
+  append_u32(out, e.count);
+  // SHORT scalars occupy the low bytes of the value word in little-endian.
+  append_u32(out, e.value);
+}
+
+}  // namespace
+
+GrayImage::GrayImage(ImageInfo info, std::vector<std::byte> pixels)
+    : info_(info), pixels_(std::move(pixels)) {
+  if (pixels_.size() != info_.pixel_bytes())
+    throw Error("GrayImage: pixel buffer size (" +
+                std::to_string(pixels_.size()) + ") != width*height*bps (" +
+                std::to_string(info_.pixel_bytes()) + ")");
+}
+
+GrayImage GrayImage::zeros(std::uint32_t width, std::uint32_t height,
+                           std::uint16_t bits_per_sample, SampleFormat format) {
+  if (bits_per_sample != 8 && bits_per_sample != 16 && bits_per_sample != 32)
+    throw Error("GrayImage: bits_per_sample must be 8, 16 or 32");
+  if (format == SampleFormat::float_ && bits_per_sample != 32)
+    throw Error("GrayImage: float samples must be 32-bit");
+  ImageInfo info{width, height, bits_per_sample, format};
+  return GrayImage(info, std::vector<std::byte>(info.pixel_bytes()));
+}
+
+double GrayImage::value(std::uint32_t x, std::uint32_t y) const {
+  const std::size_t bps = info_.bytes_per_sample();
+  const std::size_t off =
+      (static_cast<std::size_t>(y) * info_.width + x) * bps;
+  if (info_.format == SampleFormat::float_) {
+    float f;
+    std::memcpy(&f, pixels_.data() + off, 4);
+    return f;
+  }
+  switch (info_.bits_per_sample) {
+    case 8: {
+      std::uint8_t v;
+      std::memcpy(&v, pixels_.data() + off, 1);
+      return v;
+    }
+    case 16: {
+      std::uint16_t v;
+      std::memcpy(&v, pixels_.data() + off, 2);
+      return v;
+    }
+    default: {
+      std::uint32_t v;
+      std::memcpy(&v, pixels_.data() + off, 4);
+      return v;
+    }
+  }
+}
+
+void GrayImage::set_value(std::uint32_t x, std::uint32_t y, double v) {
+  const std::size_t bps = info_.bytes_per_sample();
+  const std::size_t off =
+      (static_cast<std::size_t>(y) * info_.width + x) * bps;
+  if (info_.format == SampleFormat::float_) {
+    const float f = static_cast<float>(v);
+    std::memcpy(pixels_.data() + off, &f, 4);
+    return;
+  }
+  const double max_val =
+      info_.bits_per_sample == 8
+          ? 255.0
+          : (info_.bits_per_sample == 16 ? 65535.0 : 4294967295.0);
+  const double clamped = std::clamp(std::round(v), 0.0, max_val);
+  switch (info_.bits_per_sample) {
+    case 8: {
+      const auto u = static_cast<std::uint8_t>(clamped);
+      std::memcpy(pixels_.data() + off, &u, 1);
+      break;
+    }
+    case 16: {
+      const auto u = static_cast<std::uint16_t>(clamped);
+      std::memcpy(pixels_.data() + off, &u, 2);
+      break;
+    }
+    default: {
+      const auto u = static_cast<std::uint32_t>(clamped);
+      std::memcpy(pixels_.data() + off, &u, 4);
+      break;
+    }
+  }
+}
+
+GrayImage decode(std::span<const std::byte> file) {
+  Cursor c{file, false};
+  if (file.size() < 8) throw Error("tiff: file too small for header");
+  const auto b0 = static_cast<char>(file[0]);
+  const auto b1 = static_cast<char>(file[1]);
+  if (b0 == 'I' && b1 == 'I') {
+    c.big_endian = false;
+  } else if (b0 == 'M' && b1 == 'M') {
+    c.big_endian = true;
+  } else {
+    throw Error("tiff: bad byte-order mark");
+  }
+  if (c.u16(2) != 42) throw Error("tiff: bad magic (not a TIFF)");
+  const std::uint32_t ifd_off = c.u32(4);
+
+  const std::uint16_t nentries = c.u16(ifd_off);
+  std::vector<Entry> entries;
+  for (std::uint16_t i = 0; i < nentries; ++i) {
+    const std::size_t eo = ifd_off + 2 + 12u * i;
+    Entry e;
+    e.tag = c.u16(eo);
+    e.type = c.u16(eo + 2);
+    e.count = c.u32(eo + 4);
+    e.entry_offset = eo;
+    e.value_or_offset = c.u32(eo + 8);
+    entries.push_back(e);
+  }
+  auto find = [&](std::uint16_t tag) -> const Entry* {
+    for (const auto& e : entries)
+      if (e.tag == tag) return &e;
+    return nullptr;
+  };
+  auto scalar = [&](std::uint16_t tag, std::uint32_t fallback,
+                    bool required) -> std::uint32_t {
+    const Entry* e = find(tag);
+    if (e == nullptr) {
+      if (required) throw Error("tiff: missing required tag " + std::to_string(tag));
+      return fallback;
+    }
+    // SHORT inline scalars sit in the top or bottom half of the value word
+    // depending on endianness; entry_value handles both.
+    return entry_value(c, *e, 0);
+  };
+
+  ImageInfo info;
+  info.width = scalar(kImageWidth, 0, true);
+  info.height = scalar(kImageLength, 0, true);
+  info.bits_per_sample =
+      static_cast<std::uint16_t>(scalar(kBitsPerSample, 8, false));
+  // Hostile-input hardening: reject absurd dimensions before allocating.
+  // 1 GiB of decoded pixels comfortably covers every real CT slice while
+  // keeping corrupted headers from driving multi-terabyte allocations.
+  constexpr std::uint64_t kMaxDecodedBytes = 1ull << 30;
+  if (info.width == 0 || info.height == 0)
+    throw Error("tiff: zero image dimensions");
+  const std::uint64_t decoded_bytes = static_cast<std::uint64_t>(info.width) *
+                                      info.height *
+                                      (info.bits_per_sample / 8u);
+  if (decoded_bytes == 0 || decoded_bytes > kMaxDecodedBytes)
+    throw Error("tiff: implausible decoded size (" +
+                std::to_string(decoded_bytes) + " B)");
+  if (scalar(kCompression, 1, false) != 1)
+    throw Error("tiff: only uncompressed data is supported");
+  if (scalar(kSamplesPerPixel, 1, false) != 1)
+    throw Error("tiff: only single-sample (grayscale) images are supported");
+  const std::uint32_t fmt = scalar(kSampleFormat, 1, false);
+  if (fmt != 1 && fmt != 3)
+    throw Error("tiff: unsupported sample format " + std::to_string(fmt));
+  info.format = fmt == 3 ? SampleFormat::float_ : SampleFormat::uint_;
+  if (info.bits_per_sample != 8 && info.bits_per_sample != 16 &&
+      info.bits_per_sample != 32)
+    throw Error("tiff: unsupported bits per sample " +
+                std::to_string(info.bits_per_sample));
+
+  std::vector<std::byte> pixels(info.pixel_bytes());
+  const std::size_t bps_bytes = info.bytes_per_sample();
+  const std::size_t row_bytes = static_cast<std::size_t>(info.width) * bps_bytes;
+
+  if (find(kTileOffsets) != nullptr) {
+    // --- tiled organization (TIFF 6.0 §15) -------------------------------
+    const std::uint32_t tw = scalar(kTileWidth, 0, true);
+    const std::uint32_t tl = scalar(kTileLength, 0, true);
+    if (tw == 0 || tl == 0 || tw > 65536 || tl > 65536)
+      throw Error("tiff: implausible tile extents");
+    const Entry* offsets = find(kTileOffsets);
+    const Entry* counts = find(kTileByteCounts);
+    if (counts == nullptr) throw Error("tiff: missing tile byte counts");
+    const std::uint32_t across = (info.width + tw - 1) / tw;
+    const std::uint32_t down = (info.height + tl - 1) / tl;
+    if (offsets->count != across * down || counts->count != offsets->count)
+      throw Error("tiff: tile count mismatch");
+    const std::size_t tile_bytes =
+        static_cast<std::size_t>(tw) * tl * bps_bytes;
+    for (std::uint32_t ty = 0; ty < down; ++ty) {
+      for (std::uint32_t tx = 0; tx < across; ++tx) {
+        const std::uint32_t idx = ty * across + tx;
+        const std::uint32_t off = entry_value(c, *offsets, idx);
+        const std::uint32_t len = entry_value(c, *counts, idx);
+        if (len != tile_bytes)
+          throw Error("tiff: tile byte count != tile size (uncompressed)");
+        if (off + static_cast<std::size_t>(len) > file.size())
+          throw Error("tiff: tile extends past end of file");
+        // Copy the tile's rows, clipping the zero-padded right/bottom edges.
+        const std::uint32_t copy_w = std::min(tw, info.width - tx * tw);
+        const std::uint32_t copy_h = std::min(tl, info.height - ty * tl);
+        for (std::uint32_t r = 0; r < copy_h; ++r) {
+          const std::size_t src =
+              off + static_cast<std::size_t>(r) * tw * bps_bytes;
+          const std::size_t dst =
+              static_cast<std::size_t>(ty * tl + r) * row_bytes +
+              static_cast<std::size_t>(tx) * tw * bps_bytes;
+          std::memcpy(pixels.data() + dst, file.data() + src,
+                      static_cast<std::size_t>(copy_w) * bps_bytes);
+        }
+      }
+    }
+  } else {
+    // --- stripped organization --------------------------------------------
+    const Entry* offsets = find(kStripOffsets);
+    const Entry* counts = find(kStripByteCounts);
+    if (offsets == nullptr || counts == nullptr)
+      throw Error("tiff: missing strip offsets / byte counts");
+    if (offsets->count != counts->count)
+      throw Error("tiff: strip offset / byte count mismatch");
+    if (offsets->count == 0 || offsets->count > info.height)
+      throw Error("tiff: implausible strip count " +
+                  std::to_string(offsets->count));
+
+    std::size_t cursor = 0;
+    for (std::uint32_t s = 0; s < offsets->count; ++s) {
+      const std::uint32_t off = entry_value(c, *offsets, s);
+      const std::uint32_t len = entry_value(c, *counts, s);
+      if (off + static_cast<std::size_t>(len) > file.size())
+        throw Error("tiff: strip extends past end of file");
+      if (cursor + len > pixels.size())
+        throw Error("tiff: strips larger than image");
+      std::memcpy(pixels.data() + cursor, file.data() + off, len);
+      cursor += len;
+    }
+    if (cursor != pixels.size())
+      throw Error("tiff: strips smaller than image (" +
+                  std::to_string(cursor) + " of " +
+                  std::to_string(pixels.size()) + " bytes)");
+  }
+
+  // Byte-swap multi-byte samples from big-endian files.
+  if (c.big_endian && info.bits_per_sample > 8) {
+    const std::size_t bps = info.bytes_per_sample();
+    for (std::size_t i = 0; i < pixels.size(); i += bps)
+      std::reverse(pixels.begin() + static_cast<std::ptrdiff_t>(i),
+                   pixels.begin() + static_cast<std::ptrdiff_t>(i + bps));
+  }
+  return GrayImage(info, std::move(pixels));
+}
+
+GrayImage read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw Error("tiff: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) throw Error("tiff: short read from " + path);
+  return decode(std::span<const std::byte>(data));
+}
+
+std::vector<std::byte> encode(const GrayImage& image,
+                              std::uint32_t rows_per_strip) {
+  const ImageInfo& info = image.info();
+  if (rows_per_strip == 0 || rows_per_strip > info.height)
+    rows_per_strip = info.height == 0 ? 1 : info.height;
+  const std::uint32_t nstrips =
+      (info.height + rows_per_strip - 1) / rows_per_strip;
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(info.width) * info.bytes_per_sample();
+
+  std::vector<std::byte> out;
+  out.reserve(info.pixel_bytes() + 512);
+  // Header: II, 42, IFD offset (patched below).
+  out.push_back(std::byte{'I'});
+  out.push_back(std::byte{'I'});
+  append_u16(out, 42);
+  append_u32(out, 0);  // placeholder
+
+  // Pixel data, strip by strip.
+  std::vector<std::uint32_t> strip_offsets, strip_counts;
+  for (std::uint32_t s = 0; s < nstrips; ++s) {
+    const std::uint32_t row0 = s * rows_per_strip;
+    const std::uint32_t rows = std::min(rows_per_strip, info.height - row0);
+    strip_offsets.push_back(static_cast<std::uint32_t>(out.size()));
+    strip_counts.push_back(static_cast<std::uint32_t>(rows * row_bytes));
+    const std::byte* src = image.pixels().data() + row0 * row_bytes;
+    out.insert(out.end(), src, src + rows * row_bytes);
+  }
+
+  // External arrays for strip offsets/counts when more than one strip.
+  std::uint32_t offsets_pos = strip_offsets.empty() ? 0 : strip_offsets[0];
+  std::uint32_t counts_pos = strip_counts.empty() ? 0 : strip_counts[0];
+  if (nstrips > 1) {
+    offsets_pos = static_cast<std::uint32_t>(out.size());
+    for (std::uint32_t v : strip_offsets) append_u32(out, v);
+    counts_pos = static_cast<std::uint32_t>(out.size());
+    for (std::uint32_t v : strip_counts) append_u32(out, v);
+  }
+
+  // IFD.
+  const auto ifd_off = static_cast<std::uint32_t>(out.size());
+  const std::uint16_t fmt =
+      info.format == SampleFormat::float_ ? 3 : 1;
+  const WireEntry entries[] = {
+      {kImageWidth, kLong, 1, info.width},
+      {kImageLength, kLong, 1, info.height},
+      {kBitsPerSample, kShort, 1, info.bits_per_sample},
+      {kCompression, kShort, 1, 1},
+      {kPhotometric, kShort, 1, 1},  // BlackIsZero
+      {kStripOffsets, kLong, nstrips, offsets_pos},
+      {kSamplesPerPixel, kShort, 1, 1},
+      {kRowsPerStrip, kLong, 1, rows_per_strip},
+      {kStripByteCounts, kLong, nstrips, counts_pos},
+      {kSampleFormat, kShort, 1, fmt},
+  };
+  append_u16(out, static_cast<std::uint16_t>(std::size(entries)));
+  for (const auto& e : entries) append_entry(out, e);
+  append_u32(out, 0);  // no next IFD
+
+  // Patch the IFD offset in the header.
+  out[4] = static_cast<std::byte>(ifd_off & 0xff);
+  out[5] = static_cast<std::byte>((ifd_off >> 8) & 0xff);
+  out[6] = static_cast<std::byte>((ifd_off >> 16) & 0xff);
+  out[7] = static_cast<std::byte>((ifd_off >> 24) & 0xff);
+  return out;
+}
+
+std::vector<std::byte> encode_tiled(const GrayImage& image,
+                                    std::uint32_t tile_width,
+                                    std::uint32_t tile_length) {
+  const ImageInfo& info = image.info();
+  if (tile_width == 0 || tile_length == 0 || tile_width % 16 != 0 ||
+      tile_length % 16 != 0)
+    throw Error("tiff: tile extents must be positive multiples of 16");
+  const std::uint32_t across = (info.width + tile_width - 1) / tile_width;
+  const std::uint32_t down = (info.height + tile_length - 1) / tile_length;
+  const std::size_t bps = info.bytes_per_sample();
+  const std::size_t row_bytes = static_cast<std::size_t>(info.width) * bps;
+  const std::size_t tile_bytes =
+      static_cast<std::size_t>(tile_width) * tile_length * bps;
+
+  std::vector<std::byte> out;
+  out.reserve(tile_bytes * across * down + 512);
+  out.push_back(std::byte{'I'});
+  out.push_back(std::byte{'I'});
+  append_u16(out, 42);
+  append_u32(out, 0);  // IFD offset placeholder
+
+  std::vector<std::uint32_t> tile_offsets, tile_counts;
+  for (std::uint32_t ty = 0; ty < down; ++ty) {
+    for (std::uint32_t tx = 0; tx < across; ++tx) {
+      tile_offsets.push_back(static_cast<std::uint32_t>(out.size()));
+      tile_counts.push_back(static_cast<std::uint32_t>(tile_bytes));
+      const std::uint32_t copy_w =
+          std::min(tile_width, info.width - tx * tile_width);
+      const std::uint32_t copy_h =
+          std::min(tile_length, info.height - ty * tile_length);
+      // Emit the tile row by row, zero-padding the right/bottom edges.
+      for (std::uint32_t r = 0; r < tile_length; ++r) {
+        if (r < copy_h) {
+          const std::byte* src =
+              image.pixels().data() +
+              static_cast<std::size_t>(ty * tile_length + r) * row_bytes +
+              static_cast<std::size_t>(tx) * tile_width * bps;
+          out.insert(out.end(), src,
+                     src + static_cast<std::size_t>(copy_w) * bps);
+          out.insert(out.end(),
+                     static_cast<std::size_t>(tile_width - copy_w) * bps,
+                     std::byte{0});
+        } else {
+          out.insert(out.end(), static_cast<std::size_t>(tile_width) * bps,
+                     std::byte{0});
+        }
+      }
+    }
+  }
+
+  const std::uint32_t ntiles = across * down;
+  std::uint32_t offsets_pos = tile_offsets.empty() ? 0 : tile_offsets[0];
+  std::uint32_t counts_pos = tile_counts.empty() ? 0 : tile_counts[0];
+  if (ntiles > 1) {
+    offsets_pos = static_cast<std::uint32_t>(out.size());
+    for (std::uint32_t v : tile_offsets) append_u32(out, v);
+    counts_pos = static_cast<std::uint32_t>(out.size());
+    for (std::uint32_t v : tile_counts) append_u32(out, v);
+  }
+
+  const auto ifd_off = static_cast<std::uint32_t>(out.size());
+  const std::uint16_t fmt = info.format == SampleFormat::float_ ? 3 : 1;
+  const WireEntry entries[] = {
+      {kImageWidth, kLong, 1, info.width},
+      {kImageLength, kLong, 1, info.height},
+      {kBitsPerSample, kShort, 1, info.bits_per_sample},
+      {kCompression, kShort, 1, 1},
+      {kPhotometric, kShort, 1, 1},
+      {kSamplesPerPixel, kShort, 1, 1},
+      {kTileWidth, kLong, 1, tile_width},
+      {kTileLength, kLong, 1, tile_length},
+      {kTileOffsets, kLong, ntiles, offsets_pos},
+      {kTileByteCounts, kLong, ntiles, counts_pos},
+      {kSampleFormat, kShort, 1, fmt},
+  };
+  append_u16(out, static_cast<std::uint16_t>(std::size(entries)));
+  for (const auto& e : entries) append_entry(out, e);
+  append_u32(out, 0);
+
+  out[4] = static_cast<std::byte>(ifd_off & 0xff);
+  out[5] = static_cast<std::byte>((ifd_off >> 8) & 0xff);
+  out[6] = static_cast<std::byte>((ifd_off >> 16) & 0xff);
+  out[7] = static_cast<std::byte>((ifd_off >> 24) & 0xff);
+  return out;
+}
+
+void write_file(const std::string& path, const GrayImage& image,
+                std::uint32_t rows_per_strip) {
+  const std::vector<std::byte> data = encode(image, rows_per_strip);
+  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+  if (!outf) throw Error("tiff: cannot create " + path);
+  outf.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  if (!outf) throw Error("tiff: short write to " + path);
+}
+
+std::string slice_path(const std::string& dir, int index) {
+  char name[32];
+  std::snprintf(name, sizeof name, "slice_%05d.tif", index);
+  return dir + "/" + name;
+}
+
+void write_series(const std::string& dir, int depth,
+                  const std::function<GrayImage(int)>& slice_fn) {
+  std::filesystem::create_directories(dir);
+  for (int z = 0; z < depth; ++z) write_file(slice_path(dir, z), slice_fn(z));
+}
+
+}  // namespace tiff

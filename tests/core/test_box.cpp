@@ -1,0 +1,119 @@
+// Unit tests for the integer box algebra underlying the DDR mapping.
+
+#include <gtest/gtest.h>
+
+#include "ddr/box.hpp"
+
+namespace {
+
+using ddr::Box;
+using ddr::bounding_box;
+using ddr::intersect;
+using ddr::overlaps;
+
+Box box2(std::int64_t x0, std::int64_t x1, std::int64_t y0, std::int64_t y1) {
+  Box b;
+  b.ndims = 2;
+  b.lo = {x0, y0, 0};
+  b.hi = {x1, y1, 1};
+  return b;
+}
+
+TEST(Box, FromDimsOffsets) {
+  const int dims[] = {8, 1}, offs[] = {0, 3};
+  const Box b = Box::from_dims_offsets(2, dims, offs);
+  EXPECT_EQ(b.ndims, 2);
+  EXPECT_EQ(b.lo[0], 0);
+  EXPECT_EQ(b.hi[0], 8);
+  EXPECT_EQ(b.lo[1], 3);
+  EXPECT_EQ(b.hi[1], 4);
+  EXPECT_EQ(b.volume(), 8);
+}
+
+TEST(Box, VolumeAndExtent) {
+  const Box b = box2(2, 6, 1, 4);
+  EXPECT_EQ(b.extent(0), 4);
+  EXPECT_EQ(b.extent(1), 3);
+  EXPECT_EQ(b.volume(), 12);
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(Box, EmptyWhenDegenerateDimension) {
+  const Box b = box2(2, 2, 0, 5);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.volume(), 0);
+}
+
+TEST(Box, IntersectOverlapping) {
+  const Box r = intersect(box2(0, 4, 0, 4), box2(2, 6, 1, 3));
+  EXPECT_EQ(r, box2(2, 4, 1, 3));
+  EXPECT_EQ(r.volume(), 4);
+}
+
+TEST(Box, IntersectDisjointIsEmpty) {
+  const Box r = intersect(box2(0, 2, 0, 2), box2(5, 7, 5, 7));
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(overlaps(box2(0, 2, 0, 2), box2(5, 7, 5, 7)));
+}
+
+TEST(Box, TouchingEdgesDoNotOverlap) {
+  // Half-open intervals: [0,4) and [4,8) share no element.
+  EXPECT_FALSE(overlaps(box2(0, 4, 0, 4), box2(4, 8, 0, 4)));
+}
+
+TEST(Box, IntersectIsCommutative) {
+  const Box a = box2(0, 5, 0, 5), b = box2(3, 8, 2, 4);
+  EXPECT_EQ(intersect(a, b), intersect(b, a));
+}
+
+TEST(Box, ContainsSelfAndSub) {
+  const Box a = box2(0, 8, 0, 8);
+  EXPECT_TRUE(a.contains(a));
+  EXPECT_TRUE(a.contains(box2(2, 4, 3, 5)));
+  EXPECT_FALSE(a.contains(box2(6, 10, 0, 2)));
+  EXPECT_TRUE(a.contains(box2(3, 3, 0, 0)));  // empty box always contained
+}
+
+TEST(Box, BoundingBox) {
+  const Box b = bounding_box(box2(0, 2, 0, 2), box2(5, 7, 6, 8));
+  EXPECT_EQ(b, box2(0, 7, 0, 8));
+}
+
+TEST(Box, BoundingBoxIgnoresEmpty) {
+  const Box a = box2(1, 4, 1, 4);
+  const Box e = box2(0, 0, 0, 0);
+  EXPECT_EQ(bounding_box(a, e), a);
+  EXPECT_EQ(bounding_box(e, a), a);
+}
+
+TEST(Box, OneDimensional) {
+  const int dims[] = {10}, offs[] = {5};
+  const Box b = Box::from_dims_offsets(1, dims, offs);
+  EXPECT_EQ(b.volume(), 10);
+  const int dims2[] = {4}, offs2[] = {12};
+  const Box c = Box::from_dims_offsets(1, dims2, offs2);
+  const Box r = intersect(b, c);
+  EXPECT_EQ(r.lo[0], 12);
+  EXPECT_EQ(r.hi[0], 15);
+}
+
+TEST(Box, ThreeDimensionalVolume) {
+  const int dims[] = {4, 5, 6}, offs[] = {1, 2, 3};
+  const Box b = Box::from_dims_offsets(3, dims, offs);
+  EXPECT_EQ(b.volume(), 120);
+  EXPECT_EQ(b.lo[2], 3);
+  EXPECT_EQ(b.hi[2], 9);
+}
+
+TEST(Box, LargeFullScaleVolumesDoNotOverflow) {
+  // The paper's artificial data set: 4096 x 2048 x 4096 elements (2^35).
+  const int dims[] = {4096, 2048, 4096}, offs[] = {0, 0, 0};
+  const Box b = Box::from_dims_offsets(3, dims, offs);
+  EXPECT_EQ(b.volume(), std::int64_t{1} << 35);
+}
+
+TEST(Box, DescribeIsReadable) {
+  EXPECT_EQ(box2(0, 4, 2, 6).describe(), "[0:4,2:6)");
+}
+
+}  // namespace

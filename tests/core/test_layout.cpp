@@ -1,0 +1,113 @@
+// Tests for chunk/layout types and the paper's send-side contract validation
+// (owned chunks mutually exclusive and complete).
+
+#include <gtest/gtest.h>
+
+#include "ddr/layout.hpp"
+
+namespace {
+
+using ddr::Chunk;
+using ddr::GlobalLayout;
+using ddr::validate_owned;
+
+GlobalLayout e1_layout() {
+  // The paper's running example E1 (Fig. 1 / Table I): 8x8 domain, 4 ranks,
+  // each owning rows {rank, rank+4}, each needing one 4x4 quadrant.
+  GlobalLayout l;
+  for (int rank = 0; rank < 4; ++rank) {
+    l.owned.push_back(
+        {Chunk::d2(8, 1, 0, rank), Chunk::d2(8, 1, 0, rank + 4)});
+    l.needed.push_back(
+        {Chunk::d2(4, 4, 4 * (rank % 2), 4 * (rank / 2))});
+  }
+  return l;
+}
+
+TEST(Chunk, FactoriesAndVolume) {
+  EXPECT_EQ(Chunk::d1(10, 2).volume(), 10);
+  EXPECT_EQ(Chunk::d2(8, 1, 0, 3).volume(), 8);
+  EXPECT_EQ(Chunk::d3(4, 5, 6, 0, 0, 0).volume(), 120);
+}
+
+TEST(Chunk, BoxConversionRoundtrips) {
+  const Chunk c = Chunk::d3(4, 5, 6, 1, 2, 3);
+  const ddr::Box b = c.box();
+  EXPECT_EQ(b.lo[0], 1);
+  EXPECT_EQ(b.hi[2], 9);
+  EXPECT_EQ(b.volume(), c.volume());
+}
+
+TEST(GlobalLayout, RoundsIsMaxChunksOwned) {
+  GlobalLayout l = e1_layout();
+  EXPECT_EQ(l.rounds(), 2);
+  // Give one rank an extra chunk: rounds track the maximum.
+  l.owned[2].push_back(Chunk::d2(1, 1, 0, 0));
+  EXPECT_EQ(l.rounds(), 3);
+}
+
+TEST(GlobalLayout, DomainIsBoundingBoxOfOwned) {
+  const GlobalLayout l = e1_layout();
+  const ddr::Box d = l.domain();
+  EXPECT_EQ(d.lo[0], 0);
+  EXPECT_EQ(d.hi[0], 8);
+  EXPECT_EQ(d.lo[1], 0);
+  EXPECT_EQ(d.hi[1], 8);
+  EXPECT_EQ(d.volume(), 64);
+}
+
+TEST(Validate, E1IsExclusiveAndComplete) {
+  const auto v = validate_owned(e1_layout());
+  EXPECT_TRUE(v.exclusive);
+  EXPECT_TRUE(v.complete);
+  EXPECT_TRUE(v.ok());
+}
+
+TEST(Validate, DetectsOverlapBetweenRanks) {
+  GlobalLayout l = e1_layout();
+  // Rank 1's first chunk now collides with rank 0's row 0.
+  l.owned[1][0] = Chunk::d2(8, 1, 0, 0);
+  const auto v = validate_owned(l);
+  EXPECT_FALSE(v.exclusive);
+  EXPECT_NE(v.detail.find("overlap"), std::string::npos);
+}
+
+TEST(Validate, DetectsOverlapWithinOneRank) {
+  GlobalLayout l = e1_layout();
+  l.owned[3][1] = l.owned[3][0];
+  EXPECT_FALSE(validate_owned(l).exclusive);
+}
+
+TEST(Validate, DetectsHole) {
+  GlobalLayout l = e1_layout();
+  // Shrink one chunk: row 7 is now partly unowned.
+  l.owned[3][1] = Chunk::d2(7, 1, 0, 7);
+  const auto v = validate_owned(l);
+  EXPECT_TRUE(v.exclusive);
+  EXPECT_FALSE(v.complete);
+  EXPECT_NE(v.detail.find("cover"), std::string::npos);
+}
+
+TEST(Validate, RanksMayOwnNothing) {
+  GlobalLayout l;
+  l.owned.push_back({Chunk::d1(16, 0)});
+  l.owned.push_back({});  // rank 1 owns nothing (legal: e.g. fewer files
+                          // than ranks in the TIFF use case)
+  l.needed.push_back({Chunk::d1(8, 0)});
+  l.needed.push_back({Chunk::d1(8, 8)});
+  EXPECT_TRUE(validate_owned(l).ok());
+  EXPECT_EQ(l.rounds(), 1);
+}
+
+TEST(Validate, NeededSideMayOverlapAndLeaveHoles) {
+  // The receive-side contract is deliberately loose (paper §III-B); only the
+  // owned side is validated.
+  GlobalLayout l;
+  l.owned.push_back({Chunk::d1(8, 0)});
+  l.owned.push_back({Chunk::d1(8, 8)});
+  l.needed.push_back({Chunk::d1(4, 2)});
+  l.needed.push_back({Chunk::d1(4, 2)});  // same box: overlapping receive
+  EXPECT_TRUE(validate_owned(l).ok());
+}
+
+}  // namespace

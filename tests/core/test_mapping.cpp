@@ -1,0 +1,198 @@
+// Tests for the geometric mapping computation: round plans, datatypes,
+// schedule statistics, and transfer enumeration — checked in detail against
+// the paper's worked example E1 (Fig. 1).
+
+#include <gtest/gtest.h>
+
+#include "ddr/error.hpp"
+#include "ddr/mapping.hpp"
+
+namespace {
+
+using ddr::build_mapping;
+using ddr::Chunk;
+using ddr::compute_stats;
+using ddr::enumerate_transfers;
+using ddr::GlobalLayout;
+
+GlobalLayout e1_layout() {
+  GlobalLayout l;
+  for (int rank = 0; rank < 4; ++rank) {
+    l.owned.push_back(
+        {Chunk::d2(8, 1, 0, rank), Chunk::d2(8, 1, 0, rank + 4)});
+    l.needed.push_back({Chunk::d2(4, 4, 4 * (rank % 2), 4 * (rank / 2))});
+  }
+  return l;
+}
+
+TEST(Mapping, E1HasTwoRounds) {
+  const auto m = build_mapping(e1_layout(), 0, sizeof(float));
+  EXPECT_EQ(m.rounds.size(), 2u);
+  EXPECT_EQ(m.owned_bytes, 2u * 8u * sizeof(float));
+  EXPECT_EQ(m.needed_bytes, 16u * sizeof(float));
+}
+
+TEST(Mapping, E1Rank0SendsMatchFigure1B) {
+  // Fig. 1B: rank 0's row 0 feeds quadrants 0 (left) and 1 (right); its
+  // row 4 feeds quadrants 2 (left) and 3 (right).
+  const auto m = build_mapping(e1_layout(), 0, sizeof(float));
+
+  const auto& round0 = m.rounds[0];
+  EXPECT_EQ(round0.sendcounts, (std::vector<int>{1, 1, 0, 0}));
+  const auto& round1 = m.rounds[1];
+  EXPECT_EQ(round1.sendcounts, (std::vector<int>{0, 0, 1, 1}));
+
+  // Each send moves half a row: 4 floats.
+  EXPECT_EQ(round0.sendtypes[0].size(), 4 * sizeof(float));
+  EXPECT_EQ(round0.sendtypes[1].size(), 4 * sizeof(float));
+  // Row 0 lives at the start of the owned buffer, row 4 right after it.
+  EXPECT_EQ(round0.sdispls[0], 0);
+  EXPECT_EQ(round1.sdispls[2],
+            static_cast<std::ptrdiff_t>(8 * sizeof(float)));
+}
+
+TEST(Mapping, E1Rank0ReceivesOneRowFragmentFromEveryRank) {
+  // Rank 0 needs rows 0-3 of the left half; those rows are chunk 0 of ranks
+  // 0..3 respectively, so all receives happen in round 0.
+  const auto m = build_mapping(e1_layout(), 0, sizeof(float));
+  EXPECT_EQ(m.rounds[0].recvcounts, (std::vector<int>{1, 1, 1, 1}));
+  EXPECT_EQ(m.rounds[1].recvcounts, (std::vector<int>{0, 0, 0, 0}));
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_EQ(m.rounds[0].recvtypes[static_cast<std::size_t>(q)].size(),
+              4 * sizeof(float));
+    EXPECT_EQ(m.rounds[0].rdispls[static_cast<std::size_t>(q)], 0);
+  }
+}
+
+TEST(Mapping, E1Rank3ReceivesInRoundOne) {
+  // Rank 3 needs rows 4-7 (right half); those are chunk 1 of every rank.
+  const auto m = build_mapping(e1_layout(), 3, sizeof(float));
+  EXPECT_EQ(m.rounds[0].recvcounts, (std::vector<int>{0, 0, 0, 0}));
+  EXPECT_EQ(m.rounds[1].recvcounts, (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(Mapping, SendAndRecvByteTotalsBalancePerRankPair) {
+  // For every (sender, receiver, round), sender's type size must equal
+  // receiver's type size — this is what makes alltoallw well-formed.
+  const GlobalLayout l = e1_layout();
+  std::vector<ddr::DataMapping> maps;
+  for (int r = 0; r < 4; ++r) maps.push_back(build_mapping(l, r, 4));
+  for (int s = 0; s < 4; ++s)
+    for (int q = 0; q < 4; ++q)
+      for (std::size_t k = 0; k < 2; ++k) {
+        const auto& sp = maps[static_cast<std::size_t>(s)].rounds[k];
+        const auto& rp = maps[static_cast<std::size_t>(q)].rounds[k];
+        const auto qi = static_cast<std::size_t>(q);
+        const auto si = static_cast<std::size_t>(s);
+        const std::size_t sent =
+            static_cast<std::size_t>(sp.sendcounts[qi]) * sp.sendtypes[qi].size();
+        const std::size_t recvd =
+            static_cast<std::size_t>(rp.recvcounts[si]) * rp.recvtypes[si].size();
+        EXPECT_EQ(sent, recvd) << "s=" << s << " q=" << q << " round=" << k;
+      }
+}
+
+TEST(Mapping, RecvSubarrayPlacesFragmentAtCorrectRow) {
+  // Rank 0's fragment from rank 2 is global row 2, which is local row 2 of
+  // its 4x4 needed chunk.
+  const auto m = build_mapping(e1_layout(), 0, sizeof(float));
+  const std::string d = m.rounds[0].recvtypes[2].describe();
+  // Normalized to C order ([y, x] slowest-first): starts should be [2, 0].
+  EXPECT_NE(d.find("sizes=[4,4]"), std::string::npos) << d;
+  EXPECT_NE(d.find("starts=[2,0]"), std::string::npos) << d;
+}
+
+TEST(Stats, E1Schedule) {
+  const auto s = compute_stats(e1_layout(), sizeof(float));
+  EXPECT_EQ(s.nranks, 4);
+  EXPECT_EQ(s.rounds, 2);
+  // Each rank keeps exactly one 4-element fragment of its own need
+  // (rank r owns row r, which intersects its own quadrant).
+  EXPECT_EQ(s.self_bytes, 4 * 4 * static_cast<std::int64_t>(sizeof(float)));
+  // Total domain is 64 elements; 16 stay local, 48 cross ranks.
+  EXPECT_EQ(s.network_bytes, 48 * static_cast<std::int64_t>(sizeof(float)));
+  EXPECT_DOUBLE_EQ(s.mean_bytes_sent_per_rank, 48.0 * sizeof(float) / 4);
+  EXPECT_DOUBLE_EQ(s.mean_bytes_sent_per_rank_per_round,
+                   48.0 * sizeof(float) / 4 / 2);
+  // Every rank sends to 3 distinct peers.
+  EXPECT_DOUBLE_EQ(s.mean_send_peers, 3.0);
+  // 4 fragments per round per rank, minus the self fragment: 3 transfers
+  // per rank per its own 2 chunks... enumerated: 2 chunks x 2 receivers
+  // each = 4 per rank, one of which is self => 3 cross-rank, 4 ranks => 12.
+  EXPECT_EQ(s.transfer_count, 12);
+}
+
+TEST(Stats, RoundRobinVsConsecutiveRoundCounts) {
+  // Miniature of Table III: 16 z-slices of an 8x8x16 volume across 4 ranks.
+  // Consecutive: each rank owns one 4-slice slab => 1 round.
+  // Round-robin: each rank owns 4 interleaved slices => 4 rounds.
+  GlobalLayout consecutive, round_robin;
+  for (int r = 0; r < 4; ++r) {
+    consecutive.owned.push_back({Chunk::d3(8, 8, 4, 0, 0, 4 * r)});
+    ddr::OwnedLayout rr;
+    for (int k = 0; k < 4; ++k)
+      rr.push_back(Chunk::d3(8, 8, 1, 0, 0, r + 4 * k));
+    round_robin.owned.push_back(rr);
+    // Both need 2x2x1 brick decomposition... use simple slabs in y instead.
+    const Chunk need = Chunk::d3(8, 2, 16, 0, 2 * r, 0);
+    consecutive.needed.push_back({need});
+    round_robin.needed.push_back({need});
+  }
+  const auto sc = compute_stats(consecutive, 4);
+  const auto sr = compute_stats(round_robin, 4);
+  EXPECT_EQ(sc.rounds, 1);
+  EXPECT_EQ(sr.rounds, 4);
+  // Identical data crosses the network either way.
+  EXPECT_EQ(sc.network_bytes, sr.network_bytes);
+  // Per-round traffic is 4x smaller for round-robin.
+  EXPECT_DOUBLE_EQ(sr.mean_bytes_sent_per_rank_per_round * 4,
+                   sc.mean_bytes_sent_per_rank_per_round);
+}
+
+TEST(Transfers, EnumerationCoversNeededVolumes) {
+  const GlobalLayout l = e1_layout();
+  const auto ts = enumerate_transfers(l, sizeof(float));
+  // Every rank's needed box must be covered exactly by incoming transfers.
+  for (int r = 0; r < 4; ++r) {
+    std::int64_t received = 0;
+    for (const auto& t : ts)
+      if (t.receiver == r) received += t.bytes;
+    EXPECT_EQ(received,
+              l.needed[static_cast<std::size_t>(r)][0].volume() *
+                  static_cast<std::int64_t>(sizeof(float)));
+  }
+  // Regions must lie inside both the sender's chunk and receiver's need.
+  for (const auto& t : ts) {
+    EXPECT_TRUE(l.owned[static_cast<std::size_t>(t.sender)]
+                    [static_cast<std::size_t>(t.round)]
+                        .box()
+                        .contains(t.region));
+    EXPECT_TRUE(l.needed[static_cast<std::size_t>(t.receiver)]
+                    [static_cast<std::size_t>(t.needed_index)]
+                        .box()
+                        .contains(t.region));
+  }
+}
+
+TEST(Mapping, EmptyNeedReceivesNothing) {
+  GlobalLayout l;
+  l.owned.push_back({Chunk::d1(8, 0)});
+  l.owned.push_back({Chunk::d1(8, 8)});
+  l.needed.push_back({Chunk::d1(16, 0)});  // rank 0 wants everything
+  l.needed.push_back({Chunk::d1(0, 0)});   // rank 1 wants nothing
+  const auto m1 = build_mapping(l, 1, 4);
+  EXPECT_EQ(m1.needed_bytes, 0u);
+  for (const auto& rp : m1.rounds)
+    for (int c : rp.recvcounts) EXPECT_EQ(c, 0);
+}
+
+TEST(Mapping, RankOutOfRangeThrows) {
+  EXPECT_THROW(build_mapping(e1_layout(), 7, 4), ddr::Error);
+  EXPECT_THROW(build_mapping(e1_layout(), -1, 4), ddr::Error);
+}
+
+TEST(Mapping, ZeroElemSizeThrows) {
+  EXPECT_THROW(build_mapping(e1_layout(), 0, 0), ddr::Error);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Property-based tests: random mutually-exclusive+complete owned partitions
+// and random (possibly overlapping, possibly hole-leaving) needed boxes must
+// always redistribute to the analytic oracle, in 1D/2D/3D, on both backends.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "ddr/ddr.hpp"
+#include "minimpi/minimpi.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using ddr::Backend;
+using ddr::Box;
+using ddr::Chunk;
+using ddr_test::box_to_chunk;
+using ddr_test::fill_chunk;
+using ddr_test::oracle_value;
+using ddr_test::random_partition;
+using ddr_test::random_subbox;
+
+struct Scenario {
+  int ndims;
+  int nranks;
+  Backend backend;
+  unsigned seed;
+};
+
+std::string scenario_name(const ::testing::TestParamInfo<Scenario>& info) {
+  return "d" + std::to_string(info.param.ndims) + "_p" +
+         std::to_string(info.param.nranks) + "_" +
+         (info.param.backend == Backend::alltoallw ? "w" : "p2p");
+}
+
+Box make_domain(int ndims, std::mt19937& rng) {
+  Box d;
+  d.ndims = ndims;
+  std::uniform_int_distribution<std::int64_t> ext(4, 24);
+  for (int k = 0; k < ndims; ++k) {
+    d.lo[static_cast<std::size_t>(k)] = 0;
+    d.hi[static_cast<std::size_t>(k)] = ext(rng);
+  }
+  return d;
+}
+
+class RandomRedistribution : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(RandomRedistribution, MatchesOracle) {
+  const Scenario sc = GetParam();
+  std::mt19937 rng(sc.seed);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const Box domain = make_domain(sc.ndims, rng);
+    // Partition into about 2.5 chunks per rank on average, dealt
+    // round-robin so chunk counts differ across ranks.
+    const auto boxes =
+        random_partition(domain, sc.nranks * 2 + sc.nranks / 2, rng);
+    std::vector<ddr::OwnedLayout> owned(static_cast<std::size_t>(sc.nranks));
+    for (std::size_t i = 0; i < boxes.size(); ++i)
+      owned[i % static_cast<std::size_t>(sc.nranks)].push_back(
+          box_to_chunk(boxes[i]));
+    std::vector<Chunk> needed;
+    for (int r = 0; r < sc.nranks; ++r)
+      needed.push_back(box_to_chunk(random_subbox(domain, rng)));
+
+    mpi::run(sc.nranks, [&](mpi::Comm& comm) {
+      const auto rank = static_cast<std::size_t>(comm.rank());
+      ddr::Redistributor rd(comm, sizeof(float));
+      ddr::SetupOptions opts;
+      opts.backend = sc.backend;
+      rd.setup(owned[rank], needed[rank], opts);
+
+      std::vector<float> own_data;
+      for (const auto& c : owned[rank]) {
+        const auto v = fill_chunk(c);
+        own_data.insert(own_data.end(), v.begin(), v.end());
+      }
+      std::vector<float> need_data(
+          static_cast<std::size_t>(needed[rank].volume()), -1.0f);
+      rd.redistribute(std::as_bytes(std::span<const float>(own_data)),
+                      std::as_writable_bytes(std::span<float>(need_data)));
+
+      // Oracle check over the needed box.
+      const Chunk& c = needed[rank];
+      const auto dim = [&](int d) {
+        return d < c.ndims ? c.dims[static_cast<std::size_t>(d)] : 1;
+      };
+      const auto off = [&](int d) {
+        return d < c.ndims ? c.offsets[static_cast<std::size_t>(d)] : 0;
+      };
+      std::size_t i = 0;
+      for (int z = 0; z < dim(2); ++z)
+        for (int y = 0; y < dim(1); ++y)
+          for (int x = 0; x < dim(0); ++x) {
+            ASSERT_EQ(need_data[i],
+                      oracle_value(x + off(0), y + off(1), z + off(2)))
+                << "trial " << trial << " rank " << comm.rank() << " local ("
+                << x << "," << y << "," << z << ")";
+            ++i;
+          }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomRedistribution,
+    ::testing::Values(Scenario{1, 3, Backend::alltoallw, 101},
+                      Scenario{1, 5, Backend::point_to_point, 102},
+                      Scenario{2, 4, Backend::alltoallw, 201},
+                      Scenario{2, 7, Backend::point_to_point, 202},
+                      Scenario{2, 9, Backend::alltoallw, 203},
+                      Scenario{3, 4, Backend::alltoallw, 301},
+                      Scenario{3, 6, Backend::point_to_point, 302},
+                      Scenario{3, 8, Backend::alltoallw, 303}),
+    scenario_name);
+
+TEST(PropertyInvariants, StatsConserveBytes) {
+  // For any random layout: self_bytes + network_bytes must equal the total
+  // bytes needed (summed over ranks), because owned chunks are complete.
+  std::mt19937 rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int nranks = 2 + static_cast<int>(rng() % 7);
+    const Box domain = make_domain(2, rng);
+    const auto boxes = random_partition(domain, nranks * 2, rng);
+    ddr::GlobalLayout layout;
+    layout.owned.resize(static_cast<std::size_t>(nranks));
+    for (std::size_t i = 0; i < boxes.size(); ++i)
+      layout.owned[i % static_cast<std::size_t>(nranks)].push_back(
+          box_to_chunk(boxes[i]));
+    std::int64_t needed_total = 0;
+    for (int r = 0; r < nranks; ++r) {
+      const Box nb = random_subbox(domain, rng);
+      layout.needed.push_back({box_to_chunk(nb)});
+      needed_total += nb.volume() * 4;
+    }
+    const auto s = ddr::compute_stats(layout, 4);
+    EXPECT_EQ(s.self_bytes + s.network_bytes, needed_total) << "trial " << trial;
+    EXPECT_EQ(s.rounds, layout.rounds());
+  }
+}
+
+TEST(PropertyInvariants, TransfersPartitionTheNeededBoxes) {
+  // The incoming transfers of each rank must cover its needed box exactly
+  // once (no double-delivery): volumes sum AND pairwise disjoint.
+  std::mt19937 rng(777);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nranks = 3 + static_cast<int>(rng() % 4);
+    const Box domain = make_domain(3, rng);
+    const auto boxes = random_partition(domain, nranks * 2, rng);
+    ddr::GlobalLayout layout;
+    layout.owned.resize(static_cast<std::size_t>(nranks));
+    for (std::size_t i = 0; i < boxes.size(); ++i)
+      layout.owned[i % static_cast<std::size_t>(nranks)].push_back(
+          box_to_chunk(boxes[i]));
+    for (int r = 0; r < nranks; ++r)
+      layout.needed.push_back({box_to_chunk(random_subbox(domain, rng))});
+
+    const auto transfers = ddr::enumerate_transfers(layout, 1);
+    for (int r = 0; r < nranks; ++r) {
+      std::vector<Box> incoming;
+      std::int64_t covered = 0;
+      for (const auto& t : transfers)
+        if (t.receiver == r) {
+          incoming.push_back(t.region);
+          covered += t.region.volume();
+        }
+      EXPECT_EQ(covered,
+                layout.needed[static_cast<std::size_t>(r)][0].volume());
+      for (std::size_t i = 0; i < incoming.size(); ++i)
+        for (std::size_t j = i + 1; j < incoming.size(); ++j)
+          EXPECT_FALSE(ddr::overlaps(incoming[i], incoming[j]))
+              << "double delivery to rank " << r;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,293 @@
+// End-to-end tests of the C++ Redistributor API: both backends, all three
+// dimensionalities, contract violations, and the use-case-shaped layouts
+// (TIFF slabs -> bricks, LBM slices -> near-square rectangles).
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "ddr/ddr.hpp"
+#include "minimpi/minimpi.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using ddr::Backend;
+using ddr::Chunk;
+using ddr::Redistributor;
+using ddr_test::fill_chunk;
+using ddr_test::oracle_value;
+
+[[maybe_unused]] std::span<const std::byte> bytes_of(
+    const std::vector<float>& v) {
+  return std::as_bytes(std::span<const float>(v));
+}
+std::span<std::byte> bytes_of(std::vector<float>& v) {
+  return std::as_writable_bytes(std::span<float>(v));
+}
+
+/// Checks a needed buffer against the oracle.
+void expect_oracle(const std::vector<float>& need, const Chunk& c) {
+  std::size_t i = 0;
+  const auto dim = [&](int d) {
+    return d < c.ndims ? c.dims[static_cast<std::size_t>(d)] : 1;
+  };
+  const auto off = [&](int d) {
+    return d < c.ndims ? c.offsets[static_cast<std::size_t>(d)] : 0;
+  };
+  for (int z = 0; z < dim(2); ++z)
+    for (int y = 0; y < dim(1); ++y)
+      for (int x = 0; x < dim(0); ++x) {
+        EXPECT_EQ(need[i], oracle_value(x + off(0), y + off(1), z + off(2)))
+            << "at local (" << x << "," << y << "," << z << ")";
+        ++i;
+      }
+}
+
+class Backends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(Backends, RowsToQuadrants2D) {
+  const Backend backend = GetParam();
+  mpi::run(4, [backend](mpi::Comm& comm) {
+    const int rank = comm.rank();
+    Redistributor r(comm, sizeof(float));
+    const ddr::OwnedLayout own{Chunk::d2(8, 1, 0, rank),
+                               Chunk::d2(8, 1, 0, rank + 4)};
+    const Chunk need = Chunk::d2(4, 4, 4 * (rank % 2), 4 * (rank / 2));
+    ddr::SetupOptions opts;
+    opts.backend = backend;
+    r.setup(own, need, opts);
+
+    std::vector<float> own_data;
+    for (const auto& c : own) {
+      const auto v = fill_chunk(c);
+      own_data.insert(own_data.end(), v.begin(), v.end());
+    }
+    std::vector<float> need_data(static_cast<std::size_t>(need.volume()), -1);
+    r.redistribute(bytes_of(own_data), bytes_of(need_data));
+    expect_oracle(need_data, need);
+  });
+}
+
+TEST_P(Backends, SlabsToBricks3D) {
+  // The TIFF use case in miniature: 8 z-slices read as slabs by 8 ranks,
+  // needed as 2x2x2 bricks of a 8x8x8 volume.
+  const Backend backend = GetParam();
+  mpi::run(8, [backend](mpi::Comm& comm) {
+    const int rank = comm.rank();
+    Redistributor r(comm, sizeof(float));
+    const ddr::OwnedLayout own{Chunk::d3(8, 8, 1, 0, 0, rank)};
+    const int bx = rank % 2, by = (rank / 2) % 2, bz = rank / 4;
+    const Chunk need = Chunk::d3(4, 4, 4, 4 * bx, 4 * by, 4 * bz);
+    ddr::SetupOptions opts;
+    opts.backend = backend;
+    r.setup(own, need, opts);
+    EXPECT_EQ(r.rounds(), 1);
+
+    std::vector<float> own_data = fill_chunk(own[0]);
+    std::vector<float> need_data(static_cast<std::size_t>(need.volume()), -1);
+    r.redistribute(bytes_of(own_data), bytes_of(need_data));
+    expect_oracle(need_data, need);
+  });
+}
+
+TEST_P(Backends, SlicesToNearSquares2D) {
+  // The LBM use case in miniature: 6 producer slices covering the width of
+  // a 12x12 domain, redistributed to 4 near-square consumer rectangles.
+  const Backend backend = GetParam();
+  mpi::run(6, [backend](mpi::Comm& comm) {
+    const int rank = comm.rank();
+    Redistributor r(comm, sizeof(float));
+    const ddr::OwnedLayout own{Chunk::d2(12, 2, 0, 2 * rank)};
+    // Ranks 0-3 need 6x6 quadrants; ranks 4-5 need nothing (M != N).
+    Chunk need = Chunk::d2(0, 0, 0, 0);
+    if (rank < 4) need = Chunk::d2(6, 6, 6 * (rank % 2), 6 * (rank / 2));
+    ddr::SetupOptions opts;
+    opts.backend = backend;
+    r.setup(own, need, opts);
+
+    std::vector<float> own_data = fill_chunk(own[0]);
+    std::vector<float> need_data(static_cast<std::size_t>(need.volume()), -1);
+    r.redistribute(bytes_of(own_data), bytes_of(need_data));
+    if (rank < 4) expect_oracle(need_data, need);
+  });
+}
+
+TEST_P(Backends, OverlappingNeedsReplicateData) {
+  // Receive side may overlap: both ranks want the full 1D domain (halo-free
+  // replication), while each owns half.
+  const Backend backend = GetParam();
+  mpi::run(2, [backend](mpi::Comm& comm) {
+    const int rank = comm.rank();
+    Redistributor r(comm, sizeof(float));
+    const ddr::OwnedLayout own{Chunk::d1(8, 8 * rank)};
+    const Chunk need = Chunk::d1(16, 0);
+    ddr::SetupOptions opts;
+    opts.backend = backend;
+    r.setup(own, need, opts);
+
+    std::vector<float> own_data = fill_chunk(own[0]);
+    std::vector<float> need_data(16, -1);
+    r.redistribute(bytes_of(own_data), bytes_of(need_data));
+    expect_oracle(need_data, need);
+  });
+}
+
+TEST_P(Backends, UnevenChunkCountsPadRounds) {
+  // Rank 0 owns three chunks, rank 1 owns one: three rounds, and ranks with
+  // fewer chunks still participate in every collective call.
+  const Backend backend = GetParam();
+  mpi::run(2, [backend](mpi::Comm& comm) {
+    const int rank = comm.rank();
+    Redistributor r(comm, sizeof(float));
+    ddr::OwnedLayout own;
+    if (rank == 0) {
+      own = {Chunk::d1(4, 0), Chunk::d1(4, 8), Chunk::d1(4, 12)};
+    } else {
+      own = {Chunk::d1(4, 4)};
+    }
+    const Chunk need = Chunk::d1(8, 8 * rank);
+    ddr::SetupOptions opts;
+    opts.backend = backend;
+    r.setup(own, need, opts);
+    EXPECT_EQ(r.rounds(), 3);
+
+    std::vector<float> own_data;
+    for (const auto& c : own) {
+      const auto v = fill_chunk(c);
+      own_data.insert(own_data.end(), v.begin(), v.end());
+    }
+    std::vector<float> need_data(8, -1);
+    r.redistribute(bytes_of(own_data), bytes_of(need_data));
+    expect_oracle(need_data, need);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, Backends,
+                         ::testing::Values(Backend::alltoallw,
+                                           Backend::point_to_point),
+                         [](const auto& info) {
+                           return info.param == Backend::alltoallw
+                                      ? "alltoallw"
+                                      : "p2p";
+                         });
+
+TEST(Redistributor, BackendsProduceIdenticalResults) {
+  mpi::run(4, [](mpi::Comm& comm) {
+    const int rank = comm.rank();
+    const ddr::OwnedLayout own{Chunk::d2(8, 2, 0, 2 * rank)};
+    const Chunk need = Chunk::d2(4, 4, 4 * (rank % 2), 4 * (rank / 2));
+    std::vector<float> own_data = fill_chunk(own[0]);
+
+    std::vector<float> via_w(16, -1), via_p2p(16, -2);
+    {
+      Redistributor r(comm, sizeof(float));
+      r.setup(own, need);
+      r.redistribute(bytes_of(own_data), bytes_of(via_w));
+    }
+    {
+      Redistributor r(comm, sizeof(float));
+      ddr::SetupOptions opts;
+      opts.backend = Backend::point_to_point;
+      r.setup(own, need, opts);
+      r.redistribute(bytes_of(own_data), bytes_of(via_p2p));
+    }
+    EXPECT_EQ(via_w, via_p2p);
+  });
+}
+
+TEST(Redistributor, SetupRejectsOverlappingOwnedChunks) {
+  EXPECT_THROW(mpi::run(2,
+                        [](mpi::Comm& comm) {
+                          Redistributor r(comm, 4);
+                          // Both ranks claim the same half.
+                          const ddr::OwnedLayout own{Chunk::d1(8, 0)};
+                          r.setup(own, Chunk::d1(8, 0));
+                        }),
+               ddr::Error);
+}
+
+TEST(Redistributor, SetupRejectsIncompleteOwnedLayout) {
+  EXPECT_THROW(mpi::run(2,
+                        [](mpi::Comm& comm) {
+                          Redistributor r(comm, 4);
+                          // [8, 12) of the bounding box is unowned.
+                          const ddr::OwnedLayout own{
+                              comm.rank() == 0 ? Chunk::d1(8, 0)
+                                               : Chunk::d1(4, 12)};
+                          r.setup(own, Chunk::d1(4, comm.rank() * 4));
+                        }),
+               ddr::Error);
+}
+
+TEST(Redistributor, ValidationCanBeDisabled) {
+  // With validation off, a hole on the owned side is legal; the uncovered
+  // part of the needed box simply keeps its previous contents.
+  mpi::run(2, [](mpi::Comm& comm) {
+    Redistributor r(comm, sizeof(float));
+    const ddr::OwnedLayout own{comm.rank() == 0 ? Chunk::d1(8, 0)
+                                                : Chunk::d1(4, 12)};
+    ddr::SetupOptions opts;
+    opts.validate_owned_layout = false;
+    r.setup(own, Chunk::d1(16, 0), opts);
+    std::vector<float> own_data = fill_chunk(own[0]);
+    std::vector<float> need(16, -7.0f);
+    r.redistribute(bytes_of(own_data), bytes_of(need));
+    EXPECT_EQ(need[0], oracle_value(0, 0, 0));
+    EXPECT_EQ(need[8], -7.0f);  // hole untouched
+    EXPECT_EQ(need[12], oracle_value(12, 0, 0));
+  });
+}
+
+TEST(Redistributor, RedistributeBeforeSetupThrows) {
+  EXPECT_THROW(mpi::run(1,
+                        [](mpi::Comm& comm) {
+                          Redistributor r(comm, 4);
+                          std::vector<float> a(4), b(4);
+                          r.redistribute(bytes_of(a), bytes_of(b));
+                        }),
+               ddr::Error);
+}
+
+TEST(Redistributor, UndersizedBuffersThrow) {
+  EXPECT_THROW(mpi::run(1,
+                        [](mpi::Comm& comm) {
+                          Redistributor r(comm, sizeof(float));
+                          r.setup({Chunk::d1(8, 0)}, Chunk::d1(8, 0));
+                          std::vector<float> a(8), b(2);  // b too small
+                          r.redistribute(bytes_of(a), bytes_of(b));
+                        }),
+               ddr::Error);
+}
+
+TEST(Redistributor, MixedDimensionalityRejected) {
+  EXPECT_THROW(mpi::run(1,
+                        [](mpi::Comm& comm) {
+                          Redistributor r(comm, 4);
+                          r.setup({Chunk::d1(8, 0)}, Chunk::d2(2, 4, 0, 0));
+                        }),
+               ddr::Error);
+}
+
+TEST(Redistributor, SetupCanBeRerunForNewLayout) {
+  // Layout changes require a new setup (paper: mapping reusable only "as
+  // long as the layout of data remains consistent"); re-setup must work.
+  mpi::run(2, [](mpi::Comm& comm) {
+    const int rank = comm.rank();
+    Redistributor r(comm, sizeof(float));
+    r.setup({Chunk::d1(8, 8 * rank)}, Chunk::d1(8, 8 * (1 - rank)));
+    std::vector<float> own = fill_chunk(Chunk::d1(8, 8 * rank));
+    std::vector<float> need(8, -1);
+    r.redistribute(bytes_of(own), bytes_of(need));
+    expect_oracle(need, Chunk::d1(8, 8 * (1 - rank)));
+
+    // Second layout: swap to identity.
+    r.setup({Chunk::d1(8, 8 * rank)}, Chunk::d1(8, 8 * rank));
+    std::vector<float> need2(8, -1);
+    r.redistribute(bytes_of(own), bytes_of(need2));
+    expect_oracle(need2, Chunk::d1(8, 8 * rank));
+  });
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+#pragma once
+
+/// Shared helpers for core DDR tests: deterministic global-domain fill
+/// values (the redistribution oracle) and random mutually-exclusive+complete
+/// partitions of a domain.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "ddr/layout.hpp"
+
+namespace ddr_test {
+
+/// Unique, coordinate-derived value for each domain element; redistributed
+/// buffers are checked against this oracle.
+inline float oracle_value(std::int64_t x, std::int64_t y, std::int64_t z) {
+  return static_cast<float>(x) + 1000.0f * static_cast<float>(y) +
+         1000000.0f * static_cast<float>(z);
+}
+
+/// Fills a chunk-local buffer (x fastest) with oracle values.
+inline std::vector<float> fill_chunk(const ddr::Chunk& c) {
+  std::vector<float> out(static_cast<std::size_t>(c.volume()));
+  std::size_t i = 0;
+  const auto dim = [&](int d) {
+    return d < c.ndims ? c.dims[static_cast<std::size_t>(d)] : 1;
+  };
+  const auto off = [&](int d) {
+    return d < c.ndims ? c.offsets[static_cast<std::size_t>(d)] : 0;
+  };
+  for (int z = 0; z < dim(2); ++z)
+    for (int y = 0; y < dim(1); ++y)
+      for (int x = 0; x < dim(0); ++x)
+        out[i++] = oracle_value(x + off(0), y + off(1), z + off(2));
+  return out;
+}
+
+/// Splits `domain` into at least `min_chunks` disjoint boxes covering it
+/// exactly, by repeatedly bisecting a random box along a random splittable
+/// axis.
+inline std::vector<ddr::Box> random_partition(const ddr::Box& domain,
+                                              int min_chunks,
+                                              std::mt19937& rng) {
+  std::vector<ddr::Box> boxes{domain};
+  while (static_cast<int>(boxes.size()) < min_chunks) {
+    // Pick a box that can be split (some extent >= 2).
+    std::vector<std::size_t> splittable;
+    for (std::size_t i = 0; i < boxes.size(); ++i)
+      for (int d = 0; d < boxes[i].ndims; ++d)
+        if (boxes[i].extent(d) >= 2) {
+          splittable.push_back(i);
+          break;
+        }
+    if (splittable.empty()) break;  // domain too small for more chunks
+    const std::size_t bi =
+        splittable[std::uniform_int_distribution<std::size_t>(
+            0, splittable.size() - 1)(rng)];
+    ddr::Box b = boxes[bi];
+    std::vector<int> axes;
+    for (int d = 0; d < b.ndims; ++d)
+      if (b.extent(d) >= 2) axes.push_back(d);
+    const int axis =
+        axes[std::uniform_int_distribution<std::size_t>(0, axes.size() - 1)(rng)];
+    const auto k = static_cast<std::size_t>(axis);
+    const std::int64_t cut = std::uniform_int_distribution<std::int64_t>(
+        b.lo[k] + 1, b.hi[k] - 1)(rng);
+    ddr::Box left = b, right = b;
+    left.hi[k] = cut;
+    right.lo[k] = cut;
+    boxes[bi] = left;
+    boxes.push_back(right);
+  }
+  return boxes;
+}
+
+inline ddr::Chunk box_to_chunk(const ddr::Box& b) {
+  ddr::Chunk c;
+  c.ndims = b.ndims;
+  for (int d = 0; d < b.ndims; ++d) {
+    const auto k = static_cast<std::size_t>(d);
+    c.dims[k] = static_cast<int>(b.extent(d));
+    c.offsets[k] = static_cast<int>(b.lo[k]);
+  }
+  return c;
+}
+
+/// Random sub-box of `domain` with volume >= 1.
+inline ddr::Box random_subbox(const ddr::Box& domain, std::mt19937& rng) {
+  ddr::Box b;
+  b.ndims = domain.ndims;
+  for (int d = 0; d < domain.ndims; ++d) {
+    const auto k = static_cast<std::size_t>(d);
+    const std::int64_t lo = std::uniform_int_distribution<std::int64_t>(
+        domain.lo[k], domain.hi[k] - 1)(rng);
+    const std::int64_t hi =
+        std::uniform_int_distribution<std::int64_t>(lo + 1, domain.hi[k])(rng);
+    b.lo[k] = lo;
+    b.hi[k] = hi;
+  }
+  return b;
+}
+
+}  // namespace ddr_test

@@ -1,0 +1,275 @@
+// DVR tests: brick grid factorization, brick placement (complete/disjoint),
+// compositing algebra, ray-casting semantics, and serial-vs-distributed
+// render equivalence.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dvr/dvr.hpp"
+#include "minimpi/minimpi.hpp"
+
+namespace {
+
+using dvr::Axis;
+using dvr::Brick;
+using dvr::brick_grid;
+using dvr::brick_of;
+using dvr::FloatImage;
+using dvr::TransferFunction;
+
+TEST(BrickGrid, CubicCountsSplitEvenly) {
+  // The paper's scales: 27, 64, 125, 216 ranks over a near-cubic volume.
+  for (int k : {3, 4, 5, 6}) {
+    const auto g = brick_grid(k * k * k, {4096, 2048, 4096});
+    EXPECT_EQ(g[0] * g[1] * g[2], k * k * k);
+    // 4096 x 2048 x 4096: the short axis should get the fewest bricks.
+    EXPECT_LE(g[1], g[0]);
+    EXPECT_LE(g[1], g[2]);
+  }
+}
+
+TEST(BrickGrid, CubeDomainYieldsCubicGrid) {
+  const auto g = brick_grid(27, {300, 300, 300});
+  EXPECT_EQ(g, (std::array<int, 3>{3, 3, 3}));
+}
+
+TEST(BrickGrid, PrimeCountsStillFactor) {
+  const auto g = brick_grid(7, {100, 100, 100});
+  EXPECT_EQ(g[0] * g[1] * g[2], 7);
+}
+
+TEST(BrickOf, BricksTileTheVolumeExactly) {
+  const std::array<int, 3> dims{50, 33, 41};
+  for (int p : {1, 4, 12, 27}) {
+    const auto grid = brick_grid(p, dims);
+    ddr::GlobalLayout layout;
+    for (int r = 0; r < p; ++r) {
+      layout.owned.push_back({brick_of(r, grid, dims)});
+      layout.needed.push_back({brick_of(r, grid, dims)});
+    }
+    const auto v = ddr::validate_owned(layout);
+    EXPECT_TRUE(v.ok()) << "p=" << p << ": " << v.detail;
+    EXPECT_EQ(layout.domain().volume(),
+              static_cast<std::int64_t>(dims[0]) * dims[1] * dims[2]);
+  }
+}
+
+TEST(BrickOf, RemainderSpreadOverLeadingBricks) {
+  // 10 elements over 3 bricks: 4, 3, 3.
+  const std::array<int, 3> grid{3, 1, 1};
+  const std::array<int, 3> dims{10, 5, 5};
+  EXPECT_EQ(brick_of(0, grid, dims).dims[0], 4);
+  EXPECT_EQ(brick_of(1, grid, dims).dims[0], 3);
+  EXPECT_EQ(brick_of(1, grid, dims).offsets[0], 4);
+  EXPECT_EQ(brick_of(2, grid, dims).offsets[0], 7);
+}
+
+Brick solid_brick(const ddr::Chunk& c, float value) {
+  Brick b;
+  b.chunk = c;
+  b.data.assign(static_cast<std::size_t>(c.volume()), value);
+  return b;
+}
+
+TEST(Raycast, EmptyVolumeIsTransparent) {
+  const Brick b = solid_brick(ddr::Chunk::d3(4, 4, 4, 0, 0, 0), 0.0f);
+  const FloatImage im = dvr::raycast_brick(b, Axis::z, TransferFunction{});
+  for (const auto& p : im.pixels()) EXPECT_EQ(p.a, 0.0f);
+}
+
+TEST(Raycast, DenseVolumeAccumulatesOpacity) {
+  const Brick b = solid_brick(ddr::Chunk::d3(2, 2, 64, 0, 0, 0), 1.0f);
+  const FloatImage im = dvr::raycast_brick(b, Axis::z, TransferFunction{});
+  EXPECT_GT(im.at(0, 0).a, 0.9f);
+  EXPECT_GT(im.at(1, 1).r, 0.5f);  // tooth colormap is bright at t=1
+}
+
+TEST(Raycast, FootprintFollowsAxis) {
+  const ddr::Chunk c = ddr::Chunk::d3(4, 5, 6, 10, 20, 30);
+  const auto fz = dvr::footprint_of(c, Axis::z);
+  EXPECT_EQ(fz.width, 4);
+  EXPECT_EQ(fz.height, 5);
+  EXPECT_EQ(fz.x0, 10);
+  EXPECT_EQ(fz.depth_index, 30);
+  const auto fy = dvr::footprint_of(c, Axis::y);
+  EXPECT_EQ(fy.width, 4);
+  EXPECT_EQ(fy.height, 6);
+  EXPECT_EQ(fy.depth_index, 20);
+  const auto fx = dvr::footprint_of(c, Axis::x);
+  EXPECT_EQ(fx.width, 5);
+  EXPECT_EQ(fx.height, 6);
+}
+
+TEST(Composite, OverOperatorAlgebra) {
+  FloatImage front(1, 1), back(1, 1);
+  front.at(0, 0) = {0.5f, 0.0f, 0.0f, 0.5f};  // premultiplied half-red
+  back.at(0, 0) = {0.0f, 1.0f, 0.0f, 1.0f};   // opaque green
+  dvr::composite_over(front, back);
+  EXPECT_FLOAT_EQ(front.at(0, 0).r, 0.5f);
+  EXPECT_FLOAT_EQ(front.at(0, 0).g, 0.5f);
+  EXPECT_FLOAT_EQ(front.at(0, 0).a, 1.0f);
+}
+
+TEST(Composite, OpaqueFrontHidesBack) {
+  FloatImage front(1, 1), back(1, 1);
+  front.at(0, 0) = {1.0f, 1.0f, 1.0f, 1.0f};
+  back.at(0, 0) = {0.0f, 0.0f, 1.0f, 1.0f};
+  dvr::composite_over(front, back);
+  EXPECT_FLOAT_EQ(front.at(0, 0).b, 1.0f);  // white, not blue
+  EXPECT_FLOAT_EQ(front.at(0, 0).r, 1.0f);
+}
+
+TEST(Composite, SizeMismatchThrows) {
+  FloatImage a(2, 2), b(3, 2);
+  EXPECT_THROW(dvr::composite_over(a, b), dvr::Error);
+}
+
+TEST(Finalize, BackgroundShowsThroughTransparency) {
+  FloatImage acc(1, 1);
+  acc.at(0, 0) = {0.0f, 0.0f, 0.0f, 0.0f};
+  const img::RgbImage out = dvr::finalize(acc, img::Rgb{10, 20, 30});
+  EXPECT_EQ(out.at(0, 0), (img::Rgb{10, 20, 30}));
+}
+
+/// Synthetic volume function: a bright diagonal slab.
+float field(int x, int y, int z) {
+  return (x + y + z) % 7 == 0 ? 0.9f : 0.05f;
+}
+
+Brick fill_brick(const ddr::Chunk& c) {
+  Brick b;
+  b.chunk = c;
+  b.data.reserve(static_cast<std::size_t>(c.volume()));
+  for (int z = 0; z < c.dims[2]; ++z)
+    for (int y = 0; y < c.dims[1]; ++y)
+      for (int x = 0; x < c.dims[0]; ++x)
+        b.data.push_back(
+            field(x + c.offsets[0], y + c.offsets[1], z + c.offsets[2]));
+  return b;
+}
+
+TEST(DistributedRender, MatchesSerialRender) {
+  const std::array<int, 3> dims{24, 24, 24};
+  TransferFunction tf;
+
+  // Serial reference: one brick covering the whole volume.
+  img::RgbImage serial;
+  mpi::run(1, [&](mpi::Comm& comm) {
+    const Brick whole = fill_brick(ddr::Chunk::d3(24, 24, 24, 0, 0, 0));
+    serial = dvr::distributed_render(comm, whole, dims, Axis::z, tf);
+  });
+  ASSERT_EQ(serial.width(), 24u);
+
+  // 8-rank render of the same volume.
+  img::RgbImage parallel;
+  mpi::run(8, [&](mpi::Comm& comm) {
+    const auto grid = brick_grid(comm.size(), dims);
+    const Brick mine = fill_brick(brick_of(comm.rank(), grid, dims));
+    img::RgbImage out = dvr::distributed_render(comm, mine, dims, Axis::z, tf);
+    if (comm.rank() == 0) parallel = std::move(out);
+  });
+
+  ASSERT_EQ(parallel.width(), serial.width());
+  ASSERT_EQ(parallel.height(), serial.height());
+  int max_diff = 0;
+  for (std::uint32_t y = 0; y < serial.height(); ++y)
+    for (std::uint32_t x = 0; x < serial.width(); ++x) {
+      const img::Rgb a = serial.at(x, y), b = parallel.at(x, y);
+      max_diff = std::max({max_diff, std::abs(a.r - b.r), std::abs(a.g - b.g),
+                           std::abs(a.b - b.b)});
+    }
+  // Compositing splits the ray integral; float associativity differences
+  // stay within a couple of 8-bit steps.
+  EXPECT_LE(max_diff, 2);
+}
+
+TEST(DistributedRender, WorksAlongEveryAxis) {
+  const std::array<int, 3> dims{12, 10, 8};
+  mpi::run(4, [&](mpi::Comm& comm) {
+    const auto grid = brick_grid(comm.size(), dims);
+    const Brick mine = fill_brick(brick_of(comm.rank(), grid, dims));
+    for (Axis axis : {Axis::x, Axis::y, Axis::z}) {
+      const img::RgbImage out =
+          dvr::distributed_render(comm, mine, dims, axis, TransferFunction{});
+      if (comm.rank() == 0) {
+        EXPECT_GT(out.width(), 0u);
+        EXPECT_GT(out.height(), 0u);
+      } else {
+        EXPECT_EQ(out.width(), 0u);
+      }
+    }
+  });
+}
+
+TEST(BinarySwap, MatchesDirectSend) {
+  const std::array<int, 3> dims{16, 16, 16};
+  TransferFunction tf;
+  img::RgbImage direct, swap;
+  mpi::run(8, [&](mpi::Comm& comm) {
+    const auto grid = brick_grid(comm.size(), dims);
+    const Brick mine = fill_brick(brick_of(comm.rank(), grid, dims));
+    img::RgbImage a = dvr::distributed_render(comm, mine, dims, Axis::z, tf,
+                                              dvr::Compositor::direct_send);
+    img::RgbImage b = dvr::distributed_render(comm, mine, dims, Axis::z, tf,
+                                              dvr::Compositor::binary_swap);
+    if (comm.rank() == 0) {
+      direct = std::move(a);
+      swap = std::move(b);
+    }
+  });
+  ASSERT_EQ(direct.width(), swap.width());
+  ASSERT_EQ(direct.height(), swap.height());
+  int max_diff = 0;
+  for (std::size_t i = 0; i < direct.pixels().size(); ++i) {
+    const img::Rgb a = direct.pixels()[i], b = swap.pixels()[i];
+    max_diff = std::max({max_diff, std::abs(a.r - b.r), std::abs(a.g - b.g),
+                         std::abs(a.b - b.b)});
+  }
+  // Both compositors apply OVER in depth order; only float association
+  // differs.
+  EXPECT_LE(max_diff, 1);
+}
+
+TEST(BinarySwap, SingleRankIsIdentity) {
+  const std::array<int, 3> dims{8, 8, 8};
+  mpi::run(1, [&](mpi::Comm& comm) {
+    const Brick whole = fill_brick(ddr::Chunk::d3(8, 8, 8, 0, 0, 0));
+    const img::RgbImage a = dvr::distributed_render(
+        comm, whole, dims, Axis::z, TransferFunction{},
+        dvr::Compositor::direct_send);
+    const img::RgbImage b = dvr::distributed_render(
+        comm, whole, dims, Axis::z, TransferFunction{},
+        dvr::Compositor::binary_swap);
+    for (std::size_t i = 0; i < a.pixels().size(); ++i)
+      EXPECT_EQ(a.pixels()[i], b.pixels()[i]);
+  });
+}
+
+TEST(BinarySwap, RejectsNonPowerOfTwoRanks) {
+  EXPECT_THROW(
+      mpi::run(6,
+               [](mpi::Comm& comm) {
+                 const std::array<int, 3> dims{12, 12, 6};
+                 const auto grid = brick_grid(comm.size(), dims);
+                 const Brick mine =
+                     fill_brick(brick_of(comm.rank(), grid, dims));
+                 (void)dvr::distributed_render(comm, mine, dims, Axis::z,
+                                               TransferFunction{},
+                                               dvr::Compositor::binary_swap);
+               }),
+      dvr::Error);
+}
+
+TEST(Raycast, RejectsBadBricks) {
+  Brick b;
+  b.chunk = ddr::Chunk::d2(4, 4, 0, 0);  // not 3-D
+  b.data.assign(16, 0.0f);
+  EXPECT_THROW(dvr::raycast_brick(b, Axis::z, TransferFunction{}), dvr::Error);
+  Brick c;
+  c.chunk = ddr::Chunk::d3(4, 4, 4, 0, 0, 0);
+  c.data.assign(10, 0.0f);  // wrong size
+  EXPECT_THROW(dvr::raycast_brick(c, Axis::z, TransferFunction{}), dvr::Error);
+}
+
+}  // namespace

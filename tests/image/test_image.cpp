@@ -1,0 +1,96 @@
+// Tests for the RGB raster and colormaps.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "image/colormap.hpp"
+#include "image/image.hpp"
+
+namespace {
+
+using img::Colormap;
+using img::Rgb;
+using img::RgbImage;
+
+TEST(RgbImage, ConstructionAndAccess) {
+  RgbImage im(4, 3, Rgb{10, 20, 30});
+  EXPECT_EQ(im.width(), 4u);
+  EXPECT_EQ(im.height(), 3u);
+  EXPECT_EQ(im.at(2, 1), (Rgb{10, 20, 30}));
+  im.at(3, 2) = Rgb{1, 2, 3};
+  EXPECT_EQ(im.at(3, 2), (Rgb{1, 2, 3}));
+  EXPECT_EQ(im.pixels().size(), 12u);
+}
+
+TEST(RgbImage, PpmEncodingHasHeaderAndPayload) {
+  RgbImage im(2, 2);
+  im.at(0, 0) = Rgb{255, 0, 0};
+  const auto ppm = im.encode_ppm();
+  const std::string header(reinterpret_cast<const char*>(ppm.data()), 11);
+  EXPECT_EQ(header, "P6\n2 2\n255\n");
+  EXPECT_EQ(ppm.size(), 11u + 12u);
+  EXPECT_EQ(ppm[11], std::byte{255});  // R of pixel (0,0)
+  EXPECT_EQ(ppm[12], std::byte{0});
+}
+
+TEST(RgbImage, PpmFileRoundtrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "ddr_img";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "t.ppm").string();
+  RgbImage im(3, 1);
+  im.at(1, 0) = Rgb{9, 8, 7};
+  im.write_ppm(path);
+  EXPECT_EQ(std::filesystem::file_size(path), im.encode_ppm().size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Colormap, EndpointsAndMidpoint) {
+  const Colormap& cm = Colormap::blue_white_red();
+  const Rgb lo = cm(0.0), mid = cm(0.5), hi = cm(1.0);
+  EXPECT_GT(lo.b, lo.r);               // blue end
+  EXPECT_EQ(mid, (Rgb{255, 255, 255}));  // white centre
+  EXPECT_GT(hi.r, hi.b);               // red end
+}
+
+TEST(Colormap, ClampsOutOfRange) {
+  const Colormap& cm = Colormap::grayscale();
+  EXPECT_EQ(cm(-3.0), cm(0.0));
+  EXPECT_EQ(cm(42.0), cm(1.0));
+}
+
+TEST(Colormap, LinearInterpolation) {
+  const Colormap& cm = Colormap::grayscale();
+  EXPECT_EQ(cm(0.5).r, 128);
+  EXPECT_EQ(cm(0.25).g, 64);
+}
+
+TEST(Colormap, MapNormalizesRange) {
+  const Colormap& cm = Colormap::grayscale();
+  EXPECT_EQ(cm.map(5.0, 0.0, 10.0), cm(0.5));
+  EXPECT_EQ(cm.map(-1.0, -1.0, 3.0), cm(0.0));
+  // Degenerate range maps to the midpoint rather than dividing by zero.
+  EXPECT_EQ(cm.map(7.0, 7.0, 7.0), cm(0.5));
+}
+
+TEST(Colormap, PresetsAreMonotonicallyBrightening) {
+  // tooth() and viridis_like() should brighten with t (density/magnitude).
+  for (const Colormap* cm : {&Colormap::tooth(), &Colormap::viridis_like()}) {
+    int prev = -1;
+    for (double t = 0.0; t <= 1.0; t += 0.1) {
+      const Rgb c = (*cm)(t);
+      const int luma = 299 * c.r + 587 * c.g + 114 * c.b;
+      EXPECT_GE(luma, prev) << "t=" << t;
+      prev = luma;
+    }
+  }
+}
+
+TEST(Colormap, RejectsBadStopLists) {
+  EXPECT_THROW(Colormap({{0.5, 0, 0, 0}}), img::Error);
+  EXPECT_THROW(Colormap({{0.5, 0, 0, 0}, {0.5, 1, 1, 1}}), img::Error);
+  EXPECT_THROW(Colormap({{0.8, 0, 0, 0}, {0.2, 1, 1, 1}}), img::Error);
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// PNG writer/reader tests: checksum vectors, container structure, roundtrip
+// fidelity (lossless), multi-block streams, and corruption detection.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "image/png.hpp"
+
+namespace {
+
+using img::Rgb;
+using img::RgbImage;
+
+std::span<const std::byte> bytes_of(const char* s) {
+  return {reinterpret_cast<const std::byte*>(s), std::strlen(s)};
+}
+
+TEST(PngChecksums, Crc32KnownVectors) {
+  EXPECT_EQ(img::crc32({}), 0x00000000u);
+  EXPECT_EQ(img::crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(img::crc32(bytes_of("IEND")), 0xAE426082u);  // the famous one
+}
+
+TEST(PngChecksums, Adler32KnownVectors) {
+  EXPECT_EQ(img::adler32({}), 1u);
+  EXPECT_EQ(img::adler32(bytes_of("Wikipedia")), 0x11E60398u);
+}
+
+TEST(Png, SignatureAndChunks) {
+  RgbImage im(3, 2, Rgb{1, 2, 3});
+  const auto data = img::encode_png(im);
+  ASSERT_GE(data.size(), 8u);
+  EXPECT_EQ(static_cast<std::uint8_t>(data[0]), 0x89);
+  EXPECT_EQ(static_cast<char>(data[1]), 'P');
+  // IHDR follows immediately; IEND closes the file.
+  EXPECT_EQ(static_cast<char>(data[12]), 'I');
+  EXPECT_EQ(static_cast<char>(data[13]), 'H');
+  EXPECT_EQ(static_cast<char>(data[data.size() - 8]), 'I');
+  EXPECT_EQ(static_cast<char>(data[data.size() - 7]), 'E');
+  EXPECT_EQ(static_cast<char>(data[data.size() - 6]), 'N');
+  EXPECT_EQ(static_cast<char>(data[data.size() - 5]), 'D');
+}
+
+TEST(Png, RoundtripIsLossless) {
+  RgbImage im(37, 23);
+  std::uint32_t state = 777;
+  for (auto& p : im.pixels()) {
+    state = state * 1664525u + 1013904223u;
+    p = Rgb{static_cast<std::uint8_t>(state >> 24),
+            static_cast<std::uint8_t>(state >> 16),
+            static_cast<std::uint8_t>(state >> 8)};
+  }
+  const RgbImage back = img::decode_png(img::encode_png(im));
+  ASSERT_EQ(back.width(), im.width());
+  ASSERT_EQ(back.height(), im.height());
+  for (std::size_t i = 0; i < im.pixels().size(); ++i)
+    ASSERT_EQ(im.pixels()[i], back.pixels()[i]);
+}
+
+TEST(Png, LargeImageUsesMultipleStoredBlocks) {
+  // > 64 KiB of scanline data forces several deflate stored blocks.
+  RgbImage im(200, 150);
+  for (std::uint32_t y = 0; y < im.height(); ++y)
+    for (std::uint32_t x = 0; x < im.width(); ++x)
+      im.at(x, y) = Rgb{static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y),
+                        static_cast<std::uint8_t>(x ^ y)};
+  const auto data = img::encode_png(im);
+  EXPECT_GT(data.size(), 65536u);
+  const RgbImage back = img::decode_png(data);
+  EXPECT_EQ(back.at(123, 77), im.at(123, 77));
+}
+
+TEST(Png, CorruptionIsDetected) {
+  RgbImage im(16, 16, Rgb{50, 60, 70});
+  auto data = img::encode_png(im);
+  // Flip a payload byte inside IDAT: the chunk CRC must catch it.
+  data[data.size() / 2] ^= std::byte{0x40};
+  EXPECT_THROW((void)img::decode_png(data), img::Error);
+}
+
+TEST(Png, RejectsForeignFiles) {
+  EXPECT_THROW((void)img::decode_png({}), img::Error);
+  std::vector<std::byte> junk(64, std::byte{0x42});
+  EXPECT_THROW((void)img::decode_png(junk), img::Error);
+}
+
+TEST(Png, EmptyImageRejected) {
+  EXPECT_THROW((void)img::encode_png(RgbImage()), img::Error);
+}
+
+TEST(Png, FileIO) {
+  const auto dir = std::filesystem::temp_directory_path() / "ddr_png";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "t.png").string();
+  RgbImage im(8, 8, Rgb{200, 100, 50});
+  img::write_png(path, im);
+  EXPECT_GT(std::filesystem::file_size(path), 50u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// End-to-end integration tests of the paper's two use cases, wired exactly
+// like the examples but with assertions instead of printed output.
+//
+// Use case A (§IV-A): TIFF stack -> DDR load -> distributed DVR render.
+// Use case B (§IV-B): LBM simulation -> M-to-N in-transit streaming ->
+//                     DDR redistribution -> colormapped JPEG frames.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <span>
+
+#include "ddr/ddr.hpp"
+#include "dvr/dvr.hpp"
+#include "image/colormap.hpp"
+#include "jpegenc/jpeg.hpp"
+#include "lbm/lbm.hpp"
+#include "loader/tiff_loader.hpp"
+#include "minimpi/minimpi.hpp"
+#include "stream/stream.hpp"
+#include "tiff/phantom.hpp"
+
+namespace {
+
+TEST(UseCaseA, TiffToRenderedImageOnBothStrategiesAndCompositors) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ddr_it_usecase_a").string();
+  std::filesystem::remove_all(dir);
+  constexpr int kW = 32, kH = 32, kD = 32;
+  tiff::write_phantom_series(dir, kW, kH, kD, 16);
+
+  loader::SeriesInfo series;
+  series.dir = dir;
+  series.width = kW;
+  series.height = kH;
+  series.depth = kD;
+  series.bytes_per_sample = 2;
+  series.max_sample_value = 65535.0;
+
+  img::RgbImage reference;
+  for (loader::Strategy s : {loader::Strategy::ddr_consecutive,
+                             loader::Strategy::ddr_round_robin}) {
+    for (dvr::Compositor comp :
+         {dvr::Compositor::direct_send, dvr::Compositor::binary_swap}) {
+      img::RgbImage out;
+      mpi::run(8, [&](mpi::Comm& comm) {
+        const dvr::Brick brick = loader::load_brick(comm, series, s);
+        dvr::TransferFunction tf;
+        tf.colormap = &img::Colormap::tooth();
+        img::RgbImage im = dvr::distributed_render(comm, brick, {kW, kH, kD},
+                                                   dvr::Axis::y, tf, comp);
+        if (comm.rank() == 0) out = std::move(im);
+      });
+      ASSERT_EQ(out.width(), static_cast<std::uint32_t>(kW));
+      ASSERT_EQ(out.height(), static_cast<std::uint32_t>(kD));
+      // The tooth phantom must produce a non-black image with structure.
+      int bright = 0;
+      for (const img::Rgb& p : out.pixels())
+        if (p.r + p.g + p.b > 60) ++bright;
+      EXPECT_GT(bright, 50);
+
+      if (reference.width() == 0) {
+        reference = out;
+      } else {
+        // Every strategy/compositor combination must agree (within the
+        // 8-bit rounding that compositing association allows).
+        int max_diff = 0;
+        for (std::size_t i = 0; i < out.pixels().size(); ++i) {
+          const img::Rgb a = reference.pixels()[i], b = out.pixels()[i];
+          max_diff = std::max({max_diff, std::abs(a.r - b.r),
+                               std::abs(a.g - b.g), std::abs(a.b - b.b)});
+        }
+        EXPECT_LE(max_diff, 2);
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(UseCaseB, NonUniformInTransitPipelineProducesDecodableFrames) {
+  // The paper's Fig. 4 shape: 10 simulation ranks -> 4 analysis ranks
+  // (first two consumers hear 3 producers, last two hear 2).
+  constexpr int kSim = 10, kViz = 4;
+  constexpr int kNx = 80, kNy = 40, kSteps = 60, kEvery = 30;
+
+  lbm::Params params;
+  params.nx = kNx;
+  params.ny = kNy;
+  params.u0 = 0.1;
+  params.barrier = lbm::Params::vertical_barrier(20, 13, 26);
+  const stream::MNMapping mapping(kSim, kViz);
+
+  std::vector<std::vector<std::byte>> frames_out;
+  std::mutex m;
+
+  mpi::run(kSim + kViz, [&](mpi::Comm& world) {
+    const bool is_sim = world.rank() < kSim;
+    mpi::Comm group = world.split(is_sim ? 0 : 1, world.rank());
+
+    if (is_sim) {
+      lbm::DistributedLbm sim(group, params);
+      stream::Producer out(world, kSim + mapping.consumer_of(group.rank()));
+      for (int step = 1; step <= kSteps; ++step) {
+        sim.step();
+        if (step % kEvery != 0) continue;
+        stream::FrameHeader h;
+        h.step = step;
+        h.y0 = sim.row_start(group.rank());
+        h.ny = sim.row_start(group.rank() + 1) - sim.row_start(group.rank());
+        h.nx = kNx;
+        out.send_frame(h, sim.local_vorticity());
+      }
+      return;
+    }
+
+    const int c = group.rank();
+    const auto [lo, hi] = mapping.producers_of(c);
+    // Non-uniform fan-in must hold (3/3/2/2).
+    EXPECT_EQ(hi - lo, c < 2 ? 3 : 2);
+    std::vector<int> sources;
+    for (int p = lo; p < hi; ++p) sources.push_back(p);
+    stream::Consumer in(world, sources);
+
+    const auto grid = stream::consumer_grid(kViz, kNx, kNy);
+    const ddr::Chunk rect = stream::consumer_rect(c, grid, kNx, kNy);
+    ddr::Redistributor rd(group, sizeof(float));
+    bool configured = false;
+    std::vector<float> rect_data(static_cast<std::size_t>(rect.volume()));
+
+    for (int f = 0; f < kSteps / kEvery; ++f) {
+      const auto frames = in.receive_step();
+      if (!configured) {
+        rd.setup(stream::frames_layout(frames), rect);
+        configured = true;
+      }
+      const auto owned = stream::concat_frames(frames);
+      rd.redistribute(std::as_bytes(std::span<const float>(owned)),
+                      std::as_writable_bytes(std::span<float>(rect_data)));
+      for (float v : rect_data) ASSERT_TRUE(std::isfinite(v));
+
+      // Render the local tile and encode the gathered frame on consumer 0.
+      img::RgbImage tile(static_cast<std::uint32_t>(rect.dims[0]),
+                         static_cast<std::uint32_t>(rect.dims[1]));
+      const img::Colormap& cm = img::Colormap::blue_white_red();
+      for (int y = 0; y < rect.dims[1]; ++y)
+        for (int x = 0; x < rect.dims[0]; ++x)
+          tile.at(static_cast<std::uint32_t>(x), static_cast<std::uint32_t>(y)) =
+              cm.map(rect_data[static_cast<std::size_t>(y * rect.dims[0] + x)],
+                     -0.05, 0.05);
+      const mpi::Datatype px = mpi::Datatype::bytes(sizeof(img::Rgb));
+      if (c != 0) {
+        group.send(tile.pixels().data(), tile.pixels().size(), px, 0, 70);
+      } else {
+        img::RgbImage full(kNx, kNy);
+        auto paste = [&](const img::RgbImage& t, const ddr::Chunk& r) {
+          for (int y = 0; y < r.dims[1]; ++y)
+            for (int x = 0; x < r.dims[0]; ++x)
+              full.at(static_cast<std::uint32_t>(r.offsets[0] + x),
+                      static_cast<std::uint32_t>(r.offsets[1] + y)) =
+                  t.at(static_cast<std::uint32_t>(x),
+                       static_cast<std::uint32_t>(y));
+        };
+        paste(tile, rect);
+        for (int q = 1; q < kViz; ++q) {
+          const ddr::Chunk r = stream::consumer_rect(q, grid, kNx, kNy);
+          img::RgbImage t(static_cast<std::uint32_t>(r.dims[0]),
+                          static_cast<std::uint32_t>(r.dims[1]));
+          group.recv(t.pixels().data(), t.pixels().size(), px, q, 70);
+          paste(t, r);
+        }
+        std::lock_guard lk(m);
+        frames_out.push_back(jpeg::encode(full));
+      }
+    }
+  });
+
+  ASSERT_EQ(frames_out.size(), static_cast<std::size_t>(kSteps / kEvery));
+  for (const auto& data : frames_out) {
+    // Every frame must decode back to the right dimensions (closing the
+    // loop: the whole pipeline produced a valid image).
+    const img::RgbImage back = jpeg::decode(data);
+    EXPECT_EQ(back.width(), static_cast<std::uint32_t>(kNx));
+    EXPECT_EQ(back.height(), static_cast<std::uint32_t>(kNy));
+    // And the raw-vs-JPEG reduction regime of Table IV must hold.
+    const double raw = 4.0 * kNx * kNy;
+    EXPECT_LT(static_cast<double>(data.size()), 0.25 * raw);
+  }
+}
+
+/// Element sizes from 1 to 16 bytes must all redistribute correctly.
+class ElemSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ElemSizes, RedistributeArbitraryElementWidths) {
+  const auto elem = static_cast<std::size_t>(GetParam());
+  mpi::run(3, [elem](mpi::Comm& comm) {
+    const int r = comm.rank();
+    ddr::Redistributor rd(comm, elem);
+    rd.setup({ddr::Chunk::d1(6, 6 * r)}, ddr::Chunk::d1(6, 6 * ((r + 1) % 3)));
+    std::vector<std::byte> own(6 * elem), need(6 * elem, std::byte{0});
+    for (std::size_t i = 0; i < own.size(); ++i)
+      own[i] = static_cast<std::byte>((6 * elem * static_cast<std::size_t>(r) + i) & 0xff);
+    rd.redistribute(own, need);
+    const auto src_rank = static_cast<std::size_t>((r + 1) % 3);
+    for (std::size_t i = 0; i < need.size(); ++i)
+      ASSERT_EQ(need[i],
+                static_cast<std::byte>((6 * elem * src_rank + i) & 0xff));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ElemSizes, ::testing::Values(1, 2, 3, 4, 8, 16),
+                         [](const auto& info) {
+                           return "bytes" + std::to_string(info.param);
+                         });
+
+}  // namespace

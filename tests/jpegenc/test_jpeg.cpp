@@ -1,0 +1,224 @@
+// JPEG codec tests: container structure, encode/decode roundtrip fidelity
+// (PSNR bounds), quality/size monotonicity, and the compression regime that
+// Table IV of the paper depends on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "image/colormap.hpp"
+#include "jpegenc/jpeg.hpp"
+
+namespace {
+
+using img::Rgb;
+using img::RgbImage;
+
+/// Smooth field image resembling a colormapped LBM vorticity frame.
+RgbImage smooth_field(std::uint32_t w, std::uint32_t h) {
+  RgbImage im(w, h);
+  const img::Colormap& cm = img::Colormap::blue_white_red();
+  for (std::uint32_t y = 0; y < h; ++y)
+    for (std::uint32_t x = 0; x < w; ++x) {
+      const double v = std::sin(0.05 * x) * std::cos(0.07 * y);
+      im.at(x, y) = cm.map(v, -1.0, 1.0);
+    }
+  return im;
+}
+
+double psnr(const RgbImage& a, const RgbImage& b) {
+  double mse = 0;
+  const std::size_t n = a.pixels().size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Rgb pa = a.pixels()[i], pb = b.pixels()[i];
+    mse += (pa.r - pb.r) * double(pa.r - pb.r) +
+           (pa.g - pb.g) * double(pa.g - pb.g) +
+           (pa.b - pb.b) * double(pa.b - pb.b);
+  }
+  mse /= static_cast<double>(3 * n);
+  if (mse == 0) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+TEST(Jpeg, ContainerStructure) {
+  const auto data = jpeg::encode(smooth_field(32, 32));
+  ASSERT_GE(data.size(), 4u);
+  // SOI at start, EOI at end.
+  EXPECT_EQ(data[0], std::byte{0xff});
+  EXPECT_EQ(data[1], std::byte{0xd8});
+  EXPECT_EQ(data[data.size() - 2], std::byte{0xff});
+  EXPECT_EQ(data.back(), std::byte{0xd9});
+  // JFIF APP0 right after SOI.
+  EXPECT_EQ(data[2], std::byte{0xff});
+  EXPECT_EQ(data[3], std::byte{0xe0});
+  EXPECT_EQ(static_cast<char>(data[6]), 'J');
+  EXPECT_EQ(static_cast<char>(data[9]), 'F');
+}
+
+class JpegRoundtrip
+    : public ::testing::TestWithParam<std::tuple<jpeg::Subsampling, int>> {};
+
+TEST_P(JpegRoundtrip, DecodeRecoversImageWithinPsnrBound) {
+  const auto [sub, quality] = GetParam();
+  const RgbImage src = smooth_field(67, 45);  // non-multiple-of-16 dims
+  jpeg::EncodeOptions opts;
+  opts.quality = quality;
+  opts.subsampling = sub;
+  const auto data = jpeg::encode(src, opts);
+  const RgbImage back = jpeg::decode(data);
+  ASSERT_EQ(back.width(), src.width());
+  ASSERT_EQ(back.height(), src.height());
+  const double expect_psnr = quality >= 90 ? 36.0 : (quality >= 75 ? 32.0 : 26.0);
+  EXPECT_GT(psnr(src, back), expect_psnr)
+      << "quality " << quality << " produced too lossy a roundtrip";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, JpegRoundtrip,
+    ::testing::Combine(::testing::Values(jpeg::Subsampling::s444,
+                                         jpeg::Subsampling::s420),
+                       ::testing::Values(50, 75, 92)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == jpeg::Subsampling::s444
+                             ? "s444"
+                             : "s420") +
+             "_q" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Jpeg, HigherQualityMeansLargerFiles) {
+  const RgbImage src = smooth_field(128, 96);
+  std::size_t prev = 0;
+  for (int q : {10, 40, 75, 95}) {
+    jpeg::EncodeOptions opts;
+    opts.quality = q;
+    const auto data = jpeg::encode(src, opts);
+    EXPECT_GT(data.size(), prev) << "q=" << q;
+    prev = data.size();
+  }
+}
+
+TEST(Jpeg, SubsamplingShrinksOutput) {
+  const RgbImage src = smooth_field(128, 128);
+  jpeg::EncodeOptions o444;
+  o444.subsampling = jpeg::Subsampling::s444;
+  jpeg::EncodeOptions o420;
+  o420.subsampling = jpeg::Subsampling::s420;
+  EXPECT_LT(jpeg::encode(src, o420).size(), jpeg::encode(src, o444).size());
+}
+
+TEST(Jpeg, SmoothFieldsCompressToTableIVRegime) {
+  // The paper's Table IV: colormapped frames compress raw float fields by
+  // ~99.5 %. Check the equivalent comparison: JPEG bytes vs 4 bytes/cell.
+  const RgbImage frame = smooth_field(648, 259);  // 1/5 of the smallest grid
+  const auto data = jpeg::encode(frame);
+  const double raw_bytes = 4.0 * frame.width() * frame.height();
+  const double reduction = 1.0 - static_cast<double>(data.size()) / raw_bytes;
+  EXPECT_GT(reduction, 0.95) << "JPEG size " << data.size() << " of raw "
+                             << raw_bytes;
+}
+
+TEST(Jpeg, FlatImageIsTiny) {
+  const RgbImage flat(256, 256, Rgb{120, 130, 140});
+  const auto data = jpeg::encode(flat);
+  EXPECT_LT(data.size(), 3000u);
+  const RgbImage back = jpeg::decode(data);
+  // A flat field should roundtrip almost exactly.
+  EXPECT_GT(psnr(flat, back), 45.0);
+}
+
+TEST(Jpeg, OddSizesRoundtrip) {
+  const std::pair<std::uint32_t, std::uint32_t> sizes[] = {
+      {1, 1}, {7, 3}, {17, 17}, {16, 16}, {15, 33}};
+  for (const auto& [w, h] : sizes) {
+    const RgbImage src = smooth_field(w, h);
+    const RgbImage back = jpeg::decode(jpeg::encode(src));
+    ASSERT_EQ(back.width(), w);
+    ASSERT_EQ(back.height(), h);
+  }
+}
+
+TEST(Jpeg, RestartMarkersRoundtrip) {
+  const RgbImage src = smooth_field(100, 60);
+  for (int interval : {1, 3, 8}) {
+    jpeg::EncodeOptions opts;
+    opts.restart_interval = interval;
+    const auto data = jpeg::encode(src, opts);
+    // The stream must actually contain DRI and RST markers.
+    bool has_dri = false, has_rst = false;
+    for (std::size_t i = 0; i + 1 < data.size(); ++i) {
+      if (data[i] == std::byte{0xff}) {
+        const auto m = static_cast<std::uint8_t>(data[i + 1]);
+        if (m == 0xdd) has_dri = true;
+        if (m >= 0xd0 && m <= 0xd7) has_rst = true;
+      }
+    }
+    EXPECT_TRUE(has_dri) << "interval " << interval;
+    EXPECT_TRUE(has_rst) << "interval " << interval;
+    const RgbImage back = jpeg::decode(data);
+    EXPECT_GT(psnr(src, back), 30.0) << "interval " << interval;
+  }
+}
+
+TEST(Jpeg, RestartAndPlainStreamsDecodeIdentically) {
+  // Restart markers change framing, not content.
+  const RgbImage src = smooth_field(64, 48);
+  jpeg::EncodeOptions with;
+  with.restart_interval = 2;
+  const RgbImage a = jpeg::decode(jpeg::encode(src));
+  const RgbImage b = jpeg::decode(jpeg::encode(src, with));
+  int max_diff = 0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    max_diff = std::max({max_diff, std::abs(a.pixels()[i].r - b.pixels()[i].r),
+                         std::abs(a.pixels()[i].g - b.pixels()[i].g),
+                         std::abs(a.pixels()[i].b - b.pixels()[i].b)});
+  }
+  EXPECT_EQ(max_diff, 0);
+}
+
+TEST(Jpeg, NegativeRestartIntervalRejected) {
+  jpeg::EncodeOptions opts;
+  opts.restart_interval = -1;
+  EXPECT_THROW(jpeg::encode(smooth_field(8, 8), opts), jpeg::Error);
+}
+
+TEST(Jpeg, FileIO) {
+  const auto dir = std::filesystem::temp_directory_path() / "ddr_jpeg";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "f.jpg").string();
+  jpeg::write_file(path, smooth_field(32, 32));
+  EXPECT_GT(std::filesystem::file_size(path), 100u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Jpeg, RejectsBadInput) {
+  EXPECT_THROW(jpeg::encode(RgbImage()), jpeg::Error);
+  jpeg::EncodeOptions opts;
+  opts.quality = 0;
+  EXPECT_THROW(jpeg::encode(smooth_field(8, 8), opts), jpeg::Error);
+  EXPECT_THROW(jpeg::decode({}), jpeg::Error);
+  std::vector<std::byte> junk(32, std::byte{0x33});
+  EXPECT_THROW(jpeg::decode(junk), jpeg::Error);
+}
+
+TEST(Jpeg, StuffedBytesSurviveRoundtrip) {
+  // High-contrast noise maximizes the chance of 0xFF bytes in the entropy
+  // stream, exercising the byte-stuffing path.
+  RgbImage noisy(64, 64);
+  std::uint32_t state = 12345;
+  for (auto& p : noisy.pixels()) {
+    state = state * 1664525u + 1013904223u;
+    p.r = static_cast<std::uint8_t>(state >> 24);
+    p.g = static_cast<std::uint8_t>(state >> 16);
+    p.b = static_cast<std::uint8_t>(state >> 8);
+  }
+  jpeg::EncodeOptions opts;
+  opts.quality = 95;
+  opts.subsampling = jpeg::Subsampling::s444;  // keep chroma noise intact
+  const auto data = jpeg::encode(noisy, opts);
+  const RgbImage back = jpeg::decode(data);
+  EXPECT_EQ(back.width(), 64u);
+  EXPECT_GT(psnr(noisy, back), 20.0);  // noise is hard; just sanity
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// LBM solver tests: equilibrium stability, mass conservation (periodic box,
+// with and without a barrier), serial-vs-distributed bitwise equivalence,
+// wind-tunnel flow development around the paper's barrier, and decomposition
+// invariants (at most two neighbours per rank).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lbm/lbm.hpp"
+#include "minimpi/minimpi.hpp"
+
+namespace {
+
+using lbm::BoundaryMode;
+using lbm::DistributedLbm;
+using lbm::Params;
+
+Params periodic_params(int nx = 32, int ny = 16) {
+  Params p;
+  p.nx = nx;
+  p.ny = ny;
+  p.boundary = BoundaryMode::periodic;
+  p.u0 = 0.0;
+  return p;
+}
+
+TEST(Lbm, UniformEquilibriumIsStationary) {
+  mpi::run(1, [](mpi::Comm& comm) {
+    DistributedLbm sim(comm, periodic_params());
+    const double m0 = sim.global_mass();
+    sim.run(10);
+    // Uniform rest fluid: nothing should change at all.
+    EXPECT_NEAR(sim.global_mass(), m0, 1e-9);
+    const auto v = sim.local_vorticity();
+    for (float x : v) EXPECT_NEAR(x, 0.0f, 1e-12f);
+  });
+}
+
+TEST(Lbm, MassConservedInPeriodicBox) {
+  mpi::run(4, [](mpi::Comm& comm) {
+    Params p = periodic_params(48, 24);
+    DistributedLbm sim(comm, p);
+    const double m0 = sim.global_mass();
+    sim.run(50);
+    EXPECT_NEAR(sim.global_mass(), m0, 1e-8 * m0);
+  });
+}
+
+TEST(Lbm, MassConservedWithBarrierBounceBack) {
+  mpi::run(3, [](mpi::Comm& comm) {
+    Params p = periodic_params(36, 18);
+    p.barrier = Params::vertical_barrier(12, 5, 12);
+    DistributedLbm sim(comm, p);
+    const double m0 = sim.global_mass();
+    sim.run(40);
+    EXPECT_NEAR(sim.global_mass(), m0, 1e-8 * m0);
+  });
+}
+
+TEST(Lbm, SerialAndDistributedAgreeBitwise) {
+  // The halo exchange must be transparent: P=1 and P=5 runs of the same
+  // wind-tunnel problem produce identical vorticity fields.
+  Params p;
+  p.nx = 40;
+  p.ny = 20;
+  p.barrier = Params::vertical_barrier(10, 6, 13);
+
+  std::vector<float> serial;
+  mpi::run(1, [&](mpi::Comm& comm) {
+    DistributedLbm sim(comm, p);
+    sim.run(30);
+    serial = sim.local_vorticity();
+  });
+
+  std::vector<float> distributed(serial.size(), -999.0f);
+  mpi::run(5, [&](mpi::Comm& comm) {
+    DistributedLbm sim(comm, p);
+    sim.run(30);
+    const auto local = sim.local_vorticity();
+    // Gather by global row offset.
+    const std::size_t offset = static_cast<std::size_t>(
+        sim.row_start(comm.rank()) * p.nx);
+    const mpi::Datatype f = mpi::Datatype::of<float>();
+    if (comm.rank() == 0) {
+      std::copy(local.begin(), local.end(), distributed.begin());
+      for (int r = 1; r < comm.size(); ++r) {
+        const std::size_t roff =
+            static_cast<std::size_t>(sim.row_start(r) * p.nx);
+        const std::size_t rn = static_cast<std::size_t>(
+            (sim.row_start(r + 1) - sim.row_start(r)) * p.nx);
+        comm.recv(distributed.data() + roff, rn, f, r, 0);
+      }
+    } else {
+      comm.send(local.data() + 0, local.size(), f, 0, 0);
+      (void)offset;
+    }
+  });
+
+  ASSERT_EQ(serial.size(), distributed.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], distributed[i]) << "cell " << i;
+}
+
+TEST(Lbm, WindTunnelDevelopsFlowAroundBarrier) {
+  mpi::run(2, [](mpi::Comm& comm) {
+    Params p;
+    p.nx = 64;
+    p.ny = 32;
+    p.u0 = 0.1;
+    p.barrier = Params::vertical_barrier(16, 10, 21);
+    DistributedLbm sim(comm, p);
+    sim.run(200);
+
+    // Vorticity must be non-trivial somewhere behind the barrier.
+    const auto v = sim.local_vorticity();
+    double max_abs = 0;
+    for (float x : v) max_abs = std::max(max_abs, std::abs(double(x)));
+    EXPECT_GT(max_abs, 1e-3);
+
+    // And the field must stay finite/stable.
+    for (float x : v) EXPECT_TRUE(std::isfinite(x));
+  });
+}
+
+TEST(Lbm, VorticityHasOppositeSignsAcrossTheWake) {
+  // Behind a symmetric barrier in early laminar flow, the shear layers above
+  // and below the centre line rotate in opposite directions.
+  mpi::run(1, [](mpi::Comm& comm) {
+    Params p;
+    p.nx = 96;
+    p.ny = 48;
+    p.u0 = 0.1;
+    p.barrier = Params::vertical_barrier(24, 16, 31);
+    DistributedLbm sim(comm, p);
+    sim.run(300);
+    const auto& slab = sim.slab();
+    double above = 0, below = 0;
+    for (int x = 26; x < 60; ++x) {
+      above += slab.vorticity(x, 34);
+      below += slab.vorticity(x, 13);
+    }
+    EXPECT_LT(above * below, 0.0) << "above=" << above << " below=" << below;
+  });
+}
+
+TEST(Lbm, RowDecompositionIsBalancedAndComplete) {
+  mpi::run(7, [](mpi::Comm& comm) {
+    Params p = periodic_params(16, 30);
+    DistributedLbm sim(comm, p);
+    EXPECT_EQ(sim.row_start(0), 0);
+    EXPECT_EQ(sim.row_start(comm.size()), p.ny);
+    for (int r = 0; r < comm.size(); ++r) {
+      const int rows = sim.row_start(r + 1) - sim.row_start(r);
+      EXPECT_GE(rows, p.ny / comm.size());
+      EXPECT_LE(rows, p.ny / comm.size() + 1);
+    }
+  });
+}
+
+TEST(Lbm, SolidCellsAreMarked) {
+  mpi::run(1, [](mpi::Comm& comm) {
+    Params p = periodic_params(16, 16);
+    p.barrier = Params::vertical_barrier(4, 2, 6);
+    DistributedLbm sim(comm, p);
+    EXPECT_TRUE(sim.slab().solid(4, 3));
+    EXPECT_FALSE(sim.slab().solid(5, 3));
+    EXPECT_FALSE(sim.slab().solid(4, 7));
+  });
+}
+
+TEST(Lbm, DerivedFieldsAreConsistent) {
+  mpi::run(2, [](mpi::Comm& comm) {
+    Params p;
+    p.nx = 48;
+    p.ny = 24;
+    p.u0 = 0.1;
+    p.barrier = Params::vertical_barrier(12, 8, 15);
+    DistributedLbm sim(comm, p);
+    sim.run(100);
+
+    const auto rho = sim.local_field(lbm::Field::density);
+    const auto ux = sim.local_field(lbm::Field::ux);
+    const auto uy = sim.local_field(lbm::Field::uy);
+    const auto speed = sim.local_field(lbm::Field::speed);
+    const auto vort = sim.local_field(lbm::Field::vorticity);
+    ASSERT_EQ(rho.size(), ux.size());
+    ASSERT_EQ(vort.size(), sim.local_vorticity().size());
+
+    for (std::size_t i = 0; i < rho.size(); ++i) {
+      // speed == |(ux, uy)| pointwise.
+      EXPECT_NEAR(speed[i],
+                  std::sqrt(ux[i] * ux[i] + uy[i] * uy[i]), 1e-5f);
+      // Density stays near 1 for a stable low-Mach flow (solid cells are 0).
+      EXPECT_LT(rho[i], 1.5f);
+      EXPECT_GE(rho[i], 0.0f);
+    }
+    // The flow must actually be moving somewhere.
+    float max_speed = 0;
+    for (float s : speed) max_speed = std::max(max_speed, s);
+    EXPECT_GT(max_speed, 0.05f);
+  });
+}
+
+TEST(Lbm, RejectsBadConfigurations) {
+  EXPECT_THROW(mpi::run(1,
+                        [](mpi::Comm& comm) {
+                          Params p;
+                          p.nx = 2;  // too small
+                          p.ny = 16;
+                          DistributedLbm sim(comm, p);
+                        }),
+               lbm::Error);
+  EXPECT_THROW(mpi::run(8,
+                        [](mpi::Comm& comm) {
+                          Params p = periodic_params(16, 4);  // 8 ranks, 4 rows
+                          DistributedLbm sim(comm, p);
+                        }),
+               lbm::Error);
+}
+
+}  // namespace

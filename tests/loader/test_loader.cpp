@@ -1,0 +1,257 @@
+// Integration tests of the parallel TIFF loading strategies: all three must
+// produce the identical brick, with the read counts and redistribution round
+// counts the paper's analysis (§IV-A, Table III) predicts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+
+#include "ddr/error.hpp"
+#include "loader/tiff_loader.hpp"
+#include "minimpi/minimpi.hpp"
+#include "tiff/phantom.hpp"
+
+namespace {
+
+using loader::LoadStats;
+using loader::SeriesInfo;
+using loader::Strategy;
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = (std::filesystem::temp_directory_path() / "ddr_loader_series")
+               .string();
+    std::filesystem::remove_all(dir_);
+    tiff::write_phantom_series(dir_, kW, kH, kD, 16);
+  }
+  static void TearDownTestSuite() { std::filesystem::remove_all(dir_); }
+
+  static SeriesInfo series() {
+    SeriesInfo s;
+    s.dir = dir_;
+    s.width = kW;
+    s.height = kH;
+    s.depth = kD;
+    s.bytes_per_sample = 2;
+    s.max_sample_value = 65535.0;
+    return s;
+  }
+
+  static constexpr int kW = 24, kH = 16, kD = 12;
+  static std::string dir_;
+};
+
+std::string LoaderTest::dir_;
+
+TEST_F(LoaderTest, AllStrategiesProduceIdenticalBricks) {
+  for (int nranks : {1, 4, 8}) {
+    std::vector<std::vector<float>> results(3);
+    int idx = 0;
+    for (Strategy s : {Strategy::no_ddr, Strategy::ddr_round_robin,
+                       Strategy::ddr_consecutive}) {
+      std::vector<float> rank0;
+      mpi::run(nranks, [&](mpi::Comm& comm) {
+        const dvr::Brick b = loader::load_brick(comm, series(), s);
+        if (comm.rank() == 0) rank0 = b.data;
+      });
+      results[static_cast<std::size_t>(idx++)] = std::move(rank0);
+    }
+    EXPECT_EQ(results[0], results[1]) << "no_ddr vs rr, P=" << nranks;
+    EXPECT_EQ(results[0], results[2]) << "no_ddr vs consec, P=" << nranks;
+    EXPECT_FALSE(results[0].empty());
+  }
+}
+
+TEST_F(LoaderTest, BrickMatchesPhantomDirectly) {
+  mpi::run(4, [&](mpi::Comm& comm) {
+    const dvr::Brick b =
+        loader::load_brick(comm, series(), Strategy::ddr_consecutive);
+    // Spot-check a sample against the phantom function itself.
+    const auto& c = b.chunk;
+    const int lx = c.dims[0] / 2, ly = c.dims[1] / 2, lz = c.dims[2] / 2;
+    const auto ref = tiff::phantom_slice(kW, kH, c.offsets[2] + lz, kD, 16);
+    const double expect =
+        ref.value(static_cast<std::uint32_t>(c.offsets[0] + lx),
+                  static_cast<std::uint32_t>(c.offsets[1] + ly)) /
+        65535.0;
+    EXPECT_NEAR(b.sample(lx, ly, lz), expect, 1e-4);
+  });
+}
+
+TEST_F(LoaderTest, DdrReadsEachImageExactlyOnceGlobally) {
+  for (Strategy s : {Strategy::ddr_round_robin, Strategy::ddr_consecutive}) {
+    std::atomic<int> total_reads{0};
+    mpi::run(4, [&](mpi::Comm& comm) {
+      LoadStats st;
+      (void)loader::load_brick(comm, series(), s, nullptr, &st);
+      total_reads.fetch_add(st.images_read);
+    });
+    EXPECT_EQ(total_reads.load(), kD) << to_string(s);
+  }
+}
+
+TEST_F(LoaderTest, NoDdrReadsRedundantly) {
+  // With a 2x2x1 brick grid (4 ranks over a shallow volume), every slice
+  // intersects 4 bricks, so the baseline reads each image 4 times.
+  std::atomic<int> total_reads{0};
+  mpi::run(4, [&](mpi::Comm& comm) {
+    LoadStats st;
+    (void)loader::load_brick(comm, series(), Strategy::no_ddr, nullptr, &st);
+    total_reads.fetch_add(st.images_read);
+  });
+  EXPECT_GT(total_reads.load(), kD);
+}
+
+TEST_F(LoaderTest, RoundCountsMatchTableIIIRule) {
+  // rounds = ceil(depth / P) for round-robin, 1 for consecutive.
+  mpi::run(4, [&](mpi::Comm& comm) {
+    LoadStats st;
+    (void)loader::load_brick(comm, series(), Strategy::ddr_round_robin,
+                             nullptr, &st);
+    EXPECT_EQ(st.redistribution_rounds, (kD + comm.size() - 1) / comm.size());
+    LoadStats st2;
+    (void)loader::load_brick(comm, series(), Strategy::ddr_consecutive,
+                             nullptr, &st2);
+    EXPECT_EQ(st2.redistribution_rounds, 1);
+  });
+}
+
+TEST_F(LoaderTest, IoModelChargesVirtualTime) {
+  const simnet::IoModel io;
+  const mpi::RunResult res = mpi::run(2, [&](mpi::Comm& comm) {
+    (void)loader::load_brick(comm, series(), Strategy::ddr_consecutive, &io);
+  });
+  // 6 slices x (open latency + bytes / bw) per rank at minimum.
+  const double per_slice =
+      io.read_time(static_cast<double>(series().slice_bytes()), 2, 1);
+  EXPECT_GE(res.makespan(), 6 * per_slice);
+}
+
+TEST_F(LoaderTest, PreparedLoadIsReusable) {
+  // Paper §III-C: the mapping survives across data updates; execute() twice
+  // must give identical bricks without re-running setup.
+  mpi::run(4, [&](mpi::Comm& comm) {
+    const loader::PreparedLoad prepared(comm, series(),
+                                        Strategy::ddr_round_robin);
+    const dvr::Brick a = prepared.execute();
+    const dvr::Brick b = prepared.execute();
+    EXPECT_EQ(a.data, b.data);
+    EXPECT_EQ(a.chunk, prepared.brick_chunk());
+  });
+}
+
+class StoreTest : public ::testing::Test {};
+
+TEST(StoreTest, WriteThenReadRoundtrips) {
+  // Every rank fabricates its brick of a synthetic volume, stores the
+  // volume as a TIFF series via DDR, and a fresh load must reproduce it.
+  const auto out_dir =
+      (std::filesystem::temp_directory_path() / "ddr_store_rt").string();
+  constexpr int kW = 16, kH = 12, kD = 8;
+  auto sample = [](int x, int y, int z) {
+    return static_cast<std::uint16_t>((x + 31 * y + 131 * z) % 60000);
+  };
+
+  for (Strategy s : {Strategy::ddr_consecutive, Strategy::ddr_round_robin}) {
+    std::filesystem::remove_all(out_dir);
+    std::filesystem::create_directories(out_dir);
+    loader::SeriesInfo series;
+    series.dir = out_dir;
+    series.width = kW;
+    series.height = kH;
+    series.depth = kD;
+    series.bytes_per_sample = 2;
+    series.max_sample_value = 65535.0;
+
+    std::atomic<int> writes{0};
+    mpi::run(4, [&](mpi::Comm& comm) {
+      const auto grid =
+          dvr::brick_grid(comm.size(), {kW, kH, kD});
+      const ddr::Chunk brick = dvr::brick_of(comm.rank(), grid, {kW, kH, kD});
+      std::vector<std::byte> raw(static_cast<std::size_t>(brick.volume()) * 2);
+      std::size_t i = 0;
+      for (int z = 0; z < brick.dims[2]; ++z)
+        for (int y = 0; y < brick.dims[1]; ++y)
+          for (int x = 0; x < brick.dims[0]; ++x) {
+            const std::uint16_t v = sample(
+                x + brick.offsets[0], y + brick.offsets[1],
+                z + brick.offsets[2]);
+            std::memcpy(raw.data() + 2 * i++, &v, 2);
+          }
+      loader::LoadStats st;
+      loader::store_volume(comm, series, brick, raw, s, nullptr, &st);
+      writes.fetch_add(st.images_written);
+      // Round-robin writers receive everything in ONE round (each rank owns
+      // exactly one brick chunk).
+      EXPECT_EQ(st.redistribution_rounds, 1);
+    });
+    EXPECT_EQ(writes.load(), kD) << to_string(s);
+
+    // Verify every pixel of every written slice.
+    for (int z = 0; z < kD; ++z) {
+      const tiff::GrayImage img =
+          tiff::read_file(tiff::slice_path(out_dir, z));
+      ASSERT_EQ(img.info().width, static_cast<std::uint32_t>(kW));
+      for (int y = 0; y < kH; ++y)
+        for (int x = 0; x < kW; ++x)
+          ASSERT_EQ(img.value(static_cast<std::uint32_t>(x),
+                              static_cast<std::uint32_t>(y)),
+                    sample(x, y, z))
+              << to_string(s) << " slice " << z;
+    }
+  }
+  std::filesystem::remove_all(out_dir);
+}
+
+TEST(StoreTest, NoDdrIsRejectedForWrites) {
+  EXPECT_THROW(
+      mpi::run(1,
+               [](mpi::Comm& comm) {
+                 loader::SeriesInfo series;
+                 series.dir = "/tmp/unused";
+                 series.width = 4;
+                 series.height = 4;
+                 series.depth = 2;
+                 std::vector<std::byte> raw(4 * 4 * 2 * 4);
+                 loader::store_volume(comm, series,
+                                      ddr::Chunk::d3(4, 4, 2, 0, 0, 0), raw,
+                                      Strategy::no_ddr);
+               }),
+      ddr::Error);
+}
+
+TEST(LoaderPlan, LayoutsAreValidAtFullPaperScale) {
+  // The paper's artificial data set: 4096 slices of 4096x2048, 27..216
+  // ranks. Pure geometry — no pixel data involved.
+  for (int p : {27, 64, 125, 216}) {
+    for (Strategy s : {Strategy::ddr_round_robin, Strategy::ddr_consecutive}) {
+      const ddr::GlobalLayout layout =
+          loader::plan_layout(p, 4096, 2048, 4096, s);
+      EXPECT_EQ(layout.nranks(), p);
+      const int expect_rounds =
+          s == Strategy::ddr_consecutive ? 1 : (4096 + p - 1) / p;
+      EXPECT_EQ(layout.rounds(), expect_rounds) << "P=" << p;
+      // Completeness: total owned volume equals the domain.
+      std::int64_t total = 0;
+      for (const auto& rank_chunks : layout.owned)
+        for (const auto& c : rank_chunks) total += c.volume();
+      EXPECT_EQ(total, std::int64_t{4096} * 2048 * 4096);
+    }
+  }
+}
+
+TEST(LoaderPlan, TableIIIRoundCountsExact) {
+  // Table III round counts for the round-robin method: 152, 64, 33, 19.
+  const int expect[] = {152, 64, 33, 19};
+  const int procs[] = {27, 64, 125, 216};
+  for (int i = 0; i < 4; ++i) {
+    const auto layout = loader::plan_layout(procs[i], 4096, 2048, 4096,
+                                            Strategy::ddr_round_robin);
+    EXPECT_EQ(layout.rounds(), expect[i]) << "P=" << procs[i];
+  }
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Tests for Cartesian topologies: dims_create factorization, coordinate
+// mapping, periodic and bounded shifts, and a ring exchange driven entirely
+// through the topology.
+
+#include <gtest/gtest.h>
+
+#include "minimpi/cart.hpp"
+#include "minimpi/minimpi.hpp"
+
+namespace {
+
+using mpi::CartComm;
+
+TEST(DimsCreate, BalancedFactorizations) {
+  EXPECT_EQ(CartComm::dims_create(12, 2), (std::vector<int>{4, 3}));
+  EXPECT_EQ(CartComm::dims_create(16, 2), (std::vector<int>{4, 4}));
+  EXPECT_EQ(CartComm::dims_create(27, 3), (std::vector<int>{3, 3, 3}));
+  EXPECT_EQ(CartComm::dims_create(7, 2), (std::vector<int>{7, 1}));
+  EXPECT_EQ(CartComm::dims_create(1, 3), (std::vector<int>{1, 1, 1}));
+  EXPECT_EQ(CartComm::dims_create(60, 3), (std::vector<int>{5, 4, 3}));
+}
+
+TEST(DimsCreate, ProductAlwaysMatches) {
+  for (int n = 1; n <= 64; ++n)
+    for (int d = 1; d <= 3; ++d) {
+      const auto dims = CartComm::dims_create(n, d);
+      int prod = 1;
+      for (int v : dims) prod *= v;
+      EXPECT_EQ(prod, n) << "n=" << n << " d=" << d;
+    }
+}
+
+TEST(Cart, CoordsRoundtrip) {
+  mpi::run(12, [](mpi::Comm& comm) {
+    const int dims[] = {4, 3};
+    const bool periods[] = {false, false};
+    const CartComm cart(comm, dims, periods);
+    const auto c = cart.coords(comm.rank());
+    EXPECT_EQ(cart.rank_of(c), comm.rank());
+    EXPECT_EQ(c[0], comm.rank() % 4);
+    EXPECT_EQ(c[1], comm.rank() / 4);
+  });
+}
+
+TEST(Cart, BoundedShiftCutsOffAtEdges) {
+  mpi::run(4, [](mpi::Comm& comm) {
+    const int dims[] = {4};
+    const bool periods[] = {false};
+    const CartComm cart(comm, dims, periods);
+    const auto [src, dst] = cart.shift(0, 1);
+    EXPECT_EQ(src, comm.rank() > 0 ? comm.rank() - 1 : -1);
+    EXPECT_EQ(dst, comm.rank() < 3 ? comm.rank() + 1 : -1);
+  });
+}
+
+TEST(Cart, PeriodicShiftWraps) {
+  mpi::run(4, [](mpi::Comm& comm) {
+    const int dims[] = {4};
+    const bool periods[] = {true};
+    const CartComm cart(comm, dims, periods);
+    const auto [src, dst] = cart.shift(0, 1);
+    EXPECT_EQ(src, (comm.rank() + 3) % 4);
+    EXPECT_EQ(dst, (comm.rank() + 1) % 4);
+    // Displacements beyond one hop also wrap.
+    const auto [src2, dst2] = cart.shift(0, 5);  // == shift by 1
+    EXPECT_EQ(src2, src);
+    EXPECT_EQ(dst2, dst);
+  });
+}
+
+TEST(Cart, RingExchangeViaTopology) {
+  mpi::run(6, [](mpi::Comm& comm) {
+    const int dims[] = {3, 2};
+    const bool periods[] = {true, false};
+    const CartComm cart(comm, dims, periods);
+    const mpi::Datatype i = mpi::Datatype::of<int>();
+    // Shift along the periodic x axis.
+    const auto [src, dst] = cart.shift(0, 1);
+    ASSERT_GE(src, 0);
+    ASSERT_GE(dst, 0);
+    const int mine = comm.rank() * 11;
+    int got = -1;
+    comm.sendrecv(&mine, 1, i, dst, 0, &got, 1, i, src, 0);
+    EXPECT_EQ(got, src * 11);
+
+    // Shift along the bounded y axis: edge ranks see -1.
+    const auto c = cart.coords(comm.rank());
+    const auto [ysrc, ydst] = cart.shift(1, 1);
+    EXPECT_EQ(ysrc >= 0, c[1] > 0);
+    EXPECT_EQ(ydst >= 0, c[1] < 1);
+  });
+}
+
+TEST(Cart, RejectsMismatchedGrid) {
+  EXPECT_THROW(mpi::run(4,
+                        [](mpi::Comm& comm) {
+                          const int dims[] = {3};
+                          const bool periods[] = {false};
+                          CartComm cart(comm, dims, periods);
+                        }),
+               mpi::Error);
+}
+
+}  // namespace

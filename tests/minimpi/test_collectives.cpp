@@ -1,0 +1,414 @@
+// Collective operation tests across a range of communicator sizes, including
+// non-power-of-two sizes that stress binomial-tree edge cases.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "minimpi/minimpi.hpp"
+
+namespace {
+
+using mpi::Comm;
+using mpi::Datatype;
+using mpi::Op;
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives, BarrierCompletes) {
+  mpi::run(GetParam(), [](Comm& comm) {
+    for (int i = 0; i < 3; ++i) comm.barrier();
+  });
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  mpi::run(GetParam(), [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    for (int root = 0; root < comm.size(); ++root) {
+      std::vector<int> data(4, comm.rank() == root ? root * 7 : -1);
+      comm.bcast(data.data(), data.size(), i, root);
+      for (int v : data) EXPECT_EQ(v, root * 7);
+    }
+  });
+}
+
+TEST_P(Collectives, ReduceSum) {
+  mpi::run(GetParam(), [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    const int p = comm.size();
+    const std::vector<int> mine{comm.rank(), comm.rank() * 2};
+    std::vector<int> out(2, 0);
+    comm.reduce(mine.data(), out.data(), 2, i, Op::sum<int>(), p - 1);
+    if (comm.rank() == p - 1) {
+      const int expect = p * (p - 1) / 2;
+      EXPECT_EQ(out[0], expect);
+      EXPECT_EQ(out[1], 2 * expect);
+    }
+  });
+}
+
+TEST_P(Collectives, AllreduceMinMax) {
+  mpi::run(GetParam(), [](Comm& comm) {
+    const Datatype d = Datatype::of<double>();
+    const double mine = static_cast<double>(comm.rank());
+    double lo = 0, hi = 0;
+    comm.allreduce(&mine, &lo, 1, d, Op::min<double>());
+    comm.allreduce(&mine, &hi, 1, d, Op::max<double>());
+    EXPECT_DOUBLE_EQ(lo, 0.0);
+    EXPECT_DOUBLE_EQ(hi, static_cast<double>(comm.size() - 1));
+  });
+}
+
+TEST_P(Collectives, GatherToRoot) {
+  mpi::run(GetParam(), [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    const int p = comm.size();
+    const std::vector<int> mine{comm.rank(), comm.rank() + 100};
+    std::vector<int> all(static_cast<std::size_t>(2 * p), -1);
+    comm.gather(mine.data(), 2, i, all.data(), 2, i, 0);
+    if (comm.rank() == 0) {
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * r)], r);
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * r + 1)], r + 100);
+      }
+    }
+  });
+}
+
+TEST_P(Collectives, GathervVariableCounts) {
+  mpi::run(GetParam(), [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    const int p = comm.size();
+    // Rank r contributes r+1 values, all equal to r.
+    const std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1),
+                                comm.rank());
+    std::vector<int> counts, displs;
+    int total = 0;
+    for (int r = 0; r < p; ++r) {
+      counts.push_back(r + 1);
+      displs.push_back(total);
+      total += r + 1;
+    }
+    std::vector<int> all(static_cast<std::size_t>(total), -1);
+    comm.gatherv(mine.data(), mine.size(), i, all.data(), counts, displs, i, 0);
+    if (comm.rank() == 0) {
+      std::size_t idx = 0;
+      for (int r = 0; r < p; ++r)
+        for (int k = 0; k <= r; ++k) EXPECT_EQ(all[idx++], r);
+    }
+  });
+}
+
+TEST_P(Collectives, AllgatherEveryoneSeesAll) {
+  mpi::run(GetParam(), [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    const int p = comm.size();
+    const int mine = comm.rank() * 3;
+    std::vector<int> all(static_cast<std::size_t>(p), -1);
+    comm.allgather(&mine, 1, i, all.data(), 1, i);
+    for (int r = 0; r < p; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 3);
+  });
+}
+
+TEST_P(Collectives, ScatterSlices) {
+  mpi::run(GetParam(), [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    const int p = comm.size();
+    std::vector<int> src;
+    if (comm.rank() == 0)
+      for (int r = 0; r < p; ++r) {
+        src.push_back(r * 10);
+        src.push_back(r * 10 + 1);
+      }
+    std::vector<int> mine(2, -1);
+    comm.scatter(src.data(), 2, i, mine.data(), 2, i, 0);
+    EXPECT_EQ(mine[0], comm.rank() * 10);
+    EXPECT_EQ(mine[1], comm.rank() * 10 + 1);
+  });
+}
+
+TEST_P(Collectives, ScattervVariableCounts) {
+  mpi::run(GetParam(), [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    const int p = comm.size();
+    std::vector<int> src, counts, displs;
+    int total = 0;
+    for (int r = 0; r < p; ++r) {
+      counts.push_back(r + 1);
+      displs.push_back(total);
+      for (int k = 0; k <= r; ++k) src.push_back(r);
+      total += r + 1;
+    }
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1), -1);
+    comm.scatterv(comm.rank() == 0 ? src.data() : nullptr, counts, displs, i,
+                  mine.data(), mine.size(), i, 0);
+    for (int v : mine) EXPECT_EQ(v, comm.rank());
+  });
+}
+
+TEST_P(Collectives, AlltoallTransposesRankMatrix) {
+  mpi::run(GetParam(), [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    const int p = comm.size();
+    // Element sent from r to q is r*1000 + q.
+    std::vector<int> send, recv(static_cast<std::size_t>(p), -1);
+    for (int q = 0; q < p; ++q) send.push_back(comm.rank() * 1000 + q);
+    comm.alltoall(send.data(), 1, i, recv.data(), 1, i);
+    for (int q = 0; q < p; ++q)
+      EXPECT_EQ(recv[static_cast<std::size_t>(q)], q * 1000 + comm.rank());
+  });
+}
+
+TEST_P(Collectives, AlltoallvVariableCounts) {
+  mpi::run(GetParam(), [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    const int p = comm.size();
+    // r sends q exactly q+1 copies of r.
+    std::vector<int> send, scounts, sdispls, rcounts, rdispls;
+    int soff = 0, roff = 0;
+    for (int q = 0; q < p; ++q) {
+      scounts.push_back(q + 1);
+      sdispls.push_back(soff);
+      for (int k = 0; k <= q; ++k) send.push_back(comm.rank());
+      soff += q + 1;
+      rcounts.push_back(comm.rank() + 1);
+      rdispls.push_back(roff);
+      roff += comm.rank() + 1;
+    }
+    std::vector<int> recv(static_cast<std::size_t>(roff), -1);
+    comm.alltoallv(send.data(), scounts, sdispls, i, recv.data(), rcounts,
+                   rdispls, i);
+    std::size_t idx = 0;
+    for (int q = 0; q < p; ++q)
+      for (int k = 0; k <= comm.rank(); ++k) EXPECT_EQ(recv[idx++], q);
+  });
+}
+
+TEST_P(Collectives, ScanComputesInclusivePrefix) {
+  mpi::run(GetParam(), [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    const int mine = comm.rank() + 1;
+    int prefix = -1;
+    comm.scan(&mine, &prefix, 1, i, Op::sum<int>());
+    const int r = comm.rank() + 1;
+    EXPECT_EQ(prefix, r * (r + 1) / 2);
+  });
+}
+
+TEST_P(Collectives, ExscanComputesExclusivePrefix) {
+  mpi::run(GetParam(), [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    const int mine = comm.rank() + 1;
+    int prefix = -42;
+    comm.exscan(&mine, &prefix, 1, i, Op::sum<int>());
+    if (comm.rank() == 0) {
+      EXPECT_EQ(prefix, -42);  // rank 0's buffer is untouched
+    } else {
+      const int r = comm.rank();
+      EXPECT_EQ(prefix, r * (r + 1) / 2);
+    }
+  });
+}
+
+TEST(Scan, RespectsOperationOrderForNonCommutativeOps) {
+  // String-like concatenation encoded as digit shifting: op(a, b) = a*10+b.
+  mpi::run(4, [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    const mpi::Op concat([](void* inout, const void* in, std::size_t n) {
+      auto* a = static_cast<int*>(inout);
+      const auto* b = static_cast<const int*>(in);
+      for (std::size_t k = 0; k < n; ++k) a[k] = a[k] * 10 + b[k];
+    });
+    const int mine = comm.rank() + 1;
+    int prefix = 0;
+    comm.scan(&mine, &prefix, 1, i, concat);
+    const int expect[] = {1, 12, 123, 1234};
+    EXPECT_EQ(prefix, expect[comm.rank()]);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Collectives,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16, 27),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(Collectives2, GathervWithSubarrayRecvType) {
+  // Root receives each rank's row directly into column `r` of a matrix by
+  // using a resized column subarray as the receive type — exercising
+  // extent-based displacement arithmetic.
+  mpi::run(3, [](Comm& comm) {
+    const Datatype b = Datatype::bytes(1);
+    const int p = comm.size();
+    std::vector<std::byte> mine(4, std::byte(10 * comm.rank()));
+    std::vector<std::byte> matrix(static_cast<std::size_t>(4 * p),
+                                  std::byte{0xFF});
+    // Column type on a 4 x p matrix: 4 rows, 1 col; resize its extent to one
+    // byte so displacement r selects column r.
+    const int sizes[] = {4, p}, sub[] = {4, 1}, st[] = {0, 0};
+    const Datatype col =
+        Datatype::resized(Datatype::subarray(sizes, sub, st, b), 1);
+    std::vector<int> counts(static_cast<std::size_t>(p), 1);
+    std::vector<int> displs;
+    for (int r = 0; r < p; ++r) displs.push_back(r);
+    comm.gatherv(mine.data(), 4, b, matrix.data(), counts, displs, col, 0);
+    if (comm.rank() == 0) {
+      for (int row = 0; row < 4; ++row)
+        for (int c = 0; c < p; ++c)
+          EXPECT_EQ(matrix[static_cast<std::size_t>(row * p + c)],
+                    std::byte(10 * c))
+              << "row " << row << " col " << c;
+    }
+  });
+}
+
+TEST(Collectives2, AlltoallWithNonContiguousTypes) {
+  // Send every other int; receive into every other slot.
+  mpi::run(2, [](Comm& comm) {
+    const Datatype strided = Datatype::vector(2, 1, 2, Datatype::of<int>());
+    // Per peer: one strided element (2 ints at stride 2 -> extent 3 ints).
+    std::vector<int> send(12, -1), recv(12, -9);
+    for (int peer = 0; peer < 2; ++peer) {
+      send[static_cast<std::size_t>(3 * peer)] = comm.rank() * 100 + peer;
+      send[static_cast<std::size_t>(3 * peer + 2)] = comm.rank() * 100 + peer + 50;
+    }
+    comm.alltoall(send.data(), 1, strided, recv.data(), 1, strided);
+    for (int peer = 0; peer < 2; ++peer) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(3 * peer)],
+                peer * 100 + comm.rank());
+      EXPECT_EQ(recv[static_cast<std::size_t>(3 * peer + 1)], -9);  // hole
+      EXPECT_EQ(recv[static_cast<std::size_t>(3 * peer + 2)],
+                peer * 100 + comm.rank() + 50);
+    }
+  });
+}
+
+TEST(Alltoallw, SubarrayTypesRedistributeRowsToColumns) {
+  // 2 ranks share a 4x4 byte matrix: rank 0 owns rows 0-1, rank 1 rows 2-3.
+  // After alltoallw, rank 0 holds columns 0-1, rank 1 columns 2-3.
+  mpi::run(2, [](Comm& comm) {
+    const int r = comm.rank();
+    const Datatype b = Datatype::bytes(1);
+    // Owned: 2x4 slab. Value at global (row, col) = row * 4 + col.
+    std::vector<std::byte> own(8);
+    for (int row = 0; row < 2; ++row)
+      for (int col = 0; col < 4; ++col)
+        own[static_cast<std::size_t>(row * 4 + col)] =
+            std::byte((row + 2 * r) * 4 + col);
+    // Needed: 4x2 slab of columns.
+    std::vector<std::byte> need(8, std::byte{0xFF});
+
+    const int own_sizes[] = {2, 4};   // rows x cols of the owned slab
+    const int need_sizes[] = {4, 2};  // rows x cols of the needed slab
+
+    std::vector<int> counts(2, 1);
+    std::vector<std::ptrdiff_t> zero_d(2, 0);
+    std::vector<Datatype> stypes, rtypes;
+    for (int q = 0; q < 2; ++q) {
+      // Send: my 2 rows restricted to q's 2 columns.
+      const int ssub[] = {2, 2}, sst[] = {0, 2 * q};
+      stypes.push_back(Datatype::subarray(own_sizes, ssub, sst, b));
+      // Recv: q's 2 rows of my column slab.
+      const int rsub[] = {2, 2}, rst[] = {2 * q, 0};
+      rtypes.push_back(Datatype::subarray(need_sizes, rsub, rst, b));
+    }
+    comm.alltoallw(own.data(), counts, zero_d, stypes, need.data(), counts,
+                   zero_d, rtypes);
+
+    for (int row = 0; row < 4; ++row)
+      for (int col = 0; col < 2; ++col)
+        EXPECT_EQ(need[static_cast<std::size_t>(row * 2 + col)],
+                  std::byte(row * 4 + col + 2 * r))
+            << "row " << row << " col " << col;
+  });
+}
+
+TEST(Alltoallw, MismatchedCountsThrowTruncate) {
+  EXPECT_THROW(
+      mpi::run(2,
+               [](Comm& comm) {
+                 const Datatype b4 = Datatype::bytes(4);
+                 const Datatype b8 = Datatype::bytes(8);
+                 std::vector<std::byte> buf(32);
+                 std::vector<int> counts(2, 1);
+                 std::vector<std::ptrdiff_t> d(2, 0);
+                 std::vector<Datatype> st(2, b4), rt(2, b8);
+                 comm.alltoallw(buf.data(), counts, d, st, buf.data(), counts,
+                                d, rt);
+               }),
+      mpi::Error);
+}
+
+TEST(Split, ColorGroupsFormDisjointComms) {
+  mpi::run(6, [](Comm& comm) {
+    const int color = comm.rank() % 2;
+    Comm sub = comm.split(color, comm.rank());
+    ASSERT_TRUE(sub.valid());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    EXPECT_EQ(sub.world_rank(sub.rank()), comm.rank());
+
+    // A reduction inside the sub-communicator only sees members.
+    const int mine = comm.rank();
+    int sum = 0;
+    sub.allreduce(&mine, &sum, 1, Datatype::of<int>(), Op::sum<int>());
+    EXPECT_EQ(sum, color == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+  });
+}
+
+TEST(Split, NegativeColorYieldsInvalidComm) {
+  mpi::run(4, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() == 0 ? -1 : 0, 0);
+    if (comm.rank() == 0) {
+      EXPECT_FALSE(sub.valid());
+    } else {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 3);
+    }
+  });
+}
+
+TEST(Split, KeyControlsOrdering) {
+  mpi::run(4, [](Comm& comm) {
+    // Reverse the ranks via descending keys.
+    Comm sub = comm.split(0, comm.size() - comm.rank());
+    EXPECT_EQ(sub.rank(), comm.size() - 1 - comm.rank());
+  });
+}
+
+TEST(Split, DupPreservesSizeAndRank) {
+  mpi::run(5, [](Comm& comm) {
+    Comm d = comm.dup();
+    EXPECT_EQ(d.size(), comm.size());
+    EXPECT_EQ(d.rank(), comm.rank());
+    d.barrier();
+  });
+}
+
+TEST(Split, MToNGroupsCanTalkViaParent) {
+  // The in-transit pattern: world splits into producers and consumers,
+  // cross-group traffic still flows through the parent communicator.
+  mpi::run(6, [](Comm& comm) {
+    const bool producer = comm.rank() < 4;
+    Comm group = comm.split(producer ? 0 : 1, comm.rank());
+    EXPECT_EQ(group.size(), producer ? 4 : 2);
+    const Datatype i = Datatype::of<int>();
+    if (producer) {
+      const int consumer_world = 4 + (comm.rank() % 2);
+      const int v = comm.rank();
+      comm.send(&v, 1, i, consumer_world, 0);
+    } else {
+      int sum = 0;
+      for (int k = 0; k < 2; ++k) {
+        int got = 0;
+        comm.recv(&got, 1, i, mpi::any_source, 0);
+        sum += got;
+      }
+      // Consumer 4 hears from {0, 2}; consumer 5 from {1, 3}.
+      EXPECT_EQ(sum, comm.rank() == 4 ? 2 : 4);
+    }
+  });
+}
+
+}  // namespace

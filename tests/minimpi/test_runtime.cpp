@@ -1,0 +1,232 @@
+// Runtime-level tests: launching, exception propagation without hangs, and
+// virtual-clock semantics with and without a network model.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "minimpi/minimpi.hpp"
+
+namespace {
+
+using mpi::Comm;
+using mpi::Datatype;
+
+TEST(Runtime, RunsEveryRankExactlyOnce) {
+  std::atomic<int> count{0};
+  std::atomic<int> rank_mask{0};
+  mpi::run(8, [&](Comm& comm) {
+    count.fetch_add(1);
+    rank_mask.fetch_or(1 << comm.rank());
+    EXPECT_EQ(comm.size(), 8);
+  });
+  EXPECT_EQ(count.load(), 8);
+  EXPECT_EQ(rank_mask.load(), 0xFF);
+}
+
+TEST(Runtime, SingleRankWorld) {
+  mpi::run(1, [](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    comm.barrier();
+    int v = 5;
+    comm.bcast(&v, 1, Datatype::of<int>(), 0);
+    EXPECT_EQ(v, 5);
+  });
+}
+
+TEST(Runtime, ZeroRanksRejected) {
+  EXPECT_THROW(mpi::run(0, [](Comm&) {}), mpi::Error);
+}
+
+TEST(Runtime, ExceptionInOneRankPropagatesWithoutHanging) {
+  // Rank 1 throws while rank 0 is blocked in recv; the abort machinery must
+  // wake rank 0 and run() must rethrow the original exception.
+  EXPECT_THROW(
+      mpi::run(2,
+               [](Comm& comm) {
+                 if (comm.rank() == 1) throw std::runtime_error("boom");
+                 int v;
+                 comm.recv(&v, 1, Datatype::of<int>(), 1, 0);
+               }),
+      std::runtime_error);
+}
+
+TEST(Runtime, ExceptionDuringCollectiveAborts) {
+  EXPECT_THROW(
+      mpi::run(4,
+               [](Comm& comm) {
+                 if (comm.rank() == 2) throw std::logic_error("bad rank");
+                 comm.barrier();
+                 comm.barrier();
+               }),
+      std::logic_error);
+}
+
+TEST(Runtime, VtimesReturnedPerRank) {
+  const mpi::RunResult res = mpi::run(3, [](Comm& comm) {
+    comm.clock().advance(0.5 * (comm.rank() + 1));
+  });
+  ASSERT_EQ(res.vtimes.size(), 3u);
+  EXPECT_DOUBLE_EQ(res.vtimes[0], 0.5);
+  EXPECT_DOUBLE_EQ(res.vtimes[2], 1.5);
+  EXPECT_DOUBLE_EQ(res.makespan(), 1.5);
+}
+
+TEST(Runtime, ClockCausalityWithoutModel) {
+  // A receiver's clock may never lag a message's departure time, even with
+  // no network model installed.
+  const mpi::RunResult res = mpi::run(2, [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    if (comm.rank() == 0) {
+      comm.clock().advance(2.0);  // heavy local work before sending
+      const int v = 1;
+      comm.send(&v, 1, i, 1, 0);
+    } else {
+      int v;
+      comm.recv(&v, 1, i, 0, 0);
+      EXPECT_GE(comm.clock().now(), 2.0);
+    }
+  });
+  EXPECT_GE(res.vtimes[1], 2.0);
+}
+
+TEST(Runtime, BarrierSynchronizesClocks) {
+  const mpi::RunResult res = mpi::run(5, [](Comm& comm) {
+    comm.clock().advance(comm.rank() == 3 ? 10.0 : 0.1);
+    comm.barrier();
+    EXPECT_GE(comm.clock().now(), 10.0);
+  });
+  for (double t : res.vtimes) EXPECT_GE(t, 10.0);
+}
+
+/// Fixed-cost model for testing: every message costs exactly
+/// latency + bytes * sec_per_byte, no overheads.
+class FixedModel final : public mpi::NetworkModel {
+ public:
+  FixedModel(double latency, double sec_per_byte)
+      : latency_(latency), spb_(sec_per_byte) {}
+  double send_overhead(std::size_t) const override { return 0.0; }
+  double transfer_time(std::size_t bytes, int, int) const override {
+    return latency_ + static_cast<double>(bytes) * spb_;
+  }
+  double recv_overhead(std::size_t) const override { return 0.0; }
+
+ private:
+  double latency_, spb_;
+};
+
+TEST(Runtime, NetworkModelChargesTransferTime) {
+  const FixedModel model(/*latency=*/1.0, /*sec_per_byte=*/0.001);
+  mpi::RunOptions opts;
+  opts.network = &model;
+  const mpi::RunResult res = mpi::run(
+      2,
+      [](Comm& comm) {
+        const Datatype b = Datatype::bytes(1);
+        if (comm.rank() == 0) {
+          std::vector<std::byte> payload(1000);
+          comm.send(payload.data(), payload.size(), b, 1, 0);
+          // Sender pays no transfer time.
+          EXPECT_DOUBLE_EQ(comm.clock().now(), 0.0);
+        } else {
+          std::vector<std::byte> payload(1000);
+          comm.recv(payload.data(), payload.size(), b, 0, 0);
+          // depart(0) + 1.0 latency + 1000 * 0.001.
+          EXPECT_DOUBLE_EQ(comm.clock().now(), 2.0);
+        }
+      },
+      opts);
+  EXPECT_DOUBLE_EQ(res.makespan(), 2.0);
+}
+
+TEST(Runtime, NetworkModelAccumulatesOverRounds) {
+  const FixedModel model(0.5, 0.0);
+  mpi::RunOptions opts;
+  opts.network = &model;
+  const mpi::RunResult res = mpi::run(
+      2,
+      [](Comm& comm) {
+        const Datatype i = Datatype::of<int>();
+        const int peer = 1 - comm.rank();
+        // Ping-pong: each round trip adds 2 * latency to both clocks.
+        for (int round = 0; round < 4; ++round) {
+          if (comm.rank() == 0) {
+            const int v = round;
+            comm.send(&v, 1, i, peer, 0);
+            int got;
+            comm.recv(&got, 1, i, peer, 0);
+          } else {
+            int got;
+            comm.recv(&got, 1, i, peer, 0);
+            comm.send(&got, 1, i, peer, 0);
+          }
+        }
+      },
+      opts);
+  // Rank 0 waits for 4 full round trips: 8 half-trips * 0.5 s = 4 s.
+  EXPECT_DOUBLE_EQ(res.vtimes[0], 4.0);
+  EXPECT_DOUBLE_EQ(res.vtimes[1], 3.5);  // never waits for the last reply
+}
+
+TEST(Runtime, ModeledRunsAreDeterministic) {
+  // With purely model-driven costs (no measured CPU time), the virtual
+  // clocks must be bit-identical across repeated runs regardless of how the
+  // OS schedules the rank threads.
+  const FixedModel model(1e-4, 1e-9);
+  mpi::RunOptions opts;
+  opts.network = &model;
+  auto workload = [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    std::vector<int> all(static_cast<std::size_t>(comm.size()));
+    const int mine = comm.rank() * 3;
+    comm.allgather(&mine, 1, i, all.data(), 1, i);
+    int total = 0;
+    comm.allreduce(&mine, &total, 1, i, mpi::Op::sum<int>());
+    comm.barrier();
+    if (comm.rank() > 0) {
+      comm.send(&total, 1, i, 0, 5);
+    } else {
+      for (int r = 1; r < comm.size(); ++r) {
+        int got;
+        comm.recv(&got, 1, i, r, 5);
+      }
+    }
+  };
+  const mpi::RunResult a = mpi::run(9, workload, opts);
+  const mpi::RunResult b = mpi::run(9, workload, opts);
+  ASSERT_EQ(a.vtimes.size(), b.vtimes.size());
+  for (std::size_t i = 0; i < a.vtimes.size(); ++i)
+    EXPECT_EQ(a.vtimes[i], b.vtimes[i]) << "rank " << i;
+  EXPECT_GT(a.makespan(), 0.0);
+}
+
+TEST(Runtime, RepeatedRunsAreIsolated) {
+  // Worlds must not leak state: a message left unreceived in one run can
+  // never surface in a later run.
+  mpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int v = 1;
+      comm.send(&v, 1, Datatype::of<int>(), 1, 0);  // never received
+    }
+  });
+  mpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      EXPECT_FALSE(comm.iprobe(0, 0).has_value());
+    }
+  });
+}
+
+TEST(Runtime, LargeRankCountSmoke) {
+  // The paper's largest configuration uses 216 ranks; make sure the runtime
+  // can launch that many rank threads and complete a collective.
+  mpi::run(216, [](Comm& comm) {
+    int sum = 0;
+    const int one = 1;
+    comm.allreduce(&one, &sum, 1, Datatype::of<int>(), mpi::Op::sum<int>());
+    EXPECT_EQ(sum, 216);
+  });
+}
+
+}  // namespace

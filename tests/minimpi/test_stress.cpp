@@ -1,0 +1,107 @@
+// Stress tests: many ranks, mixed concurrent traffic, repeated splits, and
+// communicator-per-group collectives racing against world-level p2p — the
+// access patterns the in-transit use case generates, cranked up.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "minimpi/minimpi.hpp"
+
+namespace {
+
+using mpi::Comm;
+using mpi::Datatype;
+using mpi::Op;
+
+TEST(Stress, MixedGroupCollectivesAndWorldTraffic) {
+  static constexpr int kRanks = 48;
+  mpi::run(kRanks, [](Comm& world) {
+    const Datatype i = Datatype::of<int>();
+    // Three-way split; groups interleave their own collectives with world
+    // p2p messages to the same-index rank of the next group.
+    const int color = world.rank() % 3;
+    Comm group = world.split(color, world.rank());
+
+    for (int round = 0; round < 5; ++round) {
+      // Group collective.
+      int sum = 0;
+      const int mine = world.rank() + round;
+      group.allreduce(&mine, &sum, 1, i, Op::sum<int>());
+      int expect = 0;
+      for (int r = color; r < kRanks; r += 3) expect += r + round;
+      ASSERT_EQ(sum, expect);
+
+      // World p2p to the "same seat" in the next group.
+      const int peer = (world.rank() + 1) % kRanks;
+      const int from = (world.rank() - 1 + kRanks) % kRanks;
+      int got = -1;
+      world.sendrecv(&mine, 1, i, peer, round, &got, 1, i, from, round);
+      ASSERT_EQ(got, from + round);
+    }
+  });
+}
+
+TEST(Stress, RepeatedSplitsDoNotLeakOrCollide) {
+  mpi::run(24, [](Comm& world) {
+    for (int gen = 0; gen < 8; ++gen) {
+      const int color = (world.rank() / (1 << (gen % 3))) % 4;
+      Comm sub = world.split(color, world.rank());
+      ASSERT_TRUE(sub.valid());
+      int n = 0;
+      const int one = 1;
+      sub.allreduce(&one, &n, 1, Datatype::of<int>(), Op::sum<int>());
+      ASSERT_EQ(n, sub.size());
+      // Nested split of the subgroup.
+      Comm leaf = sub.split(sub.rank() % 2, 0);
+      leaf.barrier();
+    }
+  });
+}
+
+TEST(Stress, ManySmallMessagesWithWildcards) {
+  // A work-queue pattern: rank 0 consumes from everyone with any_source
+  // while producers burst unevenly.
+  static constexpr int kRanks = 16;
+  static constexpr int kPerRank = 40;
+  mpi::run(kRanks, [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    if (comm.rank() == 0) {
+      std::vector<int> counts(kRanks, 0);
+      for (int k = 0; k < (kRanks - 1) * kPerRank; ++k) {
+        int payload = -1;
+        const mpi::Status s =
+            comm.recv(&payload, 1, i, mpi::any_source, mpi::any_tag);
+        ASSERT_EQ(payload, s.source * 1000 + s.tag);
+        ++counts[static_cast<std::size_t>(s.source)];
+      }
+      for (int r = 1; r < kRanks; ++r)
+        ASSERT_EQ(counts[static_cast<std::size_t>(r)], kPerRank);
+    } else {
+      for (int k = 0; k < kPerRank; ++k) {
+        const int payload = comm.rank() * 1000 + k;
+        comm.send(&payload, 1, i, 0, k);
+      }
+    }
+  });
+}
+
+TEST(Stress, LargePayloadsThroughCollectives) {
+  // 1 MiB per rank through allgatherv — exercises payload buffering.
+  static constexpr int kRanks = 6;
+  static constexpr int kInts = 256 * 1024;
+  mpi::run(kRanks, [](Comm& comm) {
+    const Datatype i = Datatype::of<int>();
+    std::vector<int> mine(kInts, comm.rank());
+    std::vector<int> counts(kRanks, kInts), displs(kRanks);
+    for (int r = 0; r < kRanks; ++r) displs[static_cast<std::size_t>(r)] = r * kInts;
+    std::vector<int> all(static_cast<std::size_t>(kRanks) * kInts, -1);
+    comm.allgatherv(mine.data(), mine.size(), i, all.data(), counts, displs, i);
+    for (int r = 0; r < kRanks; ++r) {
+      ASSERT_EQ(all[static_cast<std::size_t>(r) * kInts], r);
+      ASSERT_EQ(all[static_cast<std::size_t>(r + 1) * kInts - 1], r);
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Tests for the simnet cost models: link model arithmetic (sharing,
+// saturation, intra-node paths), I/O model (aggregate cap, open latency),
+// statistics accumulator, and the thread-CPU timer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "minimpi/minimpi.hpp"
+#include "simnet/models.hpp"
+#include "simnet/stats.hpp"
+#include "simnet/workclock.hpp"
+
+namespace {
+
+simnet::LinkParams simple_params() {
+  simnet::LinkParams p;
+  p.latency_s = 1e-3;
+  p.link_bandwidth_Bps = 1e9;
+  p.ranks_per_node = 2;
+  p.send_overhead_s = 1e-4;
+  p.send_overhead_s_per_B = 0.0;
+  p.recv_overhead_s = 2e-4;
+  p.recv_overhead_s_per_B = 0.0;
+  p.saturation_bytes = 0.0;
+  p.intra_node_bandwidth_Bps = 1e10;
+  return p;
+}
+
+TEST(LinkModel, InterNodeTransferSharesLink) {
+  const simnet::LinkModel m(simple_params());
+  // Ranks 0 (node 0) and 2 (node 1): inter-node; effective bw = 1e9/2.
+  EXPECT_DOUBLE_EQ(m.transfer_time(5'000'000, 0, 2),
+                   1e-3 + 5e6 / (1e9 / 2));
+}
+
+TEST(LinkModel, IntraNodeUsesMemoryBandwidth) {
+  const simnet::LinkModel m(simple_params());
+  // Ranks 0 and 1 share node 0.
+  EXPECT_DOUBLE_EQ(m.transfer_time(5'000'000, 0, 1), 1e-3 + 5e6 / 1e10);
+}
+
+TEST(LinkModel, SaturationDegradesLargeMessages) {
+  simnet::LinkParams p = simple_params();
+  p.saturation_bytes = 1e6;
+  const simnet::LinkModel m(p);
+  const double small = m.transfer_time(1000, 0, 2) - p.latency_s;
+  const double big = m.transfer_time(10'000'000, 0, 2) - p.latency_s;
+  // 10 MB message: bandwidth divided by (1 + 10) = 11.
+  EXPECT_NEAR(big, 1e7 / (1e9 / 2 / 11.0), 1e-9);
+  // Small messages are essentially unaffected.
+  EXPECT_NEAR(small, 1000 / (1e9 / 2) * 1.001, 1e-9);
+}
+
+TEST(LinkModel, OverheadsScaleWithBytes) {
+  simnet::LinkParams p = simple_params();
+  p.send_overhead_s_per_B = 1e-9;
+  const simnet::LinkModel m(p);
+  EXPECT_DOUBLE_EQ(m.send_overhead(0), 1e-4);
+  EXPECT_DOUBLE_EQ(m.send_overhead(1'000'000), 1e-4 + 1e-3);
+  EXPECT_DOUBLE_EQ(m.recv_overhead(123), 2e-4);
+}
+
+TEST(LinkModel, CooleyPresetIsSane) {
+  const simnet::LinkParams p = simnet::cooley_params();
+  EXPECT_NEAR(p.link_bandwidth_Bps, 56e9 / 8, 1e9);  // 56 Gbps in bytes
+  EXPECT_EQ(p.ranks_per_node, 2);
+  const simnet::LinkModel m(p);
+  // A 1 GiB message must take seconds, not milliseconds, on a shared link.
+  EXPECT_GT(m.transfer_time(1u << 30, 0, 2), 0.3);
+}
+
+TEST(ZeroCostModel, IsFree) {
+  const simnet::ZeroCostModel m;
+  EXPECT_EQ(m.send_overhead(1e6), 0.0);
+  EXPECT_EQ(m.transfer_time(1e6, 0, 5), 0.0);
+  EXPECT_EQ(m.recv_overhead(1e6), 0.0);
+}
+
+TEST(IoModel, PerRankBandwidthWhenUncontended) {
+  simnet::IoModel io;
+  io.per_rank_Bps = 1e8;
+  io.aggregate_Bps = 1e10;
+  io.open_latency_s = 0.01;
+  // 4 readers: cap = 2.5e9 > per-rank 1e8 -> per-rank bound.
+  EXPECT_DOUBLE_EQ(io.read_time(1e8, 4, 1), 0.01 + 1.0);
+}
+
+TEST(IoModel, AggregateCapBindsAtScale) {
+  simnet::IoModel io;
+  io.per_rank_Bps = 1e8;
+  io.aggregate_Bps = 1e10;
+  io.open_latency_s = 0.0;
+  // 1000 readers: cap = 1e7 < per-rank -> aggregate bound.
+  EXPECT_DOUBLE_EQ(io.read_time(1e7, 1000, 1), 1.0);
+}
+
+TEST(IoModel, OpenLatencyPerFile) {
+  simnet::IoModel io;
+  io.per_rank_Bps = 1e9;
+  io.open_latency_s = 0.002;
+  EXPECT_DOUBLE_EQ(io.read_time(0.0, 1, 50), 0.1);
+  EXPECT_DOUBLE_EQ(io.write_time(0.0, 1, 50), 0.1);
+}
+
+TEST(Stats, MeanAndStdev) {
+  simnet::Stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stdev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, SingleSampleHasZeroStdev) {
+  simnet::Stats s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+  EXPECT_DOUBLE_EQ(s.stdev(), 0.0);
+}
+
+TEST(Stats, WelfordIsNumericallyStable) {
+  simnet::Stats s;
+  // Large offset + small variance: naive sum-of-squares would cancel.
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  EXPECT_NEAR(s.mean(), 1e9, 1e-3);
+  EXPECT_NEAR(s.stdev(), 0.5, 1e-3);
+}
+
+TEST(ThreadCpuTimer, ChargesElapsedCpuTime) {
+  mpi::VirtualClock clock;
+  {
+    simnet::ThreadCpuTimer t(clock);
+    double sink = 0;
+    for (int i = 0; i < 2'000'000; ++i) sink += std::sqrt(i);
+    volatile double guard = sink;  // keep the busy loop alive
+    (void)guard;
+  }
+  EXPECT_GT(clock.now(), 0.0);
+  EXPECT_LT(clock.now(), 5.0);  // sanity: busy loop is far below 5 s
+}
+
+TEST(ThreadCpuTimer, StopIsIdempotentAndScales) {
+  mpi::VirtualClock a, b;
+  {
+    simnet::ThreadCpuTimer ta(a, 1.0);
+    simnet::ThreadCpuTimer tb(b, 100.0);
+    double sink = 0;
+    for (int i = 0; i < 500'000; ++i) sink += std::sqrt(i);
+    volatile double guard = sink;
+    (void)guard;
+    ta.stop();
+    tb.stop();
+    ta.stop();  // second stop must not double-charge
+  }
+  EXPECT_GT(b.now(), a.now());
+  // The scaled timer should read roughly 100x (loose bounds: scheduler).
+  EXPECT_GT(b.now(), 20.0 * a.now());
+}
+
+TEST(VirtualClock, AdvanceAndSyncSemantics) {
+  mpi::VirtualClock c;
+  c.advance(1.5);
+  c.advance(-3.0);  // negative charges ignored
+  EXPECT_DOUBLE_EQ(c.now(), 1.5);
+  c.sync_to(1.0);  // earlier time: no-op
+  EXPECT_DOUBLE_EQ(c.now(), 1.5);
+  c.sync_to(2.0);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,200 @@
+// In-transit streaming tests: the paper's Fig. 4 mapping (10 producers ->
+// 4 consumers), near-square consumer rectangles (Fig. 5), frame transport
+// across a split world, and the full receive-then-redistribute pipeline.
+
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "ddr/ddr.hpp"
+#include "minimpi/minimpi.hpp"
+#include "stream/stream.hpp"
+
+namespace {
+
+using stream::Consumer;
+using stream::Frame;
+using stream::FrameHeader;
+using stream::MNMapping;
+using stream::Producer;
+
+TEST(MNMapping, Figure4TenToFour) {
+  // Fig. 4: "The first two analysis ranks receive data from 3 simulation
+  // ranks, whereas the last two analysis ranks receive data from 2."
+  const MNMapping m(10, 4);
+  EXPECT_EQ(m.producers_of(0), (std::pair{0, 3}));
+  EXPECT_EQ(m.producers_of(1), (std::pair{3, 6}));
+  EXPECT_EQ(m.producers_of(2), (std::pair{6, 8}));
+  EXPECT_EQ(m.producers_of(3), (std::pair{8, 10}));
+  for (int p = 0; p < 10; ++p) {
+    const auto [lo, hi] = m.producers_of(m.consumer_of(p));
+    EXPECT_GE(p, lo);
+    EXPECT_LT(p, hi);
+  }
+}
+
+TEST(MNMapping, UniformWhenDivisible) {
+  // The paper's production configuration: 128 sim ranks -> 32 viz ranks.
+  const MNMapping m(128, 32);
+  for (int c = 0; c < 32; ++c) {
+    const auto [lo, hi] = m.producers_of(c);
+    EXPECT_EQ(hi - lo, 4);
+    EXPECT_EQ(lo, 4 * c);
+  }
+}
+
+TEST(MNMapping, EveryProducerHasExactlyOneConsumer) {
+  const std::pair<int, int> shapes[] = {{7, 3}, {9, 4}, {5, 5}, {13, 1}};
+  for (const auto& [m, n] : shapes) {
+    const MNMapping map(m, n);
+    std::vector<int> hits(static_cast<std::size_t>(m), 0);
+    for (int c = 0; c < n; ++c) {
+      const auto [lo, hi] = map.producers_of(c);
+      for (int p = lo; p < hi; ++p) ++hits[static_cast<std::size_t>(p)];
+    }
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(MNMapping, RejectsBadShapes) {
+  EXPECT_THROW(MNMapping(3, 4), stream::Error);
+  EXPECT_THROW(MNMapping(4, 0), stream::Error);
+}
+
+TEST(ConsumerGrid, NearSquareRectangles) {
+  // 32 consumers over the paper's smallest grid (3238 x 1295): cells of an
+  // 8x4 grid are 405x324 — much squarer than any alternative.
+  EXPECT_EQ(stream::consumer_grid(32, 3238, 1295), (std::array<int, 2>{8, 4}));
+  // Square domain, square count.
+  EXPECT_EQ(stream::consumer_grid(16, 1000, 1000), (std::array<int, 2>{4, 4}));
+  // Wide domain prefers more columns.
+  const auto g = stream::consumer_grid(8, 4000, 500);
+  EXPECT_GT(g[0], g[1]);
+}
+
+TEST(ConsumerGrid, RectanglesTileTheDomain) {
+  const int nx = 101, ny = 37;
+  for (int n : {1, 4, 6, 12}) {
+    const auto grid = stream::consumer_grid(n, nx, ny);
+    ddr::GlobalLayout layout;
+    for (int j = 0; j < n; ++j) {
+      layout.owned.push_back({stream::consumer_rect(j, grid, nx, ny)});
+      layout.needed.push_back({stream::consumer_rect(j, grid, nx, ny)});
+    }
+    EXPECT_TRUE(ddr::validate_owned(layout).ok()) << "n=" << n;
+    EXPECT_EQ(layout.domain().volume(), static_cast<std::int64_t>(nx) * ny);
+  }
+}
+
+TEST(Transport, FramesCrossTheSplitWorld) {
+  // 4 producers + 2 consumers in one world; each producer streams one slab.
+  mpi::run(6, [](mpi::Comm& world) {
+    const int m = 4, n = 2;
+    const bool is_producer = world.rank() < m;
+    const MNMapping map(m, n);
+    const int nx = 8;
+
+    if (is_producer) {
+      const int p = world.rank();
+      Producer out(world, m + map.consumer_of(p));
+      FrameHeader h;
+      h.step = 7;
+      h.y0 = 2 * p;
+      h.ny = 2;
+      h.nx = nx;
+      std::vector<float> payload(static_cast<std::size_t>(h.ny) * nx,
+                                 static_cast<float>(p));
+      out.send_frame(h, payload);
+    } else {
+      const int c = world.rank() - m;
+      const auto [lo, hi] = map.producers_of(c);
+      std::vector<int> sources;
+      for (int p = lo; p < hi; ++p) sources.push_back(p);
+      Consumer in(world, sources);
+      const std::vector<Frame> frames = in.receive_step();
+      ASSERT_EQ(frames.size(), 2u);
+      for (const Frame& f : frames) {
+        EXPECT_EQ(f.header.step, 7);
+        EXPECT_EQ(f.header.nx, nx);
+        EXPECT_EQ(f.header.y0, 2 * f.producer_world_rank);
+        for (float v : f.data)
+          EXPECT_EQ(v, static_cast<float>(f.producer_world_rank));
+      }
+    }
+  });
+}
+
+TEST(Transport, HeaderPayloadMismatchThrows) {
+  mpi::run(2, [](mpi::Comm& world) {
+    if (world.rank() == 0) {
+      Producer out(world, 1);
+      FrameHeader h;
+      h.ny = 2;
+      h.nx = 4;
+      std::vector<float> tiny(3);
+      EXPECT_THROW(out.send_frame(h, tiny), stream::Error);
+      // Send a correct frame so the consumer does not hang.
+      std::vector<float> ok(8, 1.0f);
+      out.send_frame(h, ok);
+    } else {
+      Consumer in(world, {0});
+      EXPECT_EQ(in.receive_step().size(), 1u);
+    }
+  });
+}
+
+TEST(Pipeline, SlicesToNearSquaresViaDdr) {
+  // Full Fig. 5 path: 6 producer slabs stream into 2 consumers; each
+  // consumer redistributes its received slabs into its near-square
+  // rectangle with DDR over the analysis communicator.
+  const int nx = 12, ny = 12;
+  auto value = [](int x, int y) { return static_cast<float>(y * 100 + x); };
+
+  mpi::run(8, [&](mpi::Comm& world) {
+    const int m = 6, n = 2;
+    const bool is_producer = world.rank() < m;
+    const MNMapping map(m, n);
+    mpi::Comm group = world.split(is_producer ? 0 : 1, world.rank());
+
+    if (is_producer) {
+      const int p = world.rank();
+      const int rows = ny / m;
+      FrameHeader h;
+      h.step = 0;
+      h.y0 = rows * p;
+      h.ny = rows;
+      h.nx = nx;
+      std::vector<float> slab;
+      for (int y = h.y0; y < h.y0 + rows; ++y)
+        for (int x = 0; x < nx; ++x) slab.push_back(value(x, y));
+      Producer out(world, m + map.consumer_of(p));
+      out.send_frame(h, slab);
+      return;
+    }
+
+    const int c = group.rank();
+    const auto [lo, hi] = map.producers_of(c);
+    std::vector<int> sources;
+    for (int p = lo; p < hi; ++p) sources.push_back(p);
+    Consumer in(world, sources);
+    const std::vector<Frame> frames = in.receive_step();
+
+    // DDR on the analysis communicator only (the paper's Fig. 5).
+    const auto grid = stream::consumer_grid(n, nx, ny);
+    const ddr::Chunk need = stream::consumer_rect(c, grid, nx, ny);
+    ddr::Redistributor rd(group, sizeof(float));
+    rd.setup(stream::frames_layout(frames), need);
+
+    const std::vector<float> owned = stream::concat_frames(frames);
+    std::vector<float> rect(static_cast<std::size_t>(need.volume()), -1.0f);
+    rd.redistribute(std::as_bytes(std::span<const float>(owned)),
+                    std::as_writable_bytes(std::span<float>(rect)));
+
+    std::size_t i = 0;
+    for (int y = 0; y < need.dims[1]; ++y)
+      for (int x = 0; x < need.dims[0]; ++x)
+        EXPECT_EQ(rect[i++], value(x + need.offsets[0], y + need.offsets[1]));
+  });
+}
+
+}  // namespace

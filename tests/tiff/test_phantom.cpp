@@ -1,0 +1,55 @@
+// Tests for the synthetic CT phantom used in place of the paper's APS scans.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "tiff/phantom.hpp"
+
+namespace {
+
+TEST(Phantom, ValuesAreNormalized) {
+  for (double z : {0.1, 0.3, 0.5, 0.7, 0.9})
+    for (double y : {0.1, 0.5, 0.9})
+      for (double x : {0.1, 0.5, 0.9}) {
+        const double v = tiff::tooth_phantom(x, y, z);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+      }
+}
+
+TEST(Phantom, IsDeterministic) {
+  EXPECT_EQ(tiff::tooth_phantom(0.4, 0.5, 0.6), tiff::tooth_phantom(0.4, 0.5, 0.6));
+}
+
+TEST(Phantom, HasStructure) {
+  // Centre of the crown region is denser than the far corner (air).
+  EXPECT_GT(tiff::tooth_phantom(0.5, 0.5, 0.7), tiff::tooth_phantom(0.02, 0.02, 0.02) + 0.3);
+  // Pulp chamber is darker than the surrounding dentin.
+  EXPECT_LT(tiff::tooth_phantom(0.5, 0.5, 0.62), tiff::tooth_phantom(0.5, 0.75, 0.62));
+}
+
+TEST(Phantom, SliceSamplingMatchesField) {
+  const auto img = tiff::phantom_slice(32, 16, 3, 10, 16);
+  EXPECT_EQ(img.info().width, 32u);
+  EXPECT_EQ(img.info().height, 16u);
+  const double zn = 3.0 / 9.0;
+  const double expect = tiff::tooth_phantom(10.0 / 31.0, 5.0 / 15.0, zn) * 65535.0;
+  EXPECT_NEAR(img.value(10, 5), expect, 1.0);
+}
+
+TEST(Phantom, SeriesRoundtripsThroughTiff) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "ddr_phantom_series";
+  std::filesystem::remove_all(dir);
+  tiff::write_phantom_series(dir.string(), 16, 8, 4, 32);
+  for (int z = 0; z < 4; ++z) {
+    const auto img = tiff::read_file(tiff::slice_path(dir.string(), z));
+    EXPECT_EQ(img.info().bits_per_sample, 32);
+    const auto ref = tiff::phantom_slice(16, 8, z, 4, 32);
+    EXPECT_EQ(img.value(7, 3), ref.value(7, 3));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

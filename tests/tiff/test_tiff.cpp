@@ -1,0 +1,233 @@
+// TIFF codec tests: encode/decode roundtrips across bit depths, strip
+// configurations and endianness, file I/O, series helpers, and rejection of
+// malformed input.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <random>
+
+#include "tiff/tiff.hpp"
+
+namespace {
+
+using tiff::GrayImage;
+using tiff::SampleFormat;
+
+GrayImage gradient(std::uint32_t w, std::uint32_t h, std::uint16_t bits,
+                   SampleFormat fmt = SampleFormat::uint_) {
+  GrayImage img = GrayImage::zeros(w, h, bits, fmt);
+  for (std::uint32_t y = 0; y < h; ++y)
+    for (std::uint32_t x = 0; x < w; ++x)
+      img.set_value(x, y,
+                    fmt == SampleFormat::float_
+                        ? 0.25 * x + 1.5 * y
+                        : static_cast<double>((x * 7 + y * 131) % 250));
+  return img;
+}
+
+void expect_images_equal(const GrayImage& a, const GrayImage& b) {
+  ASSERT_EQ(a.info().width, b.info().width);
+  ASSERT_EQ(a.info().height, b.info().height);
+  ASSERT_EQ(a.info().bits_per_sample, b.info().bits_per_sample);
+  ASSERT_EQ(a.info().format, b.info().format);
+  ASSERT_EQ(a.pixels().size(), b.pixels().size());
+  EXPECT_EQ(
+      std::memcmp(a.pixels().data(), b.pixels().data(), a.pixels().size()), 0);
+}
+
+class Roundtrip
+    : public ::testing::TestWithParam<std::tuple<std::uint16_t, std::uint32_t>> {
+};
+
+TEST_P(Roundtrip, EncodeDecodePreservesPixels) {
+  const auto [bits, rows_per_strip] = GetParam();
+  const GrayImage img = gradient(37, 23, bits);
+  const auto file = tiff::encode(img, rows_per_strip);
+  const GrayImage back = tiff::decode(file);
+  expect_images_equal(img, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsAndStrips, Roundtrip,
+    ::testing::Combine(::testing::Values<std::uint16_t>(8, 16, 32),
+                       ::testing::Values<std::uint32_t>(0, 1, 4, 23, 100)),
+    [](const auto& info) {
+      return "bits" + std::to_string(std::get<0>(info.param)) + "_rps" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Tiff, FloatSamplesRoundtrip) {
+  const GrayImage img = gradient(16, 9, 32, SampleFormat::float_);
+  const GrayImage back = tiff::decode(tiff::encode(img));
+  expect_images_equal(img, back);
+  EXPECT_DOUBLE_EQ(back.value(4, 2), 0.25 * 4 + 1.5 * 2);
+}
+
+TEST(Tiff, ValueAccessorsMatchBitDepth) {
+  GrayImage img8 = GrayImage::zeros(4, 4, 8);
+  img8.set_value(1, 2, 200);
+  EXPECT_EQ(img8.value(1, 2), 200);
+  img8.set_value(0, 0, 300);  // clamps to 255
+  EXPECT_EQ(img8.value(0, 0), 255);
+
+  GrayImage img16 = GrayImage::zeros(4, 4, 16);
+  img16.set_value(3, 3, 40000);
+  EXPECT_EQ(img16.value(3, 3), 40000);
+
+  GrayImage img32 = GrayImage::zeros(4, 4, 32);
+  img32.set_value(2, 1, 3e9);
+  EXPECT_EQ(img32.value(2, 1), 3e9);
+}
+
+TEST(Tiff, BigEndianFilesDecode) {
+  // Hand-build a tiny big-endian TIFF: 2x2, 16-bit, one strip.
+  // Values: 0x0102 0x0304 / 0x0506 0x0708.
+  std::vector<std::byte> f;
+  auto b = [&](int v) { f.push_back(static_cast<std::byte>(v)); };
+  // Header.
+  b('M'); b('M'); b(0); b(42);
+  b(0); b(0); b(0); b(16);  // IFD at offset 16
+  // Pixel strip at offset 8 (big-endian samples).
+  b(0x01); b(0x02); b(0x03); b(0x04);
+  b(0x05); b(0x06); b(0x07); b(0x08);
+  // IFD: 6 entries.
+  b(0); b(6);
+  auto entry = [&](int tag, int type, unsigned count, unsigned value,
+                   bool short_inline) {
+    b(tag >> 8); b(tag & 0xff);
+    b(type >> 8); b(type & 0xff);
+    b(static_cast<int>(count >> 24)); b(static_cast<int>((count >> 16) & 0xff));
+    b(static_cast<int>((count >> 8) & 0xff)); b(static_cast<int>(count & 0xff));
+    if (short_inline) {
+      // SHORT value is left-justified in the 4-byte field.
+      b(static_cast<int>((value >> 8) & 0xff)); b(static_cast<int>(value & 0xff));
+      b(0); b(0);
+    } else {
+      b(static_cast<int>(value >> 24)); b(static_cast<int>((value >> 16) & 0xff));
+      b(static_cast<int>((value >> 8) & 0xff)); b(static_cast<int>(value & 0xff));
+    }
+  };
+  entry(256, 4, 1, 2, false);   // width
+  entry(257, 4, 1, 2, false);   // height
+  entry(258, 3, 1, 16, true);   // bits per sample
+  entry(273, 4, 1, 8, false);   // strip offset
+  entry(278, 4, 1, 2, false);   // rows per strip
+  entry(279, 4, 1, 8, false);   // strip byte count
+  b(0); b(0); b(0); b(0);       // next IFD
+
+  const GrayImage img = tiff::decode(f);
+  EXPECT_EQ(img.info().width, 2u);
+  EXPECT_EQ(img.info().bits_per_sample, 16);
+  EXPECT_EQ(img.value(0, 0), 0x0102);
+  EXPECT_EQ(img.value(1, 0), 0x0304);
+  EXPECT_EQ(img.value(0, 1), 0x0506);
+  EXPECT_EQ(img.value(1, 1), 0x0708);
+}
+
+TEST(Tiff, RejectsMalformedInput) {
+  EXPECT_THROW(tiff::decode({}), tiff::Error);
+
+  std::vector<std::byte> junk(64, std::byte{0x5A});
+  EXPECT_THROW(tiff::decode(junk), tiff::Error);
+
+  // Valid header, truncated body.
+  const GrayImage img = gradient(8, 8, 8);
+  auto file = tiff::encode(img);
+  file.resize(file.size() / 2);
+  EXPECT_THROW(tiff::decode(file), tiff::Error);
+}
+
+TEST(Tiff, RejectsWrongMagic) {
+  std::vector<std::byte> f{std::byte{'I'}, std::byte{'I'}, std::byte{43},
+                           std::byte{0},   std::byte{8},   std::byte{0},
+                           std::byte{0},   std::byte{0}};
+  EXPECT_THROW(tiff::decode(f), tiff::Error);
+}
+
+TEST(Tiff, FileIORoundtrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "ddr_tiff_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "img.tif").string();
+  const GrayImage img = gradient(64, 48, 16);
+  tiff::write_file(path, img, 7);
+  const GrayImage back = tiff::read_file(path);
+  expect_images_equal(img, back);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Tiff, MissingFileThrows) {
+  EXPECT_THROW(tiff::read_file("/nonexistent/nope.tif"), tiff::Error);
+}
+
+TEST(Tiff, SeriesWriterProducesNumberedSlices) {
+  const auto dir = std::filesystem::temp_directory_path() / "ddr_tiff_series";
+  std::filesystem::remove_all(dir);
+  tiff::write_series(dir.string(), 5, [](int z) {
+    GrayImage img = GrayImage::zeros(4, 4, 8);
+    img.set_value(0, 0, z * 10);
+    return img;
+  });
+  for (int z = 0; z < 5; ++z) {
+    const GrayImage img = tiff::read_file(tiff::slice_path(dir.string(), z));
+    EXPECT_EQ(img.value(0, 0), z * 10);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+class TiledRoundtrip
+    : public ::testing::TestWithParam<std::tuple<std::uint16_t, std::uint32_t,
+                                                 std::uint32_t>> {};
+
+TEST_P(TiledRoundtrip, EncodeDecodePreservesPixels) {
+  const auto [bits, tw, tl] = GetParam();
+  // Deliberately non-multiple-of-tile dimensions to exercise edge padding.
+  const GrayImage img = gradient(70, 41, bits);
+  const auto file = tiff::encode_tiled(img, tw, tl);
+  const GrayImage back = tiff::decode(file);
+  expect_images_equal(img, back);
+}
+
+using TileCase = std::tuple<std::uint16_t, std::uint32_t, std::uint32_t>;
+INSTANTIATE_TEST_SUITE_P(
+    TileShapes, TiledRoundtrip,
+    ::testing::Values(TileCase{8, 16, 16}, TileCase{16, 32, 16},
+                      TileCase{32, 16, 32}, TileCase{8, 128, 128}),
+    [](const auto& info) {
+      return "b" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param)) + "x" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Tiff, TiledExactMultipleDimensions) {
+  const GrayImage img = gradient(64, 32, 16);
+  const GrayImage back = tiff::decode(tiff::encode_tiled(img, 32, 16));
+  expect_images_equal(img, back);
+}
+
+TEST(Tiff, TiledRejectsBadTileExtents) {
+  const GrayImage img = gradient(32, 32, 8);
+  EXPECT_THROW(tiff::encode_tiled(img, 0, 16), tiff::Error);
+  EXPECT_THROW(tiff::encode_tiled(img, 17, 16), tiff::Error);
+  EXPECT_THROW(tiff::encode_tiled(img, 16, 20), tiff::Error);
+}
+
+TEST(Tiff, TiledSingleTileCoversImage) {
+  const GrayImage img = gradient(15, 9, 8);
+  const auto file = tiff::encode_tiled(img, 16, 16);
+  const GrayImage back = tiff::decode(file);
+  expect_images_equal(img, back);
+}
+
+TEST(Tiff, ZerosFactoryValidates) {
+  EXPECT_THROW(GrayImage::zeros(4, 4, 12), tiff::Error);
+  EXPECT_THROW(GrayImage::zeros(4, 4, 16, SampleFormat::float_), tiff::Error);
+}
+
+TEST(Tiff, ConstructorRejectsWrongBufferSize) {
+  tiff::ImageInfo info{4, 4, 8, SampleFormat::uint_};
+  EXPECT_THROW(GrayImage(info, std::vector<std::byte>(3)), tiff::Error);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// ddrinfo — inspect a DDR redistribution layout without running it.
+//
+// Reads a layout description (see ddr/textio.hpp for the format) from a file
+// or stdin, validates the paper's send-side contract, and prints the
+// communication schedule: rounds, per-rank/per-round data volumes (the
+// Table III quantities), peer counts, and optionally every transfer.
+//
+// Usage:
+//   ddrinfo [-t] [-e] [layout.txt]
+//     -t   list every (sender -> receiver) transfer
+//     -e   echo the normalized layout back (round-trip check / formatting)
+//
+// Example input (the paper's E1):
+//   ndims 2
+//   elem 4
+//   rank own 8x1@0,0 own 8x1@0,4 need 4x4@0,0
+//   rank own 8x1@0,1 own 8x1@0,5 need 4x4@4,0
+//   rank own 8x1@0,2 own 8x1@0,6 need 4x4@0,4
+//   rank own 8x1@0,3 own 8x1@0,7 need 4x4@4,4
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "ddr/ddr.hpp"
+#include "ddr/textio.hpp"
+
+namespace {
+
+void print_usage() {
+  std::fprintf(stderr, "usage: ddrinfo [-t] [-e] [layout.txt]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list_transfers = false;
+  bool echo = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-t") == 0) {
+      list_transfers = true;
+    } else if (std::strcmp(argv[i], "-e") == 0) {
+      echo = true;
+    } else if (argv[i][0] == '-') {
+      print_usage();
+      return 2;
+    } else {
+      path = argv[i];
+    }
+  }
+
+  ddr::LayoutSpec spec;
+  try {
+    if (path != nullptr) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "ddrinfo: cannot open %s\n", path);
+        return 1;
+      }
+      spec = ddr::parse_layout(in);
+    } else {
+      spec = ddr::parse_layout(std::cin);
+    }
+  } catch (const ddr::Error& e) {
+    std::fprintf(stderr, "ddrinfo: %s\n", e.what());
+    return 1;
+  }
+
+  if (echo) {
+    std::fputs(ddr::format_layout(spec).c_str(), stdout);
+    return 0;
+  }
+
+  const ddr::GlobalLayout& layout = spec.layout;
+  std::printf("layout: %d ranks, %dD, %zu-byte elements\n", layout.nranks(),
+              spec.ndims, spec.elem_size);
+  std::printf("domain: %s (%lld elements)\n", layout.domain().describe().c_str(),
+              static_cast<long long>(layout.domain().volume()));
+
+  const ddr::LayoutValidation v = ddr::validate_owned(layout);
+  if (v.ok()) {
+    std::printf("owned side: OK (mutually exclusive and complete)\n");
+  } else {
+    std::printf("owned side: INVALID — %s\n", v.detail.c_str());
+  }
+
+  const ddr::MappingStats s = ddr::compute_stats(layout, spec.elem_size);
+  std::printf("\nschedule:\n");
+  std::printf("  alltoallw rounds        : %d\n", s.rounds);
+  std::printf("  bytes staying local     : %lld\n",
+              static_cast<long long>(s.self_bytes));
+  std::printf("  bytes crossing ranks    : %lld\n",
+              static_cast<long long>(s.network_bytes));
+  std::printf("  mean sent/rank          : %.1f B\n",
+              s.mean_bytes_sent_per_rank);
+  std::printf("  mean sent/rank/round    : %.1f B\n",
+              s.mean_bytes_sent_per_rank_per_round);
+  std::printf("  max sent by a rank in a round: %lld B\n",
+              static_cast<long long>(s.max_bytes_sent_in_round));
+  std::printf("  mean send peers/rank    : %.2f (of %d)\n", s.mean_send_peers,
+              layout.nranks() - 1);
+  std::printf("  cross-rank transfers    : %lld (dense lanes: %lld)\n",
+              static_cast<long long>(s.transfer_count),
+              static_cast<long long>(layout.nranks()) *
+                  (layout.nranks() - 1) * s.rounds);
+
+  if (list_transfers) {
+    std::printf("\ntransfers (round: sender -> receiver region bytes):\n");
+    for (const ddr::Transfer& t :
+         ddr::enumerate_transfers(layout, spec.elem_size)) {
+      std::printf("  r%d: %d -> %d%s %s %lld B%s\n", t.round, t.sender,
+                  t.receiver,
+                  t.needed_index > 0
+                      ? (" (need#" + std::to_string(t.needed_index) + ")").c_str()
+                      : "",
+                  t.region.describe().c_str(),
+                  static_cast<long long>(t.bytes),
+                  t.sender == t.receiver ? " [local]" : "");
+    }
+  }
+  return 0;
+}
