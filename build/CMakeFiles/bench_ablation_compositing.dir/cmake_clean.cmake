@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_compositing.dir/bench/bench_ablation_compositing.cpp.o"
+  "CMakeFiles/bench_ablation_compositing.dir/bench/bench_ablation_compositing.cpp.o.d"
+  "bench/bench_ablation_compositing"
+  "bench/bench_ablation_compositing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_compositing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

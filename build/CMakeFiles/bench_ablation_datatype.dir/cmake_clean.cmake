@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_datatype.dir/bench/bench_ablation_datatype.cpp.o"
+  "CMakeFiles/bench_ablation_datatype.dir/bench/bench_ablation_datatype.cpp.o.d"
+  "bench/bench_ablation_datatype"
+  "bench/bench_ablation_datatype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

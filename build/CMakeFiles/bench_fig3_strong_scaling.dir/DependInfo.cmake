@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_strong_scaling.cpp" "CMakeFiles/bench_fig3_strong_scaling.dir/bench/bench_fig3_strong_scaling.cpp.o" "gcc" "CMakeFiles/bench_fig3_strong_scaling.dir/bench/bench_fig3_strong_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/loader/CMakeFiles/ddr_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiff/CMakeFiles/ddr_tiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvr/CMakeFiles/ddr_dvr.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ddr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ddr_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

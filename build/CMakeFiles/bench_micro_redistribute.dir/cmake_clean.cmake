@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_redistribute.dir/bench/bench_micro_redistribute.cpp.o"
+  "CMakeFiles/bench_micro_redistribute.dir/bench/bench_micro_redistribute.cpp.o.d"
+  "bench/bench_micro_redistribute"
+  "bench/bench_micro_redistribute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_redistribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

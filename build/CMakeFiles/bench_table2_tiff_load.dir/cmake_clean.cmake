@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tiff_load.dir/bench/bench_table2_tiff_load.cpp.o"
+  "CMakeFiles/bench_table2_tiff_load.dir/bench/bench_table2_tiff_load.cpp.o.d"
+  "bench/bench_table2_tiff_load"
+  "bench/bench_table2_tiff_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tiff_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

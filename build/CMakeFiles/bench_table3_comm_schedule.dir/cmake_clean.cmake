@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_comm_schedule.dir/bench/bench_table3_comm_schedule.cpp.o"
+  "CMakeFiles/bench_table3_comm_schedule.dir/bench/bench_table3_comm_schedule.cpp.o.d"
+  "bench/bench_table3_comm_schedule"
+  "bench/bench_table3_comm_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_comm_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

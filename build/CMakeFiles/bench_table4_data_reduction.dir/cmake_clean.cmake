@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_data_reduction.dir/bench/bench_table4_data_reduction.cpp.o"
+  "CMakeFiles/bench_table4_data_reduction.dir/bench/bench_table4_data_reduction.cpp.o.d"
+  "bench/bench_table4_data_reduction"
+  "bench/bench_table4_data_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_data_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbm_insitu.dir/lbm_insitu.cpp.o"
+  "CMakeFiles/lbm_insitu.dir/lbm_insitu.cpp.o.d"
+  "lbm_insitu"
+  "lbm_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbm_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiff_volume_render.dir/tiff_volume_render.cpp.o"
+  "CMakeFiles/tiff_volume_render.dir/tiff_volume_render.cpp.o.d"
+  "tiff_volume_render"
+  "tiff_volume_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiff_volume_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

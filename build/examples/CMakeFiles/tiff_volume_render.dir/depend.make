@@ -1,0 +1,2 @@
+# Empty dependencies file for tiff_volume_render.
+# This may be replaced when dependencies are built.

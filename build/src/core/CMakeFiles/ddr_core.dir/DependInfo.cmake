@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/capi.cpp" "src/core/CMakeFiles/ddr_core.dir/src/capi.cpp.o" "gcc" "src/core/CMakeFiles/ddr_core.dir/src/capi.cpp.o.d"
+  "/root/repo/src/core/src/halo.cpp" "src/core/CMakeFiles/ddr_core.dir/src/halo.cpp.o" "gcc" "src/core/CMakeFiles/ddr_core.dir/src/halo.cpp.o.d"
+  "/root/repo/src/core/src/layout.cpp" "src/core/CMakeFiles/ddr_core.dir/src/layout.cpp.o" "gcc" "src/core/CMakeFiles/ddr_core.dir/src/layout.cpp.o.d"
+  "/root/repo/src/core/src/mapping.cpp" "src/core/CMakeFiles/ddr_core.dir/src/mapping.cpp.o" "gcc" "src/core/CMakeFiles/ddr_core.dir/src/mapping.cpp.o.d"
+  "/root/repo/src/core/src/redistributor.cpp" "src/core/CMakeFiles/ddr_core.dir/src/redistributor.cpp.o" "gcc" "src/core/CMakeFiles/ddr_core.dir/src/redistributor.cpp.o.d"
+  "/root/repo/src/core/src/textio.cpp" "src/core/CMakeFiles/ddr_core.dir/src/textio.cpp.o" "gcc" "src/core/CMakeFiles/ddr_core.dir/src/textio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

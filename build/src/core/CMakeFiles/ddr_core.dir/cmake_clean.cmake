@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddr_core.dir/src/capi.cpp.o"
+  "CMakeFiles/ddr_core.dir/src/capi.cpp.o.d"
+  "CMakeFiles/ddr_core.dir/src/halo.cpp.o"
+  "CMakeFiles/ddr_core.dir/src/halo.cpp.o.d"
+  "CMakeFiles/ddr_core.dir/src/layout.cpp.o"
+  "CMakeFiles/ddr_core.dir/src/layout.cpp.o.d"
+  "CMakeFiles/ddr_core.dir/src/mapping.cpp.o"
+  "CMakeFiles/ddr_core.dir/src/mapping.cpp.o.d"
+  "CMakeFiles/ddr_core.dir/src/redistributor.cpp.o"
+  "CMakeFiles/ddr_core.dir/src/redistributor.cpp.o.d"
+  "CMakeFiles/ddr_core.dir/src/textio.cpp.o"
+  "CMakeFiles/ddr_core.dir/src/textio.cpp.o.d"
+  "libddr_core.a"
+  "libddr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddr_dvr.dir/src/dvr.cpp.o"
+  "CMakeFiles/ddr_dvr.dir/src/dvr.cpp.o.d"
+  "libddr_dvr.a"
+  "libddr_dvr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddr_dvr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/src/colormap.cpp" "src/image/CMakeFiles/ddr_image.dir/src/colormap.cpp.o" "gcc" "src/image/CMakeFiles/ddr_image.dir/src/colormap.cpp.o.d"
+  "/root/repo/src/image/src/image.cpp" "src/image/CMakeFiles/ddr_image.dir/src/image.cpp.o" "gcc" "src/image/CMakeFiles/ddr_image.dir/src/image.cpp.o.d"
+  "/root/repo/src/image/src/png.cpp" "src/image/CMakeFiles/ddr_image.dir/src/png.cpp.o" "gcc" "src/image/CMakeFiles/ddr_image.dir/src/png.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

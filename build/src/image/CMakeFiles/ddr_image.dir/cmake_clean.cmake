@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddr_image.dir/src/colormap.cpp.o"
+  "CMakeFiles/ddr_image.dir/src/colormap.cpp.o.d"
+  "CMakeFiles/ddr_image.dir/src/image.cpp.o"
+  "CMakeFiles/ddr_image.dir/src/image.cpp.o.d"
+  "CMakeFiles/ddr_image.dir/src/png.cpp.o"
+  "CMakeFiles/ddr_image.dir/src/png.cpp.o.d"
+  "libddr_image.a"
+  "libddr_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddr_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

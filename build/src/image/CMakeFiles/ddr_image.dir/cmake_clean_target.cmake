@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libddr_image.a"
+)

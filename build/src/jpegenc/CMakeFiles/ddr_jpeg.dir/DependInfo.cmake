@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jpegenc/src/dct.cpp" "src/jpegenc/CMakeFiles/ddr_jpeg.dir/src/dct.cpp.o" "gcc" "src/jpegenc/CMakeFiles/ddr_jpeg.dir/src/dct.cpp.o.d"
+  "/root/repo/src/jpegenc/src/decoder.cpp" "src/jpegenc/CMakeFiles/ddr_jpeg.dir/src/decoder.cpp.o" "gcc" "src/jpegenc/CMakeFiles/ddr_jpeg.dir/src/decoder.cpp.o.d"
+  "/root/repo/src/jpegenc/src/encoder.cpp" "src/jpegenc/CMakeFiles/ddr_jpeg.dir/src/encoder.cpp.o" "gcc" "src/jpegenc/CMakeFiles/ddr_jpeg.dir/src/encoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/ddr_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

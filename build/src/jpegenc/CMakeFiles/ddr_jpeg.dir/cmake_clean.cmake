@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddr_jpeg.dir/src/dct.cpp.o"
+  "CMakeFiles/ddr_jpeg.dir/src/dct.cpp.o.d"
+  "CMakeFiles/ddr_jpeg.dir/src/decoder.cpp.o"
+  "CMakeFiles/ddr_jpeg.dir/src/decoder.cpp.o.d"
+  "CMakeFiles/ddr_jpeg.dir/src/encoder.cpp.o"
+  "CMakeFiles/ddr_jpeg.dir/src/encoder.cpp.o.d"
+  "libddr_jpeg.a"
+  "libddr_jpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddr_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

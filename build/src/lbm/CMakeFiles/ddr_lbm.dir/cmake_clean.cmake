@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddr_lbm.dir/src/lbm.cpp.o"
+  "CMakeFiles/ddr_lbm.dir/src/lbm.cpp.o.d"
+  "libddr_lbm.a"
+  "libddr_lbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddr_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

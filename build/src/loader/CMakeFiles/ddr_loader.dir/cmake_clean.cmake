@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddr_loader.dir/src/tiff_loader.cpp.o"
+  "CMakeFiles/ddr_loader.dir/src/tiff_loader.cpp.o.d"
+  "libddr_loader.a"
+  "libddr_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddr_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimpi/src/cart.cpp" "src/minimpi/CMakeFiles/minimpi.dir/src/cart.cpp.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/src/cart.cpp.o.d"
+  "/root/repo/src/minimpi/src/comm.cpp" "src/minimpi/CMakeFiles/minimpi.dir/src/comm.cpp.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/src/comm.cpp.o.d"
+  "/root/repo/src/minimpi/src/datatype.cpp" "src/minimpi/CMakeFiles/minimpi.dir/src/datatype.cpp.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/src/datatype.cpp.o.d"
+  "/root/repo/src/minimpi/src/runtime.cpp" "src/minimpi/CMakeFiles/minimpi.dir/src/runtime.cpp.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/src/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi.dir/src/cart.cpp.o"
+  "CMakeFiles/minimpi.dir/src/cart.cpp.o.d"
+  "CMakeFiles/minimpi.dir/src/comm.cpp.o"
+  "CMakeFiles/minimpi.dir/src/comm.cpp.o.d"
+  "CMakeFiles/minimpi.dir/src/datatype.cpp.o"
+  "CMakeFiles/minimpi.dir/src/datatype.cpp.o.d"
+  "CMakeFiles/minimpi.dir/src/runtime.cpp.o"
+  "CMakeFiles/minimpi.dir/src/runtime.cpp.o.d"
+  "libminimpi.a"
+  "libminimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddr_stream.dir/src/stream.cpp.o"
+  "CMakeFiles/ddr_stream.dir/src/stream.cpp.o.d"
+  "libddr_stream.a"
+  "libddr_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddr_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

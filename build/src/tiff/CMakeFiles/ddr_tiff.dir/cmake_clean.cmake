@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddr_tiff.dir/src/phantom.cpp.o"
+  "CMakeFiles/ddr_tiff.dir/src/phantom.cpp.o.d"
+  "CMakeFiles/ddr_tiff.dir/src/tiff.cpp.o"
+  "CMakeFiles/ddr_tiff.dir/src/tiff.cpp.o.d"
+  "libddr_tiff.a"
+  "libddr_tiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddr_tiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("minimpi")
+subdirs("core")
+subdirs("tiff")
+subdirs("image")
+subdirs("jpegenc")
+subdirs("lbm")
+subdirs("dvr")
+subdirs("stream")
+subdirs("loader")
+subdirs("simnet")
+subdirs("integration")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_box.dir/test_box.cpp.o"
+  "CMakeFiles/test_core_box.dir/test_box.cpp.o.d"
+  "test_core_box"
+  "test_core_box.pdb"
+  "test_core_box[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_box.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

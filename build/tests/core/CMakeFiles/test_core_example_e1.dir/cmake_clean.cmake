@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_example_e1.dir/test_example_e1.cpp.o"
+  "CMakeFiles/test_core_example_e1.dir/test_example_e1.cpp.o.d"
+  "test_core_example_e1"
+  "test_core_example_e1.pdb"
+  "test_core_example_e1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_example_e1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

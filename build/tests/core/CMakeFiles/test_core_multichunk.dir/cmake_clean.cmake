@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_multichunk.dir/test_multichunk.cpp.o"
+  "CMakeFiles/test_core_multichunk.dir/test_multichunk.cpp.o.d"
+  "test_core_multichunk"
+  "test_core_multichunk.pdb"
+  "test_core_multichunk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_multichunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

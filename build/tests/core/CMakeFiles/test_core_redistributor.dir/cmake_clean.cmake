@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_redistributor.dir/test_redistributor.cpp.o"
+  "CMakeFiles/test_core_redistributor.dir/test_redistributor.cpp.o.d"
+  "test_core_redistributor"
+  "test_core_redistributor.pdb"
+  "test_core_redistributor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_redistributor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

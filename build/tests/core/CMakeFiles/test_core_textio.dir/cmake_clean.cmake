@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_textio.dir/test_textio.cpp.o"
+  "CMakeFiles/test_core_textio.dir/test_textio.cpp.o.d"
+  "test_core_textio"
+  "test_core_textio.pdb"
+  "test_core_textio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_textio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/test_core_box[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_layout[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_mapping[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_example_e1[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_redistributor[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_property[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_multichunk[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_textio[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_halo[1]_include.cmake")

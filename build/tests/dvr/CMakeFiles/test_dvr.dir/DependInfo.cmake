@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dvr/test_dvr.cpp" "tests/dvr/CMakeFiles/test_dvr.dir/test_dvr.cpp.o" "gcc" "tests/dvr/CMakeFiles/test_dvr.dir/test_dvr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dvr/CMakeFiles/ddr_dvr.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ddr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ddr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

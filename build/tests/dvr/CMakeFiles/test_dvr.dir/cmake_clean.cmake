@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvr.dir/test_dvr.cpp.o"
+  "CMakeFiles/test_dvr.dir/test_dvr.cpp.o.d"
+  "test_dvr"
+  "test_dvr.pdb"
+  "test_dvr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

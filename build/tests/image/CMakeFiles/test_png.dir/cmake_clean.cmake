@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_png.dir/test_png.cpp.o"
+  "CMakeFiles/test_png.dir/test_png.cpp.o.d"
+  "test_png"
+  "test_png.pdb"
+  "test_png[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_png.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/image
+# Build directory: /root/repo/build/tests/image
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/image/test_image[1]_include.cmake")
+include("/root/repo/build/tests/image/test_png[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_use_cases.dir/test_use_cases.cpp.o"
+  "CMakeFiles/test_integration_use_cases.dir/test_use_cases.cpp.o.d"
+  "test_integration_use_cases"
+  "test_integration_use_cases.pdb"
+  "test_integration_use_cases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_use_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

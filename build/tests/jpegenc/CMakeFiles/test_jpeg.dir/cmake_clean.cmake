@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jpeg.dir/test_jpeg.cpp.o"
+  "CMakeFiles/test_jpeg.dir/test_jpeg.cpp.o.d"
+  "test_jpeg"
+  "test_jpeg.pdb"
+  "test_jpeg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

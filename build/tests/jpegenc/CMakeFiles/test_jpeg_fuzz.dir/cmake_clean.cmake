@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jpeg_fuzz.dir/test_jpeg_fuzz.cpp.o"
+  "CMakeFiles/test_jpeg_fuzz.dir/test_jpeg_fuzz.cpp.o.d"
+  "test_jpeg_fuzz"
+  "test_jpeg_fuzz.pdb"
+  "test_jpeg_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jpeg_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

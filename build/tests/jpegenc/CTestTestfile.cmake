@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/jpegenc
+# Build directory: /root/repo/build/tests/jpegenc
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/jpegenc/test_jpeg[1]_include.cmake")
+include("/root/repo/build/tests/jpegenc/test_jpeg_fuzz[1]_include.cmake")

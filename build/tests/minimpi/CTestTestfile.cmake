@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/minimpi
+# Build directory: /root/repo/build/tests/minimpi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/minimpi/test_minimpi_datatype[1]_include.cmake")
+include("/root/repo/build/tests/minimpi/test_minimpi_p2p[1]_include.cmake")
+include("/root/repo/build/tests/minimpi/test_minimpi_collectives[1]_include.cmake")
+include("/root/repo/build/tests/minimpi/test_minimpi_runtime[1]_include.cmake")
+include("/root/repo/build/tests/minimpi/test_minimpi_cart[1]_include.cmake")
+include("/root/repo/build/tests/minimpi/test_minimpi_stress[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiff.dir/test_tiff.cpp.o"
+  "CMakeFiles/test_tiff.dir/test_tiff.cpp.o.d"
+  "test_tiff"
+  "test_tiff.pdb"
+  "test_tiff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiff_fuzz.dir/test_tiff_fuzz.cpp.o"
+  "CMakeFiles/test_tiff_fuzz.dir/test_tiff_fuzz.cpp.o.d"
+  "test_tiff_fuzz"
+  "test_tiff_fuzz.pdb"
+  "test_tiff_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiff_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tiff
+# Build directory: /root/repo/build/tests/tiff
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tiff/test_tiff[1]_include.cmake")
+include("/root/repo/build/tests/tiff/test_phantom[1]_include.cmake")
+include("/root/repo/build/tests/tiff/test_tiff_fuzz[1]_include.cmake")

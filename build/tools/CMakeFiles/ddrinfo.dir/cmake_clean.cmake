@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddrinfo.dir/ddrinfo.cpp.o"
+  "CMakeFiles/ddrinfo.dir/ddrinfo.cpp.o.d"
+  "ddrinfo"
+  "ddrinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddrinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[ddrinfo_e1]=] "/root/repo/build/tools/ddrinfo" "/root/repo/tests/fixtures/e1.layout")
+set_tests_properties([=[ddrinfo_e1]=] PROPERTIES  PASS_REGULAR_EXPRESSION "alltoallw rounds *: 2" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[ddrinfo_e1_transfers]=] "/root/repo/build/tools/ddrinfo" "-t" "/root/repo/tests/fixtures/e1.layout")
+set_tests_properties([=[ddrinfo_e1_transfers]=] PROPERTIES  PASS_REGULAR_EXPRESSION "OK \\(mutually exclusive and complete\\)" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[ddrinfo_roundtrip]=] "/root/repo/build/tools/ddrinfo" "-e" "/root/repo/tests/fixtures/e1.layout")
+set_tests_properties([=[ddrinfo_roundtrip]=] PROPERTIES  PASS_REGULAR_EXPRESSION "rank own 8x1@0,3 own 8x1@0,7 need 4x4@4,4" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[ddrinfo_bad_usage]=] "/root/repo/build/tools/ddrinfo" "-x")
+set_tests_properties([=[ddrinfo_bad_usage]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
