@@ -45,6 +45,21 @@ struct SetupOptions {
   bool validate_owned_layout = true;
 
   Backend backend = Backend::alltoallw;
+
+  /// Fail-safe collective error contract: before any data moves, setup() and
+  /// redistribute() agree on per-rank precondition failures via a cheap
+  /// allreduce, so EVERY rank throws the same descriptive ddr::Error (naming
+  /// the failing rank) instead of one rank throwing while the others hang in
+  /// a half-entered collective. Disable only when every rank's preconditions
+  /// are known to be checked identically already.
+  bool collective_error_agreement = true;
+
+  /// Point-to-point backend under fault injection: how many times a missing
+  /// transfer is re-requested before the receiving rank gives up and fails
+  /// the run (collective abort). Each attempt re-posts the transfer on the
+  /// sending side, so a run under a lossy-link FaultModel completes
+  /// bit-identically whenever every transfer survives within the cap.
+  int max_transfer_attempts = 8;
 };
 
 /// Per-rank redistribution engine.
@@ -77,6 +92,18 @@ class Redistributor {
   void redistribute(std::span<const std::byte> owned_data,
                     std::span<std::byte> needed_data) const;
 
+  /// Collective over `comm` (typically the shrunk communicator after the
+  /// deadlock watchdog reported dead ranks — see mpi::Comm::shrink()).
+  /// Replaces this Redistributor's communicator and re-runs setup() with the
+  /// survivors' declarations, so redistribution can continue with the
+  /// remaining ranks after a failure.
+  void rebuild(mpi::Comm comm, const OwnedLayout& owned,
+               const NeededLayout& needed, const SetupOptions& options = {});
+
+  /// Single-needed-chunk convenience overload of rebuild().
+  void rebuild(mpi::Comm comm, const OwnedLayout& owned, const Chunk& needed,
+               const SetupOptions& options = {});
+
   /// Bytes this rank's concatenated owned chunks occupy.
   [[nodiscard]] std::size_t owned_bytes() const { return mapping_.owned_bytes; }
 
@@ -105,14 +132,20 @@ class Redistributor {
                          std::span<std::byte> needed_data) const;
   void execute_p2p(std::span<const std::byte> owned_data,
                    std::span<std::byte> needed_data) const;
+  void execute_p2p_reliable(std::span<const std::byte> owned_data,
+                            std::span<std::byte> needed_data) const;
 
   mpi::Comm comm_;
   std::size_t elem_size_;
-  Backend backend_ = Backend::alltoallw;
+  SetupOptions options_;
   bool setup_done_ = false;
   GlobalLayout layout_;
   DataMapping mapping_;
   MappingStats stats_;
+  /// Epoch counter for the reliable p2p protocol: every redistribute() call
+  /// gets its own tag window so duplicated or re-sent messages from one call
+  /// can never be mistaken for another call's traffic.
+  mutable std::uint64_t p2p_epoch_ = 0;
 };
 
 }  // namespace ddr

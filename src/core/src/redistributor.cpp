@@ -1,7 +1,10 @@
 #include "ddr/redistributor.hpp"
 
+#include <algorithm>
 #include <array>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "ddr/error.hpp"
 
@@ -38,9 +41,101 @@ Chunk from_wire(const ChunkWire& w) {
   return c;
 }
 
+// --- point-to-point tag space ------------------------------------------------
+//
+// The p2p backend derives tags from sequence numbers, so its tag use must be
+// budgeted against mpi::tag_upper_bound (minimpi's documented user-tag
+// ceiling) instead of silently wrapping into other traffic. Layout, with
+// W = kP2pEpochWindow and R = rounds, for epoch e in [0, W):
+//
+//   done token (zero-byte)      : kP2pTagBase + e
+//   retry request for round k   : kP2pTagBase + W*(1 + k)     + e
+//   data message for round k    : kP2pTagBase + W*(1 + R + k) + e
+//
+// Highest tag used: kP2pTagBase + W*(1 + 2R) - 1; setup() rejects mappings
+// whose round count would exceed the ceiling. Epochs scope one
+// redistribute() call's traffic: re-sent or duplicated messages of one call
+// can never be mistaken for another call's (the window would have to wrap
+// within W in-flight calls, and each call drains its window before and after
+// use).
+
 /// Tag base for the point-to-point backend, chosen high so it cannot collide
-/// with typical application tags; one tag per round.
+/// with typical application tags.
 constexpr int kP2pTagBase = 0x2DD70;
+/// Number of concurrent redistribute() epochs the tag space distinguishes.
+constexpr int kP2pEpochWindow = 4096;
+
+int p2p_done_tag(int epoch) { return kP2pTagBase + epoch; }
+int p2p_retry_tag(int round, int epoch) {
+  return kP2pTagBase + kP2pEpochWindow * (1 + round) + epoch;
+}
+int p2p_data_tag(int round, int nrounds, int epoch) {
+  return kP2pTagBase + kP2pEpochWindow * (1 + nrounds + round) + epoch;
+}
+
+// --- fail-safe collective error agreement ------------------------------------
+//
+// Precondition failures detected by one rank (a short buffer, a bad local
+// declaration) must not strand the other ranks inside a half-entered
+// collective. Before any data moves, every rank contributes its local
+// precondition verdict to an allreduce(max); if any rank failed, EVERY rank
+// throws the same descriptive Error naming the failing rank.
+
+enum PrecondCode : int {
+  kPrecondOk = 0,
+  kPrecondEmptyNeeded = 1,
+  kPrecondMixedLocalDims = 2,
+  kPrecondUnsupportedDims = 3,
+  kPrecondNotSetup = 4,
+  kPrecondOwnedBufferShort = 5,
+  kPrecondNeededBufferShort = 6,
+};
+
+std::string precond_message(int code, int rank) {
+  const std::string who = "rank " + std::to_string(rank);
+  switch (code) {
+    case kPrecondEmptyNeeded:
+      return "setup: " + who + " declared no needed chunk (need at least one)";
+    case kPrecondMixedLocalDims:
+      return "setup: " + who +
+             " declared owned and needed chunks of different dimensionality";
+    case kPrecondUnsupportedDims:
+      return "setup: " + who +
+             " declared chunks outside the supported 1D/2D/3D range";
+    case kPrecondNotSetup:
+      return "redistribute: " + who + " has no mapping (call setup() first)";
+    case kPrecondOwnedBufferShort:
+      return "redistribute: " + who +
+             "'s owned buffer is smaller than its layout requires";
+    case kPrecondNeededBufferShort:
+      return "redistribute: " + who +
+             "'s needed buffer is smaller than its layout requires";
+    default:
+      return "precondition failure on " + who;
+  }
+}
+
+/// Encodes (code, rank) so that allreduce(max) surfaces the worst failure
+/// deterministically: any failure beats OK, higher codes beat lower, and the
+/// highest failing rank breaks ties — identically on every rank.
+std::int64_t encode_precond(int code, int rank) {
+  if (code == kPrecondOk) return 0;
+  return (static_cast<std::int64_t>(code) << 32) |
+         static_cast<std::uint32_t>(rank);
+}
+
+/// Collective. Agrees on the worst precondition failure across the
+/// communicator and throws the same Error on every rank if there is one.
+void agree_preconditions(const mpi::Comm& comm, int code) {
+  const std::int64_t mine = encode_precond(code, comm.rank());
+  std::int64_t worst = 0;
+  comm.allreduce(&mine, &worst, 1, mpi::Datatype::of<std::int64_t>(),
+                 mpi::Op::max<std::int64_t>());
+  if (worst == 0) return;
+  const int worst_code = static_cast<int>(worst >> 32);
+  const int worst_rank = static_cast<int>(worst & 0xffffffff);
+  throw Error(precond_message(worst_code, worst_rank));
+}
 
 }  // namespace
 
@@ -58,18 +153,29 @@ void Redistributor::setup(const OwnedLayout& owned, const Chunk& needed,
 void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
                           const SetupOptions& options) {
   const int p = comm_.size();
-  backend_ = options.backend;
+  options_ = options;
 
-  require(!needed.empty(), "setup: need at least one needed chunk");
-  const int nd = needed.front().ndims;
-  for (const auto& c : owned)
-    require(c.ndims == nd,
-            "setup: owned and needed chunks must have the same rank");
-  for (const auto& c : needed)
-    require(c.ndims == nd,
-            "setup: all needed chunks must have the same rank");
-  require(nd >= 1 && nd <= kMaxDims,
-          "setup: only 1D, 2D and 3D data is supported");
+  // 0. Local preconditions. With collective_error_agreement the verdict is
+  // agreed before anyone proceeds, so a single rank's bad declaration cannot
+  // strand the others in the allgather below.
+  int code = kPrecondOk;
+  int nd = 0;
+  if (needed.empty()) {
+    code = kPrecondEmptyNeeded;
+  } else {
+    nd = needed.front().ndims;
+    for (const auto& c : owned)
+      if (c.ndims != nd) code = kPrecondMixedLocalDims;
+    for (const auto& c : needed)
+      if (c.ndims != nd) code = kPrecondMixedLocalDims;
+    if (code == kPrecondOk && (nd < 1 || nd > kMaxDims))
+      code = kPrecondUnsupportedDims;
+  }
+  if (options.collective_error_agreement) {
+    agree_preconditions(comm_, code);
+  } else {
+    require(code == kPrecondOk, precond_message(code, comm_.rank()));
+  }
 
   const mpi::Datatype wire = mpi::Datatype::bytes(sizeof(ChunkWire));
   const mpi::Datatype ints = mpi::Datatype::of<std::int32_t>();
@@ -114,6 +220,29 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
           from_wire(all[static_cast<std::size_t>(cursor++)]));
   }
 
+  // 4. Cross-rank dimensionality agreement. Every rank checked its own
+  // declarations above, but mixed dimensionality ACROSS ranks would silently
+  // produce a garbage GlobalLayout (a 1D box and a 2D box intersect
+  // meaninglessly). The check runs on the allgathered layout, which is
+  // identical everywhere, so all ranks throw the identical error.
+  for (int r = 0; r < p; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    for (const auto& c : layout_.owned[ri])
+      require(c.ndims == nd,
+              "setup: rank " + std::to_string(r) + " declared " +
+                  std::to_string(c.ndims) + "D chunks but rank " +
+                  std::to_string(comm_.rank()) + " declared " +
+                  std::to_string(nd) +
+                  "D chunks — all ranks must use the same dimensionality");
+    for (const auto& c : layout_.needed[ri])
+      require(c.ndims == nd,
+              "setup: rank " + std::to_string(r) + " declared " +
+                  std::to_string(c.ndims) + "D chunks but rank " +
+                  std::to_string(comm_.rank()) + " declared " +
+                  std::to_string(nd) +
+                  "D chunks — all ranks must use the same dimensionality");
+  }
+
   // 5. Enforce the paper's send-side contract if requested.
   if (options.validate_owned_layout) {
     const LayoutValidation v = validate_owned(layout_);
@@ -124,22 +253,61 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
   // 6. Geometry -> per-round alltoallw plans and schedule statistics.
   mapping_ = build_mapping(layout_, comm_.rank(), elem_size_);
   stats_ = compute_stats(layout_, elem_size_);
+
+  // 7. Tag-space budget for the p2p backend (see the tag layout comment
+  // above): identical on every rank because the round count derives from the
+  // allgathered layout.
+  if (options.backend == Backend::point_to_point) {
+    const auto nrounds = static_cast<std::int64_t>(mapping_.rounds.size());
+    const std::int64_t highest =
+        kP2pTagBase +
+        static_cast<std::int64_t>(kP2pEpochWindow) * (1 + 2 * nrounds) - 1;
+    require(highest < mpi::tag_upper_bound,
+            "setup: point-to-point backend needs " + std::to_string(nrounds) +
+                " rounds, whose highest tag " + std::to_string(highest) +
+                " exceeds the runtime tag ceiling (" +
+                std::to_string(mpi::tag_upper_bound) +
+                ") — use the alltoallw backend for this layout");
+  }
+
+  p2p_epoch_ = 0;
   setup_done_ = true;
+}
+
+void Redistributor::rebuild(mpi::Comm comm, const OwnedLayout& owned,
+                            const NeededLayout& needed,
+                            const SetupOptions& options) {
+  require(comm.valid(), "rebuild: invalid communicator");
+  comm_ = std::move(comm);
+  setup_done_ = false;
+  setup(owned, needed, options);
+}
+
+void Redistributor::rebuild(mpi::Comm comm, const OwnedLayout& owned,
+                            const Chunk& needed, const SetupOptions& options) {
+  rebuild(std::move(comm), owned, NeededLayout{needed}, options);
 }
 
 void Redistributor::redistribute(std::span<const std::byte> owned_data,
                                  std::span<std::byte> needed_data) const {
-  require(setup_done_, "redistribute: call setup() first");
-  require(owned_data.size() >= mapping_.owned_bytes,
-          "redistribute: owned buffer holds " +
-              std::to_string(owned_data.size()) + " B but the layout needs " +
-              std::to_string(mapping_.owned_bytes) + " B");
-  require(needed_data.size() >= mapping_.needed_bytes,
-          "redistribute: needed buffer holds " +
-              std::to_string(needed_data.size()) + " B but the layout needs " +
-              std::to_string(mapping_.needed_bytes) + " B");
-  if (backend_ == Backend::alltoallw) {
+  int code = kPrecondOk;
+  if (!setup_done_)
+    code = kPrecondNotSetup;
+  else if (owned_data.size() < mapping_.owned_bytes)
+    code = kPrecondOwnedBufferShort;
+  else if (needed_data.size() < mapping_.needed_bytes)
+    code = kPrecondNeededBufferShort;
+
+  if (options_.collective_error_agreement) {
+    agree_preconditions(comm_, code);
+  } else {
+    require(code == kPrecondOk, precond_message(code, comm_.rank()));
+  }
+
+  if (options_.backend == Backend::alltoallw) {
     execute_alltoallw(owned_data, needed_data);
+  } else if (comm_.fault_injection_active()) {
+    execute_p2p_reliable(owned_data, needed_data);
   } else {
     execute_p2p(owned_data, needed_data);
   }
@@ -160,10 +328,12 @@ void Redistributor::execute_p2p(std::span<const std::byte> owned_data,
                                 std::span<std::byte> needed_data) const {
   // The paper's future-work optimization (§V): skip the dense collective and
   // exchange only the non-empty transfers with direct sends/receives.
+  const int nrounds = static_cast<int>(mapping_.rounds.size());
+  const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
   std::vector<mpi::Request> reqs;
-  for (std::size_t k = 0; k < mapping_.rounds.size(); ++k) {
-    const RoundPlan& rp = mapping_.rounds[k];
-    const int tag = kP2pTagBase + static_cast<int>(k);
+  for (int k = 0; k < nrounds; ++k) {
+    const RoundPlan& rp = mapping_.rounds[static_cast<std::size_t>(k)];
+    const int tag = p2p_data_tag(k, nrounds, epoch);
     for (int q = 0; q < mapping_.nranks; ++q) {
       const auto qi = static_cast<std::size_t>(q);
       if (rp.recvcounts[qi] > 0)
@@ -171,9 +341,9 @@ void Redistributor::execute_p2p(std::span<const std::byte> owned_data,
                                    rp.recvtypes[qi], q, tag));
     }
   }
-  for (std::size_t k = 0; k < mapping_.rounds.size(); ++k) {
-    const RoundPlan& rp = mapping_.rounds[k];
-    const int tag = kP2pTagBase + static_cast<int>(k);
+  for (int k = 0; k < nrounds; ++k) {
+    const RoundPlan& rp = mapping_.rounds[static_cast<std::size_t>(k)];
+    const int tag = p2p_data_tag(k, nrounds, epoch);
     for (int q = 0; q < mapping_.nranks; ++q) {
       const auto qi = static_cast<std::size_t>(q);
       if (rp.sendcounts[qi] > 0)
@@ -182,6 +352,203 @@ void Redistributor::execute_p2p(std::span<const std::byte> owned_data,
     }
   }
   mpi::wait_all(reqs);
+}
+
+void Redistributor::execute_p2p_reliable(
+    std::span<const std::byte> owned_data,
+    std::span<std::byte> needed_data) const {
+  // Reliable variant of the p2p exchange, engaged when a FaultModel is
+  // installed (Comm::fault_injection_active). The data plane may drop,
+  // duplicate or delay messages; the protocol completes bit-identically
+  // anyway, or fails the run collectively after a bounded number of retries.
+  //
+  //  * Receiver-driven retry: a receiver that sees no progress for
+  //    kRetryTimeout re-requests each still-missing transfer from its sender
+  //    (zero-byte message whose tag encodes the round); the sender re-posts
+  //    the data. Lost retry requests are themselves retried by the next
+  //    timeout. SetupOptions::max_transfer_attempts bounds the requests per
+  //    transfer; exhaustion throws, which aborts the run collectively.
+  //  * Termination: when a receiver holds everything it expects from sender
+  //    q, it sends q a zero-byte "done" token. A rank exits the exchange
+  //    when it has all its data AND holds done tokens from every rank it
+  //    sends to — before that it keeps servicing retry requests, so no
+  //    receiver can be stranded by a sender that finished early. Control
+  //    messages are zero-byte: fault plans model them on a lossless control
+  //    lane (see simnet::RandomFaultParams::spare_empty_messages).
+  //  * Cleanup: a barrier (reliable collective channel) fences the epoch,
+  //    then each rank drains its epoch tags, removing duplicated data copies
+  //    and stale control messages so no later call can see them.
+  using steady = std::chrono::steady_clock;
+  constexpr auto kRetryTimeout = std::chrono::milliseconds(20);
+  constexpr auto kPollInterval = std::chrono::microseconds(200);
+
+  const int nrounds = static_cast<int>(mapping_.rounds.size());
+  const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
+  const mpi::Datatype byte = mpi::Datatype::bytes(1);
+
+  auto drain_epoch = [&] {
+    auto drain_tag = [&](int tag) {
+      while (auto s = comm_.iprobe(mpi::any_source, tag)) {
+        std::vector<std::byte> junk(s->bytes);
+        comm_.recv(junk.data(), junk.size(), byte, s->source, tag);
+      }
+    };
+    drain_tag(p2p_done_tag(epoch));
+    for (int k = 0; k < nrounds; ++k) {
+      drain_tag(p2p_retry_tag(k, epoch));
+      drain_tag(p2p_data_tag(k, nrounds, epoch));
+    }
+  };
+
+  // The window only wraps after kP2pEpochWindow calls; clear anything a
+  // long-past call could have left in this epoch's slots.
+  drain_epoch();
+
+  // Expected incoming transfers, their pending receives, and retry budgets.
+  struct PendingRecv {
+    int round = 0;
+    int peer = -1;
+    int attempts = 0;
+    mpi::Request req;
+  };
+  std::vector<PendingRecv> pending;
+  std::vector<int> missing_from(static_cast<std::size_t>(mapping_.nranks), 0);
+  for (int k = 0; k < nrounds; ++k) {
+    const RoundPlan& rp = mapping_.rounds[static_cast<std::size_t>(k)];
+    for (int q = 0; q < mapping_.nranks; ++q) {
+      const auto qi = static_cast<std::size_t>(q);
+      if (rp.recvcounts[qi] <= 0) continue;
+      PendingRecv pr;
+      pr.round = k;
+      pr.peer = q;
+      pr.req = comm_.irecv(needed_data.data() + rp.rdispls[qi], 1,
+                           rp.recvtypes[qi], q, p2p_data_tag(k, nrounds, epoch));
+      pending.push_back(std::move(pr));
+      ++missing_from[qi];
+    }
+  }
+
+  auto send_data = [&](int round, int dest) {
+    const RoundPlan& rp = mapping_.rounds[static_cast<std::size_t>(round)];
+    const auto di = static_cast<std::size_t>(dest);
+    comm_.send(owned_data.data() + rp.sdispls[di], 1, rp.sendtypes[di], dest,
+               p2p_data_tag(round, nrounds, epoch));
+  };
+
+  // Ranks this rank sends to: each owes us a done token before we may leave
+  // (we are their retry server until then).
+  std::vector<bool> awaiting_done(static_cast<std::size_t>(mapping_.nranks),
+                                  false);
+  int ndone_awaited = 0;
+  for (int q = 0; q < mapping_.nranks; ++q) {
+    const auto qi = static_cast<std::size_t>(q);
+    bool sends_to_q = false;
+    for (int k = 0; k < nrounds; ++k)
+      if (mapping_.rounds[static_cast<std::size_t>(k)].sendcounts[qi] > 0)
+        sends_to_q = true;
+    if (sends_to_q) {
+      awaiting_done[qi] = true;
+      ++ndone_awaited;
+    }
+  }
+
+  // Initial transmission.
+  for (int k = 0; k < nrounds; ++k) {
+    const RoundPlan& rp = mapping_.rounds[static_cast<std::size_t>(k)];
+    for (int q = 0; q < mapping_.nranks; ++q)
+      if (rp.sendcounts[static_cast<std::size_t>(q)] > 0) send_data(k, q);
+  }
+
+  steady::time_point last_progress = steady::now();
+  std::size_t npending = pending.size();
+  while (npending > 0 || ndone_awaited > 0) {
+    bool progressed = false;
+
+    // 1. Complete arrived transfers; notify a sender once it owes us nothing.
+    for (auto& pr : pending) {
+      if (!pr.req.valid()) continue;
+      if (pr.req.test()) {
+        progressed = true;
+        --npending;
+        const auto qi = static_cast<std::size_t>(pr.peer);
+        if (--missing_from[qi] == 0)
+          comm_.send(nullptr, 0, byte, pr.peer, p2p_done_tag(epoch));
+      }
+    }
+
+    // 2. Serve retry requests: re-post the requested transfer.
+    for (int k = 0; k < nrounds; ++k) {
+      const int rtag = p2p_retry_tag(k, epoch);
+      while (auto s = comm_.iprobe(mpi::any_source, rtag)) {
+        comm_.recv(nullptr, 0, byte, s->source, rtag);
+        const RoundPlan& rp = mapping_.rounds[static_cast<std::size_t>(k)];
+        if (rp.sendcounts[static_cast<std::size_t>(s->source)] > 0)
+          send_data(k, s->source);
+        progressed = true;
+      }
+    }
+
+    // 3. Collect done tokens from the ranks we send to.
+    while (auto s = comm_.iprobe(mpi::any_source, p2p_done_tag(epoch))) {
+      comm_.recv(nullptr, 0, byte, s->source, p2p_done_tag(epoch));
+      const auto si = static_cast<std::size_t>(s->source);
+      if (awaiting_done[si]) {
+        awaiting_done[si] = false;
+        --ndone_awaited;
+        progressed = true;
+      }
+    }
+
+    // 4. On stall, re-request every still-missing transfer (bounded), and
+    // write off ranks the FaultModel killed: a dead sender will never
+    // deliver (fail fast instead of exhausting retries into the void) and a
+    // dead receiver will never need our retry service nor send its token.
+    if (progressed) {
+      last_progress = steady::now();
+    } else if (steady::now() - last_progress > kRetryTimeout) {
+      const std::vector<int> failed = comm_.failed_ranks();
+      auto is_dead = [&](int r) {
+        return std::find(failed.begin(), failed.end(), r) != failed.end();
+      };
+      for (int q = 0; q < mapping_.nranks; ++q) {
+        const auto qi = static_cast<std::size_t>(q);
+        if (awaiting_done[qi] && is_dead(q)) {
+          awaiting_done[qi] = false;
+          --ndone_awaited;
+        }
+      }
+      for (auto& pr : pending) {
+        if (!pr.req.valid()) continue;
+        require(!is_dead(pr.peer),
+                "redistribute: rank " + std::to_string(pr.peer) +
+                    " was killed before delivering round " +
+                    std::to_string(pr.round) + " to rank " +
+                    std::to_string(comm_.rank()) +
+                    " — shrink the communicator and rebuild the mapping");
+        ++pr.attempts;
+        require(pr.attempts <= options_.max_transfer_attempts,
+                "redistribute: transfer (round " + std::to_string(pr.round) +
+                    " from rank " + std::to_string(pr.peer) + " to rank " +
+                    std::to_string(comm_.rank()) + ") still missing after " +
+                    std::to_string(pr.attempts) +
+                    " attempts — aborting the exchange");
+        comm_.send(nullptr, 0, byte, pr.peer, p2p_retry_tag(pr.round, epoch));
+      }
+      last_progress = steady::now();
+    }
+
+    // Stay responsive to kill/abort/deadlock while looping, and yield the
+    // core (ranks are threads of one process) instead of spinning.
+    comm_.checkpoint();
+    std::this_thread::sleep_for(kPollInterval);
+  }
+
+  // Fence the epoch on the reliable collective channel, then remove this
+  // epoch's leftovers (duplicated data copies, redundant retry requests and
+  // done tokens). After the barrier no rank can send into this epoch again,
+  // so the drain is complete.
+  comm_.barrier();
+  drain_epoch();
 }
 
 }  // namespace ddr

@@ -36,6 +36,13 @@
 
 namespace mpi {
 
+/// Exclusive upper bound of the user tag space: valid user tags are
+/// [0, tag_upper_bound). The runtime reserves the headroom above for
+/// internal use; libraries that derive tags from sequence numbers (e.g. one
+/// tag per redistribution round) must check their highest tag stays below
+/// this bound instead of silently wrapping or colliding.
+inline constexpr int tag_upper_bound = 1 << 30;
+
 namespace detail {
 struct CommImpl;
 struct World;
@@ -212,6 +219,28 @@ class Comm {
   [[nodiscard]] Comm split(int color, int key) const;
 
   [[nodiscard]] Comm dup() const;
+
+  // --- failure handling ----------------------------------------------------
+
+  /// Ranks of this communicator killed by the FaultModel, in rank order.
+  [[nodiscard]] std::vector<int> failed_ranks() const;
+
+  /// Builds a new communicator over the surviving (non-killed) ranks,
+  /// preserving their relative order (ULFM's MPI_Comm_shrink). Collective
+  /// over the survivors only — it exchanges no messages, so it works even
+  /// after a deadlock incident left this communicator's channels in a
+  /// half-collective state. Survivors must not reuse `this` for collectives
+  /// after an incident; they should continue on the shrunk communicator.
+  [[nodiscard]] Comm shrink() const;
+
+  /// True when a FaultModel is installed for this run (libraries use this to
+  /// decide whether to engage retry protocols).
+  [[nodiscard]] bool fault_injection_active() const;
+
+  /// Cooperative cancellation point for long non-blocking progress loops:
+  /// services the FaultModel kill/stall hooks for this rank and throws any
+  /// pending abort or deadlock error. Blocking receives do this implicitly.
+  void checkpoint() const;
 
   [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
 

@@ -20,6 +20,7 @@ enum class ErrorClass {
   invalid_datatype,  ///< malformed or incompatible datatype
   truncate,          ///< receive buffer smaller than the matched message
   invalid_comm,      ///< operation on a null / torn-down communicator
+  deadlock,          ///< watchdog: every live rank blocked, nothing in flight
   internal,          ///< runtime invariant violated (a bug in minimpi)
 };
 

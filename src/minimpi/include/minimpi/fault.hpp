@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file fault.hpp
+/// Fault-injection hooks for the minimpi runtime.
+///
+/// A FaultModel is the failure-side sibling of NetworkModel (sim.hpp): it is
+/// installed at mpi::run() time and consulted by the runtime at well-defined
+/// points so tests and examples can subject code to the failures a real
+/// cluster produces:
+///
+///   * per-message fates — decided on the sender's thread when a message is
+///     injected: the message can be DROPPED (never delivered), DELAYED
+///     (its virtual departure time is pushed back), or DUPLICATED (extra
+///     identical copies are delivered);
+///   * rank death — should_kill() is polled at every MPI entry point (and
+///     inside blocked waits) on the rank's own thread; returning true makes
+///     the rank die silently: its thread unwinds and exits without aborting
+///     the run, exactly like a crashed process in a real job. Surviving
+///     ranks that consequently block forever are diagnosed by the deadlock
+///     watchdog (see runtime.hpp) instead of hanging the process;
+///   * stalls — extra virtual time charged at MPI entry points, modeling a
+///     rank that goes slow (OS jitter, page faults, thermal throttling).
+///
+/// Concrete plans (seeded random drop, targeted rank-kill schedules) live in
+/// the simnet library; minimpi only consumes this interface. All methods may
+/// be called concurrently from different rank threads and must be
+/// thread-safe.
+
+#include <cstddef>
+
+namespace mpi {
+
+/// Everything known about a message at injection time.
+struct MsgContext {
+  int src_world = -1;       ///< sender's world rank
+  int dst_world = -1;       ///< receiver's world rank
+  int tag = -1;             ///< user tag, or internal collective tag
+  std::size_t bytes = 0;    ///< packed payload size
+  bool collective = false;  ///< true for internal collective-channel traffic
+  double send_vtime = 0.0;  ///< sender's virtual clock at injection
+};
+
+/// The fate a FaultModel assigns to one message. Default: deliver normally.
+struct MsgFate {
+  bool drop = false;      ///< message is never delivered
+  int extra_copies = 0;   ///< additional identical deliveries (duplication)
+  double delay_s = 0.0;   ///< added to the virtual departure time
+};
+
+/// Failure-injection interface, installed via RunOptions::fault.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// Fate of one message, decided on the sender's thread at injection time.
+  virtual MsgFate on_message(const MsgContext&) { return {}; }
+
+  /// Polled on the rank's own thread at every MPI entry point and
+  /// periodically inside blocked waits; returning true makes the rank die
+  /// silently (its thread exits without failing the run). May be polled many
+  /// times per logical operation — implementations wanting precise timing
+  /// should trigger on an armed flag or a virtual-time threshold rather than
+  /// on call counts.
+  virtual bool should_kill(int /*world_rank*/, double /*vtime*/) {
+    return false;
+  }
+
+  /// Extra virtual-time stall (seconds) charged once per MPI entry point on
+  /// the rank's own clock.
+  virtual double stall_s(int /*world_rank*/, double /*vtime*/) { return 0.0; }
+};
+
+}  // namespace mpi

@@ -12,6 +12,7 @@
 #include "minimpi/comm.hpp"      // IWYU pragma: export
 #include "minimpi/datatype.hpp"  // IWYU pragma: export
 #include "minimpi/error.hpp"     // IWYU pragma: export
+#include "minimpi/fault.hpp"     // IWYU pragma: export
 #include "minimpi/op.hpp"        // IWYU pragma: export
 #include "minimpi/runtime.hpp"   // IWYU pragma: export
 #include "minimpi/sim.hpp"       // IWYU pragma: export

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "minimpi/comm.hpp"
+#include "minimpi/fault.hpp"
 #include "minimpi/sim.hpp"
 
 namespace mpi {
@@ -21,6 +22,17 @@ struct RunOptions {
   /// Optional network cost model; charges per-message virtual time.
   /// Not owned; must outlive the run.
   const NetworkModel* network = nullptr;
+
+  /// Optional fault-injection model (message drop/delay/duplication, rank
+  /// kill, stalls — see fault.hpp). Not owned; must outlive the run.
+  FaultModel* fault = nullptr;
+
+  /// Deadlock watchdog grace period. When every live rank thread has been
+  /// blocked in a receive with no message posted anywhere for this many
+  /// wall-clock seconds, the runtime declares a deadlock and every blocked
+  /// rank throws mpi::Error(ErrorClass::deadlock) instead of hanging the
+  /// process forever. Values <= 0 disable the watchdog.
+  double deadlock_grace_s = 0.25;
 };
 
 /// Result of a completed run.
@@ -36,6 +48,12 @@ struct RunResult {
 ///
 /// If any rank throws, all pending receives are aborted (so no rank hangs),
 /// every thread is joined, and the first exception is rethrown in the caller.
+///
+/// A rank killed by the FaultModel does NOT abort the run: its thread exits
+/// silently and the survivors keep running (they can detect the death via
+/// the deadlock watchdog, Comm::failed_ranks() and Comm::shrink()). A run
+/// where every surviving rank returns normally succeeds even if some ranks
+/// were killed.
 RunResult run(int nranks, const std::function<void(Comm&)>& rank_main,
               const RunOptions& opts = {});
 

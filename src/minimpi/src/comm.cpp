@@ -19,12 +19,77 @@ namespace detail {
 
 void World::abort_all() { aborted.store(true, std::memory_order_release); }
 
+void World::mark_dead(int world_rank) {
+  dead[static_cast<std::size_t>(world_rank)].store(true,
+                                                   std::memory_order_release);
+  running[static_cast<std::size_t>(world_rank)].store(
+      false, std::memory_order_release);
+  gone.fetch_add(1, std::memory_order_release);
+  // The live set shrank: nudge the progress clock so blocked waiters
+  // re-evaluate the all-live-blocked condition promptly.
+  note_progress();
+}
+
+void World::declare_deadlock(int declaring_world_rank) {
+  std::lock_guard lk(deadlock_m);
+  // A rank that has not yet consumed the previous incident is about to wake,
+  // throw, and unblock (recovery typically follows) — the world is not
+  // truly stuck, so hold off a new incident until every running rank has
+  // caught up. Without this, fast survivors that recover onto a shrunk
+  // communicator and block there can be re-thrown at while a slow survivor
+  // is still draining the previous incident.
+  const std::uint64_t g = deadlock_gen.load(std::memory_order_acquire);
+  for (int r = 0; r < size; ++r) {
+    const auto k = static_cast<std::size_t>(r);
+    if (running[k].load(std::memory_order_acquire) &&
+        deadlock_ack[k].load(std::memory_order_acquire) < g)
+      return;
+  }
+  // Only the first declarer of an incident bumps the generation; a rank with
+  // an unconsumed incident pending would have thrown before getting here.
+  std::uint64_t expected =
+      deadlock_ack[static_cast<std::size_t>(declaring_world_rank)].load(
+          std::memory_order_acquire);
+  if (!deadlock_gen.compare_exchange_strong(expected, expected + 1))
+    return;  // another blocked rank declared this incident first
+
+  std::string dead_list;
+  int ndead = 0;
+  for (int r = 0; r < size; ++r)
+    if (dead[static_cast<std::size_t>(r)].load(std::memory_order_acquire)) {
+      if (ndead++ > 0) dead_list += ",";
+      dead_list += std::to_string(r);
+    }
+  const int ngone = gone.load(std::memory_order_acquire);
+  deadlock_detail =
+      "minimpi: deadlock detected — all " + std::to_string(size - ngone) +
+      " live rank(s) blocked with no messages in flight (" +
+      std::to_string(ndead) +
+      (ndead == 1 ? " rank dead" : " ranks dead") +
+      (ndead > 0 ? ": [" + dead_list + "]" : "") + ", " +
+      std::to_string(ngone - ndead) + " finished)";
+}
+
+void World::throw_if_deadlocked(int world_rank) {
+  const std::uint64_t g = deadlock_gen.load(std::memory_order_acquire);
+  const auto k = static_cast<std::size_t>(world_rank);
+  if (g <= deadlock_ack[k].load(std::memory_order_acquire)) return;
+  deadlock_ack[k].store(g, std::memory_order_release);
+  std::string what;
+  {
+    std::lock_guard lk(deadlock_m);
+    what = deadlock_detail;
+  }
+  throw Error(ErrorClass::deadlock, what);
+}
+
 CommImpl::CommImpl(std::shared_ptr<World> w, std::vector<int> group_world_ranks)
     : world(std::move(w)),
       group(std::move(group_world_ranks)),
       size(static_cast<int>(group.size())),
       coll_seq(group.size(), 0),
-      split_seq(group.size(), 0) {
+      split_seq(group.size(), 0),
+      shrink_seq(group.size(), 0) {
   user_box.reserve(group.size());
   coll_box.reserve(group.size());
   for (std::size_t i = 0; i < group.size(); ++i) {
@@ -53,26 +118,87 @@ bool matches(const Message& m, int src, int tag) {
          (tag == any_tag || m.tag == tag);
 }
 
-void post(Mailbox& box, Message&& msg) {
+void post(World& w, Mailbox& box, Message&& msg) {
   {
     std::lock_guard lk(box.m);
     box.q.push_back(std::move(msg));
   }
+  w.note_progress();
   box.cv.notify_all();
 }
 
+/// Kill/stall checkpoint, run at MPI entry points on the rank's own thread.
+void fault_checkpoint(World& w, int my_world) {
+  if (w.fault == nullptr) return;
+  VirtualClock& clk = w.clocks[static_cast<std::size_t>(my_world)];
+  const double stall = w.fault->stall_s(my_world, clk.now());
+  if (stall > 0.0) clk.advance(stall);
+  if (w.fault->should_kill(my_world, clk.now())) throw detail::RankKilled{};
+}
+
+/// Registers this rank thread as blocked for the watchdog, exception-safely.
+class BlockGuard {
+ public:
+  explicit BlockGuard(World& w) : w_(w) {}
+  ~BlockGuard() {
+    if (on_) w_.blocked.fetch_sub(1, std::memory_order_release);
+  }
+  void enter() {
+    if (!on_) {
+      w_.blocked.fetch_add(1, std::memory_order_release);
+      on_ = true;
+    }
+  }
+  BlockGuard(const BlockGuard&) = delete;
+  BlockGuard& operator=(const BlockGuard&) = delete;
+
+ private:
+  World& w_;
+  bool on_ = false;
+};
+
 /// Blocks until a message matching (src, tag) is available and removes it.
-Message take(Mailbox& box, const World& w, int src, int tag) {
+///
+/// Doubles as the deadlock watchdog: every waiter tracks the global progress
+/// counter, and when ALL live ranks are blocked while no message has been
+/// posted or matched for the grace period, the run provably can never make
+/// progress again (only rank threads post messages). The first waiter to
+/// observe that declares an incident and every blocked rank throws
+/// ErrorClass::deadlock instead of hanging the process.
+Message take(Mailbox& box, World& w, int my_world, int src, int tag) {
+  using steady = std::chrono::steady_clock;
+  BlockGuard guard(w);
+  std::uint64_t seen_progress = w.progress.load(std::memory_order_acquire);
+  steady::time_point stable_since = steady::now();
   std::unique_lock lk(box.m);
   for (;;) {
     for (auto it = box.q.begin(); it != box.q.end(); ++it) {
       if (matches(*it, src, tag)) {
         Message m = std::move(*it);
         box.q.erase(it);
+        w.note_progress();
         return m;
       }
     }
+    w.throw_if_deadlocked(my_world);
     if (w.aborted.load(std::memory_order_acquire)) throw_aborted();
+    if (w.fault != nullptr &&
+        w.fault->should_kill(
+            my_world, w.clocks[static_cast<std::size_t>(my_world)].now()))
+      throw detail::RankKilled{};
+    guard.enter();
+    if (w.deadlock_grace_s > 0.0) {
+      const std::uint64_t p = w.progress.load(std::memory_order_acquire);
+      if (p != seen_progress) {
+        seen_progress = p;
+        stable_since = steady::now();
+      } else if (w.all_live_blocked() &&
+                 std::chrono::duration<double>(steady::now() - stable_since)
+                         .count() > w.deadlock_grace_s) {
+        w.declare_deadlock(my_world);
+        continue;  // throw_if_deadlocked fires on the next iteration
+      }
+    }
     box.cv.wait_for(lk, kAbortPollInterval);
   }
 }
@@ -90,24 +216,35 @@ std::optional<Message> try_take(Mailbox& box, int src, int tag) {
   return std::nullopt;
 }
 
-/// Sends a pre-packed payload: charges the sender clock and stamps the
-/// departure time.
+/// Sends a pre-packed payload: charges the sender clock, stamps the
+/// departure time, and lets the FaultModel (if any) decide the message fate.
 void send_packed(const CommImpl& impl, int my_rank, std::vector<std::byte> payload,
                  int dest, int tag, bool collective) {
   World& w = *impl.world;
   if (w.aborted.load(std::memory_order_acquire)) throw_aborted();
+  const int src_world = impl.group[static_cast<std::size_t>(my_rank)];
+  const int dst_world = impl.group[static_cast<std::size_t>(dest)];
+  fault_checkpoint(w, src_world);
   const std::size_t bytes = payload.size();
-  VirtualClock& clk =
-      w.clocks[static_cast<std::size_t>(impl.group[static_cast<std::size_t>(my_rank)])];
+  VirtualClock& clk = w.clocks[static_cast<std::size_t>(src_world)];
   if (w.network != nullptr) clk.advance(w.network->send_overhead(bytes));
   Message msg;
   msg.src = my_rank;
   msg.tag = tag;
   msg.payload = std::move(payload);
   msg.depart_vtime = clk.now();
+  int copies = 1;
+  if (w.fault != nullptr) {
+    const MsgFate fate = w.fault->on_message(
+        {src_world, dst_world, tag, bytes, collective, clk.now()});
+    if (fate.drop) return;  // lost on the wire; nobody learns of it
+    msg.depart_vtime += std::max(0.0, fate.delay_s);
+    copies += std::max(0, fate.extra_copies);
+  }
   Mailbox& box = collective ? *impl.coll_box[static_cast<std::size_t>(dest)]
                             : *impl.user_box[static_cast<std::size_t>(dest)];
-  post(box, std::move(msg));
+  for (int c = 1; c < copies; ++c) post(w, box, Message(msg));
+  post(w, box, std::move(msg));
 }
 
 /// Charges the receiver clock for a matched message.
@@ -133,7 +270,9 @@ Status do_recv(const CommImpl& impl, int my_rank, void* buf, std::size_t count,
                const Datatype& type, int src, int tag, bool collective) {
   Mailbox& box = collective ? *impl.coll_box[static_cast<std::size_t>(my_rank)]
                             : *impl.user_box[static_cast<std::size_t>(my_rank)];
-  Message msg = take(box, *impl.world, src, tag);
+  const int my_world = impl.group[static_cast<std::size_t>(my_rank)];
+  fault_checkpoint(*impl.world, my_world);
+  Message msg = take(box, *impl.world, my_world, src, tag);
   charge_recv(impl, my_rank, msg);
 
   const std::size_t capacity = count * type.size();
@@ -200,6 +339,10 @@ void Comm::send(const void* buf, std::size_t count, const Datatype& type,
   require(valid(), ErrorClass::invalid_comm, "send: invalid communicator");
   check_rank(*impl_, dest, "send");
   require(tag >= 0, ErrorClass::invalid_tag, "send: tag must be >= 0");
+  require(tag < tag_upper_bound, ErrorClass::invalid_tag,
+          "send: tag " + std::to_string(tag) +
+              " exceeds the runtime tag ceiling (tag_upper_bound = " +
+              std::to_string(tag_upper_bound) + ")");
   send_packed(*impl_, rank_, pack_elements(buf, count, type), dest, tag,
               /*collective=*/false);
 }
@@ -208,8 +351,9 @@ Status Comm::recv(void* buf, std::size_t count, const Datatype& type,
                   int source, int tag) const {
   require(valid(), ErrorClass::invalid_comm, "recv: invalid communicator");
   if (source != any_source) check_rank(*impl_, source, "recv");
-  require(tag >= 0 || tag == any_tag, ErrorClass::invalid_tag,
-          "recv: tag must be >= 0 or any_tag");
+  require((tag >= 0 && tag < tag_upper_bound) || tag == any_tag,
+          ErrorClass::invalid_tag,
+          "recv: tag must be in [0, tag_upper_bound) or any_tag");
   return do_recv(*impl_, rank_, buf, count, type, source, tag,
                  /*collective=*/false);
 }
@@ -251,12 +395,33 @@ Status Comm::sendrecv(const void* sendbuf, std::size_t sendcount,
 
 Status Comm::probe(int source, int tag) const {
   require(valid(), ErrorClass::invalid_comm, "probe: invalid communicator");
+  using steady = std::chrono::steady_clock;
+  World& w = *impl_->world;
+  const int my_world = impl_->group[static_cast<std::size_t>(rank_)];
+  fault_checkpoint(w, my_world);
   Mailbox& box = *impl_->user_box[static_cast<std::size_t>(rank_)];
+  BlockGuard guard(w);
+  std::uint64_t seen_progress = w.progress.load(std::memory_order_acquire);
+  steady::time_point stable_since = steady::now();
   std::unique_lock lk(box.m);
   for (;;) {
     for (const auto& m : box.q)
       if (matches(m, source, tag)) return Status{m.src, m.tag, m.payload.size()};
-    if (impl_->world->aborted.load(std::memory_order_acquire)) throw_aborted();
+    w.throw_if_deadlocked(my_world);
+    if (w.aborted.load(std::memory_order_acquire)) throw_aborted();
+    guard.enter();
+    if (w.deadlock_grace_s > 0.0) {
+      const std::uint64_t p = w.progress.load(std::memory_order_acquire);
+      if (p != seen_progress) {
+        seen_progress = p;
+        stable_since = steady::now();
+      } else if (w.all_live_blocked() &&
+                 std::chrono::duration<double>(steady::now() - stable_since)
+                         .count() > w.deadlock_grace_s) {
+        w.declare_deadlock(my_world);
+        continue;
+      }
+    }
     box.cv.wait_for(lk, kAbortPollInterval);
   }
 }
@@ -292,7 +457,12 @@ std::optional<Status> Request::test() {
   }
   Mailbox& box = *impl_->user_box[static_cast<std::size_t>(rank_)];
   std::optional<Message> msg = try_take(box, src_, tag_);
-  if (!msg) return std::nullopt;
+  if (!msg) {
+    // Keep test()-driven progress loops (wait_any, retry protocols) from
+    // spinning forever after another rank failed the run.
+    if (impl_->world->aborted.load(std::memory_order_acquire)) throw_aborted();
+    return std::nullopt;
+  }
   // Re-inject and complete through the common path so truncation checks and
   // clock charging stay in one place.
   charge_recv(*impl_, rank_, *msg);
@@ -341,7 +511,9 @@ void Comm::coll_send(const void* buf, std::size_t bytes, int dest,
 Status Comm::coll_recv(void* buf, std::size_t capacity, int src,
                        int tag) const {
   Mailbox& box = *impl_->coll_box[static_cast<std::size_t>(rank_)];
-  Message msg = take(box, *impl_->world, src, tag);
+  const int my_world = impl_->group[static_cast<std::size_t>(rank_)];
+  fault_checkpoint(*impl_->world, my_world);
+  Message msg = take(box, *impl_->world, my_world, src, tag);
   charge_recv(*impl_, rank_, msg);
   require(msg.payload.size() <= capacity, ErrorClass::truncate,
           "collective: internal message larger than buffer");
@@ -708,7 +880,8 @@ void Comm::alltoallw(const void* sendbuf, std::span<const int> sendcounts,
     send_packed(*impl_, rank_, std::move(payload), dest, tag,
                 /*collective=*/true);
     Mailbox& box = *impl_->coll_box[static_cast<std::size_t>(rank_)];
-    Message msg = take(box, *impl_->world, src, tag);
+    Message msg = take(box, *impl_->world,
+                       impl_->group[static_cast<std::size_t>(rank_)], src, tag);
     charge_recv(*impl_, rank_, msg);
     unpack_from(src, msg.payload.data(), msg.payload.size());
   }
@@ -766,5 +939,81 @@ Comm Comm::split(int color, int key) const {
 }
 
 Comm Comm::dup() const { return split(0, rank_); }
+
+// --- failure handling --------------------------------------------------------
+
+std::vector<int> Comm::failed_ranks() const {
+  require(valid(), ErrorClass::invalid_comm,
+          "failed_ranks: invalid communicator");
+  std::vector<int> out;
+  const World& w = *impl_->world;
+  for (int r = 0; r < impl_->size; ++r) {
+    const int wr = impl_->group[static_cast<std::size_t>(r)];
+    if (w.dead[static_cast<std::size_t>(wr)].load(std::memory_order_acquire))
+      out.push_back(r);
+  }
+  return out;
+}
+
+Comm Comm::shrink() const {
+  require(valid(), ErrorClass::invalid_comm, "shrink: invalid communicator");
+  World& w = *impl_->world;
+  const int my_world = impl_->group[static_cast<std::size_t>(rank_)];
+  require(!w.dead[static_cast<std::size_t>(my_world)].load(
+              std::memory_order_acquire),
+          ErrorClass::internal, "shrink: calling rank is marked dead");
+
+  // Every survivor derives the identical group from World::dead. The dead set
+  // only grows, and the calling rank has already observed the death (that is
+  // why it is shrinking), so all survivors compute the same group without
+  // exchanging a single message — crucial when the old communicator's
+  // collective channel was left half-used by the deadlock incident.
+  std::vector<int> group;
+  int my_new_rank = -1;
+  for (int r = 0; r < impl_->size; ++r) {
+    const int wr = impl_->group[static_cast<std::size_t>(r)];
+    if (w.dead[static_cast<std::size_t>(wr)].load(std::memory_order_acquire))
+      continue;
+    if (r == rank_) my_new_rank = static_cast<int>(group.size());
+    group.push_back(wr);
+  }
+  require(my_new_rank >= 0, ErrorClass::internal, "shrink: self not in group");
+
+  const std::uint64_t seq =
+      impl_->shrink_seq[static_cast<std::size_t>(rank_)]++;
+  std::shared_ptr<CommImpl> child;
+  {
+    std::lock_guard lk(impl_->shrink_m);
+    auto it = impl_->shrink_pending.find(seq);
+    if (it == impl_->shrink_pending.end()) {
+      child = std::make_shared<CommImpl>(impl_->world, group);
+      if (group.size() > 1)
+        impl_->shrink_pending.emplace(
+            seq, std::make_pair(child, static_cast<int>(group.size()) - 1));
+    } else {
+      child = it->second.first;
+      require(child->group == group, ErrorClass::internal,
+              "shrink: survivors disagree on the surviving group (a rank died "
+              "between two ranks' shrink calls; retry shrink)");
+      if (--it->second.second == 0) impl_->shrink_pending.erase(it);
+    }
+  }
+  return Comm(std::move(child), my_new_rank);
+}
+
+bool Comm::fault_injection_active() const {
+  require(valid(), ErrorClass::invalid_comm,
+          "fault_injection_active: invalid communicator");
+  return impl_->world->fault != nullptr;
+}
+
+void Comm::checkpoint() const {
+  require(valid(), ErrorClass::invalid_comm, "checkpoint: invalid communicator");
+  World& w = *impl_->world;
+  const int my_world = impl_->group[static_cast<std::size_t>(rank_)];
+  fault_checkpoint(w, my_world);
+  w.throw_if_deadlocked(my_world);
+  if (w.aborted.load(std::memory_order_acquire)) throw_aborted();
+}
 
 }  // namespace mpi

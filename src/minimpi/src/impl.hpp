@@ -10,9 +10,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "minimpi/comm.hpp"
+#include "minimpi/fault.hpp"
 #include "minimpi/sim.hpp"
 
 namespace mpi::detail {
@@ -33,19 +35,93 @@ struct Mailbox {
   std::deque<Message> q;
 };
 
+/// Thrown on a rank's own thread when the FaultModel kills it. Caught by the
+/// runtime launcher, which marks the rank dead and lets the thread exit
+/// without aborting the run (unlike ordinary exceptions).
+struct RankKilled {};
+
 /// Whole-run shared state. One World per mpi::run().
 struct World {
-  explicit World(int nranks, const NetworkModel* net)
-      : size(nranks), network(net), clocks(static_cast<std::size_t>(nranks)) {}
+  World(int nranks, const NetworkModel* net, FaultModel* fault_model,
+        double grace_s)
+      : size(nranks),
+        network(net),
+        fault(fault_model),
+        deadlock_grace_s(grace_s),
+        clocks(static_cast<std::size_t>(nranks)),
+        dead(static_cast<std::size_t>(nranks)),
+        running(static_cast<std::size_t>(nranks)),
+        deadlock_ack(static_cast<std::size_t>(nranks)) {
+    for (auto& f : running) f.store(true, std::memory_order_relaxed);
+  }
 
   int size;
   const NetworkModel* network;  // nullable
+  FaultModel* fault;            // nullable
+  double deadlock_grace_s;      // <= 0 disables the watchdog
   std::vector<VirtualClock> clocks;  // index: world rank
 
   // Set when a rank throws; blocked receives wake up and abort.
   std::atomic<bool> aborted{false};
 
+  // --- failure & watchdog bookkeeping --------------------------------------
+  // The watchdog's invariant: a deadlock exists exactly when every rank
+  // thread that can still make progress (not dead, not finished) sits inside
+  // a blocking wait AND the global progress counter has been quiescent for
+  // the grace period. Only rank threads post messages, so once that state is
+  // reached nothing can ever wake anyone again.
+
+  /// Rank threads currently inside a blocking receive/probe wait.
+  std::atomic<int> blocked{0};
+  /// Rank threads that will never act again (killed by the FaultModel or
+  /// returned from rank_main).
+  std::atomic<int> gone{0};
+  /// Bumped on every message post and every successful match; quiescence of
+  /// this counter while all live ranks are blocked proves a deadlock.
+  std::atomic<std::uint64_t> progress{0};
+  /// Killed ranks, by world rank (Comm::failed_ranks / Comm::shrink).
+  std::vector<std::atomic<bool>> dead;
+  /// Per-rank thread liveness (true until the thread finishes or is killed);
+  /// declare_deadlock consults it to know whose acks still matter.
+  std::vector<std::atomic<bool>> running;
+
+  /// Deadlock incidents are numbered; each blocked rank throws once per
+  /// incident (its own slot records the last generation it consumed), so
+  /// survivors that recover on a shrunk communicator are not re-thrown at.
+  /// A new incident may only be declared once every running rank has
+  /// consumed the previous one: a rank with a pending throw is about to
+  /// wake, unblock, and start recovering, so the world is not truly stuck.
+  std::atomic<std::uint64_t> deadlock_gen{0};
+  std::vector<std::atomic<std::uint64_t>> deadlock_ack;
+  std::mutex deadlock_m;
+  std::string deadlock_detail;
+
   void abort_all();
+  void note_progress() {
+    progress.fetch_add(1, std::memory_order_release);
+  }
+  void mark_dead(int world_rank);
+  void mark_finished(int world_rank) {
+    running[static_cast<std::size_t>(world_rank)].store(
+        false, std::memory_order_release);
+    gone.fetch_add(1, std::memory_order_release);
+    // The live set shrank: blocked waiters must re-evaluate.
+    note_progress();
+  }
+
+  /// True when no runnable rank thread is outside a blocking wait.
+  [[nodiscard]] bool all_live_blocked() const {
+    return blocked.load(std::memory_order_acquire) >=
+           size - gone.load(std::memory_order_acquire);
+  }
+
+  /// Declares a deadlock incident (first declarer wins; the rest re-read the
+  /// bumped generation and throw via throw_if_deadlocked).
+  void declare_deadlock(int declaring_world_rank);
+
+  /// Throws ErrorClass::deadlock if an incident this rank has not yet
+  /// consumed is pending.
+  void throw_if_deadlocked(int world_rank);
 };
 
 /// Shared state of one communicator.
@@ -76,6 +152,16 @@ struct CommImpl {
            std::pair<std::shared_ptr<CommImpl>, int /*remaining pickups*/>>
       split_pending;
   std::vector<std::uint64_t> split_seq;
+
+  // --- shrink() rendezvous ------------------------------------------------
+  // Message-free: every survivor derives the identical survivor group from
+  // World::dead, so the rendezvous only needs the per-rank shrink sequence
+  // (aligned because shrink() is collective over the survivors).
+  std::mutex shrink_m;
+  std::map<std::uint64_t,
+           std::pair<std::shared_ptr<CommImpl>, int /*remaining pickups*/>>
+      shrink_pending;
+  std::vector<std::uint64_t> shrink_seq;
 };
 
 }  // namespace mpi::detail

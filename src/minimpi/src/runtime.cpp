@@ -24,7 +24,8 @@ RunResult run(int nranks, const std::function<void(Comm&)>& rank_main,
   require(static_cast<bool>(rank_main), ErrorClass::invalid_argument,
           "run: rank_main must be callable");
 
-  auto world = std::make_shared<detail::World>(nranks, opts.network);
+  auto world = std::make_shared<detail::World>(
+      nranks, opts.network, opts.fault, opts.deadlock_grace_s);
   std::vector<int> group(static_cast<std::size_t>(nranks));
   std::iota(group.begin(), group.end(), 0);
   auto impl = std::make_shared<detail::CommImpl>(world, std::move(group));
@@ -39,11 +40,18 @@ RunResult run(int nranks, const std::function<void(Comm&)>& rank_main,
       try {
         Comm comm = detail::make_comm(impl, r);
         rank_main(comm);
+        world->mark_finished(r);
+      } catch (const detail::RankKilled&) {
+        // FaultModel killed this rank: it dies like a crashed process —
+        // silently, without aborting the survivors. They detect the death via
+        // the deadlock watchdog / failed_ranks() / shrink().
+        world->mark_dead(r);
       } catch (...) {
         {
           std::lock_guard lk(err_m);
           if (!first_error) first_error = std::current_exception();
         }
+        world->mark_finished(r);
         // Wake every blocked receive so no rank hangs waiting for a message
         // the failed rank will never send.
         world->abort_all();

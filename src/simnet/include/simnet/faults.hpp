@@ -1,0 +1,175 @@
+#pragma once
+
+/// \file faults.hpp
+/// Concrete FaultModel implementations for minimpi (see minimpi/fault.hpp).
+///
+/// These are the failure-side counterparts of the cost models in models.hpp:
+/// deterministic, seedable fault plans that tests and examples install via
+/// mpi::RunOptions::fault to subject DDR code to the failures a production
+/// cluster produces — lossy links (drop/duplicate/delay) and rank death.
+///
+/// All plans are thread-safe: minimpi calls them concurrently from every rank
+/// thread.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <vector>
+
+#include "minimpi/fault.hpp"
+
+namespace simnet {
+
+/// Parameters for RandomFaultPlan. Rates are independent per-message
+/// probabilities in [0, 1].
+struct RandomFaultParams {
+  double drop_rate = 0.0;       ///< P(message is never delivered)
+  double duplicate_rate = 0.0;  ///< P(one extra copy is delivered)
+  double delay_rate = 0.0;      ///< P(departure is delayed by delay_s)
+  double delay_s = 1.0e-3;      ///< delay applied when a message is delayed
+  /// When true (default), only user-channel messages are harmed; internal
+  /// collective traffic stays reliable. This models the common deployment
+  /// where the application's bulk-data path is lossy (e.g. RoCE with
+  /// congestion drops) while the control plane runs on a reliable transport —
+  /// and it lets tests exercise the p2p retry protocol without also needing
+  /// collective recovery.
+  bool user_channel_only = true;
+  /// When true (default), zero-byte messages are never harmed. Empty
+  /// messages are control frames (completion notifications, retry requests,
+  /// barrier tokens); real fabrics carry these on a lossless priority class
+  /// separate from the bulk-data lane. DDR's p2p retry protocol relies on
+  /// completion notifications being eventually delivered — an
+  /// unacknowledgeable "done" is the two-generals problem, which no finite
+  /// retry protocol solves over a fully lossy link.
+  bool spare_empty_messages = true;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Seeded random message-fate plan: drops, duplicates and delays messages
+/// with configured probabilities. Deterministic for a fixed seed and message
+/// order (minimpi's thread interleaving can reorder on_message() calls across
+/// ranks, so cross-run determinism holds for the *set* of decisions only when
+/// the schedule is deterministic; tests should assert on outcomes, not on
+/// which specific message was dropped).
+class RandomFaultPlan final : public mpi::FaultModel {
+ public:
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t delayed = 0;
+  };
+
+  explicit RandomFaultPlan(const RandomFaultParams& p)
+      : p_(p), rng_(p.seed) {}
+
+  mpi::MsgFate on_message(const mpi::MsgContext& ctx) override {
+    if (p_.user_channel_only && ctx.collective) return {};
+    if (p_.spare_empty_messages && ctx.bytes == 0) return {};
+    std::lock_guard lk(m_);
+    ++stats_.messages;
+    mpi::MsgFate fate;
+    if (draw() < p_.drop_rate) {
+      fate.drop = true;
+      ++stats_.dropped;
+      return fate;
+    }
+    if (draw() < p_.duplicate_rate) {
+      fate.extra_copies = 1;
+      ++stats_.duplicated;
+    }
+    if (draw() < p_.delay_rate) {
+      fate.delay_s = p_.delay_s;
+      ++stats_.delayed;
+    }
+    return fate;
+  }
+
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard lk(m_);
+    return stats_;
+  }
+
+ private:
+  double draw() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+  }
+
+  RandomFaultParams p_;
+  mutable std::mutex m_;
+  std::mt19937_64 rng_;
+  Stats stats_;
+};
+
+/// Kills a chosen set of world ranks. Two trigger modes, composable:
+///
+///  * arm(): kill as soon as each target rank next reaches an MPI entry
+///    point (or its next poll inside a blocked wait). Arming from test code
+///    after a known synchronization point (e.g. after a barrier completes)
+///    gives precise placement without brittle operation counting.
+///  * at_vtime: kill each target the first time its virtual clock reaches
+///    the threshold (< 0 disables the vtime trigger).
+class RankKillPlan final : public mpi::FaultModel {
+ public:
+  explicit RankKillPlan(std::vector<int> target_world_ranks,
+                        double at_vtime = -1.0)
+      : targets_(std::move(target_world_ranks)), at_vtime_(at_vtime) {}
+
+  /// Arms the kill: every target dies at its next fault checkpoint.
+  void arm() { armed_.store(true, std::memory_order_release); }
+
+  bool should_kill(int world_rank, double vtime) override {
+    bool is_target = false;
+    for (int t : targets_)
+      if (t == world_rank) {
+        is_target = true;
+        break;
+      }
+    if (!is_target) return false;
+    if (armed_.load(std::memory_order_acquire)) return true;
+    return at_vtime_ >= 0.0 && vtime >= at_vtime_;
+  }
+
+ private:
+  std::vector<int> targets_;
+  double at_vtime_;
+  std::atomic<bool> armed_{false};
+};
+
+/// Charges a one-shot virtual-time stall to chosen ranks: rank `rank` loses
+/// `duration_s` the first time its clock passes `at_vtime`. Models transient
+/// slowness (OS jitter, page faults, thermal throttling) for load-imbalance
+/// experiments.
+class StallPlan final : public mpi::FaultModel {
+ public:
+  struct Spec {
+    int world_rank = 0;
+    double at_vtime = 0.0;
+    double duration_s = 0.0;
+  };
+
+  explicit StallPlan(std::vector<Spec> specs)
+      : specs_(std::move(specs)),
+        fired_(std::make_unique<std::atomic<bool>[]>(specs_.size())) {}
+
+  double stall_s(int world_rank, double vtime) override {
+    double total = 0.0;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+      const Spec& s = specs_[i];
+      if (s.world_rank != world_rank || vtime < s.at_vtime) continue;
+      bool expected = false;
+      if (fired_[i].compare_exchange_strong(expected, true))
+        total += s.duration_s;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<Spec> specs_;
+  std::unique_ptr<std::atomic<bool>[]> fired_;
+};
+
+}  // namespace simnet

@@ -1,0 +1,272 @@
+// Fault-injection layer and deadlock watchdog: message fates (drop,
+// duplicate, delay), rank kills, the all-blocked watchdog, and recovery via
+// failed_ranks()/shrink().
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "minimpi/minimpi.hpp"
+
+namespace {
+
+using mpi::Comm;
+using mpi::Datatype;
+
+/// Drops every user-channel message.
+class DropAllUser final : public mpi::FaultModel {
+ public:
+  mpi::MsgFate on_message(const mpi::MsgContext& ctx) override {
+    mpi::MsgFate fate;
+    fate.drop = !ctx.collective;
+    return fate;
+  }
+};
+
+/// Duplicates every user-channel message once.
+class DuplicateAllUser final : public mpi::FaultModel {
+ public:
+  mpi::MsgFate on_message(const mpi::MsgContext& ctx) override {
+    mpi::MsgFate fate;
+    if (!ctx.collective) fate.extra_copies = 1;
+    return fate;
+  }
+};
+
+/// Delays every user-channel message by a fixed virtual time.
+class DelayAllUser final : public mpi::FaultModel {
+ public:
+  explicit DelayAllUser(double delay_s) : delay_s_(delay_s) {}
+  mpi::MsgFate on_message(const mpi::MsgContext& ctx) override {
+    mpi::MsgFate fate;
+    if (!ctx.collective) fate.delay_s = delay_s_;
+    return fate;
+  }
+
+ private:
+  double delay_s_;
+};
+
+/// Kills one world rank at its first MPI entry point.
+class KillRank final : public mpi::FaultModel {
+ public:
+  explicit KillRank(int target) : target_(target) {}
+  bool should_kill(int world_rank, double) override {
+    return world_rank == target_;
+  }
+
+ private:
+  int target_;
+};
+
+TEST(Fault, DroppedMessagesTriggerDeadlockWatchdog) {
+  // Every user message is dropped, so both ranks block in recv forever; the
+  // watchdog must convert the hang into ErrorClass::deadlock on BOTH ranks.
+  DropAllUser fault;
+  mpi::RunOptions opts;
+  opts.fault = &fault;
+  opts.deadlock_grace_s = 0.1;
+  std::atomic<int> deadlocked{0};
+  mpi::run(
+      2,
+      [&](Comm& comm) {
+        const int peer = 1 - comm.rank();
+        const int v = comm.rank();
+        comm.send(&v, 1, Datatype::of<int>(), peer, 7);
+        int got = -1;
+        try {
+          comm.recv(&got, 1, Datatype::of<int>(), peer, 7);
+          FAIL() << "recv of a dropped message returned";
+        } catch (const mpi::Error& e) {
+          EXPECT_EQ(e.error_class(), mpi::ErrorClass::deadlock);
+          deadlocked.fetch_add(1);
+        }
+      },
+      opts);
+  EXPECT_EQ(deadlocked.load(), 2);
+}
+
+TEST(Fault, ApplicationDeadlockDetectedWithoutFaultModel) {
+  // The watchdog is independent of fault injection: a plain application
+  // deadlock (both ranks receive on a tag nobody sends) is diagnosed too.
+  mpi::RunOptions opts;
+  opts.deadlock_grace_s = 0.1;
+  std::atomic<int> deadlocked{0};
+  mpi::run(
+      2,
+      [&](Comm& comm) {
+        int got = -1;
+        try {
+          comm.recv(&got, 1, Datatype::of<int>(), 1 - comm.rank(), 99);
+          FAIL() << "recv with no matching send returned";
+        } catch (const mpi::Error& e) {
+          EXPECT_EQ(e.error_class(), mpi::ErrorClass::deadlock);
+          deadlocked.fetch_add(1);
+        }
+      },
+      opts);
+  EXPECT_EQ(deadlocked.load(), 2);
+}
+
+TEST(Fault, WatchdogDisabledLeavesAbortSemanticsIntact) {
+  // With the watchdog off, the classic abort path must still work: one rank
+  // throws, the blocked rank is woken with the abort error.
+  mpi::RunOptions opts;
+  opts.deadlock_grace_s = 0.0;
+  EXPECT_THROW(mpi::run(
+                   2,
+                   [](Comm& comm) {
+                     if (comm.rank() == 1) throw std::runtime_error("boom");
+                     int v;
+                     comm.recv(&v, 1, Datatype::of<int>(), 1, 0);
+                   },
+                   opts),
+               std::runtime_error);
+}
+
+TEST(Fault, DuplicatedMessageIsDeliveredTwice) {
+  DuplicateAllUser fault;
+  mpi::RunOptions opts;
+  opts.fault = &fault;
+  mpi::run(
+      2,
+      [](Comm& comm) {
+        const Datatype i = Datatype::of<int>();
+        if (comm.rank() == 0) {
+          const int v = 42;
+          comm.send(&v, 1, i, 1, 3);
+          comm.barrier();
+        } else {
+          int a = -1, b = -1;
+          comm.recv(&a, 1, i, 0, 3);
+          comm.recv(&b, 1, i, 0, 3);  // the duplicate
+          EXPECT_EQ(a, 42);
+          EXPECT_EQ(b, 42);
+          comm.barrier();
+          EXPECT_FALSE(comm.iprobe(0, 3).has_value());
+        }
+      },
+      opts);
+}
+
+TEST(Fault, DelayedMessageChargesVirtualTime) {
+  DelayAllUser fault(1.5);
+  mpi::RunOptions opts;
+  opts.fault = &fault;
+  const mpi::RunResult res = mpi::run(
+      2,
+      [](Comm& comm) {
+        const Datatype i = Datatype::of<int>();
+        if (comm.rank() == 0) {
+          const int v = 1;
+          comm.send(&v, 1, i, 1, 0);
+        } else {
+          int v;
+          comm.recv(&v, 1, i, 0, 0);
+          // Causality: the receiver's clock reaches the delayed departure.
+          EXPECT_GE(comm.clock().now(), 1.5);
+        }
+      },
+      opts);
+  EXPECT_GE(res.vtimes[1], 1.5);
+}
+
+TEST(Fault, KilledRankDiesSilentlyWhenNobodyDependsOnIt) {
+  // Rank 2 is killed at its first MPI call; the other ranks never talk to it
+  // and the run must succeed.
+  KillRank fault(2);
+  mpi::RunOptions opts;
+  opts.fault = &fault;
+  std::atomic<int> finished{0};
+  mpi::run(
+      3,
+      [&](Comm& comm) {
+        if (comm.rank() == 2) {
+          const int v = 0;
+          comm.send(&v, 1, Datatype::of<int>(), 2, 0);  // dies here
+          FAIL() << "killed rank survived its MPI call";
+        }
+        const Datatype i = Datatype::of<int>();
+        if (comm.rank() == 0) {
+          const int v = 5;
+          comm.send(&v, 1, i, 1, 0);
+        } else {
+          int v;
+          comm.recv(&v, 1, i, 0, 0);
+          EXPECT_EQ(v, 5);
+        }
+        finished.fetch_add(1);
+      },
+      opts);
+  EXPECT_EQ(finished.load(), 2);
+}
+
+TEST(Fault, KilledRankSurvivorsShrinkAndContinue) {
+  // The acceptance scenario at the minimpi level: rank 3 dies, the
+  // survivors' collective deadlocks, the watchdog reports it, and the
+  // survivors rebuild on a shrunk communicator and finish the job.
+  KillRank fault(3);
+  mpi::RunOptions opts;
+  opts.fault = &fault;
+  opts.deadlock_grace_s = 0.1;
+  std::atomic<int> recovered{0};
+  mpi::run(
+      4,
+      [&](Comm& comm) {
+        const Datatype i = Datatype::of<int>();
+        int sum = 0;
+        const int one = 1;
+        if (comm.rank() == 3) {
+          comm.allreduce(&one, &sum, 1, i, mpi::Op::sum<int>());  // dies here
+          FAIL() << "killed rank survived";
+        }
+        try {
+          comm.allreduce(&one, &sum, 1, i, mpi::Op::sum<int>());
+          FAIL() << "collective with a dead participant completed";
+        } catch (const mpi::Error& e) {
+          ASSERT_EQ(e.error_class(), mpi::ErrorClass::deadlock);
+        }
+        const std::vector<int> failed = comm.failed_ranks();
+        ASSERT_EQ(failed, std::vector<int>{3});
+        Comm survivors = comm.shrink();
+        ASSERT_EQ(survivors.size(), 3);
+        EXPECT_EQ(survivors.world_rank(survivors.rank()), comm.rank());
+        int total = 0;
+        survivors.allreduce(&one, &total, 1, i, mpi::Op::sum<int>());
+        EXPECT_EQ(total, 3);
+        recovered.fetch_add(1);
+      },
+      opts);
+  EXPECT_EQ(recovered.load(), 3);
+}
+
+TEST(Fault, TagAboveCeilingRejected) {
+  mpi::run(1, [](Comm& comm) {
+    const int v = 0;
+    try {
+      comm.send(&v, 1, Datatype::of<int>(), 0, mpi::tag_upper_bound);
+      FAIL() << "tag at the ceiling accepted";
+    } catch (const mpi::Error& e) {
+      EXPECT_EQ(e.error_class(), mpi::ErrorClass::invalid_tag);
+    }
+    // The highest legal tag still works.
+    comm.send(&v, 1, Datatype::of<int>(), 0, mpi::tag_upper_bound - 1);
+    int got = -1;
+    comm.recv(&got, 1, Datatype::of<int>(), 0, mpi::tag_upper_bound - 1);
+    EXPECT_EQ(got, 0);
+  });
+}
+
+TEST(Fault, CheckpointThrowsPendingAbort) {
+  // checkpoint() is the cancellation point for non-blocking progress loops:
+  // it must surface another rank's failure instead of letting the loop spin.
+  EXPECT_THROW(mpi::run(2,
+                        [](Comm& comm) {
+                          if (comm.rank() == 1) throw std::runtime_error("x");
+                          for (;;) comm.checkpoint();
+                        }),
+               std::runtime_error);
+}
+
+}  // namespace
