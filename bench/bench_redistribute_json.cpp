@@ -1,0 +1,263 @@
+// Machine-readable redistribute() micro-benchmark.
+//
+// Runs the hot path the paper's use case B executes every timestep — a
+// strided 3D multi-chunk redistribution and a 2D rows-to-quadrants one —
+// under four configurations:
+//
+//   legacy_alltoallw    recursive-walker pack path (plans disabled)
+//   compiled_alltoallw  compiled segment plans, alltoallw backend
+//   compiled_p2p        compiled plans, per-round point-to-point backend
+//   compiled_p2p_fused  compiled plans, per-peer fused p2p backend
+//
+// and emits BENCH_redistribute.json (schema: EXPERIMENTS.md) with median and
+// p95 per-call wall time, bytes moved, messages posted per call, and the
+// steady-state staging-pool heap-allocation count. The process exits
+// non-zero if any steady-state redistribute() performed a staging heap
+// allocation — CI runs this binary as the zero-allocation gate of the data
+// path.
+//
+// Environment: DDR_BENCH_REPS (timed calls per config, default 60),
+//              DDR_BENCH_OUT  (output path, default BENCH_redistribute.json).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ddr/ddr.hpp"
+#include "minimpi/minimpi.hpp"
+
+namespace {
+
+constexpr int kWarmup = 5;
+
+struct CaseSetup {
+  std::string name;
+  int nranks = 0;
+  // Per-rank layout factory.
+  ddr::OwnedLayout (*owned)(int rank) = nullptr;
+  ddr::Chunk (*needed)(int rank) = nullptr;
+};
+
+ddr::OwnedLayout strided3d_owned(int rank) {
+  // 64^3 float domain, 8 round-robin z-slabs per rank of 4: rank r owns
+  // slabs r, r+4, r+8, ... (8 rounds).
+  constexpr int kSide = 64, kRanks = 4, kSlabs = 8;
+  constexpr int slab_z = kSide / (kRanks * kSlabs);
+  ddr::OwnedLayout own;
+  for (int c = 0; c < kSlabs; ++c)
+    own.push_back(
+        ddr::Chunk::d3(kSide, kSide, slab_z, 0, 0, (rank + kRanks * c) * slab_z));
+  return own;
+}
+ddr::Chunk strided3d_needed(int rank) {
+  // One brick of a 2x2x1 grid: strided in x and y against the slabs.
+  constexpr int kSide = 64;
+  return ddr::Chunk::d3(kSide / 2, kSide / 2, kSide, (rank % 2) * kSide / 2,
+                        (rank / 2) * kSide / 2, 0);
+}
+
+ddr::OwnedLayout rows2d_owned(int rank) {
+  // The paper's E1 shape scaled up: 128x128 floats, each of 4 ranks owns two
+  // 128-wide row bands.
+  return {ddr::Chunk::d2(128, 16, 0, 16 * rank),
+          ddr::Chunk::d2(128, 16, 0, 16 * (rank + 4))};
+}
+ddr::Chunk rows2d_needed(int rank) {
+  return ddr::Chunk::d2(64, 64, 64 * (rank % 2), 64 * (rank / 2));
+}
+
+struct ConfigResult {
+  std::string name;
+  double median_ms = 0.0;
+  double p95_ms = 0.0;
+  double messages_per_call = 0.0;
+  std::uint64_t staging_heap_allocs_steady = 0;
+  std::uint64_t staging_acquires_steady = 0;
+};
+
+struct CaseResult {
+  std::string name;
+  int nranks = 0;
+  int rounds = 0;
+  std::int64_t network_bytes_per_call = 0;
+  std::int64_t self_bytes_per_call = 0;
+  std::vector<ConfigResult> configs;
+};
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+ConfigResult run_config(const CaseSetup& cs, const std::string& cfg_name,
+                        bool plan_enabled, ddr::Backend backend, int reps,
+                        CaseResult& out_case) {
+  ConfigResult res;
+  res.name = cfg_name;
+  mpi::Datatype::set_plan_enabled(plan_enabled);
+
+  std::vector<double> times_ms;
+  std::uint64_t msgs_delta = 0;
+  std::uint64_t allocs_delta = 0;
+  std::uint64_t acquires_delta = 0;
+
+  mpi::run(cs.nranks, [&](mpi::Comm& comm) {
+    const int r = comm.rank();
+    ddr::Redistributor rd(comm, sizeof(float));
+    ddr::SetupOptions opts;
+    opts.backend = backend;
+    // Measure only the data path, not the precondition allreduce.
+    opts.collective_error_agreement = false;
+    rd.setup(cs.owned(r), cs.needed(r), opts);
+    if (r == 0) {
+      out_case.rounds = rd.rounds();
+      out_case.network_bytes_per_call = rd.stats().network_bytes;
+      out_case.self_bytes_per_call = rd.stats().self_bytes;
+    }
+
+    std::vector<float> src(rd.owned_bytes() / sizeof(float), 1.0f);
+    std::vector<float> dst(rd.needed_bytes() / sizeof(float));
+    const auto src_b = std::as_bytes(std::span<const float>(src));
+    const auto dst_b = std::as_writable_bytes(std::span<float>(dst));
+
+    for (int i = 0; i < kWarmup; ++i) {
+      comm.barrier();
+      rd.redistribute(src_b, dst_b);
+    }
+
+    // Steady state starts here: the staging pool has seen every buffer size.
+    comm.barrier();
+    const mpi::StagingStats s0 = comm.staging_stats();
+    const std::uint64_t m0 = comm.messages_posted();
+    for (int i = 0; i < reps; ++i) {
+      comm.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      rd.redistribute(src_b, dst_b);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (r == 0)
+        times_ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    comm.barrier();
+    if (r == 0) {
+      const mpi::StagingStats s1 = comm.staging_stats();
+      // Per-iteration barriers post p*ceil(log2 p) messages each; subtract
+      // them (plus the closing fence) so the count reflects redistribute().
+      int log2p = 0;
+      while ((1 << log2p) < cs.nranks) ++log2p;
+      const std::uint64_t barrier_msgs =
+          static_cast<std::uint64_t>(cs.nranks) *
+          static_cast<std::uint64_t>(log2p) *
+          static_cast<std::uint64_t>(reps + 1);
+      const std::uint64_t total = comm.messages_posted() - m0;
+      msgs_delta = total > barrier_msgs ? total - barrier_msgs : 0;
+      allocs_delta = s1.heap_allocations - s0.heap_allocations;
+      acquires_delta = s1.acquires - s0.acquires;
+    }
+  });
+
+  std::sort(times_ms.begin(), times_ms.end());
+  res.median_ms = times_ms[times_ms.size() / 2];
+  res.p95_ms = times_ms[static_cast<std::size_t>(
+      static_cast<double>(times_ms.size()) * 0.95)];
+  res.messages_per_call =
+      static_cast<double>(msgs_delta) / static_cast<double>(reps);
+  res.staging_heap_allocs_steady = allocs_delta;
+  res.staging_acquires_steady = acquires_delta;
+
+  std::printf("%-10s %-20s median %8.3f ms  p95 %8.3f ms  msgs/call %7.1f  "
+              "steady heap allocs %llu\n",
+              cs.name.c_str(), cfg_name.c_str(), res.median_ms, res.p95_ms,
+              res.messages_per_call,
+              static_cast<unsigned long long>(res.staging_heap_allocs_steady));
+  return res;
+}
+
+void write_json(const std::string& path, int reps,
+                const std::vector<CaseResult>& cases) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"redistribute\",\n  \"reps\": %d,\n"
+                  "  \"cases\": [\n", reps);
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const CaseResult& cr = cases[c];
+    std::fprintf(f,
+                 "    {\n      \"name\": \"%s\",\n      \"ranks\": %d,\n"
+                 "      \"rounds\": %d,\n"
+                 "      \"network_bytes_per_call\": %lld,\n"
+                 "      \"self_bytes_per_call\": %lld,\n"
+                 "      \"configs\": [\n",
+                 cr.name.c_str(), cr.nranks, cr.rounds,
+                 static_cast<long long>(cr.network_bytes_per_call),
+                 static_cast<long long>(cr.self_bytes_per_call));
+    for (std::size_t k = 0; k < cr.configs.size(); ++k) {
+      const ConfigResult& cf = cr.configs[k];
+      std::fprintf(f,
+                   "        {\"name\": \"%s\", \"median_ms\": %.6f, "
+                   "\"p95_ms\": %.6f, \"messages_per_call\": %.2f, "
+                   "\"staging_acquires_steady\": %llu, "
+                   "\"staging_heap_allocs_steady\": %llu}%s\n",
+                   cf.name.c_str(), cf.median_ms, cf.p95_ms,
+                   cf.messages_per_call,
+                   static_cast<unsigned long long>(cf.staging_acquires_steady),
+                   static_cast<unsigned long long>(
+                       cf.staging_heap_allocs_steady),
+                   k + 1 < cr.configs.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", c + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  const int reps = env_int("DDR_BENCH_REPS", 60);
+  const char* out_env = std::getenv("DDR_BENCH_OUT");
+  const std::string out = out_env != nullptr ? out_env
+                                             : "BENCH_redistribute.json";
+
+  const CaseSetup cases_setup[] = {
+      {"strided3d", 4, strided3d_owned, strided3d_needed},
+      {"rows2d", 4, rows2d_owned, rows2d_needed},
+  };
+
+  std::vector<CaseResult> results;
+  bool alloc_clean = true;
+  for (const CaseSetup& cs : cases_setup) {
+    CaseResult cr;
+    cr.name = cs.name;
+    cr.nranks = cs.nranks;
+    cr.configs.push_back(run_config(cs, "legacy_alltoallw", false,
+                                    ddr::Backend::alltoallw, reps, cr));
+    cr.configs.push_back(run_config(cs, "compiled_alltoallw", true,
+                                    ddr::Backend::alltoallw, reps, cr));
+    cr.configs.push_back(run_config(cs, "compiled_p2p", true,
+                                    ddr::Backend::point_to_point, reps, cr));
+    cr.configs.push_back(run_config(cs, "compiled_p2p_fused", true,
+                                    ddr::Backend::point_to_point_fused, reps,
+                                    cr));
+    for (const ConfigResult& cf : cr.configs)
+      if (cf.staging_heap_allocs_steady != 0) alloc_clean = false;
+    results.push_back(std::move(cr));
+  }
+  mpi::Datatype::set_plan_enabled(true);
+
+  write_json(out, reps, results);
+  std::printf("wrote %s\n", out.c_str());
+
+  if (!alloc_clean) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state redistribute() allocated staging "
+                 "buffers on the heap (see staging_heap_allocs_steady)\n");
+    return 1;
+  }
+  return 0;
+}

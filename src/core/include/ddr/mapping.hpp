@@ -63,6 +63,18 @@ struct MappingStats {
   std::int64_t transfer_count = 0;
 };
 
+/// One peer's fused point-to-point lane: every round's traffic between this
+/// rank and `peer` coalesced into a single struct-typed message (pieces in
+/// round order, so the sender's packed stream and the receiver's expected
+/// stream match by construction). Cuts the p2p message count from
+/// rounds x peers to peers for multi-chunk producers.
+struct PeerLane {
+  int peer = -1;
+  std::ptrdiff_t displ = 0;
+  mpi::Datatype type;
+  std::int64_t bytes = 0;  ///< packed payload size of the lane
+};
+
 /// The complete mapping one rank holds after setup: one RoundPlan per
 /// alltoallw round, ready to execute repeatedly on dynamic data
 /// (paper §III-C: "set up ... is only required once as long as the layout of
@@ -72,6 +84,10 @@ struct DataMapping {
   int nranks = 0;
   std::size_t elem_size = 0;
   std::vector<RoundPlan> rounds;
+
+  /// Round-fused lanes (one per peer with any traffic, self included),
+  /// sorted by peer. Used by Backend::point_to_point_fused.
+  std::vector<PeerLane> fused_send, fused_recv;
 
   /// Total bytes of the local owned buffer (all chunks concatenated).
   std::size_t owned_bytes = 0;

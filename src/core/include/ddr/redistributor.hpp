@@ -35,6 +35,13 @@ enum class Backend {
   /// Direct nonblocking send/recv per non-empty transfer — the paper's
   /// future-work optimization for sparse mappings (§V).
   point_to_point,
+  /// Point-to-point with every peer's per-round lanes fused into ONE
+  /// struct-typed message, cutting the message count from rounds x peers to
+  /// peers. Under an active FaultModel this mode is gated off: the reliable
+  /// retry protocol re-requests individual (round, peer) transfers, so
+  /// redistribute() falls back to the per-round point-to-point path (see
+  /// Redistributor::effective_backend).
+  point_to_point_fused,
 };
 
 /// Options controlling setup behaviour.
@@ -127,11 +134,20 @@ class Redistributor {
 
   [[nodiscard]] const mpi::Comm& comm() const { return comm_; }
 
+  /// The backend redistribute() actually runs. Differs from the requested
+  /// one in exactly one case: point_to_point_fused under an active
+  /// FaultModel degrades to point_to_point (whose reliable per-round retry
+  /// protocol handles message loss; fused messages cannot be re-requested
+  /// per round).
+  [[nodiscard]] Backend effective_backend() const;
+
  private:
   void execute_alltoallw(std::span<const std::byte> owned_data,
                          std::span<std::byte> needed_data) const;
   void execute_p2p(std::span<const std::byte> owned_data,
                    std::span<std::byte> needed_data) const;
+  void execute_p2p_fused(std::span<const std::byte> owned_data,
+                         std::span<std::byte> needed_data) const;
   void execute_p2p_reliable(std::span<const std::byte> owned_data,
                             std::span<std::byte> needed_data) const;
 
@@ -146,6 +162,9 @@ class Redistributor {
   /// gets its own tag window so duplicated or re-sent messages from one call
   /// can never be mistaken for another call's traffic.
   mutable std::uint64_t p2p_epoch_ = 0;
+  /// Request scratch reused across redistribute() calls so the steady-state
+  /// p2p data path performs no heap allocation.
+  mutable std::vector<mpi::Request> reqs_;
 };
 
 }  // namespace ddr

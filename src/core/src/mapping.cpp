@@ -153,6 +153,40 @@ DataMapping build_mapping(const GlobalLayout& layout, int rank,
       rp.recvtypes[qi] = std::move(type);
     }
   }
+
+  // Fused per-peer lanes: stitch each peer's round lanes together in round
+  // order. Sender and receiver enumerate rounds identically, so the fused
+  // packed streams match end to end.
+  for (int q = 0; q < nranks; ++q) {
+    const auto qi = static_cast<std::size_t>(q);
+    std::vector<Piece> spieces, rpieces;
+    for (const RoundPlan& rp : m.rounds) {
+      if (rp.sendcounts[qi] > 0) spieces.push_back({rp.sdispls[qi], rp.sendtypes[qi]});
+      if (rp.recvcounts[qi] > 0) rpieces.push_back({rp.rdispls[qi], rp.recvtypes[qi]});
+    }
+    if (!spieces.empty()) {
+      auto [displ, type] = collapse(std::move(spieces));
+      const auto bytes = static_cast<std::int64_t>(type.size());
+      m.fused_send.push_back({q, displ, std::move(type), bytes});
+    }
+    if (!rpieces.empty()) {
+      auto [displ, type] = collapse(std::move(rpieces));
+      const auto bytes = static_cast<std::int64_t>(type.size());
+      m.fused_recv.push_back({q, displ, std::move(type), bytes});
+    }
+  }
+
+  // The mapping is computed once and executed every timestep (§III-C):
+  // compile every lane's segment plan now so no redistribute() call ever
+  // pays the flattening cost.
+  for (const RoundPlan& rp : m.rounds) {
+    for (std::size_t q = 0; q < rp.sendtypes.size(); ++q)
+      if (rp.sendcounts[q] > 0) rp.sendtypes[q].precompile();
+    for (std::size_t q = 0; q < rp.recvtypes.size(); ++q)
+      if (rp.recvcounts[q] > 0) rp.recvtypes[q].precompile();
+  }
+  for (const PeerLane& l : m.fused_send) l.type.precompile();
+  for (const PeerLane& l : m.fused_recv) l.type.precompile();
   return m;
 }
 

@@ -51,13 +51,15 @@ Chunk from_wire(const ChunkWire& w) {
 //   done token (zero-byte)      : kP2pTagBase + e
 //   retry request for round k   : kP2pTagBase + W*(1 + k)     + e
 //   data message for round k    : kP2pTagBase + W*(1 + R + k) + e
+//   fused data message          : kP2pTagBase + W*(1 + 2R)    + e
 //
-// Highest tag used: kP2pTagBase + W*(1 + 2R) - 1; setup() rejects mappings
+// Highest tag used: kP2pTagBase + W*(2 + 2R) - 1; setup() rejects mappings
 // whose round count would exceed the ceiling. Epochs scope one
 // redistribute() call's traffic: re-sent or duplicated messages of one call
 // can never be mistaken for another call's (the window would have to wrap
 // within W in-flight calls, and each call drains its window before and after
-// use).
+// use). The fused lane needs only one window regardless of the round count
+// because each peer pair exchanges at most one fused message per epoch.
 
 /// Tag base for the point-to-point backend, chosen high so it cannot collide
 /// with typical application tags.
@@ -71,6 +73,9 @@ int p2p_retry_tag(int round, int epoch) {
 }
 int p2p_data_tag(int round, int nrounds, int epoch) {
   return kP2pTagBase + kP2pEpochWindow * (1 + nrounds + round) + epoch;
+}
+int p2p_fused_tag(int nrounds, int epoch) {
+  return kP2pTagBase + kP2pEpochWindow * (1 + 2 * nrounds) + epoch;
 }
 
 // --- fail-safe collective error agreement ------------------------------------
@@ -254,14 +259,16 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
   mapping_ = build_mapping(layout_, comm_.rank(), elem_size_);
   stats_ = compute_stats(layout_, elem_size_);
 
-  // 7. Tag-space budget for the p2p backend (see the tag layout comment
+  // 7. Tag-space budget for the p2p backends (see the tag layout comment
   // above): identical on every rank because the round count derives from the
-  // allgathered layout.
-  if (options.backend == Backend::point_to_point) {
+  // allgathered layout. The fused backend's extra window is included in the
+  // budget for both, so the fused <-> per-round fallback never changes
+  // whether a layout is accepted.
+  if (options.backend != Backend::alltoallw) {
     const auto nrounds = static_cast<std::int64_t>(mapping_.rounds.size());
     const std::int64_t highest =
         kP2pTagBase +
-        static_cast<std::int64_t>(kP2pEpochWindow) * (1 + 2 * nrounds) - 1;
+        static_cast<std::int64_t>(kP2pEpochWindow) * (2 + 2 * nrounds) - 1;
     require(highest < mpi::tag_upper_bound,
             "setup: point-to-point backend needs " + std::to_string(nrounds) +
                 " rounds, whose highest tag " + std::to_string(highest) +
@@ -269,6 +276,26 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
                 std::to_string(mpi::tag_upper_bound) +
                 ") — use the alltoallw backend for this layout");
   }
+
+  // 8. Prewarm the staging pool with this rank's peak concurrent send set:
+  // every per-round (or per-peer, fused) payload can be in flight at once,
+  // since the p2p backends post all sends before draining any receive.
+  // Receivers reuse the sender-acquired buffers, so once every rank has
+  // planted its own send sizes, steady-state redistribute() calls never
+  // heap-allocate staging storage (the zero-allocation contract the JSON
+  // bench and CI assert).
+  std::vector<std::size_t> send_bytes;
+  const auto self = static_cast<std::size_t>(mapping_.rank);
+  for (const RoundPlan& rp : mapping_.rounds)
+    for (std::size_t q = 0; q < rp.sendcounts.size(); ++q)
+      if (rp.sendcounts[q] > 0 && q != self)
+        send_bytes.push_back(static_cast<std::size_t>(rp.sendcounts[q]) *
+                             rp.sendtypes[q].size());
+  if (options.backend == Backend::point_to_point_fused)
+    for (const PeerLane& lane : mapping_.fused_send)
+      if (lane.peer != mapping_.rank)
+        send_bytes.push_back(lane.type.size());
+  comm_.reserve_staging(send_bytes);
 
   p2p_epoch_ = 0;
   setup_done_ = true;
@@ -307,10 +334,22 @@ void Redistributor::redistribute(std::span<const std::byte> owned_data,
   if (options_.backend == Backend::alltoallw) {
     execute_alltoallw(owned_data, needed_data);
   } else if (comm_.fault_injection_active()) {
+    // Both p2p flavours degrade to the reliable per-round protocol here —
+    // fused messages cannot be re-requested per (round, peer), which is the
+    // unit the retry protocol operates on.
     execute_p2p_reliable(owned_data, needed_data);
+  } else if (options_.backend == Backend::point_to_point_fused) {
+    execute_p2p_fused(owned_data, needed_data);
   } else {
     execute_p2p(owned_data, needed_data);
   }
+}
+
+Backend Redistributor::effective_backend() const {
+  if (options_.backend == Backend::point_to_point_fused &&
+      comm_.fault_injection_active())
+    return Backend::point_to_point;
+  return options_.backend;
 }
 
 void Redistributor::execute_alltoallw(std::span<const std::byte> owned_data,
@@ -327,18 +366,20 @@ void Redistributor::execute_alltoallw(std::span<const std::byte> owned_data,
 void Redistributor::execute_p2p(std::span<const std::byte> owned_data,
                                 std::span<std::byte> needed_data) const {
   // The paper's future-work optimization (§V): skip the dense collective and
-  // exchange only the non-empty transfers with direct sends/receives.
+  // exchange only the non-empty transfers with direct sends/receives. The
+  // self lane skips the mailbox entirely (copy_regions, no staging buffer).
   const int nrounds = static_cast<int>(mapping_.rounds.size());
   const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
-  std::vector<mpi::Request> reqs;
+  const auto self = static_cast<std::size_t>(mapping_.rank);
+  reqs_.clear();
   for (int k = 0; k < nrounds; ++k) {
     const RoundPlan& rp = mapping_.rounds[static_cast<std::size_t>(k)];
     const int tag = p2p_data_tag(k, nrounds, epoch);
     for (int q = 0; q < mapping_.nranks; ++q) {
       const auto qi = static_cast<std::size_t>(q);
-      if (rp.recvcounts[qi] > 0)
-        reqs.push_back(comm_.irecv(needed_data.data() + rp.rdispls[qi], 1,
-                                   rp.recvtypes[qi], q, tag));
+      if (rp.recvcounts[qi] > 0 && qi != self)
+        reqs_.push_back(comm_.irecv(needed_data.data() + rp.rdispls[qi], 1,
+                                    rp.recvtypes[qi], q, tag));
     }
   }
   for (int k = 0; k < nrounds; ++k) {
@@ -346,12 +387,48 @@ void Redistributor::execute_p2p(std::span<const std::byte> owned_data,
     const int tag = p2p_data_tag(k, nrounds, epoch);
     for (int q = 0; q < mapping_.nranks; ++q) {
       const auto qi = static_cast<std::size_t>(q);
-      if (rp.sendcounts[qi] > 0)
-        reqs.push_back(comm_.isend(owned_data.data() + rp.sdispls[qi], 1,
-                                   rp.sendtypes[qi], q, tag));
+      if (rp.sendcounts[qi] > 0 && qi != self)
+        reqs_.push_back(comm_.isend(owned_data.data() + rp.sdispls[qi], 1,
+                                    rp.sendtypes[qi], q, tag));
     }
   }
-  mpi::wait_all(reqs);
+  for (const RoundPlan& rp : mapping_.rounds) {
+    if (rp.sendcounts[self] > 0 && rp.recvcounts[self] > 0)
+      mpi::copy_regions(rp.sendtypes[self], owned_data.data() + rp.sdispls[self],
+                        1, rp.recvtypes[self],
+                        needed_data.data() + rp.rdispls[self], 1);
+  }
+  mpi::wait_all(reqs_);
+  reqs_.clear();
+}
+
+void Redistributor::execute_p2p_fused(std::span<const std::byte> owned_data,
+                                      std::span<std::byte> needed_data) const {
+  // One message per peer: each peer's per-round lanes were stitched into a
+  // single struct type at setup time (DataMapping::fused_send/fused_recv).
+  const int nrounds = static_cast<int>(mapping_.rounds.size());
+  const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
+  const int tag = p2p_fused_tag(nrounds, epoch);
+  reqs_.clear();
+  for (const PeerLane& l : mapping_.fused_recv)
+    if (l.peer != mapping_.rank)
+      reqs_.push_back(comm_.irecv(needed_data.data() + l.displ, 1, l.type,
+                                  l.peer, tag));
+  for (const PeerLane& l : mapping_.fused_send)
+    if (l.peer != mapping_.rank)
+      reqs_.push_back(
+          comm_.isend(owned_data.data() + l.displ, 1, l.type, l.peer, tag));
+  // Self lane: the fused send and recv types cover the same bytes in the
+  // same (round, needed-index) order, so they map onto each other directly.
+  for (const PeerLane& s : mapping_.fused_send) {
+    if (s.peer != mapping_.rank) continue;
+    for (const PeerLane& r : mapping_.fused_recv)
+      if (r.peer == mapping_.rank)
+        mpi::copy_regions(s.type, owned_data.data() + s.displ, 1, r.type,
+                          needed_data.data() + r.displ, 1);
+  }
+  mpi::wait_all(reqs_);
+  reqs_.clear();
 }
 
 void Redistributor::execute_p2p_reliable(

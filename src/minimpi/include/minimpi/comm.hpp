@@ -86,6 +86,16 @@ class Request {
   Status done_status_{};
 };
 
+/// Counters of the per-communicator staging-buffer pool (see
+/// Comm::staging_stats). `acquires` counts every staging buffer handed out;
+/// `heap_allocations` counts how many of those had to touch the heap. In
+/// steady state (same transfer repeated) heap_allocations stops growing —
+/// benches and CI assert exactly that.
+struct StagingStats {
+  std::uint64_t acquires = 0;
+  std::uint64_t heap_allocations = 0;
+};
+
 /// Waits for every request; returns their statuses in order.
 std::vector<Status> wait_all(std::span<Request> reqs);
 
@@ -236,6 +246,21 @@ class Comm {
   /// True when a FaultModel is installed for this run (libraries use this to
   /// decide whether to engage retry protocols).
   [[nodiscard]] bool fault_injection_active() const;
+
+  // --- instrumentation ------------------------------------------------------
+
+  /// Snapshot of this communicator's staging-buffer pool counters.
+  [[nodiscard]] StagingStats staging_stats() const;
+
+  /// Total messages posted in this run so far (whole world, both channels).
+  /// Diff across an operation to count the messages it posted.
+  [[nodiscard]] std::uint64_t messages_posted() const;
+
+  /// Plants buffers of the given sizes in the staging pool, all live at
+  /// once, so a later operation whose peak concurrent payload set is covered
+  /// by `sizes` (across every rank calling this) never heap-allocates on the
+  /// data path. Callable from any rank; not collective.
+  void reserve_staging(const std::vector<std::size_t>& sizes) const;
 
   /// Cooperative cancellation point for long non-blocking progress loops:
   /// services the FaultModel kill/stall hooks for this rank and throws any

@@ -17,6 +17,13 @@
 /// byte segments. This is the machinery MPI_Alltoallw relies on when given
 /// subarray types, and it is exercised heavily by the DDR library.
 ///
+/// Pack/unpack execute through a compiled segment plan: the first use of a
+/// type flattens its constructor tree once into a flat, coalesced
+/// (offset, length) run list cached on the immutable type node. Every later
+/// pack/unpack/copy is a plain loop of memcpys over that list — no tree
+/// recursion, no per-segment callback dispatch, no per-call allocation.
+/// precompile() forces the compile eagerly (e.g. at setup time).
+///
 /// Datatype values are cheap to copy (shared immutable payload) and are
 /// thread-safe to use concurrently once constructed.
 
@@ -74,6 +81,24 @@ class Datatype {
   /// (laid out per this type).
   void unpack(const std::byte* src, std::size_t count, std::byte* dst) const;
 
+  /// Forces the segment plan to be compiled now (it is otherwise built
+  /// lazily on first pack/unpack). Lets setup-time code pay the one-off
+  /// compile cost up front so the first data movement is already fast.
+  void precompile() const;
+
+  /// Number of contiguous runs in the compiled plan of ONE element
+  /// (compiles the plan if needed). Adjacent runs are coalesced, so this is
+  /// the exact number of memcpys a pack of one element performs.
+  [[nodiscard]] std::size_t plan_segment_count() const;
+
+  /// Globally enables/disables the compiled-plan execution path. With plans
+  /// disabled, pack/unpack/for_each_segment fall back to the legacy
+  /// recursive tree walker. This is a benchmarking and testing hook (the
+  /// property tests prove the two paths byte-identical); production code
+  /// should leave plans enabled.
+  static void set_plan_enabled(bool enabled) noexcept;
+  [[nodiscard]] static bool plan_enabled() noexcept;
+
   // --- constructors -------------------------------------------------------
 
   /// A contiguous run of `n` raw bytes.
@@ -130,9 +155,24 @@ class Datatype {
     return a.node_ == b.node_;
   }
 
+  friend void copy_regions(const Datatype& src_type, const std::byte* src,
+                           std::size_t src_count, const Datatype& dst_type,
+                           std::byte* dst, std::size_t dst_count);
+
  private:
   explicit Datatype(std::shared_ptr<const detail::TypeNode> node);
   std::shared_ptr<const detail::TypeNode> node_;
 };
+
+/// Moves `src_count` elements of `src_type` at `src` directly into
+/// `dst_count` elements of `dst_type` at `dst` — the packed byte streams of
+/// the two regions are matched run-against-run with no intermediate dense
+/// buffer. The regions must describe the same number of data bytes
+/// (src_count * src_type.size() == dst_count * dst_type.size()) and must not
+/// overlap in memory. This is the zero-copy primitive behind self-lane
+/// transfers (rank sending to itself) in the collectives and in DDR.
+void copy_regions(const Datatype& src_type, const std::byte* src,
+                  std::size_t src_count, const Datatype& dst_type,
+                  std::byte* dst, std::size_t dst_count);
 
 }  // namespace mpi

@@ -123,6 +123,7 @@ void post(World& w, Mailbox& box, Message&& msg) {
     std::lock_guard lk(box.m);
     box.q.push_back(std::move(msg));
   }
+  w.messages_posted.fetch_add(1, std::memory_order_relaxed);
   w.note_progress();
   box.cv.notify_all();
 }
@@ -290,12 +291,14 @@ Status do_recv(const CommImpl& impl, int my_rank, void* buf, std::size_t count,
             "recv: non-empty message matched a zero-size receive type");
   }
   if (elems > 0) type.unpack(msg.payload.data(), elems, static_cast<std::byte*>(buf));
-  return Status{msg.src, msg.tag, msg.payload.size()};
+  const Status st{msg.src, msg.tag, msg.payload.size()};
+  impl.staging.release(std::move(msg.payload));
+  return st;
 }
 
-std::vector<std::byte> pack_elements(const void* buf, std::size_t count,
-                                     const Datatype& type) {
-  std::vector<std::byte> payload(count * type.size());
+std::vector<std::byte> pack_elements(const CommImpl& impl, const void* buf,
+                                     std::size_t count, const Datatype& type) {
+  std::vector<std::byte> payload = impl.staging.acquire(count * type.size());
   if (!payload.empty())
     type.pack(static_cast<const std::byte*>(buf), count, payload.data());
   return payload;
@@ -343,7 +346,7 @@ void Comm::send(const void* buf, std::size_t count, const Datatype& type,
           "send: tag " + std::to_string(tag) +
               " exceeds the runtime tag ceiling (tag_upper_bound = " +
               std::to_string(tag_upper_bound) + ")");
-  send_packed(*impl_, rank_, pack_elements(buf, count, type), dest, tag,
+  send_packed(*impl_, rank_, pack_elements(*impl_, buf, count, type), dest, tag,
               /*collective=*/false);
 }
 
@@ -473,6 +476,7 @@ std::optional<Status> Request::test() {
     type_.unpack(msg->payload.data(), msg->payload.size() / type_.size(),
                  static_cast<std::byte*>(buf_));
   Status s{msg->src, msg->tag, msg->payload.size()};
+  impl_->staging.release(std::move(msg->payload));
   kind_ = Kind::invalid;
   return s;
 }
@@ -502,7 +506,7 @@ std::pair<std::size_t, Status> wait_any(std::span<Request> reqs) {
 
 void Comm::coll_send(const void* buf, std::size_t bytes, int dest,
                      int tag) const {
-  std::vector<std::byte> payload(bytes);
+  std::vector<std::byte> payload = impl_->staging.acquire(bytes);
   if (bytes > 0) std::memcpy(payload.data(), buf, bytes);
   send_packed(*impl_, rank_, std::move(payload), dest, tag,
               /*collective=*/true);
@@ -518,7 +522,9 @@ Status Comm::coll_recv(void* buf, std::size_t capacity, int src,
   require(msg.payload.size() <= capacity, ErrorClass::truncate,
           "collective: internal message larger than buffer");
   if (!msg.payload.empty()) std::memcpy(buf, msg.payload.data(), msg.payload.size());
-  return Status{msg.src, msg.tag, msg.payload.size()};
+  const Status st{msg.src, msg.tag, msg.payload.size()};
+  impl_->staging.release(std::move(msg.payload));
+  return st;
 }
 
 // --- collectives -------------------------------------------------------------
@@ -686,8 +692,10 @@ void Comm::gatherv(const void* sendbuf, std::size_t sendcount,
   const int tag = coll_tag(next_coll_seq());
 
   if (rank_ != root) {
-    std::vector<std::byte> packed = pack_elements(sendbuf, sendcount, sendtype);
+    std::vector<std::byte> packed =
+        pack_elements(*impl_, sendbuf, sendcount, sendtype);
     coll_send(packed.data(), packed.size(), root, tag);
+    impl_->staging.release(std::move(packed));
     return;
   }
   require(recvcounts.size() == static_cast<std::size_t>(p) &&
@@ -700,11 +708,13 @@ void Comm::gatherv(const void* sendbuf, std::size_t sendcount,
     const auto n = static_cast<std::size_t>(recvcounts[i]);
     std::byte* dst = out + static_cast<std::size_t>(displs[i]) * recvtype.extent();
     if (r == rank_) {
-      // Self contribution: pack+unpack keeps sendtype/recvtype independent.
-      std::vector<std::byte> tmp = pack_elements(sendbuf, sendcount, sendtype);
-      require(tmp.size() == n * recvtype.size(), ErrorClass::invalid_argument,
+      // Self contribution: direct typed-region copy, no staging buffer.
+      require(sendcount * sendtype.size() == n * recvtype.size(),
+              ErrorClass::invalid_argument,
               "gatherv: send/recv byte counts differ for local contribution");
-      if (n > 0) recvtype.unpack(tmp.data(), n, dst);
+      if (n > 0)
+        copy_regions(sendtype, static_cast<const std::byte*>(sendbuf),
+                     sendcount, recvtype, dst, n);
     } else {
       std::vector<std::byte> tmp(n * recvtype.size());
       const Status s = coll_recv(tmp.data(), tmp.size(), r, tag);
@@ -853,7 +863,8 @@ void Comm::alltoallw(const void* sendbuf, std::span<const int> sendcounts,
   auto pack_for = [&](int dest) {
     const auto k = static_cast<std::size_t>(dest);
     const auto n = static_cast<std::size_t>(sendcounts[k]);
-    std::vector<std::byte> payload(n * sendtypes[k].size());
+    std::vector<std::byte> payload =
+        impl_->staging.acquire(n * sendtypes[k].size());
     if (!payload.empty()) sendtypes[k].pack(in + sdispls[k], n, payload.data());
     return payload;
   };
@@ -867,10 +878,19 @@ void Comm::alltoallw(const void* sendbuf, std::span<const int> sendcounts,
     if (n > 0 && bytes > 0) recvtypes[k].unpack(data, n, out + rdispls[k]);
   };
 
-  // Local portion first.
+  // Local portion first: move bytes straight between the two typed regions,
+  // no staging buffer (the regions never overlap because send and receive
+  // buffers are distinct).
   {
-    std::vector<std::byte> self = pack_for(rank_);
-    unpack_from(rank_, self.data(), self.size());
+    const auto k = static_cast<std::size_t>(rank_);
+    const auto ns = static_cast<std::size_t>(sendcounts[k]);
+    const auto nr = static_cast<std::size_t>(recvcounts[k]);
+    require(ns * sendtypes[k].size() == nr * recvtypes[k].size(),
+            ErrorClass::truncate,
+            "alltoallw: local send/recv byte counts differ");
+    if (ns > 0 && nr > 0)
+      copy_regions(sendtypes[k], in + sdispls[k], ns, recvtypes[k],
+                   out + rdispls[k], nr);
   }
   // Pairwise exchange: at step s, send to rank+s, receive from rank-s.
   for (int s = 1; s < p; ++s) {
@@ -884,6 +904,7 @@ void Comm::alltoallw(const void* sendbuf, std::span<const int> sendcounts,
                        impl_->group[static_cast<std::size_t>(rank_)], src, tag);
     charge_recv(*impl_, rank_, msg);
     unpack_from(src, msg.payload.data(), msg.payload.size());
+    impl_->staging.release(std::move(msg.payload));
   }
 }
 
@@ -1005,6 +1026,33 @@ bool Comm::fault_injection_active() const {
   require(valid(), ErrorClass::invalid_comm,
           "fault_injection_active: invalid communicator");
   return impl_->world->fault != nullptr;
+}
+
+StagingStats Comm::staging_stats() const {
+  require(valid(), ErrorClass::invalid_comm,
+          "staging_stats: invalid communicator");
+  return StagingStats{
+      impl_->staging.acquires.load(std::memory_order_relaxed),
+      impl_->staging.heap_allocs.load(std::memory_order_relaxed)};
+}
+
+std::uint64_t Comm::messages_posted() const {
+  require(valid(), ErrorClass::invalid_comm,
+          "messages_posted: invalid communicator");
+  return impl_->world->messages_posted.load(std::memory_order_relaxed);
+}
+
+void Comm::reserve_staging(const std::vector<std::size_t>& sizes) const {
+  require(valid(), ErrorClass::invalid_comm,
+          "reserve_staging: invalid communicator");
+  // Purely additive: plant fresh storage rather than recycling through
+  // acquire(), so concurrent reservations from several ranks end up as the
+  // UNION of their working sets. (An acquire-then-release loop would let a
+  // later rank pop an earlier rank's just-released buffers, leaving the pool
+  // one working set short of the true all-ranks-in-flight peak.) The pool's
+  // byte budget bounds the overshoot of repeated reservations.
+  for (const std::size_t n : sizes)
+    if (n > 0) impl_->staging.release(std::vector<std::byte>(n));
 }
 
 void Comm::checkpoint() const {

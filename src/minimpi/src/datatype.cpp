@@ -1,7 +1,9 @@
 #include "minimpi/datatype.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <mutex>
 #include <numeric>
 #include <sstream>
 
@@ -23,6 +25,13 @@ struct StructBlock {
   std::shared_ptr<const TypeNode> type;
 };
 
+/// One contiguous run of a compiled datatype: `length` data bytes at byte
+/// `offset` from the element origin.
+struct Segment {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
 struct TypeNode {
   Kind kind = Kind::bytes;
   std::size_t size = 0;    // packed bytes per element
@@ -39,9 +48,21 @@ struct TypeNode {
 
   // subarray
   std::vector<int> sizes, subsizes, starts;  // normalized to Order::c
+  /// Row strides in bytes per dimension, precomputed at construction so the
+  /// flatteners never allocate per call (Order::c: last dim contiguous).
+  std::vector<std::size_t> sub_strides;
   // strukt
   std::vector<StructBlock> blocks;
   // resized keeps `inner` and overrides extent.
+
+  // --- compiled segment plan ----------------------------------------------
+  // Flat, coalesced (offset, length) run list of ONE element, built once on
+  // first use (or via Datatype::precompile) and cached here. The node is
+  // otherwise immutable; call_once makes the lazy compile thread-safe.
+  mutable std::once_flag plan_once;
+  mutable std::vector<Segment> plan;
+
+  const std::vector<Segment>& compiled() const;
 };
 
 namespace {
@@ -84,14 +105,9 @@ void visit(const TypeNode& n, std::size_t base, const SegmentFn& fn) {
       if (n.size == 0) return;  // empty sub-box: nothing to emit
       const TypeNode& in = *n.inner;
       const int ndims = static_cast<int>(n.sizes.size());
-      // Row strides in bytes for each dimension (Order::c normalized:
-      // last dimension contiguous).
-      std::vector<std::size_t> stride(static_cast<std::size_t>(ndims));
-      stride[static_cast<std::size_t>(ndims - 1)] = in.extent;
-      for (int d = ndims - 2; d >= 0; --d)
-        stride[static_cast<std::size_t>(d)] =
-            stride[static_cast<std::size_t>(d + 1)] *
-            static_cast<std::size_t>(n.sizes[static_cast<std::size_t>(d + 1)]);
+      // Row strides precomputed at construction (Order::c normalized: last
+      // dimension contiguous).
+      const std::vector<std::size_t>& stride = n.sub_strides;
 
       // Iterate over all index tuples of the subarray except the innermost
       // dimension, which forms a contiguous run when `in` is contiguous.
@@ -154,7 +170,121 @@ std::shared_ptr<const TypeNode> make_bytes(std::size_t nbytes) {
   return n;
 }
 
+/// Whether pack/unpack/for_each_segment execute through compiled plans.
+/// Off switches to the legacy recursive walker (bench/test reference).
+std::atomic<bool> g_plan_enabled{true};
+
+/// Appends a run to a plan under construction, coalescing with the previous
+/// run when the two are adjacent in memory (the byte stream is unchanged:
+/// segments are emitted in packed order).
+void emit(std::vector<Segment>& out, std::size_t offset, std::size_t length) {
+  if (length == 0) return;
+  if (!out.empty() && out.back().offset + out.back().length == offset) {
+    out.back().length += length;
+    return;
+  }
+  out.push_back({offset, length});
+}
+
+/// Compile-time flattener: identical traversal to visit(), but emits into a
+/// plain vector (no callback dispatch) and coalesces adjacent runs. Runs
+/// once per type; the hot path then loops over the flat plan.
+void compile_segments(const TypeNode& n, std::size_t base,
+                      std::vector<Segment>& out) {
+  switch (n.kind) {
+    case Kind::bytes:
+      emit(out, base, n.size);
+      return;
+    case Kind::contiguous: {
+      const TypeNode& in = *n.inner;
+      if (in.contiguous) {
+        if (n.size > 0) emit(out, base, n.count * in.size);
+      } else {
+        for (std::size_t i = 0; i < n.count; ++i)
+          compile_segments(in, base + i * in.extent, out);
+      }
+      return;
+    }
+    case Kind::hvector: {
+      const TypeNode& in = *n.inner;
+      for (std::size_t i = 0; i < n.count; ++i) {
+        const std::size_t block_base =
+            base + static_cast<std::size_t>(static_cast<std::ptrdiff_t>(i) *
+                                            n.stride_bytes);
+        if (in.contiguous) {
+          emit(out, block_base, n.blocklen * in.size);
+        } else {
+          for (std::size_t j = 0; j < n.blocklen; ++j)
+            compile_segments(in, block_base + j * in.extent, out);
+        }
+      }
+      return;
+    }
+    case Kind::subarray: {
+      if (n.size == 0) return;
+      const TypeNode& in = *n.inner;
+      const int ndims = static_cast<int>(n.sizes.size());
+      const std::vector<std::size_t>& stride = n.sub_strides;
+      // Iterative odometer over all dims but the innermost, whose sub-range
+      // forms one run per tuple when `in` is contiguous.
+      std::vector<int> idx(static_cast<std::size_t>(ndims), 0);
+      const bool dense_rows = in.contiguous;
+      const auto row_len = static_cast<std::size_t>(
+          n.subsizes[static_cast<std::size_t>(ndims - 1)]);
+      for (;;) {
+        std::size_t off = base;
+        for (int d = 0; d < ndims; ++d)
+          off += stride[static_cast<std::size_t>(d)] *
+                 static_cast<std::size_t>(n.starts[static_cast<std::size_t>(d)] +
+                                          idx[static_cast<std::size_t>(d)]);
+        if (dense_rows) {
+          emit(out, off, row_len * in.size);
+        } else {
+          for (std::size_t j = 0; j < row_len; ++j)
+            compile_segments(in, off + j * in.extent, out);
+        }
+        int d = ndims - 2;
+        for (; d >= 0; --d) {
+          auto& i = idx[static_cast<std::size_t>(d)];
+          if (++i < n.subsizes[static_cast<std::size_t>(d)]) break;
+          i = 0;
+        }
+        if (d < 0) break;
+      }
+      return;
+    }
+    case Kind::strukt: {
+      for (const auto& b : n.blocks) {
+        const TypeNode& in = *b.type;
+        const std::size_t block_base = base + static_cast<std::size_t>(b.displ);
+        if (in.contiguous) {
+          emit(out, block_base, static_cast<std::size_t>(b.blocklen) * in.size);
+        } else {
+          for (int j = 0; j < b.blocklen; ++j)
+            compile_segments(in, block_base + static_cast<std::size_t>(j) * in.extent,
+                             out);
+        }
+      }
+      return;
+    }
+    case Kind::resized:
+      compile_segments(*n.inner, base, out);
+      return;
+  }
+}
+
 }  // namespace
+
+const std::vector<Segment>& TypeNode::compiled() const {
+  std::call_once(plan_once, [this] {
+    std::vector<Segment> segs;
+    compile_segments(*this, 0, segs);
+    segs.shrink_to_fit();
+    plan = std::move(segs);
+  });
+  return plan;
+}
+
 }  // namespace detail
 
 using detail::Kind;
@@ -249,7 +379,16 @@ Datatype Datatype::subarray(std::span<const int> sizes,
   }
   n->size = sub * inner.size();
   n->extent = full * inner.extent();
-  n->contiguous = false;  // conservatively; degenerate cases still pack fine
+  // Row strides in bytes, innermost dimension contiguous. Computed once here
+  // so the per-call flatteners never allocate.
+  n->sub_strides.resize(ndims);
+  n->sub_strides[ndims - 1] = inner.extent();
+  for (std::size_t d = ndims - 1; d-- > 0;)
+    n->sub_strides[d] =
+        n->sub_strides[d + 1] * static_cast<std::size_t>(n->sizes[d + 1]);
+  // A sub-box equal to the full array selects every byte in order: the
+  // memcpy fast path applies whenever the inner type is itself contiguous.
+  n->contiguous = inner.contiguous() && n->subsizes == n->sizes;
   return Datatype(std::move(n));
 }
 
@@ -321,6 +460,14 @@ Datatype Datatype::resized(const Datatype& inner, std::size_t new_extent) {
 void Datatype::for_each_segment(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& fn) const {
+  if (detail::g_plan_enabled.load(std::memory_order_relaxed)) {
+    const std::vector<detail::Segment>& plan = node_->compiled();
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t base = i * node_->extent;
+      for (const detail::Segment& s : plan) fn(base + s.offset, s.length);
+    }
+    return;
+  }
   for (std::size_t i = 0; i < count; ++i)
     detail::visit(*node_, i * node_->extent, fn);
 }
@@ -329,6 +476,18 @@ void Datatype::pack(const std::byte* src, std::size_t count,
                     std::byte* dst) const {
   if (node_->contiguous) {
     std::memcpy(dst, src, count * node_->size);
+    return;
+  }
+  if (detail::g_plan_enabled.load(std::memory_order_relaxed)) {
+    const std::vector<detail::Segment>& plan = node_->compiled();
+    std::byte* out = dst;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::byte* base = src + i * node_->extent;
+      for (const detail::Segment& s : plan) {
+        std::memcpy(out, base + s.offset, s.length);
+        out += s.length;
+      }
+    }
     return;
   }
   std::size_t cursor = 0;
@@ -344,11 +503,100 @@ void Datatype::unpack(const std::byte* src, std::size_t count,
     std::memcpy(dst, src, count * node_->size);
     return;
   }
+  if (detail::g_plan_enabled.load(std::memory_order_relaxed)) {
+    const std::vector<detail::Segment>& plan = node_->compiled();
+    const std::byte* in = src;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::byte* base = dst + i * node_->extent;
+      for (const detail::Segment& s : plan) {
+        std::memcpy(base + s.offset, in, s.length);
+        in += s.length;
+      }
+    }
+    return;
+  }
   std::size_t cursor = 0;
   for_each_segment(count, [&](std::size_t off, std::size_t len) {
     std::memcpy(dst + off, src + cursor, len);
     cursor += len;
   });
+}
+
+void Datatype::precompile() const { node_->compiled(); }
+
+std::size_t Datatype::plan_segment_count() const {
+  return node_->compiled().size();
+}
+
+void Datatype::set_plan_enabled(bool enabled) noexcept {
+  detail::g_plan_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Datatype::plan_enabled() noexcept {
+  return detail::g_plan_enabled.load(std::memory_order_relaxed);
+}
+
+void copy_regions(const Datatype& src_type, const std::byte* src,
+                  std::size_t src_count, const Datatype& dst_type,
+                  std::byte* dst, std::size_t dst_count) {
+  const std::size_t total = src_count * src_type.size();
+  require(total == dst_count * dst_type.size(), ErrorClass::invalid_datatype,
+          "copy_regions: source region (" + std::to_string(total) +
+              " B) and destination region (" +
+              std::to_string(dst_count * dst_type.size()) +
+              " B) describe different data sizes");
+  if (total == 0) return;
+  if (src_type.node_->contiguous && dst_type.node_->contiguous) {
+    std::memcpy(dst, src, total);
+    return;
+  }
+  // March the two packed byte streams together, copying the overlap of the
+  // current source run and the current destination run each step. Contiguous
+  // sides behave as one full-size run per element.
+  const detail::TypeNode& sn = *src_type.node_;
+  const detail::TypeNode& dn = *dst_type.node_;
+  static const std::vector<detail::Segment> kWhole{{0, 0}};
+  const std::vector<detail::Segment>& splan =
+      sn.contiguous ? kWhole : sn.compiled();
+  const std::vector<detail::Segment>& dplan =
+      dn.contiguous ? kWhole : dn.compiled();
+  const std::size_t s_elem_len = sn.contiguous ? sn.size : 0;
+  const std::size_t d_elem_len = dn.contiguous ? dn.size : 0;
+
+  std::size_t si = 0, di = 0;      // element index
+  std::size_t sj = 0, dj = 0;      // segment index within element
+  std::size_t sdone = 0, ddone = 0;  // bytes consumed of current segment
+  auto seg_len = [](const std::vector<detail::Segment>& plan, std::size_t j,
+                    std::size_t whole) {
+    return whole != 0 ? whole : plan[j].length;
+  };
+  std::size_t copied = 0;
+  while (copied < total) {
+    const std::size_t slen = seg_len(splan, sj, s_elem_len);
+    const std::size_t dlen = seg_len(dplan, dj, d_elem_len);
+    const std::byte* sp =
+        src + si * sn.extent + splan[sj].offset + sdone;
+    std::byte* dp = dst + di * dn.extent + dplan[dj].offset + ddone;
+    const std::size_t step = std::min(slen - sdone, dlen - ddone);
+    std::memcpy(dp, sp, step);
+    copied += step;
+    sdone += step;
+    ddone += step;
+    if (sdone == slen) {
+      sdone = 0;
+      if (++sj == splan.size()) {
+        sj = 0;
+        ++si;
+      }
+    }
+    if (ddone == dlen) {
+      ddone = 0;
+      if (++dj == dplan.size()) {
+        dj = 0;
+        ++di;
+      }
+    }
+  }
 }
 
 std::string Datatype::describe() const {

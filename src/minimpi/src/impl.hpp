@@ -40,6 +40,60 @@ struct Mailbox {
 /// without aborting the run (unlike ordinary exceptions).
 struct RankKilled {};
 
+/// Recycles staging buffers (message payloads, pack scratch) so the
+/// steady-state data path stops allocating: once the pool has seen each
+/// buffer size a few times, acquire() is a pop + resize into existing
+/// capacity. Counters expose the allocation behaviour to benches and CI
+/// (heap_allocs must stay flat across steady-state redistribute() calls).
+struct BufferPool {
+  /// Returns a buffer of exactly `bytes` size (contents unspecified).
+  /// Best-fit, so a small request never steals the capacity a concurrent
+  /// large request needs (first-fit let zero-padding control messages walk
+  /// off with data-sized buffers and forced the data path to reallocate).
+  std::vector<std::byte> acquire(std::size_t bytes) {
+    if (bytes == 0) return {};  // a zero-size vector never touches the heap
+    acquires.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lk(m);
+      auto best = free.end();
+      for (auto it = free.begin(); it != free.end(); ++it) {
+        if (it->capacity() < bytes) continue;
+        if (best == free.end() || it->capacity() < best->capacity()) best = it;
+      }
+      if (best != free.end()) {
+        std::vector<std::byte> buf = std::move(*best);
+        free.erase(best);
+        retained_bytes -= buf.capacity();
+        buf.resize(bytes);  // within capacity: no allocation
+        return buf;
+      }
+    }
+    heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::vector<std::byte>(bytes);
+  }
+
+  /// Returns a buffer's storage to the pool (size is irrelevant, capacity is
+  /// what gets reused). The pool is byte-budgeted, not count-capped: the
+  /// steady-state working set equals the peak number of in-flight payloads,
+  /// which scales with ranks x rounds, so any fixed buffer count would churn
+  /// (drop on release, reallocate next call) on larger exchanges.
+  void release(std::vector<std::byte>&& buf) {
+    if (buf.capacity() == 0) return;
+    buf.clear();
+    std::lock_guard lk(m);
+    if (retained_bytes + buf.capacity() > kMaxPooledBytes) return;
+    retained_bytes += buf.capacity();
+    free.push_back(std::move(buf));
+  }
+
+  static constexpr std::size_t kMaxPooledBytes = std::size_t{64} << 20;
+  std::mutex m;
+  std::vector<std::vector<std::byte>> free;
+  std::size_t retained_bytes = 0;  // guarded by m
+  std::atomic<std::uint64_t> acquires{0};
+  std::atomic<std::uint64_t> heap_allocs{0};
+};
+
 /// Whole-run shared state. One World per mpi::run().
 struct World {
   World(int nranks, const NetworkModel* net, FaultModel* fault_model,
@@ -79,6 +133,10 @@ struct World {
   /// Bumped on every message post and every successful match; quiescence of
   /// this counter while all live ranks are blocked proves a deadlock.
   std::atomic<std::uint64_t> progress{0};
+  /// Total messages posted across the run (user + collective channels,
+  /// including fault-injected duplicates). Benches diff this across a call
+  /// to count the messages one operation costs.
+  std::atomic<std::uint64_t> messages_posted{0};
   /// Killed ranks, by world rank (Comm::failed_ranks / Comm::shrink).
   std::vector<std::atomic<bool>> dead;
   /// Per-rank thread liveness (true until the thread finishes or is killed);
@@ -162,6 +220,11 @@ struct CommImpl {
            std::pair<std::shared_ptr<CommImpl>, int /*remaining pickups*/>>
       shrink_pending;
   std::vector<std::uint64_t> shrink_seq;
+
+  /// Staging buffers for pack scratch and message payloads, shared by all
+  /// ranks of this communicator (sender allocates, receiver releases).
+  /// Mutable: the messaging helpers take the impl by const reference.
+  mutable BufferPool staging;
 };
 
 }  // namespace mpi::detail

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstring>
 #include <filesystem>
+#include <unistd.h>
 
 #include "ddr/error.hpp"
 #include "loader/tiff_loader.hpp"
@@ -22,7 +23,10 @@ using loader::Strategy;
 class LoaderTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dir_ = (std::filesystem::temp_directory_path() / "ddr_loader_series")
+    // Per-process directory: ctest runs each test of this suite in its own
+    // process, possibly concurrently, and they must not race on the series.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("ddr_loader_series." + std::to_string(getpid())))
                .string();
     std::filesystem::remove_all(dir_);
     tiff::write_phantom_series(dir_, kW, kH, kD, 16);

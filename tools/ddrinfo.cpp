@@ -6,12 +6,16 @@
 // Table III quantities), peer counts, and optionally every transfer.
 //
 // Usage:
-//   ddrinfo [-t] [-e] [--validate] [layout.txt]
+//   ddrinfo [-t] [-e] [--validate] [--cost] [layout.txt]
 //     -t          list every (sender -> receiver) transfer
 //     -e          echo the normalized layout back (round-trip check)
 //     --validate  check the layout against the paper's send-side contract
 //                 and print rank/chunk detail for every violation; exits
 //                 nonzero when the contract does not hold
+//     --cost      compile every rank's transfer plans and print per-rank
+//                 message counts, payload bytes, and compiled plan segment
+//                 totals for the plain per-round p2p backend and the fused
+//                 per-peer backend side by side
 //
 // Example input (the paper's E1):
 //   ndims 2
@@ -32,7 +36,8 @@
 namespace {
 
 void print_usage() {
-  std::fprintf(stderr, "usage: ddrinfo [-t] [-e] [--validate] [layout.txt]\n");
+  std::fprintf(stderr,
+               "usage: ddrinfo [-t] [-e] [--validate] [--cost] [layout.txt]\n");
 }
 
 /// Detailed check of the paper's send-side contract: owned chunks must be
@@ -130,12 +135,84 @@ int run_validate(const ddr::LayoutSpec& spec) {
   return 1;
 }
 
+/// Compiles every rank's transfer plans (exactly what Redistributor::setup
+/// builds) and prints what one redistribute() call costs each rank under the
+/// plain per-round p2p backend versus the fused per-peer backend: messages
+/// posted, payload bytes, and total compiled plan segments (the number of
+/// memcpy runs the pack/unpack of one call walks).
+int run_cost(const ddr::LayoutSpec& spec) {
+  const ddr::GlobalLayout& layout = spec.layout;
+  std::printf("layout: %d ranks, %dD, %zu-byte elements\n", layout.nranks(),
+              spec.ndims, spec.elem_size);
+
+  struct Cost {
+    std::int64_t messages = 0;
+    std::int64_t bytes = 0;
+    std::int64_t segments = 0;
+  };
+  Cost plain_total, fused_total;
+  std::printf("\nper-rank send cost (one redistribute() call):\n");
+  std::printf("  %-5s | %-28s | %-28s\n", "", "plain p2p (per round x peer)",
+              "fused p2p (one msg per peer)");
+  std::printf("  %-5s | %8s %10s %8s | %8s %10s %8s\n", "rank", "msgs",
+              "bytes", "segs", "msgs", "bytes", "segs");
+  for (int r = 0; r < layout.nranks(); ++r) {
+    const ddr::DataMapping m =
+        ddr::build_mapping(layout, r, spec.elem_size);
+    Cost plain, fused;
+    for (const ddr::RoundPlan& rp : m.rounds) {
+      for (std::size_t q = 0; q < rp.sendcounts.size(); ++q) {
+        if (rp.sendcounts[q] <= 0) continue;
+        const auto n = static_cast<std::int64_t>(rp.sendcounts[q]);
+        if (static_cast<int>(q) != r) {
+          plain.messages += 1;
+          plain.bytes += n * static_cast<std::int64_t>(rp.sendtypes[q].size());
+        }
+        plain.segments +=
+            n * static_cast<std::int64_t>(rp.sendtypes[q].plan_segment_count());
+      }
+    }
+    for (const ddr::PeerLane& lane : m.fused_send) {
+      if (lane.peer != r) {
+        fused.messages += 1;
+        fused.bytes += lane.bytes;
+      }
+      fused.segments +=
+          static_cast<std::int64_t>(lane.type.plan_segment_count());
+    }
+    std::printf("  %-5d | %8lld %10lld %8lld | %8lld %10lld %8lld\n", r,
+                static_cast<long long>(plain.messages),
+                static_cast<long long>(plain.bytes),
+                static_cast<long long>(plain.segments),
+                static_cast<long long>(fused.messages),
+                static_cast<long long>(fused.bytes),
+                static_cast<long long>(fused.segments));
+    plain_total.messages += plain.messages;
+    plain_total.bytes += plain.bytes;
+    plain_total.segments += plain.segments;
+    fused_total.messages += fused.messages;
+    fused_total.bytes += fused.bytes;
+    fused_total.segments += fused.segments;
+  }
+  std::printf("  %-5s | %8lld %10lld %8lld | %8lld %10lld %8lld\n", "total",
+              static_cast<long long>(plain_total.messages),
+              static_cast<long long>(plain_total.bytes),
+              static_cast<long long>(plain_total.segments),
+              static_cast<long long>(fused_total.messages),
+              static_cast<long long>(fused_total.bytes),
+              static_cast<long long>(fused_total.segments));
+  std::printf("\nsegment totals count send-side pack runs; self lanes move "
+              "zero-copy (no message) on both backends.\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool list_transfers = false;
   bool echo = false;
   bool validate = false;
+  bool cost = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-t") == 0) {
@@ -144,6 +221,8 @@ int main(int argc, char** argv) {
       echo = true;
     } else if (std::strcmp(argv[i], "--validate") == 0) {
       validate = true;
+    } else if (std::strcmp(argv[i], "--cost") == 0) {
+      cost = true;
     } else if (argv[i][0] == '-') {
       print_usage();
       return 2;
@@ -175,6 +254,8 @@ int main(int argc, char** argv) {
   }
 
   if (validate) return run_validate(spec);
+
+  if (cost) return run_cost(spec);
 
   const ddr::GlobalLayout& layout = spec.layout;
   std::printf("layout: %d ranks, %dD, %zu-byte elements\n", layout.nranks(),
