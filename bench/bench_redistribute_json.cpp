@@ -28,6 +28,7 @@
 
 #include "ddr/ddr.hpp"
 #include "minimpi/minimpi.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -76,6 +77,12 @@ struct ConfigResult {
   double messages_per_call = 0.0;
   std::uint64_t staging_heap_allocs_steady = 0;
   std::uint64_t staging_acquires_steady = 0;
+  // One traced redistribute() call, run after the timed window (all ranks
+  // summed). With tracing compiled out (DDR_TRACE=OFF) all zeros/true.
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_data_msgs = 0;
+  std::int64_t trace_send_bytes = 0;
+  bool trace_spans_balanced = true;
 };
 
 struct CaseResult {
@@ -103,6 +110,10 @@ ConfigResult run_config(const CaseSetup& cs, const std::string& cfg_name,
   std::uint64_t msgs_delta = 0;
   std::uint64_t allocs_delta = 0;
   std::uint64_t acquires_delta = 0;
+  const auto nr = static_cast<std::size_t>(cs.nranks);
+  std::vector<std::uint64_t> tr_events(nr, 0), tr_msgs(nr, 0);
+  std::vector<std::int64_t> tr_bytes(nr, 0);
+  std::vector<char> tr_balanced(nr, 1);
 
   mpi::run(cs.nranks, [&](mpi::Comm& comm) {
     const int r = comm.rank();
@@ -157,6 +168,21 @@ ConfigResult run_config(const CaseSetup& cs, const std::string& cfg_name,
       allocs_delta = s1.heap_allocations - s0.heap_allocations;
       acquires_delta = s1.acquires - s0.acquires;
     }
+    // Fence so the steady-state counter snapshot above cannot see the traced
+    // call's staging traffic, then run one traced call for the JSON "trace"
+    // block.
+    comm.barrier();
+    const auto ri = static_cast<std::size_t>(r);
+    trace::Recorder rec(r);
+    rd.trace_sink(&rec);
+    rd.redistribute(src_b, dst_b);
+    rd.trace_sink(nullptr);
+    tr_events[ri] = rec.events().size();
+    tr_msgs[ri] = static_cast<std::uint64_t>(
+        trace::count_events(rec.events(), "ddr.msg.send",
+                            trace::Phase::instant));
+    tr_bytes[ri] = trace::total_bytes(rec.events(), "ddr.msg.send");
+    tr_balanced[ri] = trace::spans_balanced(rec.events()) ? 1 : 0;
   });
 
   std::sort(times_ms.begin(), times_ms.end());
@@ -167,6 +193,12 @@ ConfigResult run_config(const CaseSetup& cs, const std::string& cfg_name,
       static_cast<double>(msgs_delta) / static_cast<double>(reps);
   res.staging_heap_allocs_steady = allocs_delta;
   res.staging_acquires_steady = acquires_delta;
+  for (std::size_t i = 0; i < nr; ++i) {
+    res.trace_events += tr_events[i];
+    res.trace_data_msgs += tr_msgs[i];
+    res.trace_send_bytes += tr_bytes[i];
+    if (tr_balanced[i] == 0) res.trace_spans_balanced = false;
+  }
 
   std::printf("%-10s %-20s median %8.3f ms  p95 %8.3f ms  msgs/call %7.1f  "
               "steady heap allocs %llu\n",
@@ -202,12 +234,18 @@ void write_json(const std::string& path, int reps,
                    "        {\"name\": \"%s\", \"median_ms\": %.6f, "
                    "\"p95_ms\": %.6f, \"messages_per_call\": %.2f, "
                    "\"staging_acquires_steady\": %llu, "
-                   "\"staging_heap_allocs_steady\": %llu}%s\n",
+                   "\"staging_heap_allocs_steady\": %llu, "
+                   "\"trace\": {\"events\": %llu, \"data_msgs\": %llu, "
+                   "\"send_bytes\": %lld, \"spans_balanced\": %s}}%s\n",
                    cf.name.c_str(), cf.median_ms, cf.p95_ms,
                    cf.messages_per_call,
                    static_cast<unsigned long long>(cf.staging_acquires_steady),
                    static_cast<unsigned long long>(
                        cf.staging_heap_allocs_steady),
+                   static_cast<unsigned long long>(cf.trace_events),
+                   static_cast<unsigned long long>(cf.trace_data_msgs),
+                   static_cast<long long>(cf.trace_send_bytes),
+                   cf.trace_spans_balanced ? "true" : "false",
                    k + 1 < cr.configs.size() ? "," : "");
     }
     std::fprintf(f, "      ]\n    }%s\n", c + 1 < cases.size() ? "," : "");

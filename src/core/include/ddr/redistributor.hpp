@@ -24,6 +24,7 @@
 
 #include "ddr/mapping.hpp"
 #include "minimpi/comm.hpp"
+#include "trace/trace.hpp"
 
 namespace ddr {
 
@@ -141,6 +142,16 @@ class Redistributor {
   /// per round).
   [[nodiscard]] Backend effective_backend() const;
 
+  /// Attaches a trace recorder: while set, setup() and redistribute() record
+  /// their phase spans and per-message instants into `rec` (see
+  /// trace/trace.hpp for the event schema). The recorder is installed for the
+  /// duration of each call, so minimpi-level events (collectives, staging
+  /// pool, datatype compilation) land in the same stream. Pass nullptr to
+  /// detach. When no sink is set, calls record into the thread's ambient
+  /// trace::current() recorder, if any.
+  void trace_sink(trace::Recorder* rec) noexcept { trace_ = rec; }
+  [[nodiscard]] trace::Recorder* trace_sink() const noexcept { return trace_; }
+
  private:
   void execute_alltoallw(std::span<const std::byte> owned_data,
                          std::span<std::byte> needed_data) const;
@@ -165,6 +176,8 @@ class Redistributor {
   /// Request scratch reused across redistribute() calls so the steady-state
   /// p2p data path performs no heap allocation.
   mutable std::vector<mpi::Request> reqs_;
+  /// Optional per-Redistributor trace sink (see trace_sink()). Not owned.
+  trace::Recorder* trace_ = nullptr;
 };
 
 }  // namespace ddr

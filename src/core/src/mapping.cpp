@@ -4,6 +4,7 @@
 #include <set>
 
 #include "ddr/error.hpp"
+#include "trace/trace.hpp"
 
 namespace ddr {
 
@@ -82,6 +83,7 @@ DataMapping build_mapping(const GlobalLayout& layout, int rank,
   require(layout.needed.size() == static_cast<std::size_t>(nranks),
           "build_mapping: owned/needed rank counts differ");
   const int nrounds = layout.rounds();
+  DDR_TRACE_SPAN(tspan, "ddr.mapping.build", trace::Keys{.value = nrounds});
 
   DataMapping m;
   m.rank = rank;
@@ -179,6 +181,7 @@ DataMapping build_mapping(const GlobalLayout& layout, int rank,
   // The mapping is computed once and executed every timestep (§III-C):
   // compile every lane's segment plan now so no redistribute() call ever
   // pays the flattening cost.
+  DDR_TRACE_SPAN(pspan, "ddr.mapping.precompile");
   for (const RoundPlan& rp : m.rounds) {
     for (std::size_t q = 0; q < rp.sendtypes.size(); ++q)
       if (rp.sendcounts[q] > 0) rp.sendtypes[q].precompile();

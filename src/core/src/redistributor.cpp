@@ -159,6 +159,13 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
                           const SetupOptions& options) {
   const int p = comm_.size();
   options_ = options;
+  // Route events to the attached sink for the duration of this call (or keep
+  // the ambient recorder when no sink is set).
+  trace::ScopedRecorder traced(trace_ != nullptr ? trace_ : trace::current());
+  DDR_TRACE_SPAN(
+      tspan, "ddr.setup",
+      trace::Keys{.comm = static_cast<std::int64_t>(comm_.trace_id()),
+                  .value = static_cast<std::int64_t>(options.backend)});
 
   // 0. Local preconditions. With collective_error_agreement the verdict is
   // agreed before anyone proceeds, so a single rank's bad declaration cannot
@@ -185,44 +192,48 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
   const mpi::Datatype wire = mpi::Datatype::bytes(sizeof(ChunkWire));
   const mpi::Datatype ints = mpi::Datatype::of<std::int32_t>();
 
-  // 1. Share how many chunks everyone owns and needs.
-  const std::array<std::int32_t, 2> my_counts{
-      static_cast<std::int32_t>(owned.size()),
-      static_cast<std::int32_t>(needed.size())};
-  std::vector<std::int32_t> counts(static_cast<std::size_t>(2 * p), 0);
-  comm_.allgather(my_counts.data(), 2, ints, counts.data(), 2, ints);
+  {
+    DDR_TRACE_SPAN(xspan, "ddr.setup.exchange");
 
-  // 2. Share the chunk geometry itself (owned chunks then needed chunks).
-  std::vector<int> recvcounts, displs;
-  int total = 0;
-  for (int r = 0; r < p; ++r) {
-    const auto ri = static_cast<std::size_t>(r);
-    const int n = counts[2 * ri] + counts[2 * ri + 1];
-    recvcounts.push_back(n);
-    displs.push_back(total);
-    total += n;
-  }
-  std::vector<ChunkWire> mine;
-  mine.reserve(owned.size() + needed.size());
-  for (const auto& c : owned) mine.push_back(to_wire(c));
-  for (const auto& c : needed) mine.push_back(to_wire(c));
-  std::vector<ChunkWire> all(static_cast<std::size_t>(total));
-  comm_.allgatherv(mine.data(), mine.size(), wire, all.data(), recvcounts,
-                   displs, wire);
+    // 1. Share how many chunks everyone owns and needs.
+    const std::array<std::int32_t, 2> my_counts{
+        static_cast<std::int32_t>(owned.size()),
+        static_cast<std::int32_t>(needed.size())};
+    std::vector<std::int32_t> counts(static_cast<std::size_t>(2 * p), 0);
+    comm_.allgather(my_counts.data(), 2, ints, counts.data(), 2, ints);
 
-  // 3. Reassemble the global layout (identical on every rank).
-  layout_ = GlobalLayout{};
-  layout_.owned.resize(static_cast<std::size_t>(p));
-  layout_.needed.resize(static_cast<std::size_t>(p));
-  for (int r = 0; r < p; ++r) {
-    const auto ri = static_cast<std::size_t>(r);
-    int cursor = displs[ri];
-    for (int k = 0; k < counts[2 * ri]; ++k)
-      layout_.owned[ri].push_back(
-          from_wire(all[static_cast<std::size_t>(cursor++)]));
-    for (int k = 0; k < counts[2 * ri + 1]; ++k)
-      layout_.needed[ri].push_back(
-          from_wire(all[static_cast<std::size_t>(cursor++)]));
+    // 2. Share the chunk geometry itself (owned chunks then needed chunks).
+    std::vector<int> recvcounts, displs;
+    int total = 0;
+    for (int r = 0; r < p; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      const int n = counts[2 * ri] + counts[2 * ri + 1];
+      recvcounts.push_back(n);
+      displs.push_back(total);
+      total += n;
+    }
+    std::vector<ChunkWire> mine;
+    mine.reserve(owned.size() + needed.size());
+    for (const auto& c : owned) mine.push_back(to_wire(c));
+    for (const auto& c : needed) mine.push_back(to_wire(c));
+    std::vector<ChunkWire> all(static_cast<std::size_t>(total));
+    comm_.allgatherv(mine.data(), mine.size(), wire, all.data(), recvcounts,
+                     displs, wire);
+
+    // 3. Reassemble the global layout (identical on every rank).
+    layout_ = GlobalLayout{};
+    layout_.owned.resize(static_cast<std::size_t>(p));
+    layout_.needed.resize(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      int cursor = displs[ri];
+      for (int k = 0; k < counts[2 * ri]; ++k)
+        layout_.owned[ri].push_back(
+            from_wire(all[static_cast<std::size_t>(cursor++)]));
+      for (int k = 0; k < counts[2 * ri + 1]; ++k)
+        layout_.needed[ri].push_back(
+            from_wire(all[static_cast<std::size_t>(cursor++)]));
+    }
   }
 
   // 4. Cross-rank dimensionality agreement. Every rank checked its own
@@ -250,6 +261,7 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
 
   // 5. Enforce the paper's send-side contract if requested.
   if (options.validate_owned_layout) {
+    DDR_TRACE_SPAN(vspan, "ddr.setup.validate");
     const LayoutValidation v = validate_owned(layout_);
     require(v.ok(), "setup: owned layout violates the DDR contract — " +
                         v.detail);
@@ -284,6 +296,7 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
   // planted its own send sizes, steady-state redistribute() calls never
   // heap-allocate staging storage (the zero-allocation contract the JSON
   // bench and CI assert).
+  DDR_TRACE_SPAN(rspan, "ddr.setup.reserve_staging");
   std::vector<std::size_t> send_bytes;
   const auto self = static_cast<std::size_t>(mapping_.rank);
   for (const RoundPlan& rp : mapping_.rounds)
@@ -317,6 +330,10 @@ void Redistributor::rebuild(mpi::Comm comm, const OwnedLayout& owned,
 
 void Redistributor::redistribute(std::span<const std::byte> owned_data,
                                  std::span<std::byte> needed_data) const {
+  trace::ScopedRecorder traced(trace_ != nullptr ? trace_ : trace::current());
+  DDR_TRACE_SPAN(
+      tspan, "ddr.redistribute",
+      trace::Keys{.comm = static_cast<std::int64_t>(comm_.trace_id())});
   int code = kPrecondOk;
   if (!setup_done_)
     code = kPrecondNotSetup;
@@ -356,7 +373,33 @@ void Redistributor::execute_alltoallw(std::span<const std::byte> owned_data,
                                       std::span<std::byte> needed_data) const {
   // One MPI_Alltoallw per round; the number of rounds equals the maximum
   // number of chunks owned by any one process (paper §III-C).
-  for (const RoundPlan& rp : mapping_.rounds) {
+  const auto self = static_cast<std::size_t>(mapping_.rank);
+  const int nrounds = static_cast<int>(mapping_.rounds.size());
+  for (int k = 0; k < nrounds; ++k) {
+    const RoundPlan& rp = mapping_.rounds[static_cast<std::size_t>(k)];
+    DDR_TRACE_SPAN(rspan, "ddr.round", trace::Keys{.round = k});
+    // Per-lane message instants for the logical (non-self, non-empty)
+    // transfers this round moves, mirroring the p2p backends so per-round
+    // message counts are comparable across all three.
+    for (int q = 0; q < mapping_.nranks; ++q) {
+      const auto qi = static_cast<std::size_t>(q);
+      if (rp.recvcounts[qi] > 0 && qi != self)
+        DDR_TRACE_INSTANT(
+            "ddr.msg.recv",
+            {.round = k,
+             .peer = q,
+             .bytes = static_cast<std::int64_t>(
+                 static_cast<std::size_t>(rp.recvcounts[qi]) *
+                 rp.recvtypes[qi].size())});
+      if (rp.sendcounts[qi] > 0 && qi != self)
+        DDR_TRACE_INSTANT(
+            "ddr.msg.send",
+            {.round = k,
+             .peer = q,
+             .bytes = static_cast<std::int64_t>(
+                 static_cast<std::size_t>(rp.sendcounts[qi]) *
+                 rp.sendtypes[qi].size())});
+    }
     comm_.alltoallw(owned_data.data(), rp.sendcounts, rp.sdispls, rp.sendtypes,
                     needed_data.data(), rp.recvcounts, rp.rdispls,
                     rp.recvtypes);
@@ -372,33 +415,51 @@ void Redistributor::execute_p2p(std::span<const std::byte> owned_data,
   const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
   const auto self = static_cast<std::size_t>(mapping_.rank);
   reqs_.clear();
+  // One pass per round: post that round's receives and sends and handle its
+  // self lane. Posting order across rounds is irrelevant for correctness
+  // (sends are buffered-eager and a receive only registers interest), so the
+  // rounds can be walked once instead of once per operation kind.
   for (int k = 0; k < nrounds; ++k) {
     const RoundPlan& rp = mapping_.rounds[static_cast<std::size_t>(k)];
     const int tag = p2p_data_tag(k, nrounds, epoch);
+    DDR_TRACE_SPAN(rspan, "ddr.round", trace::Keys{.round = k});
     for (int q = 0; q < mapping_.nranks; ++q) {
       const auto qi = static_cast<std::size_t>(q);
-      if (rp.recvcounts[qi] > 0 && qi != self)
+      if (rp.recvcounts[qi] > 0 && qi != self) {
+        DDR_TRACE_INSTANT(
+            "ddr.msg.recv",
+            {.round = k,
+             .peer = q,
+             .bytes = static_cast<std::int64_t>(
+                 static_cast<std::size_t>(rp.recvcounts[qi]) *
+                 rp.recvtypes[qi].size())});
         reqs_.push_back(comm_.irecv(needed_data.data() + rp.rdispls[qi], 1,
                                     rp.recvtypes[qi], q, tag));
+      }
     }
-  }
-  for (int k = 0; k < nrounds; ++k) {
-    const RoundPlan& rp = mapping_.rounds[static_cast<std::size_t>(k)];
-    const int tag = p2p_data_tag(k, nrounds, epoch);
     for (int q = 0; q < mapping_.nranks; ++q) {
       const auto qi = static_cast<std::size_t>(q);
-      if (rp.sendcounts[qi] > 0 && qi != self)
+      if (rp.sendcounts[qi] > 0 && qi != self) {
+        DDR_TRACE_INSTANT(
+            "ddr.msg.send",
+            {.round = k,
+             .peer = q,
+             .bytes = static_cast<std::int64_t>(
+                 static_cast<std::size_t>(rp.sendcounts[qi]) *
+                 rp.sendtypes[qi].size())});
         reqs_.push_back(comm_.isend(owned_data.data() + rp.sdispls[qi], 1,
                                     rp.sendtypes[qi], q, tag));
+      }
     }
-  }
-  for (const RoundPlan& rp : mapping_.rounds) {
     if (rp.sendcounts[self] > 0 && rp.recvcounts[self] > 0)
       mpi::copy_regions(rp.sendtypes[self], owned_data.data() + rp.sdispls[self],
                         1, rp.recvtypes[self],
                         needed_data.data() + rp.rdispls[self], 1);
   }
-  mpi::wait_all(reqs_);
+  {
+    DDR_TRACE_SPAN(wspan, "ddr.wait_all");
+    mpi::wait_all(reqs_);
+  }
   reqs_.clear();
 }
 
@@ -410,24 +471,35 @@ void Redistributor::execute_p2p_fused(std::span<const std::byte> owned_data,
   const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
   const int tag = p2p_fused_tag(nrounds, epoch);
   reqs_.clear();
-  for (const PeerLane& l : mapping_.fused_recv)
-    if (l.peer != mapping_.rank)
-      reqs_.push_back(comm_.irecv(needed_data.data() + l.displ, 1, l.type,
-                                  l.peer, tag));
-  for (const PeerLane& l : mapping_.fused_send)
-    if (l.peer != mapping_.rank)
-      reqs_.push_back(
-          comm_.isend(owned_data.data() + l.displ, 1, l.type, l.peer, tag));
-  // Self lane: the fused send and recv types cover the same bytes in the
-  // same (round, needed-index) order, so they map onto each other directly.
-  for (const PeerLane& s : mapping_.fused_send) {
-    if (s.peer != mapping_.rank) continue;
-    for (const PeerLane& r : mapping_.fused_recv)
-      if (r.peer == mapping_.rank)
-        mpi::copy_regions(s.type, owned_data.data() + s.displ, 1, r.type,
-                          needed_data.data() + r.displ, 1);
+  {
+    DDR_TRACE_SPAN(fspan, "ddr.exchange.fused");
+    // Fused lanes span every round, so their message instants carry round=-1.
+    for (const PeerLane& l : mapping_.fused_recv)
+      if (l.peer != mapping_.rank) {
+        DDR_TRACE_INSTANT("ddr.msg.recv", {.peer = l.peer, .bytes = l.bytes});
+        reqs_.push_back(comm_.irecv(needed_data.data() + l.displ, 1, l.type,
+                                    l.peer, tag));
+      }
+    for (const PeerLane& l : mapping_.fused_send)
+      if (l.peer != mapping_.rank) {
+        DDR_TRACE_INSTANT("ddr.msg.send", {.peer = l.peer, .bytes = l.bytes});
+        reqs_.push_back(
+            comm_.isend(owned_data.data() + l.displ, 1, l.type, l.peer, tag));
+      }
+    // Self lane: the fused send and recv types cover the same bytes in the
+    // same (round, needed-index) order, so they map onto each other directly.
+    for (const PeerLane& s : mapping_.fused_send) {
+      if (s.peer != mapping_.rank) continue;
+      for (const PeerLane& r : mapping_.fused_recv)
+        if (r.peer == mapping_.rank)
+          mpi::copy_regions(s.type, owned_data.data() + s.displ, 1, r.type,
+                            needed_data.data() + r.displ, 1);
+    }
   }
-  mpi::wait_all(reqs_);
+  {
+    DDR_TRACE_SPAN(wspan, "ddr.wait_all");
+    mpi::wait_all(reqs_);
+  }
   reqs_.clear();
 }
 
@@ -462,6 +534,10 @@ void Redistributor::execute_p2p_reliable(
   const int nrounds = static_cast<int>(mapping_.rounds.size());
   const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
   const mpi::Datatype byte = mpi::Datatype::bytes(1);
+  // Retry timing makes this path's event stream nondeterministic, so it is
+  // outside the golden-trace contract; the span still closes on unwind when
+  // retries are exhausted, keeping traces well-formed across failures.
+  DDR_TRACE_SPAN(espan, "ddr.exchange.reliable");
 
   auto drain_epoch = [&] {
     auto drain_tag = [&](int tag) {
@@ -508,6 +584,13 @@ void Redistributor::execute_p2p_reliable(
   auto send_data = [&](int round, int dest) {
     const RoundPlan& rp = mapping_.rounds[static_cast<std::size_t>(round)];
     const auto di = static_cast<std::size_t>(dest);
+    DDR_TRACE_INSTANT(
+        "ddr.msg.send",
+        {.round = round,
+         .peer = dest,
+         .bytes = static_cast<std::int64_t>(
+             static_cast<std::size_t>(rp.sendcounts[di]) *
+             rp.sendtypes[di].size())});
     comm_.send(owned_data.data() + rp.sdispls[di], 1, rp.sendtypes[di], dest,
                p2p_data_tag(round, nrounds, epoch));
   };
@@ -548,6 +631,17 @@ void Redistributor::execute_p2p_reliable(
         progressed = true;
         --npending;
         const auto qi = static_cast<std::size_t>(pr.peer);
+        DDR_TRACE_INSTANT(
+            "ddr.msg.recv",
+            {.round = pr.round,
+             .peer = pr.peer,
+             .bytes = static_cast<std::int64_t>(
+                 static_cast<std::size_t>(
+                     mapping_.rounds[static_cast<std::size_t>(pr.round)]
+                         .recvcounts[qi]) *
+                 mapping_.rounds[static_cast<std::size_t>(pr.round)]
+                     .recvtypes[qi]
+                     .size())});
         if (--missing_from[qi] == 0)
           comm_.send(nullptr, 0, byte, pr.peer, p2p_done_tag(epoch));
       }
@@ -559,8 +653,10 @@ void Redistributor::execute_p2p_reliable(
       while (auto s = comm_.iprobe(mpi::any_source, rtag)) {
         comm_.recv(nullptr, 0, byte, s->source, rtag);
         const RoundPlan& rp = mapping_.rounds[static_cast<std::size_t>(k)];
-        if (rp.sendcounts[static_cast<std::size_t>(s->source)] > 0)
+        if (rp.sendcounts[static_cast<std::size_t>(s->source)] > 0) {
+          DDR_TRACE_INSTANT("ddr.retry.resend", {.round = k, .peer = s->source});
           send_data(k, s->source);
+        }
         progressed = true;
       }
     }
@@ -609,6 +705,10 @@ void Redistributor::execute_p2p_reliable(
                     std::to_string(comm_.rank()) + ") still missing after " +
                     std::to_string(pr.attempts) +
                     " attempts — aborting the exchange");
+        DDR_TRACE_INSTANT("ddr.retry.request",
+                          {.round = pr.round,
+                           .peer = pr.peer,
+                           .value = pr.attempts});
         comm_.send(nullptr, 0, byte, pr.peer, p2p_retry_tag(pr.round, epoch));
       }
       last_progress = steady::now();

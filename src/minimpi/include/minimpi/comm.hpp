@@ -256,6 +256,13 @@ class Comm {
   /// Diff across an operation to count the messages it posted.
   [[nodiscard]] std::uint64_t messages_posted() const;
 
+  /// Stable id of the underlying communicator, used as the `comm` key on
+  /// trace events. Identical on every rank of the communicator; the world
+  /// communicator of a run is always id 0. (Ids of communicators created
+  /// concurrently from different rank threads — split/dup/shrink — are
+  /// unique but their assignment order is scheduling-dependent.)
+  [[nodiscard]] std::uint64_t trace_id() const;
+
   /// Plants buffers of the given sizes in the staging pool, all live at
   /// once, so a later operation whose peak concurrent payload set is covered
   /// by `sizes` (across every rank calling this) never heap-allocates on the

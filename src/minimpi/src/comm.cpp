@@ -87,6 +87,7 @@ CommImpl::CommImpl(std::shared_ptr<World> w, std::vector<int> group_world_ranks)
     : world(std::move(w)),
       group(std::move(group_world_ranks)),
       size(static_cast<int>(group.size())),
+      trace_id(world->next_comm_id.fetch_add(1, std::memory_order_relaxed)),
       coll_seq(group.size(), 0),
       split_seq(group.size(), 0),
       shrink_seq(group.size(), 0) {
@@ -238,7 +239,21 @@ void send_packed(const CommImpl& impl, int my_rank, std::vector<std::byte> paylo
   if (w.fault != nullptr) {
     const MsgFate fate = w.fault->on_message(
         {src_world, dst_world, tag, bytes, collective, clk.now()});
-    if (fate.drop) return;  // lost on the wire; nobody learns of it
+    if (fate.drop) {
+      DDR_TRACE_INSTANT("mpi.fault.drop",
+                        {.peer = dest,
+                         .bytes = static_cast<std::int64_t>(bytes)});
+      return;  // lost on the wire; nobody learns of it
+    }
+    if (fate.delay_s > 0.0)
+      DDR_TRACE_INSTANT("mpi.fault.delay",
+                        {.peer = dest,
+                         .bytes = static_cast<std::int64_t>(bytes)});
+    if (fate.extra_copies > 0)
+      DDR_TRACE_INSTANT("mpi.fault.duplicate",
+                        {.peer = dest,
+                         .bytes = static_cast<std::int64_t>(bytes),
+                         .value = fate.extra_copies});
     msg.depart_vtime += std::max(0.0, fate.delay_s);
     copies += std::max(0, fate.extra_copies);
   }
@@ -531,6 +546,8 @@ Status Comm::coll_recv(void* buf, std::size_t capacity, int src,
 
 void Comm::barrier() const {
   require(valid(), ErrorClass::invalid_comm, "barrier: invalid communicator");
+  DDR_TRACE_SPAN(tspan, "mpi.barrier",
+                 trace::Keys{.comm = static_cast<std::int64_t>(impl_->trace_id)});
   const int p = size();
   const int tag = coll_tag(next_coll_seq());
   // Dissemination barrier: after ceil(log2 p) rounds every rank has
@@ -548,6 +565,10 @@ void Comm::bcast(void* buf, std::size_t count, const Datatype& type,
                  int root) const {
   require(valid(), ErrorClass::invalid_comm, "bcast: invalid communicator");
   check_rank(*impl_, root, "bcast");
+  DDR_TRACE_SPAN(
+      tspan, "mpi.bcast",
+      trace::Keys{.comm = static_cast<std::int64_t>(impl_->trace_id),
+                  .bytes = static_cast<std::int64_t>(count * type.size())});
   const int p = size();
   const int tag = coll_tag(next_coll_seq());
   if (p == 1) return;
@@ -586,6 +607,10 @@ void Comm::reduce(const void* sendbuf, void* recvbuf, std::size_t count,
   check_rank(*impl_, root, "reduce");
   require(type.contiguous(), ErrorClass::invalid_datatype,
           "reduce: only contiguous element types are supported");
+  DDR_TRACE_SPAN(
+      tspan, "mpi.reduce",
+      trace::Keys{.comm = static_cast<std::int64_t>(impl_->trace_id),
+                  .bytes = static_cast<std::int64_t>(count * type.size())});
   const int p = size();
   const int tag = coll_tag(next_coll_seq());
   const std::size_t bytes = count * type.size();
@@ -622,6 +647,10 @@ void Comm::scan(const void* sendbuf, void* recvbuf, std::size_t count,
   require(valid(), ErrorClass::invalid_comm, "scan: invalid communicator");
   require(type.contiguous(), ErrorClass::invalid_datatype,
           "scan: only contiguous element types are supported");
+  DDR_TRACE_SPAN(
+      tspan, "mpi.scan",
+      trace::Keys{.comm = static_cast<std::int64_t>(impl_->trace_id),
+                  .bytes = static_cast<std::int64_t>(count * type.size())});
   const int p = size();
   const int tag = coll_tag(next_coll_seq());
   const std::size_t bytes = count * type.size();
@@ -647,6 +676,10 @@ void Comm::exscan(const void* sendbuf, void* recvbuf, std::size_t count,
   require(valid(), ErrorClass::invalid_comm, "exscan: invalid communicator");
   require(type.contiguous(), ErrorClass::invalid_datatype,
           "exscan: only contiguous element types are supported");
+  DDR_TRACE_SPAN(
+      tspan, "mpi.exscan",
+      trace::Keys{.comm = static_cast<std::int64_t>(impl_->trace_id),
+                  .bytes = static_cast<std::int64_t>(count * type.size())});
   const int p = size();
   const int tag = coll_tag(next_coll_seq());
   const std::size_t bytes = count * type.size();
@@ -688,6 +721,8 @@ void Comm::gatherv(const void* sendbuf, std::size_t sendcount,
                    const Datatype& recvtype, int root) const {
   require(valid(), ErrorClass::invalid_comm, "gatherv: invalid communicator");
   check_rank(*impl_, root, "gatherv");
+  DDR_TRACE_SPAN(tspan, "mpi.gatherv",
+                 trace::Keys{.comm = static_cast<std::int64_t>(impl_->trace_id)});
   const int p = size();
   const int tag = coll_tag(next_coll_seq());
 
@@ -769,6 +804,8 @@ void Comm::scatterv(const void* sendbuf, std::span<const int> sendcounts,
                     const Datatype& recvtype, int root) const {
   require(valid(), ErrorClass::invalid_comm, "scatterv: invalid communicator");
   check_rank(*impl_, root, "scatterv");
+  DDR_TRACE_SPAN(tspan, "mpi.scatterv",
+                 trace::Keys{.comm = static_cast<std::int64_t>(impl_->trace_id)});
   const int p = size();
   const int tag = coll_tag(next_coll_seq());
 
@@ -856,6 +893,8 @@ void Comm::alltoallw(const void* sendbuf, std::span<const int> sendcounts,
               rdispls.size() == np && recvtypes.size() == np,
           ErrorClass::invalid_argument,
           "alltoallw: all argument arrays must have comm-size entries");
+  DDR_TRACE_SPAN(tspan, "mpi.alltoallw",
+                 trace::Keys{.comm = static_cast<std::int64_t>(impl_->trace_id)});
   const int tag = coll_tag(next_coll_seq());
   const auto* in = static_cast<const std::byte*>(sendbuf);
   auto* out = static_cast<std::byte*>(recvbuf);
@@ -1042,6 +1081,11 @@ std::uint64_t Comm::messages_posted() const {
   return impl_->world->messages_posted.load(std::memory_order_relaxed);
 }
 
+std::uint64_t Comm::trace_id() const {
+  require(valid(), ErrorClass::invalid_comm, "trace_id: invalid communicator");
+  return impl_->trace_id;
+}
+
 void Comm::reserve_staging(const std::vector<std::size_t>& sizes) const {
   require(valid(), ErrorClass::invalid_comm,
           "reserve_staging: invalid communicator");
@@ -1051,6 +1095,11 @@ void Comm::reserve_staging(const std::vector<std::size_t>& sizes) const {
   // later rank pop an earlier rank's just-released buffers, leaving the pool
   // one working set short of the true all-ranks-in-flight peak.) The pool's
   // byte budget bounds the overshoot of repeated reservations.
+  std::int64_t total = 0;
+  for (const std::size_t n : sizes) total += static_cast<std::int64_t>(n);
+  DDR_TRACE_SPAN(tspan, "mpi.staging.reserve",
+                 trace::Keys{.comm = static_cast<std::int64_t>(impl_->trace_id),
+                             .bytes = total});
   for (const std::size_t n : sizes)
     if (n > 0) impl_->staging.release(std::vector<std::byte>(n));
 }

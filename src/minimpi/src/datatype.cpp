@@ -7,6 +7,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "trace/trace.hpp"
+
 namespace mpi {
 namespace detail {
 
@@ -522,7 +524,12 @@ void Datatype::unpack(const std::byte* src, std::size_t count,
   });
 }
 
-void Datatype::precompile() const { node_->compiled(); }
+void Datatype::precompile() const {
+  const auto& plan = node_->compiled();
+  DDR_TRACE_INSTANT("mpi.datatype.precompile",
+                    {.bytes = static_cast<std::int64_t>(node_->size),
+                     .value = static_cast<std::int64_t>(plan.size())});
+}
 
 std::size_t Datatype::plan_segment_count() const {
   return node_->compiled().size();
@@ -546,6 +553,8 @@ void copy_regions(const Datatype& src_type, const std::byte* src,
               std::to_string(dst_count * dst_type.size()) +
               " B) describe different data sizes");
   if (total == 0) return;
+  DDR_TRACE_SPAN(tspan, "mpi.copy_regions",
+                 trace::Keys{.bytes = static_cast<std::int64_t>(total)});
   if (src_type.node_->contiguous && dst_type.node_->contiguous) {
     std::memcpy(dst, src, total);
     return;

@@ -16,6 +16,7 @@
 #include "minimpi/comm.hpp"
 #include "minimpi/fault.hpp"
 #include "minimpi/sim.hpp"
+#include "trace/trace.hpp"
 
 namespace mpi::detail {
 
@@ -65,10 +66,18 @@ struct BufferPool {
         free.erase(best);
         retained_bytes -= buf.capacity();
         buf.resize(bytes);  // within capacity: no allocation
+        DDR_TRACE_INSTANT("mpi.staging.acquire",
+                          {.bytes = static_cast<std::int64_t>(bytes),
+                           .value = 0});
         return buf;
       }
     }
     heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    // value=1 flags the heap allocation; whether a given acquire hits the
+    // pool depends on cross-rank pool state, so `value` is outside the
+    // deterministic-structure contract (see trace.hpp).
+    DDR_TRACE_INSTANT("mpi.staging.acquire",
+                      {.bytes = static_cast<std::int64_t>(bytes), .value = 1});
     return std::vector<std::byte>(bytes);
   }
 
@@ -79,6 +88,8 @@ struct BufferPool {
   /// (drop on release, reallocate next call) on larger exchanges.
   void release(std::vector<std::byte>&& buf) {
     if (buf.capacity() == 0) return;
+    DDR_TRACE_INSTANT("mpi.staging.release",
+                      {.bytes = static_cast<std::int64_t>(buf.size())});
     buf.clear();
     std::lock_guard lk(m);
     if (retained_bytes + buf.capacity() > kMaxPooledBytes) return;
@@ -137,6 +148,9 @@ struct World {
   /// including fault-injected duplicates). Benches diff this across a call
   /// to count the messages one operation costs.
   std::atomic<std::uint64_t> messages_posted{0};
+  /// Next communicator trace id (Comm::trace_id). The world communicator is
+  /// built before the rank threads start, so it always takes id 0.
+  std::atomic<std::uint64_t> next_comm_id{0};
   /// Killed ranks, by world rank (Comm::failed_ranks / Comm::shrink).
   std::vector<std::atomic<bool>> dead;
   /// Per-rank thread liveness (true until the thread finishes or is killed);
@@ -190,6 +204,8 @@ struct CommImpl {
   /// Maps communicator rank -> world rank.
   std::vector<int> group;
   int size;
+  /// Trace-event `comm` key (see Comm::trace_id).
+  std::uint64_t trace_id = 0;
 
   /// User-facing message channel and the internal collective channel
   /// (separate so user tags can never collide with collective traffic).

@@ -1,0 +1,266 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+
+namespace trace {
+
+namespace {
+
+thread_local Recorder* t_recorder = nullptr;
+
+/// Events with identical names are recorded from string literals, so pointer
+/// equality is the common case; fall back to strcmp for safety (two
+/// translation units may hold separate copies of the same literal).
+bool same_name(const char* a, const char* b) {
+  return a == b || std::strcmp(a, b) == 0;
+}
+
+void append_keys(std::string& out, const Keys& k) {
+  bool any = false;
+  auto field = [&](const char* label, std::int64_t v) {
+    if (v < 0) return;
+    out += any ? "," : " [";
+    any = true;
+    out += label;
+    out += '=';
+    out += std::to_string(v);
+  };
+  field("round", k.round);
+  field("peer", k.peer);
+  field("bytes", k.bytes);
+  if (any) out += ']';
+}
+
+}  // namespace
+
+Recorder::Recorder(int rank)
+    : rank_(rank), epoch_(std::chrono::steady_clock::now()) {}
+
+void Recorder::push(Phase phase, const char* name, const Keys& keys) {
+  Event e;
+  e.phase = phase;
+  e.name = name;
+  e.seq = next_seq_++;
+  e.ts_us = std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count();
+  e.keys = keys;
+  events_.push_back(e);
+}
+
+void Recorder::begin(const char* name, const Keys& keys) {
+  push(Phase::begin, name, keys);
+  ++depth_;
+}
+
+void Recorder::end(const char* name) {
+  push(Phase::end, name, Keys{});
+  if (depth_ > 0) --depth_;
+}
+
+void Recorder::instant(const char* name, const Keys& keys) {
+  push(Phase::instant, name, keys);
+}
+
+void Recorder::counter(const char* name, std::int64_t value,
+                       const Keys& keys) {
+  Keys k = keys;
+  k.value = value;
+  push(Phase::counter, name, k);
+}
+
+void Recorder::clear() {
+  events_.clear();
+  depth_ = 0;
+}
+
+Recorder* current() noexcept { return t_recorder; }
+
+ScopedRecorder::ScopedRecorder(Recorder* rec) noexcept : prev_(t_recorder) {
+  t_recorder = rec;
+}
+
+ScopedRecorder::~ScopedRecorder() { t_recorder = prev_; }
+
+// --- analysis ---------------------------------------------------------------
+
+bool spans_balanced(const std::vector<Event>& events) {
+  std::vector<const char*> stack;
+  for (const Event& e : events) {
+    if (e.phase == Phase::begin) {
+      stack.push_back(e.name);
+    } else if (e.phase == Phase::end) {
+      if (stack.empty() || !same_name(stack.back(), e.name)) return false;
+      stack.pop_back();
+    }
+  }
+  return stack.empty();
+}
+
+std::map<std::int64_t, std::int64_t> bytes_by_peer(
+    const std::vector<Event>& events, const char* name) {
+  std::map<std::int64_t, std::int64_t> out;
+  for (const Event& e : events)
+    if (e.keys.bytes >= 0 && same_name(e.name, name))
+      out[e.keys.peer] += e.keys.bytes;
+  return out;
+}
+
+std::int64_t total_bytes(const std::vector<Event>& events, const char* name) {
+  std::int64_t total = 0;
+  for (const Event& e : events)
+    if (e.keys.bytes >= 0 && same_name(e.name, name)) total += e.keys.bytes;
+  return total;
+}
+
+std::size_t count_events(const std::vector<Event>& events, const char* name,
+                         Phase phase) {
+  std::size_t n = 0;
+  for (const Event& e : events)
+    if (e.phase == phase && same_name(e.name, name)) ++n;
+  return n;
+}
+
+std::string structure_string(const std::vector<Event>& events) {
+  std::string out;
+  std::size_t depth = 0;
+  for (const Event& e : events) {
+    if (e.phase == Phase::end) {
+      if (depth > 0) --depth;
+      continue;  // the closing line would only repeat the begin
+    }
+    out.append(2 * depth, ' ');
+    if (e.phase != Phase::begin) out += "- ";
+    out += e.name;
+    append_keys(out, e.keys);
+    out += '\n';
+    if (e.phase == Phase::begin) ++depth;
+  }
+  return out;
+}
+
+MetricsSummary summarize(const std::vector<const Recorder*>& recorders) {
+  MetricsSummary s;
+  for (const Recorder* rec : recorders) {
+    if (rec == nullptr) continue;
+    // Pair up spans per rank to accumulate durations.
+    std::vector<const Event*> stack;
+    for (const Event& e : rec->events()) {
+      if (e.phase == Phase::end) {
+        if (!stack.empty() && same_name(stack.back()->name, e.name)) {
+          s.by_name[e.name].total_us += e.ts_us - stack.back()->ts_us;
+          stack.pop_back();
+        }
+        continue;
+      }
+      MetricsSummary::Entry& entry = s.by_name[e.name];
+      ++entry.count;
+      if (e.keys.bytes >= 0) entry.total_bytes += e.keys.bytes;
+      if (e.phase == Phase::begin) stack.push_back(&e);
+    }
+  }
+  return s;
+}
+
+void write_summary(std::ostream& os, const MetricsSummary& summary) {
+  std::size_t width = 4;
+  for (const auto& [name, entry] : summary.by_name)
+    width = std::max(width, name.size());
+  os << "event";
+  os << std::string(width > 5 ? width - 5 : 0, ' ');
+  os << "        count      total_us    total_bytes\n";
+  for (const auto& [name, entry] : summary.by_name) {
+    os << name << std::string(width - name.size(), ' ');
+    char buf[64];
+    std::snprintf(buf, sizeof buf, " %12" PRIu64 " %13.1f %14lld\n",
+                  entry.count, entry.total_us,
+                  static_cast<long long>(entry.total_bytes));
+    os << buf;
+  }
+}
+
+// --- Chrome trace JSON ------------------------------------------------------
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(os) {
+  os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { finish(); }
+
+void ChromeTraceWriter::emit(int pid, int tid, const Event& e) {
+  const char* ph = nullptr;
+  switch (e.phase) {
+    case Phase::begin:
+      ph = "B";
+      break;
+    case Phase::end:
+      ph = "E";
+      break;
+    case Phase::instant:
+      ph = "i";
+      break;
+    case Phase::counter:
+      ph = "C";
+      break;
+  }
+  os_ << (first_ ? "\n" : ",\n");
+  first_ = false;
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "{\"name\":\"%s\",\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,"
+                "\"ts\":%.3f",
+                e.name, ph, pid, tid, e.ts_us);
+  os_ << head;
+  if (e.phase == Phase::instant) os_ << ",\"s\":\"t\"";
+  if (e.phase == Phase::counter) {
+    // Counter events render as a value track named after the event.
+    os_ << ",\"args\":{\"value\":" << e.keys.value << "}}";
+    return;
+  }
+  bool any = false;
+  auto arg = [&](const char* label, std::int64_t v) {
+    if (v < 0) return;
+    os_ << (any ? "," : ",\"args\":{");
+    any = true;
+    os_ << '"' << label << "\":" << v;
+  };
+  arg("comm", e.keys.comm);
+  arg("round", e.keys.round);
+  arg("peer", e.keys.peer);
+  arg("bytes", e.keys.bytes);
+  arg("value", e.keys.value);
+  if (any) os_ << '}';
+  os_ << '}';
+}
+
+void ChromeTraceWriter::add_process(int pid, const std::string& name,
+                                    const std::vector<const Recorder*>& recorders) {
+  os_ << (first_ ? "\n" : ",\n");
+  first_ = false;
+  os_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"name\":\"" << name << "\"}}";
+  for (const Recorder* rec : recorders) {
+    if (rec == nullptr) continue;
+    for (const Event& e : rec->events()) emit(pid, rec->rank(), e);
+  }
+}
+
+void ChromeTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  os_ << "\n]}\n";
+}
+
+void write_chrome_json(std::ostream& os,
+                       const std::vector<const Recorder*>& recorders,
+                       const std::string& process_name) {
+  ChromeTraceWriter w(os);
+  w.add_process(0, process_name, recorders);
+  w.finish();
+}
+
+}  // namespace trace

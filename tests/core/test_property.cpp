@@ -11,6 +11,7 @@
 #include "ddr/ddr.hpp"
 #include "minimpi/minimpi.hpp"
 #include "test_util.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -175,6 +176,69 @@ TEST(PropertyInvariants, TransfersPartitionTheNeededBoxes) {
           EXPECT_FALSE(ddr::overlaps(incoming[i], incoming[j]))
               << "double delivery to rank " << r;
     }
+  }
+}
+
+TEST(PropertyInvariants, TracedBytesConserveDomain) {
+  // Dynamic counterpart of StatsConserveBytes, measured from the trace layer
+  // instead of the static cost model: when both the owned and the needed
+  // sides are mutually-exclusive+complete partitions of the domain, every
+  // domain byte is delivered exactly once, so across all ranks
+  //   sum(ddr.msg.send bytes) == sum(ddr.msg.recv bytes)       (network), and
+  //   network + sum(mpi.copy_regions bytes)  == domain bytes   (self lanes).
+  // Self lanes must never surface as message instants — only as zero-copy
+  // region-copy spans.
+  const Backend backends[] = {Backend::alltoallw, Backend::point_to_point,
+                              Backend::point_to_point_fused};
+  std::mt19937 rng(9090);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int nranks = 3 + static_cast<int>(rng() % 4);
+    const Box domain = make_domain(2 + trial % 2, rng);
+    const auto own_boxes = random_partition(domain, nranks * 2, rng);
+    const auto need_boxes = random_partition(domain, nranks * 2 + 1, rng);
+    std::vector<ddr::OwnedLayout> owned(static_cast<std::size_t>(nranks));
+    std::vector<ddr::NeededLayout> needed(static_cast<std::size_t>(nranks));
+    for (std::size_t i = 0; i < own_boxes.size(); ++i)
+      owned[i % static_cast<std::size_t>(nranks)].push_back(
+          box_to_chunk(own_boxes[i]));
+    for (std::size_t i = 0; i < need_boxes.size(); ++i)
+      needed[i % static_cast<std::size_t>(nranks)].push_back(
+          box_to_chunk(need_boxes[i]));
+
+    std::vector<trace::Recorder> recs;
+    recs.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) recs.emplace_back(r);
+
+    mpi::run(nranks, [&](mpi::Comm& comm) {
+      const auto rank = static_cast<std::size_t>(comm.rank());
+      ddr::Redistributor rd(comm, sizeof(float));
+      rd.trace_sink(&recs[rank]);
+      ddr::SetupOptions opts;
+      opts.backend = backends[trial % 3];
+      rd.setup(owned[rank], needed[rank], opts);
+      recs[rank].clear();
+      std::vector<float> src(rd.owned_bytes() / sizeof(float), 1.0f);
+      std::vector<float> dst(rd.needed_bytes() / sizeof(float));
+      rd.redistribute(std::as_bytes(std::span<const float>(src)),
+                      std::as_writable_bytes(std::span<float>(dst)));
+    });
+
+    std::int64_t sent = 0, recvd = 0, copied = 0;
+    for (int r = 0; r < nranks; ++r) {
+      const auto& ev = recs[static_cast<std::size_t>(r)].events();
+      ASSERT_TRUE(trace::spans_balanced(ev)) << "trial " << trial;
+      sent += trace::total_bytes(ev, "ddr.msg.send");
+      recvd += trace::total_bytes(ev, "ddr.msg.recv");
+      copied += trace::total_bytes(ev, "mpi.copy_regions");
+      const auto by_peer_s = trace::bytes_by_peer(ev, "ddr.msg.send");
+      const auto by_peer_r = trace::bytes_by_peer(ev, "ddr.msg.recv");
+      EXPECT_FALSE(by_peer_s.contains(r)) << "self lane sent as message";
+      EXPECT_FALSE(by_peer_r.contains(r)) << "self lane received as message";
+    }
+    EXPECT_EQ(sent, recvd) << "trial " << trial;
+    EXPECT_EQ(sent + copied,
+              domain.volume() * static_cast<std::int64_t>(sizeof(float)))
+        << "trial " << trial;
   }
 }
 

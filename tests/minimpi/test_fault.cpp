@@ -5,9 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "minimpi/minimpi.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -239,6 +243,73 @@ TEST(Fault, KilledRankSurvivorsShrinkAndContinue) {
       },
       opts);
   EXPECT_EQ(recovered.load(), 3);
+}
+
+TEST(Fault, ThrowingCollectiveClosesTraceSpans) {
+  // Span lifetime under failure: when a collective dies with a deadlock
+  // error, every trace span opened on the failing path (the collective's own
+  // span plus any application span around it) must be closed by unwinding,
+  // so the recorded stream stays balanced and the Chrome-trace JSON
+  // serialization stays well-formed.
+  KillRank fault(3);
+  mpi::RunOptions opts;
+  opts.fault = &fault;
+  opts.deadlock_grace_s = 0.1;
+  std::vector<trace::Recorder> recs;
+  recs.reserve(4);
+  for (int r = 0; r < 4; ++r) recs.emplace_back(r);
+  std::atomic<int> survived{0};
+  mpi::run(
+      4,
+      [&](Comm& comm) {
+        const int r = comm.rank();
+        trace::ScopedRecorder sr(&recs[static_cast<std::size_t>(r)]);
+        const Datatype i = Datatype::of<int>();
+        const int one = 1;
+        int sum = 0;
+        if (r == 3) {
+          comm.allreduce(&one, &sum, 1, i, mpi::Op::sum<int>());  // dies here
+          FAIL() << "killed rank survived";
+        }
+        try {
+          DDR_TRACE_SPAN(app, "app.step");
+          comm.allreduce(&one, &sum, 1, i, mpi::Op::sum<int>());
+          FAIL() << "collective with a dead participant completed";
+        } catch (const mpi::Error& e) {
+          ASSERT_EQ(e.error_class(), mpi::ErrorClass::deadlock);
+        }
+        // Unwinding must have closed everything the failing call opened.
+        EXPECT_EQ(recs[static_cast<std::size_t>(r)].open_spans(), 0u)
+            << "rank " << r;
+        survived.fetch_add(1);
+      },
+      opts);
+  EXPECT_EQ(survived.load(), 3);
+
+  std::vector<const trace::Recorder*> survivors;
+  for (int r = 0; r < 3; ++r) {
+    const auto& ev = recs[static_cast<std::size_t>(r)].events();
+    EXPECT_TRUE(trace::spans_balanced(ev)) << "rank " << r;
+    EXPECT_EQ(trace::count_events(ev, "app.step", trace::Phase::begin), 1u);
+    EXPECT_EQ(trace::count_events(ev, "app.step", trace::Phase::end), 1u);
+    survivors.push_back(&recs[static_cast<std::size_t>(r)]);
+  }
+  // The serialized Chrome trace must pair every "B" with an "E" and close
+  // the JSON object even though the traced run died mid-collective.
+  std::ostringstream os;
+  trace::write_chrome_json(os, survivors, "fault");
+  const std::string json = os.str();
+  std::size_t begins = 0, ends = 0;
+  for (std::size_t p = json.find("\"ph\":\"B\""); p != std::string::npos;
+       p = json.find("\"ph\":\"B\"", p + 1))
+    ++begins;
+  for (std::size_t p = json.find("\"ph\":\"E\""); p != std::string::npos;
+       p = json.find("\"ph\":\"E\"", p + 1))
+    ++ends;
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("]}"), std::string::npos);
 }
 
 TEST(Fault, TagAboveCeilingRejected) {

@@ -6,7 +6,7 @@
 // Table III quantities), peer counts, and optionally every transfer.
 //
 // Usage:
-//   ddrinfo [-t] [-e] [--validate] [--cost] [layout.txt]
+//   ddrinfo [-t] [-e] [--validate] [--cost] [--trace out.json] [layout.txt]
 //     -t          list every (sender -> receiver) transfer
 //     -e          echo the normalized layout back (round-trip check)
 //     --validate  check the layout against the paper's send-side contract
@@ -16,6 +16,11 @@
 //                 message counts, payload bytes, and compiled plan segment
 //                 totals for the plain per-round p2p backend and the fused
 //                 per-peer backend side by side
+//     --trace F   actually run one redistribute() per backend (alltoallw,
+//                 p2p, fused) under the threaded runtime with tracing on,
+//                 write the merged Chrome-trace JSON to F (load it at
+//                 https://ui.perfetto.dev), and print per-backend message
+//                 and byte totals (comparable to --cost)
 //
 // Example input (the paper's E1):
 //   ndims 2
@@ -29,15 +34,19 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "ddr/ddr.hpp"
 #include "ddr/textio.hpp"
+#include "minimpi/runtime.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
 void print_usage() {
   std::fprintf(stderr,
-               "usage: ddrinfo [-t] [-e] [--validate] [--cost] [layout.txt]\n");
+               "usage: ddrinfo [-t] [-e] [--validate] [--cost] "
+               "[--trace out.json] [layout.txt]\n");
 }
 
 /// Detailed check of the paper's send-side contract: owned chunks must be
@@ -206,6 +215,75 @@ int run_cost(const ddr::LayoutSpec& spec) {
   return 0;
 }
 
+/// Runs one traced setup() + redistribute() per backend under the threaded
+/// runtime, merges every rank's event stream into one Chrome-trace JSON
+/// (one trace "process" per backend, one thread row per rank), and prints
+/// per-backend message/byte totals so the trace can be cross-checked against
+/// the static --cost numbers.
+int run_trace(const ddr::LayoutSpec& spec, const char* out_path) {
+  const ddr::GlobalLayout& layout = spec.layout;
+  const int nranks = layout.nranks();
+  std::printf("layout: %d ranks, %dD, %zu-byte elements\n", nranks, spec.ndims,
+              spec.elem_size);
+
+  struct BackendRun {
+    const char* name;
+    ddr::Backend backend;
+  };
+  const BackendRun backends[] = {
+      {"alltoallw", ddr::Backend::alltoallw},
+      {"p2p", ddr::Backend::point_to_point},
+      {"fused", ddr::Backend::point_to_point_fused},
+  };
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "ddrinfo: cannot write %s\n", out_path);
+    return 1;
+  }
+  trace::ChromeTraceWriter writer(out);
+
+  std::printf("\ntraced redistribute() (one call per backend):\n");
+  std::printf("  %-10s %8s %12s %8s\n", "backend", "msgs", "bytes", "events");
+  int pid = 0;
+  for (const BackendRun& b : backends) {
+    std::vector<trace::Recorder> recorders;
+    recorders.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) recorders.emplace_back(r);
+
+    mpi::run(nranks, [&](mpi::Comm& comm) {
+      const auto ri = static_cast<std::size_t>(comm.rank());
+      ddr::Redistributor rd(comm, spec.elem_size);
+      rd.trace_sink(&recorders[ri]);
+      ddr::SetupOptions opt;
+      opt.backend = b.backend;
+      rd.setup(layout.owned[ri], layout.needed[ri], opt);
+      std::vector<std::byte> owned(rd.owned_bytes());
+      std::vector<std::byte> needed(rd.needed_bytes());
+      rd.redistribute(owned, needed);
+    });
+
+    std::int64_t msgs = 0, bytes = 0;
+    std::size_t events = 0;
+    std::vector<const trace::Recorder*> recs;
+    for (const trace::Recorder& r : recorders) {
+      msgs += static_cast<std::int64_t>(trace::count_events(
+          r.events(), "ddr.msg.send", trace::Phase::instant));
+      bytes += trace::total_bytes(r.events(), "ddr.msg.send");
+      events += r.events().size();
+      recs.push_back(&r);
+    }
+    writer.add_process(pid++, std::string("ddr ") + b.name, recs);
+    std::printf("  %-10s %8lld %12lld %8zu\n", b.name,
+                static_cast<long long>(msgs), static_cast<long long>(bytes),
+                events);
+  }
+  writer.finish();
+  std::printf("\ntrace written to %s (load at https://ui.perfetto.dev)\n",
+              out_path);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,6 +291,7 @@ int main(int argc, char** argv) {
   bool echo = false;
   bool validate = false;
   bool cost = false;
+  const char* trace_path = nullptr;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-t") == 0) {
@@ -223,6 +302,12 @@ int main(int argc, char** argv) {
       validate = true;
     } else if (std::strcmp(argv[i], "--cost") == 0) {
       cost = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 2;
+      }
+      trace_path = argv[++i];
     } else if (argv[i][0] == '-') {
       print_usage();
       return 2;
@@ -256,6 +341,15 @@ int main(int argc, char** argv) {
   if (validate) return run_validate(spec);
 
   if (cost) return run_cost(spec);
+
+  if (trace_path != nullptr) {
+    try {
+      return run_trace(spec, trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ddrinfo: %s\n", e.what());
+      return 1;
+    }
+  }
 
   const ddr::GlobalLayout& layout = spec.layout;
   std::printf("layout: %d ranks, %dD, %zu-byte elements\n", layout.nranks(),
