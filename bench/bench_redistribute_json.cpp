@@ -2,12 +2,14 @@
 //
 // Runs the hot path the paper's use case B executes every timestep — a
 // strided 3D multi-chunk redistribution and a 2D rows-to-quadrants one —
-// under four configurations:
+// under five configurations:
 //
-//   legacy_alltoallw    recursive-walker pack path (plans disabled)
-//   compiled_alltoallw  compiled segment plans, alltoallw backend
-//   compiled_p2p        compiled plans, per-round point-to-point backend
-//   compiled_p2p_fused  compiled plans, per-peer fused p2p backend
+//   legacy_alltoallw       recursive-walker pack path (plans disabled)
+//   compiled_alltoallw     compiled segment plans, alltoallw backend
+//   compiled_p2p           compiled plans, per-round point-to-point backend
+//   compiled_p2p_fused     compiled plans, per-peer fused p2p backend
+//   compiled_p2p_pipelined compiled plans, all-round receive window with
+//                          out-of-order wait_any completion
 //
 // and emits BENCH_redistribute.json (schema: EXPERIMENTS.md) with median and
 // p95 per-call wall time, bytes moved, messages posted per call, and the
@@ -282,6 +284,9 @@ int main() {
     cr.configs.push_back(run_config(cs, "compiled_p2p_fused", true,
                                     ddr::Backend::point_to_point_fused, reps,
                                     cr));
+    cr.configs.push_back(run_config(cs, "compiled_p2p_pipelined", true,
+                                    ddr::Backend::point_to_point_pipelined,
+                                    reps, cr));
     for (const ConfigResult& cf : cr.configs)
       if (cf.staging_heap_allocs_steady != 0) alloc_clean = false;
     results.push_back(std::move(cr));

@@ -43,6 +43,16 @@ enum class Backend {
   /// redistribute() falls back to the per-round point-to-point path (see
   /// Redistributor::effective_backend).
   point_to_point_fused,
+  /// Pipelined point-to-point: the full per-peer receive window (every
+  /// peer's fused lane, all rounds stitched) is posted before any byte is
+  /// packed, sends stream lane-by-lane through the staging pool, and
+  /// receives complete out-of-order the moment they land (mpi::wait_any) —
+  /// each lane unpacked on arrival rather than in posting order behind a
+  /// wait_all fence — so total latency approaches the max per-peer transfer
+  /// time instead of rounds x round time. Like fused, an active FaultModel
+  /// gates this mode to the reliable per-round path (see
+  /// Redistributor::effective_backend).
+  point_to_point_pipelined,
 };
 
 /// Options controlling setup behaviour.
@@ -159,6 +169,8 @@ class Redistributor {
                    std::span<std::byte> needed_data) const;
   void execute_p2p_fused(std::span<const std::byte> owned_data,
                          std::span<std::byte> needed_data) const;
+  void execute_p2p_pipelined(std::span<const std::byte> owned_data,
+                             std::span<std::byte> needed_data) const;
   void execute_p2p_reliable(std::span<const std::byte> owned_data,
                             std::span<std::byte> needed_data) const;
 
@@ -176,6 +188,16 @@ class Redistributor {
   /// Request scratch reused across redistribute() calls so the steady-state
   /// p2p data path performs no heap allocation.
   mutable std::vector<mpi::Request> reqs_;
+  /// (round, peer, bytes) metadata parallel to the receive window in reqs_
+  /// in the pipelined executor, so out-of-order completions can be traced
+  /// against the lane they satisfy (fused lanes span every round, so their
+  /// round is -1). Reused scratch, like reqs_.
+  struct PipelineRecv {
+    int round = -1;
+    int peer = -1;
+    std::int64_t bytes = 0;
+  };
+  mutable std::vector<PipelineRecv> recv_meta_;
   /// Optional per-Redistributor trace sink (see trace_sink()). Not owned.
   trace::Recorder* trace_ = nullptr;
 };

@@ -59,7 +59,10 @@ Chunk from_wire(const ChunkWire& w) {
 // can never be mistaken for another call's (the window would have to wrap
 // within W in-flight calls, and each call drains its window before and after
 // use). The fused lane needs only one window regardless of the round count
-// because each peer pair exchanges at most one fused message per epoch.
+// because each peer pair exchanges at most one fused message per epoch; the
+// pipelined backend shares that window — it moves the same one-message-per-
+// peer lanes, differing only in completion order — so neither fused flavour
+// grows the tag budget.
 
 /// Tag base for the point-to-point backend, chosen high so it cannot collide
 /// with typical application tags.
@@ -304,7 +307,8 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
       if (rp.sendcounts[q] > 0 && q != self)
         send_bytes.push_back(static_cast<std::size_t>(rp.sendcounts[q]) *
                              rp.sendtypes[q].size());
-  if (options.backend == Backend::point_to_point_fused)
+  if (options.backend == Backend::point_to_point_fused ||
+      options.backend == Backend::point_to_point_pipelined)
     for (const PeerLane& lane : mapping_.fused_send)
       if (lane.peer != mapping_.rank)
         send_bytes.push_back(lane.type.size());
@@ -351,19 +355,23 @@ void Redistributor::redistribute(std::span<const std::byte> owned_data,
   if (options_.backend == Backend::alltoallw) {
     execute_alltoallw(owned_data, needed_data);
   } else if (comm_.fault_injection_active()) {
-    // Both p2p flavours degrade to the reliable per-round protocol here —
+    // All p2p flavours degrade to the reliable per-round protocol here —
     // fused messages cannot be re-requested per (round, peer), which is the
-    // unit the retry protocol operates on.
+    // unit the retry protocol operates on, and the pipelined executor's
+    // wait_any drain would spin forever on a dropped message.
     execute_p2p_reliable(owned_data, needed_data);
   } else if (options_.backend == Backend::point_to_point_fused) {
     execute_p2p_fused(owned_data, needed_data);
+  } else if (options_.backend == Backend::point_to_point_pipelined) {
+    execute_p2p_pipelined(owned_data, needed_data);
   } else {
     execute_p2p(owned_data, needed_data);
   }
 }
 
 Backend Redistributor::effective_backend() const {
-  if (options_.backend == Backend::point_to_point_fused &&
+  if ((options_.backend == Backend::point_to_point_fused ||
+       options_.backend == Backend::point_to_point_pipelined) &&
       comm_.fault_injection_active())
     return Backend::point_to_point;
   return options_.backend;
@@ -501,6 +509,113 @@ void Redistributor::execute_p2p_fused(std::span<const std::byte> owned_data,
     mpi::wait_all(reqs_);
   }
   reqs_.clear();
+}
+
+void Redistributor::execute_p2p_pipelined(
+    std::span<const std::byte> owned_data,
+    std::span<std::byte> needed_data) const {
+  // Pipelined exchange over the fused per-peer lanes: the full receive
+  // window — one lane per sending peer, every round stitched in — is posted
+  // BEFORE any byte is packed, sends then stream lane-by-lane through the
+  // staging pool (exactly the concurrent send set setup() prewarmed), and
+  // receives complete out-of-order with wait_any, each lane unpacked the
+  // moment it lands instead of in posting order behind a wait_all fence.
+  // Total latency approaches the max per-peer transfer time; the lock-step
+  // round barrier the paper's alltoallw implies (§III-C) is gone, and a
+  // slow peer no longer blocks unpacking of the lanes that already arrived.
+  const int nrounds = static_cast<int>(mapping_.rounds.size());
+  const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
+  const int tag = p2p_fused_tag(nrounds, epoch);
+  reqs_.clear();
+  recv_meta_.clear();
+
+  // Phase 1: post the full receive window. The number of outstanding
+  // receives (the pipeline depth) is recorded as an instant. Fused lanes
+  // span every round, so their message instants carry round=-1.
+  {
+    DDR_TRACE_SPAN(pspan, "ddr.pipeline.post");
+    for (const PeerLane& l : mapping_.fused_recv) {
+      if (l.peer == mapping_.rank) continue;
+      recv_meta_.push_back({-1, l.peer, l.bytes});
+      reqs_.push_back(
+          comm_.irecv(needed_data.data() + l.displ, 1, l.type, l.peer, tag));
+    }
+    DDR_TRACE_INSTANT("ddr.pipeline.depth",
+                      {.value = static_cast<std::int64_t>(reqs_.size())});
+  }
+  std::size_t nrecv_left = reqs_.size();
+  const std::span<mpi::Request> recvs(reqs_.data(), reqs_.size());
+
+  // Completes every receive that has already landed, without blocking.
+  // wait_any-style completion invalidates the request, so each lane is
+  // counted exactly once; the recv instant is emitted at COMPLETION time,
+  // which is what makes out-of-order arrival visible in the Chrome trace.
+  auto drain_ready = [&] {
+    for (std::size_t i = 0; i < recvs.size() && nrecv_left > 0; ++i) {
+      if (!recvs[i].valid()) continue;
+      if (recvs[i].test()) {
+        --nrecv_left;
+        DDR_TRACE_INSTANT("ddr.msg.recv", {.peer = recv_meta_[i].peer,
+                                           .bytes = recv_meta_[i].bytes});
+      }
+    }
+  };
+
+  // Phase 2: stream the sends one lane at a time, in the classic shifted
+  // schedule — rank r packs its successor peer's lane first, wrapping — so
+  // no single rank's mailbox is hammered by every sender at once and the
+  // first receives land while later lanes are still packing. Each pack span
+  // covers one peer's pack + post; between lanes, whatever landed meanwhile
+  // is drained and unpacked — overlap, not a barrier: nothing here waits.
+  const std::vector<PeerLane>& lanes = mapping_.fused_send;
+  std::size_t first = 0;
+  while (first < lanes.size() && lanes[first].peer <= mapping_.rank) ++first;
+  for (std::size_t n = 0; n < lanes.size(); ++n) {
+    const PeerLane& l = lanes[(first + n) % lanes.size()];
+    if (l.peer == mapping_.rank) continue;
+    {
+      DDR_TRACE_SPAN(kspan, "ddr.pipeline.pack", trace::Keys{.peer = l.peer});
+      DDR_TRACE_INSTANT("ddr.msg.send", {.peer = l.peer, .bytes = l.bytes});
+      // Sends are buffered-eager: the request is born complete, so only the
+      // receive window in reqs_ ever needs waiting on.
+      comm_.isend(owned_data.data() + l.displ, 1, l.type, l.peer, tag);
+    }
+    drain_ready();
+  }
+  // Self lane: the fused send and recv types cover the same bytes in the
+  // same (round, needed-index) order, so they map onto each other directly.
+  for (const PeerLane& s : mapping_.fused_send) {
+    if (s.peer != mapping_.rank) continue;
+    for (const PeerLane& r : mapping_.fused_recv)
+      if (r.peer == mapping_.rank)
+        mpi::copy_regions(s.type, owned_data.data() + s.displ, 1, r.type,
+                          needed_data.data() + r.displ, 1);
+  }
+
+  // Phase 3: complete the remaining receives strictly in arrival order.
+  // While several are outstanding, wait_any picks whichever lands first;
+  // once a single lane is left there is no order to choose, so it completes
+  // with a blocking wait() — a condition-variable sleep instead of a test()
+  // poll that would contend on the mailbox the sender is delivering into.
+  {
+    DDR_TRACE_SPAN(cspan, "ddr.pipeline.complete");
+    while (nrecv_left > 1) {
+      const auto [i, st] = mpi::wait_any(recvs);
+      --nrecv_left;
+      DDR_TRACE_INSTANT("ddr.msg.recv", {.peer = recv_meta_[i].peer,
+                                         .bytes = recv_meta_[i].bytes});
+    }
+    if (nrecv_left == 1)
+      for (std::size_t i = 0; i < recvs.size(); ++i) {
+        if (!recvs[i].valid()) continue;
+        recvs[i].wait();
+        DDR_TRACE_INSTANT("ddr.msg.recv", {.peer = recv_meta_[i].peer,
+                                           .bytes = recv_meta_[i].bytes});
+        break;
+      }
+  }
+  reqs_.clear();
+  recv_meta_.clear();
 }
 
 void Redistributor::execute_p2p_reliable(

@@ -19,9 +19,13 @@
 ///
 /// Pack/unpack execute through a compiled segment plan: the first use of a
 /// type flattens its constructor tree once into a flat, coalesced
-/// (offset, length) run list cached on the immutable type node. Every later
-/// pack/unpack/copy is a plain loop of memcpys over that list — no tree
-/// recursion, no per-segment callback dispatch, no per-call allocation.
+/// (offset, length) run list, then run-compresses it into
+/// (offset, length, stride, count) quads — consecutive equal-length runs a
+/// constant stride apart collapse into one descriptor, so a strided 2D/3D
+/// subarray stores a few quads instead of one entry per row. The result is
+/// cached on the immutable type node. Every later pack/unpack/copy is a
+/// plain doubly-nested loop of memcpys over the quads — no tree recursion,
+/// no per-segment callback dispatch, no per-call allocation.
 /// precompile() forces the compile eagerly (e.g. at setup time).
 ///
 /// Datatype values are cheap to copy (shared immutable payload) and are
@@ -88,8 +92,16 @@ class Datatype {
 
   /// Number of contiguous runs in the compiled plan of ONE element
   /// (compiles the plan if needed). Adjacent runs are coalesced, so this is
-  /// the exact number of memcpys a pack of one element performs.
+  /// the exact number of memcpys a pack of one element performs. Equal to
+  /// the sum of the repeat counts over the plan's quads.
   [[nodiscard]] std::size_t plan_segment_count() const;
+
+  /// Number of run-compressed (offset, length, stride, count) descriptors
+  /// the compiled plan of ONE element stores (compiles the plan if needed).
+  /// This — not plan_segment_count() — is the plan's memory footprint:
+  /// strided subarrays collapse whole dimensions into single quads, so
+  /// plan_quad_count() <= plan_segment_count() always holds.
+  [[nodiscard]] std::size_t plan_quad_count() const;
 
   /// Globally enables/disables the compiled-plan execution path. With plans
   /// disabled, pack/unpack/for_each_segment fall back to the legacy

@@ -28,10 +28,23 @@ struct StructBlock {
 };
 
 /// One contiguous run of a compiled datatype: `length` data bytes at byte
-/// `offset` from the element origin.
+/// `offset` from the element origin. Intermediate representation only — the
+/// flattener emits these, then they are run-compressed into Quads.
 struct Segment {
   std::size_t offset = 0;
   std::size_t length = 0;
+};
+
+/// One run-compressed plan descriptor: `count` contiguous runs of `length`
+/// bytes each, run k starting at byte `offset + k * stride` from the element
+/// origin. A strided 2D/3D subarray compiles to a handful of quads instead of
+/// one Segment per row, shrinking plan storage by the row count while the
+/// expanded runs (and therefore the packed byte stream) stay identical.
+struct Quad {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  std::ptrdiff_t stride = 0;
+  std::size_t count = 1;
 };
 
 struct TypeNode {
@@ -58,13 +71,16 @@ struct TypeNode {
   // resized keeps `inner` and overrides extent.
 
   // --- compiled segment plan ----------------------------------------------
-  // Flat, coalesced (offset, length) run list of ONE element, built once on
-  // first use (or via Datatype::precompile) and cached here. The node is
-  // otherwise immutable; call_once makes the lazy compile thread-safe.
+  // Run-compressed descriptor list of ONE element, built once on first use
+  // (or via Datatype::precompile) and cached here: the flat coalesced
+  // (offset, length) runs of the tree, collapsed into (offset, length,
+  // stride, count) quads wherever consecutive runs have equal length and a
+  // constant offset delta. The node is otherwise immutable; call_once makes
+  // the lazy compile thread-safe.
   mutable std::once_flag plan_once;
-  mutable std::vector<Segment> plan;
+  mutable std::vector<Quad> plan;
 
-  const std::vector<Segment>& compiled() const;
+  const std::vector<Quad>& compiled() const;
 };
 
 namespace {
@@ -275,14 +291,42 @@ void compile_segments(const TypeNode& n, std::size_t base,
   }
 }
 
+/// Run-compresses a flat segment list: a quad absorbs the next segment when
+/// the lengths match and the offset delta equals the quad's stride (the
+/// stride is established by the second run). Greedy and order-preserving, so
+/// expanding the quads reproduces the segment list — and the packed byte
+/// stream — exactly.
+std::vector<Quad> compress_runs(const std::vector<Segment>& segs) {
+  std::vector<Quad> out;
+  out.reserve(segs.size());
+  for (const Segment& s : segs) {
+    if (!out.empty() && out.back().length == s.length) {
+      Quad& q = out.back();
+      const auto off = static_cast<std::ptrdiff_t>(s.offset);
+      if (q.count == 1) {
+        q.stride = off - static_cast<std::ptrdiff_t>(q.offset);
+        q.count = 2;
+        continue;
+      }
+      if (off == static_cast<std::ptrdiff_t>(q.offset) +
+                     static_cast<std::ptrdiff_t>(q.count) * q.stride) {
+        ++q.count;
+        continue;
+      }
+    }
+    out.push_back({s.offset, s.length, 0, 1});
+  }
+  out.shrink_to_fit();
+  return out;
+}
+
 }  // namespace
 
-const std::vector<Segment>& TypeNode::compiled() const {
+const std::vector<Quad>& TypeNode::compiled() const {
   std::call_once(plan_once, [this] {
     std::vector<Segment> segs;
     compile_segments(*this, 0, segs);
-    segs.shrink_to_fit();
-    plan = std::move(segs);
+    plan = compress_runs(segs);
   });
   return plan;
 }
@@ -463,10 +507,16 @@ void Datatype::for_each_segment(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& fn) const {
   if (detail::g_plan_enabled.load(std::memory_order_relaxed)) {
-    const std::vector<detail::Segment>& plan = node_->compiled();
+    const std::vector<detail::Quad>& plan = node_->compiled();
     for (std::size_t i = 0; i < count; ++i) {
       const std::size_t base = i * node_->extent;
-      for (const detail::Segment& s : plan) fn(base + s.offset, s.length);
+      for (const detail::Quad& q : plan) {
+        auto off = static_cast<std::ptrdiff_t>(base + q.offset);
+        for (std::size_t k = 0; k < q.count; ++k) {
+          fn(static_cast<std::size_t>(off), q.length);
+          off += q.stride;
+        }
+      }
     }
     return;
   }
@@ -481,13 +531,17 @@ void Datatype::pack(const std::byte* src, std::size_t count,
     return;
   }
   if (detail::g_plan_enabled.load(std::memory_order_relaxed)) {
-    const std::vector<detail::Segment>& plan = node_->compiled();
+    const std::vector<detail::Quad>& plan = node_->compiled();
     std::byte* out = dst;
     for (std::size_t i = 0; i < count; ++i) {
       const std::byte* base = src + i * node_->extent;
-      for (const detail::Segment& s : plan) {
-        std::memcpy(out, base + s.offset, s.length);
-        out += s.length;
+      for (const detail::Quad& q : plan) {
+        const std::byte* p = base + q.offset;
+        for (std::size_t k = 0; k < q.count; ++k) {
+          std::memcpy(out, p, q.length);
+          out += q.length;
+          p += q.stride;
+        }
       }
     }
     return;
@@ -506,13 +560,17 @@ void Datatype::unpack(const std::byte* src, std::size_t count,
     return;
   }
   if (detail::g_plan_enabled.load(std::memory_order_relaxed)) {
-    const std::vector<detail::Segment>& plan = node_->compiled();
+    const std::vector<detail::Quad>& plan = node_->compiled();
     const std::byte* in = src;
     for (std::size_t i = 0; i < count; ++i) {
       std::byte* base = dst + i * node_->extent;
-      for (const detail::Segment& s : plan) {
-        std::memcpy(base + s.offset, in, s.length);
-        in += s.length;
+      for (const detail::Quad& q : plan) {
+        std::byte* p = base + q.offset;
+        for (std::size_t k = 0; k < q.count; ++k) {
+          std::memcpy(p, in, q.length);
+          in += q.length;
+          p += q.stride;
+        }
       }
     }
     return;
@@ -532,6 +590,12 @@ void Datatype::precompile() const {
 }
 
 std::size_t Datatype::plan_segment_count() const {
+  std::size_t runs = 0;
+  for (const detail::Quad& q : node_->compiled()) runs += q.count;
+  return runs;
+}
+
+std::size_t Datatype::plan_quad_count() const {
   return node_->compiled().size();
 }
 
@@ -561,50 +625,58 @@ void copy_regions(const Datatype& src_type, const std::byte* src,
   }
   // March the two packed byte streams together, copying the overlap of the
   // current source run and the current destination run each step. Contiguous
-  // sides behave as one full-size run per element.
+  // sides behave as one full-size run per element (a synthetic whole-element
+  // quad, so they never pay a plan compile).
   const detail::TypeNode& sn = *src_type.node_;
   const detail::TypeNode& dn = *dst_type.node_;
-  static const std::vector<detail::Segment> kWhole{{0, 0}};
-  const std::vector<detail::Segment>& splan =
-      sn.contiguous ? kWhole : sn.compiled();
-  const std::vector<detail::Segment>& dplan =
-      dn.contiguous ? kWhole : dn.compiled();
-  const std::size_t s_elem_len = sn.contiguous ? sn.size : 0;
-  const std::size_t d_elem_len = dn.contiguous ? dn.size : 0;
+  const detail::Quad s_whole{0, sn.size, 0, 1};
+  const detail::Quad d_whole{0, dn.size, 0, 1};
 
-  std::size_t si = 0, di = 0;      // element index
-  std::size_t sj = 0, dj = 0;      // segment index within element
-  std::size_t sdone = 0, ddone = 0;  // bytes consumed of current segment
-  auto seg_len = [](const std::vector<detail::Segment>& plan, std::size_t j,
-                    std::size_t whole) {
-    return whole != 0 ? whole : plan[j].length;
+  // Cursor over the expanded run sequence of a quad plan: element index,
+  // quad index, repetition within the quad, bytes consumed of that run.
+  struct Cursor {
+    const detail::Quad* quads;
+    std::size_t nquads;
+    std::size_t extent;
+    std::size_t elem = 0, qi = 0, rep = 0, done = 0;
+
+    [[nodiscard]] std::size_t run_len() const { return quads[qi].length; }
+    [[nodiscard]] std::size_t offset() const {
+      const detail::Quad& q = quads[qi];
+      return elem * extent +
+             static_cast<std::size_t>(
+                 static_cast<std::ptrdiff_t>(q.offset) +
+                 static_cast<std::ptrdiff_t>(rep) * q.stride) +
+             done;
+    }
+    void advance(std::size_t step) {
+      done += step;
+      if (done < quads[qi].length) return;
+      done = 0;
+      if (++rep < quads[qi].count) return;
+      rep = 0;
+      if (++qi == nquads) {
+        qi = 0;
+        ++elem;
+      }
+    }
   };
+  auto make_cursor = [](const detail::TypeNode& n, const detail::Quad& whole) {
+    if (n.contiguous) return Cursor{&whole, 1, n.extent};
+    const std::vector<detail::Quad>& plan = n.compiled();
+    return Cursor{plan.data(), plan.size(), n.extent};
+  };
+  Cursor sc = make_cursor(sn, s_whole);
+  Cursor dc = make_cursor(dn, d_whole);
+
   std::size_t copied = 0;
   while (copied < total) {
-    const std::size_t slen = seg_len(splan, sj, s_elem_len);
-    const std::size_t dlen = seg_len(dplan, dj, d_elem_len);
-    const std::byte* sp =
-        src + si * sn.extent + splan[sj].offset + sdone;
-    std::byte* dp = dst + di * dn.extent + dplan[dj].offset + ddone;
-    const std::size_t step = std::min(slen - sdone, dlen - ddone);
-    std::memcpy(dp, sp, step);
+    const std::size_t step =
+        std::min(sc.run_len() - sc.done, dc.run_len() - dc.done);
+    std::memcpy(dst + dc.offset(), src + sc.offset(), step);
     copied += step;
-    sdone += step;
-    ddone += step;
-    if (sdone == slen) {
-      sdone = 0;
-      if (++sj == splan.size()) {
-        sj = 0;
-        ++si;
-      }
-    }
-    if (ddone == dlen) {
-      ddone = 0;
-      if (++dj == dplan.size()) {
-        dj = 0;
-        ++di;
-      }
-    }
+    sc.advance(step);
+    dc.advance(step);
   }
 }
 

@@ -14,6 +14,7 @@
 #include "minimpi/minimpi.hpp"
 #include "simnet/faults.hpp"
 #include "test_util.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -165,6 +166,130 @@ TEST(FaultTolerance, FusedP2pStaysFusedWithoutFaultModel) {
             opts);
     EXPECT_EQ(r.effective_backend(), Backend::point_to_point_fused);
   });
+}
+
+TEST(FaultTolerance, PipelinedP2pIsGatedOffUnderActiveFaultModel) {
+  // The pipelined executor's wait_any drain would spin forever on a dropped
+  // message (nothing ever completes the orphaned receive), so under an
+  // active FaultModel it must degrade to the reliable per-round path — and
+  // still deliver the oracle bytes through it. Delay injection reorders
+  // messages between rounds, which the up-front receive window must also
+  // survive via the fallback.
+  simnet::RandomFaultParams p;
+  p.drop_rate = 0.10;
+  p.delay_rate = 0.30;
+  p.delay_s = 1.0e-3;
+  p.seed = 2468;
+  simnet::RandomFaultPlan plan(p);
+  mpi::RunOptions ropts;
+  ropts.fault = &plan;
+  mpi::run(
+      4,
+      [&](mpi::Comm& comm) {
+        const int rank = comm.rank();
+        Redistributor r(comm, sizeof(float));
+        const ddr::OwnedLayout own{Chunk::d2(8, 1, 0, rank),
+                                   Chunk::d2(8, 1, 0, rank + 4)};
+        const Chunk need = Chunk::d2(4, 4, 4 * (rank % 2), 4 * (rank / 2));
+        ddr::SetupOptions opts;
+        opts.backend = Backend::point_to_point_pipelined;
+        r.setup(own, need, opts);
+        // The gate: pipelined was requested, but the fault model forces the
+        // per-round backend whose retry protocol handles loss and reorder.
+        EXPECT_EQ(r.effective_backend(), Backend::point_to_point);
+
+        std::vector<float> own_data;
+        for (const auto& c : own) {
+          const auto v = fill_chunk(c);
+          own_data.insert(own_data.end(), v.begin(), v.end());
+        }
+        // Two repetitions exercise the per-call epoch scoping on the
+        // fallback path (a retry of call N must never satisfy call N+1).
+        for (int rep = 0; rep < 2; ++rep) {
+          std::vector<float> need_data(static_cast<std::size_t>(need.volume()),
+                                       -1);
+          r.redistribute(bytes_of(own_data), bytes_of(need_data));
+          expect_oracle(need_data, need);
+        }
+      },
+      ropts);
+  const auto stats = plan.stats();
+  EXPECT_GT(stats.dropped + stats.delayed, 0u)
+      << "the plan never touched a message — the fallback was not exercised";
+}
+
+TEST(FaultTolerance, PipelinedP2pStaysPipelinedWithoutFaultModel) {
+  mpi::run(2, [](mpi::Comm& comm) {
+    Redistributor r(comm, sizeof(float));
+    ddr::SetupOptions opts;
+    opts.backend = Backend::point_to_point_pipelined;
+    r.setup({Chunk::d1(4, 4 * comm.rank())}, Chunk::d1(4, 4 * comm.rank()),
+            opts);
+    EXPECT_EQ(r.effective_backend(), Backend::point_to_point_pipelined);
+  });
+}
+
+TEST(FaultTolerance, PipelinedSpansCloseWhenSenderDiesMidExchange) {
+  // Span-closing contract extended to the pipelined path: a redistribute()
+  // requested as pipelined that dies mid-exchange (killed sender, diagnosed
+  // by the reliable fallback's watchdog-style death detection) must close
+  // every span it opened by unwinding, so each survivor's recorded stream
+  // stays balanced. In E1's quadrants every rank expects data from rank 3,
+  // so all three survivors diagnose the death.
+  simnet::RankKillPlan plan({3});
+  mpi::RunOptions ropts;
+  ropts.fault = &plan;
+  std::vector<trace::Recorder> recs;
+  recs.reserve(4);
+  for (int r = 0; r < 4; ++r) recs.emplace_back(r);
+  std::atomic<int> diagnosed{0};
+  mpi::run(
+      4,
+      [&](mpi::Comm& comm) {
+        const int rank = comm.rank();
+        const auto ri = static_cast<std::size_t>(rank);
+        Redistributor r(comm, sizeof(float));
+        r.trace_sink(&recs[ri]);
+        const ddr::OwnedLayout own{Chunk::d2(8, 1, 0, rank),
+                                   Chunk::d2(8, 1, 0, rank + 4)};
+        const Chunk need = Chunk::d2(4, 4, 4 * (rank % 2), 4 * (rank / 2));
+        ddr::SetupOptions opts;
+        opts.backend = Backend::point_to_point_pipelined;
+        // Go straight to the exchange so rank 3 dies inside it, not in the
+        // precondition agreement collective.
+        opts.collective_error_agreement = false;
+        r.setup(own, need, opts);
+        recs[ri].clear();
+        std::vector<float> own_data;
+        for (const auto& c : own) {
+          const auto v = fill_chunk(c);
+          own_data.insert(own_data.end(), v.begin(), v.end());
+        }
+        std::vector<float> need_data(static_cast<std::size_t>(need.volume()),
+                                     -1);
+        comm.barrier();
+        if (rank == 3) plan.arm();
+        try {
+          r.redistribute(bytes_of(own_data), bytes_of(need_data));
+          ASSERT_EQ(rank, -1) << "exchange with a killed sender completed";
+        } catch (const std::exception& e) {
+          if (rank != 3) {
+            EXPECT_NE(std::string(e.what()).find("killed"), std::string::npos)
+                << "unexpected error: " << e.what();
+            diagnosed.fetch_add(1);
+          }
+        }
+        // Unwinding must have closed everything redistribute() opened.
+        if (rank != 3) {
+          EXPECT_EQ(recs[ri].open_spans(), 0u) << "rank " << rank;
+        }
+      },
+      ropts);
+  EXPECT_EQ(diagnosed.load(), 3);
+  for (int r = 0; r < 3; ++r)
+    EXPECT_TRUE(trace::spans_balanced(recs[static_cast<std::size_t>(r)]
+                                          .events()))
+        << "rank " << r;
 }
 
 TEST(FaultTolerance, AlltoallwUnaffectedByDataPlaneLoss) {

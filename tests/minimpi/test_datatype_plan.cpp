@@ -259,6 +259,52 @@ TEST(DatatypePlan, CopyRegionsRejectsMismatchedByteCounts) {
                mpi::Error);
 }
 
+TEST(DatatypePlan, QuadCountNeverExceedsSegmentCountOnRandomTrees) {
+  // Run compression is lossless bookkeeping: plan_segment_count() stays the
+  // number of memcpy runs the legacy walker would make (coalesced), while
+  // plan_quad_count() is the stored footprint — never larger, since every
+  // quad covers >= 1 run.
+  std::mt19937 rng(31337);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Datatype t = random_type(rng, 3);
+    EXPECT_LE(t.plan_quad_count(), t.plan_segment_count())
+        << "trial " << trial << ": " << t.describe();
+
+    // Cross-check plan_segment_count() against the coalesced run count the
+    // plan-driven walker actually executes.
+    std::size_t runs = 0;
+    PlanToggle on(true);
+    t.for_each_segment(1, [&](std::size_t, std::size_t) { ++runs; });
+    EXPECT_EQ(runs, t.plan_segment_count())
+        << "trial " << trial << ": " << t.describe();
+  }
+}
+
+TEST(DatatypePlan, QuadsCompressStridedSubarrayAtLeast4x) {
+  // The acceptance bar: a strided3d-style subarray (a 32x32x64 brick of a
+  // 64^3 float array) has 2048 equal-length equal-stride rows per element;
+  // run compression must store them at least 4x smaller. The actual ratio is
+  // 32x (64 quads: one per z-plane, each counting 32 rows).
+  const std::vector<int> sizes{64, 64, 64};
+  const std::vector<int> sub{32, 32, 64};
+  const std::vector<int> starts{0, 0, 0};
+  const Datatype brick =
+      Datatype::subarray(sizes, sub, starts, Datatype::bytes(4),
+                         mpi::Order::fortran);
+  EXPECT_EQ(brick.plan_segment_count(), 2048u);
+  EXPECT_EQ(brick.plan_quad_count(), 64u);
+  EXPECT_GE(brick.plan_segment_count() / brick.plan_quad_count(), 4u);
+}
+
+TEST(DatatypePlan, SingleRunLanesStoreOneQuadPerRun) {
+  // Degenerate trains (no two consecutive equal-length runs with a common
+  // stride) fall back to one quad per run — compression never grows a plan.
+  const Datatype t = Datatype::vector(4, 1, 2, Datatype::bytes(2));
+  EXPECT_EQ(t.plan_quad_count(), 1u);  // 4 runs, one 4-count quad
+  const Datatype c = Datatype::vector(4, 1, 1, Datatype::bytes(2));
+  EXPECT_EQ(c.plan_quad_count(), 1u);  // fully coalesced: 1 run, 1 quad
+}
+
 TEST(DatatypePlan, PrecompileIsIdempotentAndThreadSafeToReuse) {
   const Datatype t = Datatype::vector(3, 1, 2, Datatype::bytes(8));
   t.precompile();

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -98,6 +100,69 @@ void check_e1_bytes(const TracedRun& run) {
   }
 }
 
+// The JSON bench's strided3d case: 64^3 float domain, 4 ranks, 8 round-robin
+// z-slabs of height 2 per rank; every rank needs one 32x32x64 brick. 8
+// rounds, fusing to one 64 KiB lane per peer pair per direction.
+ddr::OwnedLayout strided3d_owned(int rank) {
+  constexpr int kSide = 64, kRanks = 4, kSlabs = 8;
+  constexpr int slab_z = kSide / (kRanks * kSlabs);
+  ddr::OwnedLayout own;
+  for (int c = 0; c < kSlabs; ++c)
+    own.push_back(ddr::Chunk::d3(kSide, kSide, slab_z, 0, 0,
+                                 (rank + kRanks * c) * slab_z));
+  return own;
+}
+
+ddr::Chunk strided3d_needed(int rank) {
+  constexpr int kSide = 64;
+  return ddr::Chunk::d3(kSide / 2, kSide / 2, kSide, (rank % 2) * kSide / 2,
+                        (rank / 2) * kSide / 2, 0);
+}
+
+/// Like run_e1 but on the strided3d layout (the pipelined backend's bench
+/// case, 8 rounds deep).
+TracedRun run_strided3d(ddr::Backend backend) {
+  TracedRun out;
+  std::vector<trace::Recorder> recs;
+  recs.reserve(kRanks);
+  for (int r = 0; r < kRanks; ++r) recs.emplace_back(r);
+  int rounds = 0;
+
+  mpi::run(kRanks, [&](mpi::Comm& comm) {
+    const int r = comm.rank();
+    ddr::Redistributor rd(comm, sizeof(float));
+    rd.trace_sink(&recs[static_cast<std::size_t>(r)]);
+    ddr::SetupOptions opt;
+    opt.backend = backend;
+    opt.collective_error_agreement = false;
+    rd.setup(strided3d_owned(r), strided3d_needed(r), opt);
+    recs[static_cast<std::size_t>(r)].clear();
+    if (r == 0) rounds = rd.rounds();
+
+    std::vector<float> src(rd.owned_bytes() / sizeof(float), 1.0f);
+    std::vector<float> dst(rd.needed_bytes() / sizeof(float));
+    rd.redistribute(std::as_bytes(std::span<const float>(src)),
+                    std::as_writable_bytes(std::span<float>(dst)));
+  });
+
+  out.rounds = rounds;
+  for (const trace::Recorder& r : recs) {
+    EXPECT_EQ(r.open_spans(), 0u);
+    EXPECT_TRUE(trace::spans_balanced(r.events()));
+    out.structure.push_back(trace::structure_string(r.events()));
+    out.events.push_back(r.events());
+  }
+  return out;
+}
+
+/// The recorded pipeline depth: value of the ddr.pipeline.depth instant
+/// (number of receives posted up front), or -1 when absent.
+std::int64_t recorded_depth(const std::vector<trace::Event>& ev) {
+  for (const trace::Event& e : ev)
+    if (std::string(e.name) == "ddr.pipeline.depth") return e.keys.value;
+  return -1;
+}
+
 }  // namespace
 
 TEST(TraceGolden, AlltoallwRoundSpansMatchSchedule) {
@@ -139,8 +204,9 @@ TEST(TraceGolden, FusedEmitsOnePerPeerLane) {
     // Fused message instants carry no round (the lane spans every round).
     for (const trace::Event& e : ev)
       if (std::string(e.name) == "ddr.msg.send" ||
-          std::string(e.name) == "ddr.msg.recv")
+          std::string(e.name) == "ddr.msg.recv") {
         EXPECT_EQ(e.keys.round, -1);
+      }
   }
   check_e1_bytes(run);
 }
@@ -186,4 +252,61 @@ TEST(TraceGolden, AlltoallwRank0ExactStructure) {
       "      - mpi.staging.acquire [bytes=16]\n"
       "      - mpi.staging.acquire [bytes=16]\n";
   EXPECT_EQ(run.structure[0], expected);
+}
+
+TEST(TraceGolden, PipelinedPostsWindowThenCompletesOutOfOrder) {
+  const TracedRun run = run_e1(ddr::Backend::point_to_point_pipelined);
+  EXPECT_EQ(run.rounds, 2);
+  for (int r = 0; r < kRanks; ++r) {
+    const auto& ev = run.events[static_cast<std::size_t>(r)];
+    // One posting window, one pack span per peer lane, one completion
+    // drain — and no ddr.round spans: the lanes stitch every round.
+    EXPECT_EQ(trace::count_events(ev, "ddr.pipeline.post", trace::Phase::begin),
+              1u);
+    EXPECT_EQ(trace::count_events(ev, "ddr.pipeline.pack", trace::Phase::begin),
+              3u);
+    EXPECT_EQ(
+        trace::count_events(ev, "ddr.pipeline.complete", trace::Phase::begin),
+        1u);
+    EXPECT_EQ(trace::count_events(ev, "ddr.round", trace::Phase::begin), 0u);
+    // E1: 3 peers -> a window of 3 per-peer lane receives.
+    EXPECT_EQ(recorded_depth(ev), 3);
+  }
+  // Byte accounting is completion-order independent.
+  check_e1_bytes(run);
+}
+
+TEST(TraceGolden, PipelinedStrided3dConservesBytesOutOfOrder) {
+  // Deliberately NOT an exact-structure pin: receive completion order under
+  // the pipelined backend depends on thread scheduling. What must hold on
+  // every run is the window shape and pairwise byte conservation.
+  const TracedRun run = run_strided3d(ddr::Backend::point_to_point_pipelined);
+  EXPECT_EQ(run.rounds, 8);
+  std::vector<std::map<std::int64_t, std::int64_t>> sent(kRanks),
+      recvd(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    const auto& ev = run.events[static_cast<std::size_t>(r)];
+    EXPECT_EQ(trace::count_events(ev, "ddr.pipeline.post", trace::Phase::begin),
+              1u);
+    EXPECT_EQ(trace::count_events(ev, "ddr.pipeline.pack", trace::Phase::begin),
+              3u);
+    // 3 peers, each peer's 8 rounds fused into one lane.
+    EXPECT_EQ(recorded_depth(ev), 3);
+    EXPECT_EQ(trace::count_events(ev, "ddr.msg.send", trace::Phase::instant),
+              3u);
+    EXPECT_EQ(trace::count_events(ev, "ddr.msg.recv", trace::Phase::instant),
+              3u);
+    sent[static_cast<std::size_t>(r)] = trace::bytes_by_peer(ev, "ddr.msg.send");
+    recvd[static_cast<std::size_t>(r)] =
+        trace::bytes_by_peer(ev, "ddr.msg.recv");
+    // Each rank ships 3/4 of its 64x64x64/4 float slab set to peers.
+    EXPECT_EQ(trace::total_bytes(ev, "ddr.msg.send"), 196608);
+  }
+  for (int r = 0; r < kRanks; ++r)
+    for (int q = 0; q < kRanks; ++q) {
+      if (q == r) continue;
+      EXPECT_EQ(sent[static_cast<std::size_t>(r)].at(q),
+                recvd[static_cast<std::size_t>(q)].at(r))
+          << "bytes " << r << " -> " << q;
+    }
 }

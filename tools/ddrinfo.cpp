@@ -13,14 +13,15 @@
 //                 and print rank/chunk detail for every violation; exits
 //                 nonzero when the contract does not hold
 //     --cost      compile every rank's transfer plans and print per-rank
-//                 message counts, payload bytes, and compiled plan segment
-//                 totals for the plain per-round p2p backend and the fused
-//                 per-peer backend side by side
+//                 message counts, payload bytes, compiled plan segment and
+//                 run-compressed quad totals for the plain per-round p2p
+//                 backend and the fused per-peer backend side by side, plus
+//                 the pipelined backend's per-rank receive-window depth
 //     --trace F   actually run one redistribute() per backend (alltoallw,
-//                 p2p, fused) under the threaded runtime with tracing on,
-//                 write the merged Chrome-trace JSON to F (load it at
-//                 https://ui.perfetto.dev), and print per-backend message
-//                 and byte totals (comparable to --cost)
+//                 p2p, fused, pipelined) under the threaded runtime with
+//                 tracing on, write the merged Chrome-trace JSON to F (load
+//                 it at https://ui.perfetto.dev), and print per-backend
+//                 message and byte totals (comparable to --cost)
 //
 // Example input (the paper's E1):
 //   ndims 2
@@ -147,8 +148,12 @@ int run_validate(const ddr::LayoutSpec& spec) {
 /// Compiles every rank's transfer plans (exactly what Redistributor::setup
 /// builds) and prints what one redistribute() call costs each rank under the
 /// plain per-round p2p backend versus the fused per-peer backend: messages
-/// posted, payload bytes, and total compiled plan segments (the number of
-/// memcpy runs the pack/unpack of one call walks).
+/// posted, payload bytes, total compiled plan segments (the number of memcpy
+/// runs the pack/unpack of one call walks), and total run-compressed plan
+/// quads (the number of descriptors the plans actually store). The trailing
+/// column is the pipelined backend's receive-window depth: how many per-peer
+/// lane receives it posts up front (every round stitched per peer) before
+/// any data moves.
 int run_cost(const ddr::LayoutSpec& spec) {
   const ddr::GlobalLayout& layout = spec.layout;
   std::printf("layout: %d ranks, %dD, %zu-byte elements\n", layout.nranks(),
@@ -158,17 +163,22 @@ int run_cost(const ddr::LayoutSpec& spec) {
     std::int64_t messages = 0;
     std::int64_t bytes = 0;
     std::int64_t segments = 0;
+    std::int64_t quads = 0;
   };
   Cost plain_total, fused_total;
+  std::int64_t depth_total = 0;
   std::printf("\nper-rank send cost (one redistribute() call):\n");
-  std::printf("  %-5s | %-28s | %-28s\n", "", "plain p2p (per round x peer)",
-              "fused p2p (one msg per peer)");
-  std::printf("  %-5s | %8s %10s %8s | %8s %10s %8s\n", "rank", "msgs",
-              "bytes", "segs", "msgs", "bytes", "segs");
+  std::printf("  %-5s | %-35s | %-35s | %s\n", "",
+              "plain p2p (per round x peer)", "fused p2p (one msg per peer)",
+              "pipelined");
+  std::printf("  %-5s | %8s %10s %8s %6s | %8s %10s %8s %6s | %6s\n", "rank",
+              "msgs", "bytes", "segs", "quads", "msgs", "bytes", "segs",
+              "quads", "depth");
   for (int r = 0; r < layout.nranks(); ++r) {
     const ddr::DataMapping m =
         ddr::build_mapping(layout, r, spec.elem_size);
     Cost plain, fused;
+    std::int64_t depth = 0;
     for (const ddr::RoundPlan& rp : m.rounds) {
       for (std::size_t q = 0; q < rp.sendcounts.size(); ++q) {
         if (rp.sendcounts[q] <= 0) continue;
@@ -179,8 +189,14 @@ int run_cost(const ddr::LayoutSpec& spec) {
         }
         plain.segments +=
             n * static_cast<std::int64_t>(rp.sendtypes[q].plan_segment_count());
+        plain.quads +=
+            n * static_cast<std::int64_t>(rp.sendtypes[q].plan_quad_count());
       }
     }
+    // Pipelined receive window: one fused lane per peer this rank receives
+    // from (the same lanes the fused backend drains behind wait_all).
+    for (const ddr::PeerLane& lane : m.fused_recv)
+      if (lane.peer != r) ++depth;
     for (const ddr::PeerLane& lane : m.fused_send) {
       if (lane.peer != r) {
         fused.messages += 1;
@@ -188,30 +204,45 @@ int run_cost(const ddr::LayoutSpec& spec) {
       }
       fused.segments +=
           static_cast<std::int64_t>(lane.type.plan_segment_count());
+      fused.quads += static_cast<std::int64_t>(lane.type.plan_quad_count());
     }
-    std::printf("  %-5d | %8lld %10lld %8lld | %8lld %10lld %8lld\n", r,
-                static_cast<long long>(plain.messages),
-                static_cast<long long>(plain.bytes),
-                static_cast<long long>(plain.segments),
-                static_cast<long long>(fused.messages),
-                static_cast<long long>(fused.bytes),
-                static_cast<long long>(fused.segments));
+    std::printf(
+        "  %-5d | %8lld %10lld %8lld %6lld | %8lld %10lld %8lld %6lld | "
+        "%6lld\n",
+        r, static_cast<long long>(plain.messages),
+        static_cast<long long>(plain.bytes),
+        static_cast<long long>(plain.segments),
+        static_cast<long long>(plain.quads),
+        static_cast<long long>(fused.messages),
+        static_cast<long long>(fused.bytes),
+        static_cast<long long>(fused.segments),
+        static_cast<long long>(fused.quads), static_cast<long long>(depth));
     plain_total.messages += plain.messages;
     plain_total.bytes += plain.bytes;
     plain_total.segments += plain.segments;
+    plain_total.quads += plain.quads;
     fused_total.messages += fused.messages;
     fused_total.bytes += fused.bytes;
     fused_total.segments += fused.segments;
+    fused_total.quads += fused.quads;
+    depth_total += depth;
   }
-  std::printf("  %-5s | %8lld %10lld %8lld | %8lld %10lld %8lld\n", "total",
-              static_cast<long long>(plain_total.messages),
-              static_cast<long long>(plain_total.bytes),
-              static_cast<long long>(plain_total.segments),
-              static_cast<long long>(fused_total.messages),
-              static_cast<long long>(fused_total.bytes),
-              static_cast<long long>(fused_total.segments));
-  std::printf("\nsegment totals count send-side pack runs; self lanes move "
-              "zero-copy (no message) on both backends.\n");
+  std::printf(
+      "  %-5s | %8lld %10lld %8lld %6lld | %8lld %10lld %8lld %6lld | "
+      "%6lld\n",
+      "total", static_cast<long long>(plain_total.messages),
+      static_cast<long long>(plain_total.bytes),
+      static_cast<long long>(plain_total.segments),
+      static_cast<long long>(plain_total.quads),
+      static_cast<long long>(fused_total.messages),
+      static_cast<long long>(fused_total.bytes),
+      static_cast<long long>(fused_total.segments),
+      static_cast<long long>(fused_total.quads),
+      static_cast<long long>(depth_total));
+  std::printf("\nsegment totals count send-side pack runs; quads are the "
+              "run-compressed descriptors those plans store; depth is the "
+              "pipelined backend's up-front receive window; self lanes move "
+              "zero-copy (no message) on all backends.\n");
   return 0;
 }
 
@@ -234,6 +265,7 @@ int run_trace(const ddr::LayoutSpec& spec, const char* out_path) {
       {"alltoallw", ddr::Backend::alltoallw},
       {"p2p", ddr::Backend::point_to_point},
       {"fused", ddr::Backend::point_to_point_fused},
+      {"pipelined", ddr::Backend::point_to_point_pipelined},
   };
 
   std::ofstream out(out_path);
