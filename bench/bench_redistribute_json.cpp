@@ -2,7 +2,7 @@
 //
 // Runs the hot path the paper's use case B executes every timestep — a
 // strided 3D multi-chunk redistribution and a 2D rows-to-quadrants one —
-// under five configurations:
+// under eight configurations:
 //
 //   legacy_alltoallw       recursive-walker pack path (plans disabled)
 //   compiled_alltoallw     compiled segment plans, alltoallw backend
@@ -10,8 +10,19 @@
 //   compiled_p2p_fused     compiled plans, per-peer fused p2p backend
 //   compiled_p2p_pipelined compiled plans, all-round receive window with
 //                          out-of-order wait_any completion
+//   fused_scalar_kernel    fused backend with the copy-train kernel forced
+//                          to scalar (the SIMD-vs-scalar ablation; every
+//                          other config uses the autodetected kernel)
+//   fused_parpack2         fused backend, 2 PackExecutor workers per rank
+//   pipelined_parpack2     pipelined backend, 2 PackExecutor workers
 //
-// and emits BENCH_redistribute.json (schema: EXPERIMENTS.md) with median and
+// then sweeps rank counts (4/8/16/64) under the simnet Cooley link model,
+// comparing the flat exchange against the topology-aware two-level one by
+// VIRTUAL makespan (max per-rank clock delta over a fixed number of
+// redistributions) — wall time on this 1-core host says nothing about
+// cluster behaviour, the charged clocks do.
+//
+// Emits BENCH_redistribute.json (schema: EXPERIMENTS.md) with median and
 // p95 per-call wall time, bytes moved, messages posted per call, and the
 // steady-state staging-pool heap-allocation count. The process exits
 // non-zero if any steady-state redistribute() performed a staging heap
@@ -30,6 +41,7 @@
 
 #include "ddr/ddr.hpp"
 #include "minimpi/minimpi.hpp"
+#include "simnet/models.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -101,12 +113,20 @@ int env_int(const char* name, int fallback) {
   return v != nullptr ? std::atoi(v) : fallback;
 }
 
+/// `kernel` forces a copy-train kernel for the duration of the config
+/// (nullptr keeps the current dispatch); `pack_threads` > 0 turns on the
+/// per-rank PackExecutor for the fused/pipelined backends.
 ConfigResult run_config(const CaseSetup& cs, const std::string& cfg_name,
                         bool plan_enabled, ddr::Backend backend, int reps,
-                        CaseResult& out_case) {
+                        CaseResult& out_case, const char* kernel = nullptr,
+                        int pack_threads = 0) {
   ConfigResult res;
   res.name = cfg_name;
   mpi::Datatype::set_plan_enabled(plan_enabled);
+  if (kernel != nullptr && !mpi::set_pack_kernel(kernel)) {
+    std::fprintf(stderr, "kernel %s unavailable on this host\n", kernel);
+    std::exit(2);
+  }
 
   std::vector<double> times_ms;
   std::uint64_t msgs_delta = 0;
@@ -119,6 +139,7 @@ ConfigResult run_config(const CaseSetup& cs, const std::string& cfg_name,
 
   mpi::run(cs.nranks, [&](mpi::Comm& comm) {
     const int r = comm.rank();
+    if (pack_threads > 0) comm.set_pack_threads(pack_threads);
     ddr::Redistributor rd(comm, sizeof(float));
     ddr::SetupOptions opts;
     opts.backend = backend;
@@ -207,11 +228,121 @@ ConfigResult run_config(const CaseSetup& cs, const std::string& cfg_name,
               cs.name.c_str(), cfg_name.c_str(), res.median_ms, res.p95_ms,
               res.messages_per_call,
               static_cast<unsigned long long>(res.staging_heap_allocs_steady));
+  if (kernel != nullptr) mpi::set_pack_kernel("auto");
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// Ranks sweep: flat vs two-level exchange under the Cooley link model, by
+// virtual makespan.
+
+/// The Cooley link costs with the node structure hidden: every transfer pays
+/// the inter-node price and NetworkModel::node_of stays the identity, so the
+/// two-level optimization never engages. The difference to the real
+/// LinkModel under identical layouts is therefore exactly what topology
+/// awareness buys.
+class FlatModel final : public mpi::NetworkModel {
+ public:
+  explicit FlatModel(const simnet::LinkParams& p)
+      : m_(p), far_(p.ranks_per_node) {}
+  [[nodiscard]] double send_overhead(std::size_t b) const override {
+    return m_.send_overhead(b);
+  }
+  [[nodiscard]] double transfer_time(std::size_t b, int, int) const override {
+    return m_.transfer_time(b, 0, far_);  // ranks 0 and far_ never share a node
+  }
+  [[nodiscard]] double recv_overhead(std::size_t b) const override {
+    return m_.recv_overhead(b);
+  }
+
+ private:
+  simnet::LinkModel m_;
+  int far_;
+};
+
+struct SweepPoint {
+  int ranks = 0;
+  int reps = 0;
+  double flat_makespan_s = 0.0;
+  double twolevel_makespan_s = 0.0;
+  std::int64_t intra_lanes = 0;  ///< total fused intra-node send lanes
+};
+
+/// Shifted-window layout for n ranks (2 per node): a 32n x 32n float
+/// domain split into n row bands of 32 rows, one per rank, so node k owns
+/// the 64-row region [64k, 64k+64). Each rank needs a half-width window of
+/// two band heights starting one band below its node's region top — the
+/// sliding-window/halo shape — so (except at the domain edge) every node
+/// pulls half its bytes from within the node and half from the next node
+/// down. Lanes are tens to hundreds of KB: transfer time and per-byte
+/// overheads, not per-message latency, dominate the charged cost, which is
+/// the regime where routing intra-node lanes through shared memory pays.
+SweepPoint run_sweep_point(int n, int reps) {
+  const int side = 32 * n;
+  const int band_h = 32;
+
+  const auto run_with =
+      [&](const mpi::NetworkModel* model) -> std::pair<double, std::int64_t> {
+    std::vector<double> deltas(static_cast<std::size_t>(n), 0.0);
+    std::vector<int> intra(static_cast<std::size_t>(n), 0);
+    mpi::RunOptions opts;
+    opts.network = model;
+    mpi::run(
+        n,
+        [&](mpi::Comm& comm) {
+          const int r = comm.rank();
+          ddr::Redistributor rd(comm, sizeof(float));
+          ddr::SetupOptions so;
+          so.backend = ddr::Backend::point_to_point_fused;
+          so.collective_error_agreement = false;
+          const ddr::OwnedLayout own{
+              ddr::Chunk::d2(side, band_h, 0, band_h * r)};
+          const int node = r / 2;
+          int y0 = 2 * band_h * node + band_h;
+          if (y0 + 2 * band_h > side) y0 = side - 2 * band_h;  // domain edge
+          const ddr::Chunk need = ddr::Chunk::d2(
+              side / 2, 2 * band_h, (r % 2) * side / 2, y0);
+          rd.setup(own, need, so);
+          const auto ri = static_cast<std::size_t>(r);
+          intra[ri] = rd.fused_lane_count(ddr::LaneClass::intra);
+          std::vector<float> src(rd.owned_bytes() / sizeof(float), 1.0f);
+          std::vector<float> dst(rd.needed_bytes() / sizeof(float));
+          const auto src_b = std::as_bytes(std::span<const float>(src));
+          const auto dst_b = std::as_writable_bytes(std::span<float>(dst));
+          rd.redistribute(src_b, dst_b);  // warm the staging pool
+          comm.barrier();
+          const double c0 = comm.clock().now();
+          for (int i = 0; i < reps; ++i) rd.redistribute(src_b, dst_b);
+          deltas[ri] = comm.clock().now() - c0;
+        },
+        opts);
+    double makespan = 0.0;
+    std::int64_t lanes = 0;
+    for (const double d : deltas) makespan = std::max(makespan, d);
+    for (const int i : intra) lanes += i;
+    return {makespan, lanes};
+  };
+
+  const simnet::LinkParams p = simnet::cooley_params();
+  const simnet::LinkModel two_level(p);
+  const FlatModel flat(p);
+  SweepPoint sp;
+  sp.ranks = n;
+  sp.reps = reps;
+  sp.flat_makespan_s = run_with(&flat).first;
+  const auto [two_s, lanes] = run_with(&two_level);
+  sp.twolevel_makespan_s = two_s;
+  sp.intra_lanes = lanes;
+  std::printf("sweep      ranks %3d            flat %9.3f ms  two-level "
+              "%9.3f ms  intra lanes %lld\n",
+              n, sp.flat_makespan_s * 1e3, sp.twolevel_makespan_s * 1e3,
+              static_cast<long long>(sp.intra_lanes));
+  return sp;
+}
+
 void write_json(const std::string& path, int reps,
-                const std::vector<CaseResult>& cases) {
+                const std::vector<CaseResult>& cases,
+                const std::vector<SweepPoint>& sweep) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -252,6 +383,18 @@ void write_json(const std::string& path, int reps,
     }
     std::fprintf(f, "      ]\n    }%s\n", c + 1 < cases.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"ranks_sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& sp = sweep[i];
+    std::fprintf(f,
+                 "    {\"ranks\": %d, \"redistributions\": %d, "
+                 "\"flat_makespan_s\": %.6f, \"twolevel_makespan_s\": %.6f, "
+                 "\"intra_lanes\": %lld}%s\n",
+                 sp.ranks, sp.reps, sp.flat_makespan_s,
+                 sp.twolevel_makespan_s,
+                 static_cast<long long>(sp.intra_lanes),
+                 i + 1 < sweep.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 }
@@ -287,13 +430,25 @@ int main() {
     cr.configs.push_back(run_config(cs, "compiled_p2p_pipelined", true,
                                     ddr::Backend::point_to_point_pipelined,
                                     reps, cr));
+    cr.configs.push_back(run_config(cs, "fused_scalar_kernel", true,
+                                    ddr::Backend::point_to_point_fused, reps,
+                                    cr, "scalar"));
+    cr.configs.push_back(run_config(cs, "fused_parpack2", true,
+                                    ddr::Backend::point_to_point_fused, reps,
+                                    cr, nullptr, 2));
+    cr.configs.push_back(run_config(cs, "pipelined_parpack2", true,
+                                    ddr::Backend::point_to_point_pipelined,
+                                    reps, cr, nullptr, 2));
     for (const ConfigResult& cf : cr.configs)
       if (cf.staging_heap_allocs_steady != 0) alloc_clean = false;
     results.push_back(std::move(cr));
   }
   mpi::Datatype::set_plan_enabled(true);
 
-  write_json(out, reps, results);
+  std::vector<SweepPoint> sweep;
+  for (const int n : {4, 8, 16, 64}) sweep.push_back(run_sweep_point(n, 10));
+
+  write_json(out, reps, results, sweep);
   std::printf("wrote %s\n", out.c_str());
 
   if (!alloc_clean) {

@@ -105,6 +105,19 @@ struct DataMapping {
 [[nodiscard]] DataMapping build_mapping(const GlobalLayout& layout, int rank,
                                         std::size_t elem_size);
 
+/// Rebuilds, on ANY rank, the fused send lane that rank `sender` aims at
+/// rank `receiver` — byte-stream-identical to the PeerLane with peer ==
+/// receiver that build_mapping(layout, sender, elem_size) produces, because
+/// both mirror the same deterministic send-side enumeration of the
+/// allgathered layout. Returns peer == -1 (empty type) when `sender` has no
+/// traffic toward `receiver`. This is what lets a RECEIVER execute an
+/// intra-node lane zero-copy: it reads the sender's owned buffer directly
+/// through the sender's lane type (shared-memory semantics) without the
+/// sender shipping the type over.
+[[nodiscard]] PeerLane build_peer_send_lane(const GlobalLayout& layout,
+                                            int sender, int receiver,
+                                            std::size_t elem_size);
+
 /// Computes schedule statistics from geometry alone — no datatypes are
 /// constructed, so this is usable at full paper scale (e.g. the 128 GB TIFF
 /// domain of Table III) without allocating any pixel data.

@@ -55,6 +55,19 @@ enum class Backend {
   point_to_point_pipelined,
 };
 
+/// Locality class of a fused per-peer lane, derived at setup() time from the
+/// installed NetworkModel's node mapping (mpi::Comm::same_node):
+///   * self  — this rank's own lane; moves via copy_regions, no message.
+///   * intra — peer on the same node; the fused and pipelined backends move
+///     it zero-copy through shared memory (the receiver copies straight out
+///     of the sender's owned buffer), paying only two tiny control messages
+///     instead of the packed payload.
+///   * inter — peer on another node; packed and sent normally, the only
+///     class that pays the link model and the data-tag budget.
+/// Without a network model every rank is its own node, so all non-self lanes
+/// are inter and behaviour is exactly the flat exchange.
+enum class LaneClass { self, intra, inter };
+
 /// Options controlling setup behaviour.
 struct SetupOptions {
   /// Validate the paper's send-side contract (owned chunks mutually
@@ -152,6 +165,11 @@ class Redistributor {
   /// per round).
   [[nodiscard]] Backend effective_backend() const;
 
+  /// Number of this rank's fused SEND lanes in the given locality class
+  /// (see LaneClass; counts follow the node mapping the NetworkModel
+  /// installed at setup() time). Diagnostics and tests.
+  [[nodiscard]] int fused_lane_count(LaneClass cls) const;
+
   /// Attaches a trace recorder: while set, setup() and redistribute() record
   /// their phase spans and per-message instants into `rec` (see
   /// trace/trace.hpp for the event schema). The recorder is installed for the
@@ -198,6 +216,37 @@ class Redistributor {
     std::int64_t bytes = 0;
   };
   mutable std::vector<PipelineRecv> recv_meta_;
+
+  /// Locality class per fused lane, parallel to mapping_.fused_send /
+  /// mapping_.fused_recv (computed at setup from mpi::Comm::same_node).
+  std::vector<LaneClass> fused_send_class_, fused_recv_class_;
+  /// One entry per intra-node SENDING peer: everything the receiver needs to
+  /// execute that peer's lane zero-copy — the sender-side lane (rebuilt
+  /// deterministically with build_peer_send_lane, read through the pointer
+  /// the sender publishes) and this rank's matching fused recv lane.
+  struct IntraRecv {
+    int peer = -1;
+    std::ptrdiff_t peer_displ = 0;
+    mpi::Datatype peer_type;     ///< sender's fused lane type
+    std::ptrdiff_t my_displ = 0;
+    mpi::Datatype my_type;       ///< this rank's fused recv lane type
+    std::int64_t bytes = 0;
+  };
+  std::vector<IntraRecv> intra_recv_;
+
+  /// Handles the intra-node lanes of one fused/pipelined redistribute():
+  /// publishes this rank's owned-buffer pointer to intra peers it sends to,
+  /// then (in receive position) copies each intra sender's lane zero-copy
+  /// and acks it. wait_intra_acks() blocks until every intra receiver has
+  /// finished reading this rank's owned buffer.
+  void publish_intra(std::span<const std::byte> owned_data, int epoch) const;
+  void complete_intra_recvs(std::span<std::byte> needed_data, int epoch) const;
+  void wait_intra_acks(int epoch) const;
+
+  /// Parallel-pack scratch (payload per fused send lane), reused across
+  /// calls like reqs_.
+  mutable std::vector<std::vector<std::byte>> payloads_;
+
   /// Optional per-Redistributor trace sink (see trace_sink()). Not owned.
   trace::Recorder* trace_ = nullptr;
 };

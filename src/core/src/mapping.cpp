@@ -193,6 +193,43 @@ DataMapping build_mapping(const GlobalLayout& layout, int rank,
   return m;
 }
 
+PeerLane build_peer_send_lane(const GlobalLayout& layout, int sender,
+                              int receiver, std::size_t elem_size) {
+  const int nranks = layout.nranks();
+  require(sender >= 0 && sender < nranks,
+          "build_peer_send_lane: sender out of range");
+  require(receiver >= 0 && receiver < nranks,
+          "build_peer_send_lane: receiver out of range");
+  require(elem_size > 0, "build_peer_send_lane: element size must be positive");
+
+  // Mirror build_mapping exactly: per-round collapse of the sender's chunk-k
+  // pieces toward the receiver, then the fused stitch of the round lanes.
+  // The two-level collapse keeps the piece order (round, needed-index) — the
+  // property that makes the packed streams of both ends line up.
+  const auto& owned = layout.owned[static_cast<std::size_t>(sender)];
+  const auto& recv_needed = layout.needed[static_cast<std::size_t>(receiver)];
+  const std::vector<std::ptrdiff_t> owned_base = chunk_bases(owned, elem_size);
+
+  std::vector<Piece> spieces;
+  for (std::size_t k = 0; k < owned.size(); ++k) {
+    const Chunk& c = owned[k];
+    const Box cb = c.box();
+    std::vector<Piece> pieces;
+    for (const Chunk& nj : recv_needed) {
+      const Box ov = intersect(cb, nj.box());
+      if (ov.volume() > 0)
+        pieces.push_back({owned_base[k], make_subarray(c, ov, elem_size)});
+    }
+    if (pieces.empty()) continue;
+    auto [displ, type] = collapse(std::move(pieces));
+    spieces.push_back({displ, std::move(type)});
+  }
+  if (spieces.empty()) return PeerLane{};
+  auto [displ, type] = collapse(std::move(spieces));
+  const auto bytes = static_cast<std::int64_t>(type.size());
+  return PeerLane{receiver, displ, std::move(type), bytes};
+}
+
 MappingStats compute_stats(const GlobalLayout& layout, std::size_t elem_size) {
   MappingStats s;
   s.nranks = layout.nranks();

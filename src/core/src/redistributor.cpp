@@ -52,8 +52,10 @@ Chunk from_wire(const ChunkWire& w) {
 //   retry request for round k   : kP2pTagBase + W*(1 + k)     + e
 //   data message for round k    : kP2pTagBase + W*(1 + R + k) + e
 //   fused data message          : kP2pTagBase + W*(1 + 2R)    + e
+//   intra-node pointer publish  : kP2pTagBase + W*(2 + 2R)    + e
+//   intra-node copy ack         : kP2pTagBase + W*(3 + 2R)    + e
 //
-// Highest tag used: kP2pTagBase + W*(2 + 2R) - 1; setup() rejects mappings
+// Highest tag used: kP2pTagBase + W*(4 + 2R) - 1; setup() rejects mappings
 // whose round count would exceed the ceiling. Epochs scope one
 // redistribute() call's traffic: re-sent or duplicated messages of one call
 // can never be mistaken for another call's (the window would have to wrap
@@ -62,7 +64,11 @@ Chunk from_wire(const ChunkWire& w) {
 // because each peer pair exchanges at most one fused message per epoch; the
 // pipelined backend shares that window — it moves the same one-message-per-
 // peer lanes, differing only in completion order — so neither fused flavour
-// grows the tag budget.
+// grows the tag budget. Intra-node lanes likewise exchange at most one
+// pointer and one ack per peer pair per epoch, so the two-level exchange
+// costs two windows regardless of the round count. Only inter-node data
+// messages consume the per-round data windows — intra lanes move zero-copy
+// and never touch them.
 
 /// Tag base for the point-to-point backend, chosen high so it cannot collide
 /// with typical application tags.
@@ -79,6 +85,12 @@ int p2p_data_tag(int round, int nrounds, int epoch) {
 }
 int p2p_fused_tag(int nrounds, int epoch) {
   return kP2pTagBase + kP2pEpochWindow * (1 + 2 * nrounds) + epoch;
+}
+int p2p_intra_ptr_tag(int nrounds, int epoch) {
+  return kP2pTagBase + kP2pEpochWindow * (2 + 2 * nrounds) + epoch;
+}
+int p2p_intra_ack_tag(int nrounds, int epoch) {
+  return kP2pTagBase + kP2pEpochWindow * (3 + 2 * nrounds) + epoch;
 }
 
 // --- fail-safe collective error agreement ------------------------------------
@@ -274,6 +286,37 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
   mapping_ = build_mapping(layout_, comm_.rank(), elem_size_);
   stats_ = compute_stats(layout_, elem_size_);
 
+  // 6b. Classify the fused lanes by locality (see LaneClass). For every
+  // intra-node peer that sends to this rank, rebuild that peer's send lane
+  // locally: the receiver executes the lane zero-copy by reading the
+  // sender's owned buffer directly through the sender's own lane type, so it
+  // needs that type on its side — deterministically derivable from the
+  // allgathered layout, no extra communication. Without a NetworkModel
+  // same_node() is false for every peer and this reduces to the flat
+  // exchange (all non-self lanes inter, intra_recv_ empty).
+  auto classify = [&](int peer) {
+    if (peer == mapping_.rank) return LaneClass::self;
+    return comm_.same_node(peer) ? LaneClass::intra : LaneClass::inter;
+  };
+  fused_send_class_.clear();
+  fused_recv_class_.clear();
+  intra_recv_.clear();
+  for (const PeerLane& l : mapping_.fused_send)
+    fused_send_class_.push_back(classify(l.peer));
+  for (const PeerLane& l : mapping_.fused_recv) {
+    const LaneClass cls = classify(l.peer);
+    fused_recv_class_.push_back(cls);
+    if (cls != LaneClass::intra) continue;
+    PeerLane peer_lane =
+        build_peer_send_lane(layout_, l.peer, mapping_.rank, elem_size_);
+    require(peer_lane.peer == mapping_.rank,
+            "setup: internal error — intra-node recv lane from rank " +
+                std::to_string(l.peer) + " has no matching send lane");
+    peer_lane.type.precompile();
+    intra_recv_.push_back({l.peer, peer_lane.displ, std::move(peer_lane.type),
+                           l.displ, l.type, l.bytes});
+  }
+
   // 7. Tag-space budget for the p2p backends (see the tag layout comment
   // above): identical on every rank because the round count derives from the
   // allgathered layout. The fused backend's extra window is included in the
@@ -283,7 +326,7 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
     const auto nrounds = static_cast<std::int64_t>(mapping_.rounds.size());
     const std::int64_t highest =
         kP2pTagBase +
-        static_cast<std::int64_t>(kP2pEpochWindow) * (2 + 2 * nrounds) - 1;
+        static_cast<std::int64_t>(kP2pEpochWindow) * (4 + 2 * nrounds) - 1;
     require(highest < mpi::tag_upper_bound,
             "setup: point-to-point backend needs " + std::to_string(nrounds) +
                 " rounds, whose highest tag " + std::to_string(highest) +
@@ -309,9 +352,20 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
                              rp.sendtypes[q].size());
   if (options.backend == Backend::point_to_point_fused ||
       options.backend == Backend::point_to_point_pipelined)
-    for (const PeerLane& lane : mapping_.fused_send)
-      if (lane.peer != mapping_.rank)
-        send_bytes.push_back(lane.type.size());
+    for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i) {
+      // Intra-node lanes never pack a payload — they publish an 8-byte
+      // owned-buffer pointer instead (the ack is zero-byte, poolless).
+      switch (fused_send_class_[i]) {
+        case LaneClass::self:
+          break;
+        case LaneClass::intra:
+          send_bytes.push_back(sizeof(std::uintptr_t));
+          break;
+        case LaneClass::inter:
+          send_bytes.push_back(mapping_.fused_send[i].type.size());
+          break;
+      }
+    }
   comm_.reserve_staging(send_bytes);
 
   p2p_epoch_ = 0;
@@ -471,29 +525,123 @@ void Redistributor::execute_p2p(std::span<const std::byte> owned_data,
   reqs_.clear();
 }
 
+void Redistributor::publish_intra(std::span<const std::byte> owned_data,
+                                  int epoch) const {
+  const int nrounds = static_cast<int>(mapping_.rounds.size());
+  const int tag = p2p_intra_ptr_tag(nrounds, epoch);
+  for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i) {
+    if (fused_send_class_[i] != LaneClass::intra) continue;
+    const PeerLane& l = mapping_.fused_send[i];
+    DDR_TRACE_INSTANT("ddr.intra.publish", {.peer = l.peer, .bytes = l.bytes});
+    const auto ptr = reinterpret_cast<std::uintptr_t>(owned_data.data());
+    comm_.send(&ptr, 1, mpi::Datatype::of<std::uintptr_t>(), l.peer, tag);
+  }
+}
+
+void Redistributor::complete_intra_recvs(std::span<std::byte> needed_data,
+                                         int epoch) const {
+  const int nrounds = static_cast<int>(mapping_.rounds.size());
+  const int ptag = p2p_intra_ptr_tag(nrounds, epoch);
+  const int atag = p2p_intra_ack_tag(nrounds, epoch);
+  for (const IntraRecv& ir : intra_recv_) {
+    // The mailbox handoff orders the sender's writes of its owned buffer
+    // before this read (it happens-before the pointer message), and the ack
+    // below orders this copy before anything the sender does after
+    // wait_intra_acks() — that pair is what makes the shared-memory read
+    // race-free.
+    std::uintptr_t ptr = 0;
+    comm_.recv(&ptr, 1, mpi::Datatype::of<std::uintptr_t>(), ir.peer, ptag);
+    {
+      DDR_TRACE_SPAN(cspan, "ddr.intra.copy",
+                     trace::Keys{.peer = ir.peer, .bytes = ir.bytes});
+      mpi::copy_regions(ir.peer_type,
+                        reinterpret_cast<const std::byte*>(ptr) + ir.peer_displ,
+                        1, ir.my_type, needed_data.data() + ir.my_displ, 1);
+    }
+    comm_.send(nullptr, 0, mpi::Datatype::bytes(1), ir.peer, atag);
+  }
+}
+
+void Redistributor::wait_intra_acks(int epoch) const {
+  const int nrounds = static_cast<int>(mapping_.rounds.size());
+  const int atag = p2p_intra_ack_tag(nrounds, epoch);
+  for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i)
+    if (fused_send_class_[i] == LaneClass::intra)
+      comm_.recv(nullptr, 0, mpi::Datatype::bytes(1),
+                 mapping_.fused_send[i].peer, atag);
+}
+
+int Redistributor::fused_lane_count(LaneClass cls) const {
+  int n = 0;
+  for (const LaneClass c : fused_send_class_)
+    if (c == cls) ++n;
+  return n;
+}
+
 void Redistributor::execute_p2p_fused(std::span<const std::byte> owned_data,
                                       std::span<std::byte> needed_data) const {
-  // One message per peer: each peer's per-round lanes were stitched into a
-  // single struct type at setup time (DataMapping::fused_send/fused_recv).
+  // One message per INTER-NODE peer: each peer's per-round lanes were
+  // stitched into a single struct type at setup time
+  // (DataMapping::fused_send/fused_recv). Intra-node lanes move zero-copy
+  // through shared memory (publish_intra/complete_intra_recvs); the self
+  // lane moves via copy_regions. With pack_threads() > 0 the inter lanes are
+  // packed/unpacked concurrently on the PackExecutor, with clock charging
+  // and mailbox traffic kept on this rank thread.
   const int nrounds = static_cast<int>(mapping_.rounds.size());
   const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
   const int tag = p2p_fused_tag(nrounds, epoch);
+  const bool parallel = comm_.pack_threads() > 0;
   reqs_.clear();
   {
     DDR_TRACE_SPAN(fspan, "ddr.exchange.fused");
-    // Fused lanes span every round, so their message instants carry round=-1.
-    for (const PeerLane& l : mapping_.fused_recv)
-      if (l.peer != mapping_.rank) {
+    // Serial path: register interest in every inter lane up front. (The
+    // parallel path instead receives raw payloads below and unpacks them on
+    // the executor.) Fused lanes span every round: message instants carry
+    // round=-1.
+    if (!parallel)
+      for (std::size_t i = 0; i < mapping_.fused_recv.size(); ++i) {
+        if (fused_recv_class_[i] != LaneClass::inter) continue;
+        const PeerLane& l = mapping_.fused_recv[i];
         DDR_TRACE_INSTANT("ddr.msg.recv", {.peer = l.peer, .bytes = l.bytes});
         reqs_.push_back(comm_.irecv(needed_data.data() + l.displ, 1, l.type,
                                     l.peer, tag));
       }
-    for (const PeerLane& l : mapping_.fused_send)
-      if (l.peer != mapping_.rank) {
+    // Publish owned-buffer pointers to intra peers before anything blocks,
+    // so no receiver can wait on a pointer its sender has not yet sent.
+    publish_intra(owned_data, epoch);
+    if (parallel) {
+      // Pack every inter lane concurrently into staging, then post from this
+      // thread (posting charges the clock and runs fault fates, which must
+      // stay serialized on the rank thread).
+      payloads_.resize(mapping_.fused_send.size());
+      const std::vector<std::size_t> lanes = comm_.parallel_for_lanes(
+          mapping_.fused_send.size(), [&](std::size_t i) {
+            if (fused_send_class_[i] != LaneClass::inter) return;
+            const PeerLane& l = mapping_.fused_send[i];
+            payloads_[i] =
+                comm_.pack_to_staging(owned_data.data() + l.displ, 1, l.type);
+          });
+      for (std::size_t w = 0; w < lanes.size(); ++w) {
+        DDR_TRACE_SPAN(pspan, "ddr.pack.parallel",
+                       trace::Keys{.peer = static_cast<int>(w),
+                                   .value = static_cast<std::int64_t>(
+                                       lanes[w])});
+      }
+      for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i) {
+        if (fused_send_class_[i] != LaneClass::inter) continue;
+        const PeerLane& l = mapping_.fused_send[i];
+        DDR_TRACE_INSTANT("ddr.msg.send", {.peer = l.peer, .bytes = l.bytes});
+        comm_.isend_packed(std::move(payloads_[i]), l.peer, tag);
+      }
+    } else {
+      for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i) {
+        if (fused_send_class_[i] != LaneClass::inter) continue;
+        const PeerLane& l = mapping_.fused_send[i];
         DDR_TRACE_INSTANT("ddr.msg.send", {.peer = l.peer, .bytes = l.bytes});
         reqs_.push_back(
             comm_.isend(owned_data.data() + l.displ, 1, l.type, l.peer, tag));
       }
+    }
     // Self lane: the fused send and recv types cover the same bytes in the
     // same (round, needed-index) order, so they map onto each other directly.
     for (const PeerLane& s : mapping_.fused_send) {
@@ -503,11 +651,47 @@ void Redistributor::execute_p2p_fused(std::span<const std::byte> owned_data,
           mpi::copy_regions(s.type, owned_data.data() + s.displ, 1, r.type,
                             needed_data.data() + r.displ, 1);
     }
+    // Intra lanes: copy straight out of each same-node sender's owned
+    // buffer, then ack so the sender may return.
+    complete_intra_recvs(needed_data, epoch);
+    if (parallel) {
+      // Receive the raw inter payloads (clock charged per message, on this
+      // thread), then unpack them concurrently and return the buffers to the
+      // pool. Everyone posted their sends before blocking here, so draining
+      // in peer order cannot deadlock.
+      payloads_.resize(mapping_.fused_recv.size());
+      for (std::size_t i = 0; i < mapping_.fused_recv.size(); ++i) {
+        if (fused_recv_class_[i] != LaneClass::inter) continue;
+        const PeerLane& l = mapping_.fused_recv[i];
+        payloads_[i] = comm_.recv_payload(l.peer, tag);
+        DDR_TRACE_INSTANT("ddr.msg.recv", {.peer = l.peer, .bytes = l.bytes});
+        require(payloads_[i].size() == l.type.size(),
+                "redistribute: fused lane from rank " + std::to_string(l.peer) +
+                    " delivered " + std::to_string(payloads_[i].size()) +
+                    " bytes, expected " + std::to_string(l.type.size()));
+      }
+      const std::vector<std::size_t> lanes = comm_.parallel_for_lanes(
+          mapping_.fused_recv.size(), [&](std::size_t i) {
+            if (fused_recv_class_[i] != LaneClass::inter) return;
+            const PeerLane& l = mapping_.fused_recv[i];
+            l.type.unpack(payloads_[i].data(), 1,
+                          needed_data.data() + l.displ);
+          });
+      for (std::size_t w = 0; w < lanes.size(); ++w) {
+        DDR_TRACE_SPAN(uspan, "ddr.pack.parallel",
+                       trace::Keys{.peer = static_cast<int>(w),
+                                   .value = static_cast<std::int64_t>(
+                                       lanes[w])});
+      }
+      for (std::vector<std::byte>& p : payloads_)
+        if (!p.empty()) comm_.release_staging(std::move(p));
+    }
   }
   {
     DDR_TRACE_SPAN(wspan, "ddr.wait_all");
     mpi::wait_all(reqs_);
   }
+  wait_intra_acks(epoch);
   reqs_.clear();
 }
 
@@ -526,16 +710,20 @@ void Redistributor::execute_p2p_pipelined(
   const int nrounds = static_cast<int>(mapping_.rounds.size());
   const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
   const int tag = p2p_fused_tag(nrounds, epoch);
+  const bool parallel = comm_.pack_threads() > 0;
   reqs_.clear();
   recv_meta_.clear();
 
-  // Phase 1: post the full receive window. The number of outstanding
-  // receives (the pipeline depth) is recorded as an instant. Fused lanes
-  // span every round, so their message instants carry round=-1.
+  // Phase 1: post the full INTER-NODE receive window (intra lanes complete
+  // zero-copy through shared memory instead — see complete_intra_recvs).
+  // The number of outstanding receives (the pipeline depth) is recorded as
+  // an instant. Fused lanes span every round, so their message instants
+  // carry round=-1.
   {
     DDR_TRACE_SPAN(pspan, "ddr.pipeline.post");
-    for (const PeerLane& l : mapping_.fused_recv) {
-      if (l.peer == mapping_.rank) continue;
+    for (std::size_t i = 0; i < mapping_.fused_recv.size(); ++i) {
+      if (fused_recv_class_[i] != LaneClass::inter) continue;
+      const PeerLane& l = mapping_.fused_recv[i];
       recv_meta_.push_back({-1, l.peer, l.bytes});
       reqs_.push_back(
           comm_.irecv(needed_data.data() + l.displ, 1, l.type, l.peer, tag));
@@ -543,6 +731,9 @@ void Redistributor::execute_p2p_pipelined(
     DDR_TRACE_INSTANT("ddr.pipeline.depth",
                       {.value = static_cast<std::int64_t>(reqs_.size())});
   }
+  // Owned-buffer pointers go to intra peers before anything blocks, so no
+  // receiver can wait on a pointer its sender has not yet sent.
+  publish_intra(owned_data, epoch);
   std::size_t nrecv_left = reqs_.size();
   const std::span<mpi::Request> recvs(reqs_.data(), reqs_.size());
 
@@ -567,18 +758,41 @@ void Redistributor::execute_p2p_pipelined(
   // first receives land while later lanes are still packing. Each pack span
   // covers one peer's pack + post; between lanes, whatever landed meanwhile
   // is drained and unpacked — overlap, not a barrier: nothing here waits.
+  // With pack_threads() > 0 the lanes are packed concurrently up front on
+  // the PackExecutor; the shifted schedule then just posts the prepacked
+  // payloads (posting charges the clock, which stays on this thread).
   const std::vector<PeerLane>& lanes = mapping_.fused_send;
+  if (parallel) {
+    payloads_.resize(lanes.size());
+    const std::vector<std::size_t> counts = comm_.parallel_for_lanes(
+        lanes.size(), [&](std::size_t i) {
+          if (fused_send_class_[i] != LaneClass::inter) return;
+          const PeerLane& l = lanes[i];
+          payloads_[i] =
+              comm_.pack_to_staging(owned_data.data() + l.displ, 1, l.type);
+        });
+    for (std::size_t w = 0; w < counts.size(); ++w) {
+      DDR_TRACE_SPAN(pkspan, "ddr.pack.parallel",
+                     trace::Keys{.peer = static_cast<int>(w),
+                                 .value = static_cast<std::int64_t>(
+                                     counts[w])});
+    }
+  }
   std::size_t first = 0;
   while (first < lanes.size() && lanes[first].peer <= mapping_.rank) ++first;
   for (std::size_t n = 0; n < lanes.size(); ++n) {
-    const PeerLane& l = lanes[(first + n) % lanes.size()];
-    if (l.peer == mapping_.rank) continue;
+    const std::size_t idx = (first + n) % lanes.size();
+    if (fused_send_class_[idx] != LaneClass::inter) continue;
+    const PeerLane& l = lanes[idx];
     {
       DDR_TRACE_SPAN(kspan, "ddr.pipeline.pack", trace::Keys{.peer = l.peer});
       DDR_TRACE_INSTANT("ddr.msg.send", {.peer = l.peer, .bytes = l.bytes});
       // Sends are buffered-eager: the request is born complete, so only the
       // receive window in reqs_ ever needs waiting on.
-      comm_.isend(owned_data.data() + l.displ, 1, l.type, l.peer, tag);
+      if (parallel)
+        comm_.isend_packed(std::move(payloads_[idx]), l.peer, tag);
+      else
+        comm_.isend(owned_data.data() + l.displ, 1, l.type, l.peer, tag);
     }
     drain_ready();
   }
@@ -591,6 +805,9 @@ void Redistributor::execute_p2p_pipelined(
         mpi::copy_regions(s.type, owned_data.data() + s.displ, 1, r.type,
                           needed_data.data() + r.displ, 1);
   }
+  // Intra lanes: copy straight out of each same-node sender's owned buffer,
+  // then ack so the sender may return.
+  complete_intra_recvs(needed_data, epoch);
 
   // Phase 3: complete the remaining receives strictly in arrival order.
   // While several are outstanding, wait_any picks whichever lands first;
@@ -614,6 +831,7 @@ void Redistributor::execute_p2p_pipelined(
         break;
       }
   }
+  wait_intra_acks(epoch);
   reqs_.clear();
   recv_meta_.clear();
 }

@@ -60,6 +60,12 @@ class NetworkModel {
 
   /// CPU time the receiver spends draining a matched message.
   [[nodiscard]] virtual double recv_overhead(std::size_t bytes) const = 0;
+
+  /// Node a world rank lives on. Ranks on the same node can exchange via
+  /// shared memory (Comm::same_node; DDR routes such lanes zero-copy). The
+  /// default places every rank on its own node, so models that predate the
+  /// topology extension keep their flat behaviour.
+  [[nodiscard]] virtual int node_of(int world_rank) const { return world_rank; }
 };
 
 }  // namespace mpi

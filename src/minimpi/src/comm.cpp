@@ -90,7 +90,8 @@ CommImpl::CommImpl(std::shared_ptr<World> w, std::vector<int> group_world_ranks)
       trace_id(world->next_comm_id.fetch_add(1, std::memory_order_relaxed)),
       coll_seq(group.size(), 0),
       split_seq(group.size(), 0),
-      shrink_seq(group.size(), 0) {
+      shrink_seq(group.size(), 0),
+      pack_exec(group.size()) {
   user_box.reserve(group.size());
   coll_box.reserve(group.size());
   for (std::size_t i = 0; i < group.size(); ++i) {
@@ -1102,6 +1103,93 @@ void Comm::reserve_staging(const std::vector<std::size_t>& sizes) const {
                              .bytes = total});
   for (const std::size_t n : sizes)
     if (n > 0) impl_->staging.release(std::vector<std::byte>(n));
+}
+
+void Comm::set_pack_threads(int n) const {
+  require(valid(), ErrorClass::invalid_comm,
+          "set_pack_threads: invalid communicator");
+  require(n >= 0, ErrorClass::invalid_argument,
+          "set_pack_threads: thread count must be >= 0");
+  impl_->pack_threads.store(n, std::memory_order_relaxed);
+}
+
+int Comm::pack_threads() const {
+  require(valid(), ErrorClass::invalid_comm,
+          "pack_threads: invalid communicator");
+  return impl_->pack_threads.load(std::memory_order_relaxed);
+}
+
+std::vector<std::size_t> Comm::parallel_for_lanes(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  require(valid(), ErrorClass::invalid_comm,
+          "parallel_for_lanes: invalid communicator");
+  const int want = impl_->pack_threads.load(std::memory_order_relaxed);
+  if (want <= 0) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return std::vector<std::size_t>(1, n);
+  }
+  std::unique_ptr<detail::PackExecutor>& slot =
+      impl_->pack_exec[static_cast<std::size_t>(rank_)];
+  if (slot == nullptr || slot->workers() != want)
+    slot = std::make_unique<detail::PackExecutor>(want);
+  return slot->parallel_for(n, fn);
+}
+
+std::vector<std::byte> Comm::pack_to_staging(const void* buf,
+                                             std::size_t count,
+                                             const Datatype& type) const {
+  require(valid(), ErrorClass::invalid_comm,
+          "pack_to_staging: invalid communicator");
+  return pack_elements(*impl_, buf, count, type);
+}
+
+Request Comm::isend_packed(std::vector<std::byte> payload, int dest,
+                           int tag) const {
+  require(valid(), ErrorClass::invalid_comm,
+          "isend_packed: invalid communicator");
+  check_rank(*impl_, dest, "isend_packed");
+  require(tag >= 0 && tag < tag_upper_bound, ErrorClass::invalid_tag,
+          "isend_packed: tag must be in [0, tag_upper_bound)");
+  const std::size_t bytes = payload.size();
+  send_packed(*impl_, rank_, std::move(payload), dest, tag,
+              /*collective=*/false);
+  Request r;
+  r.kind_ = Request::Kind::done_send;
+  r.done_status_ = Status{rank_, tag, bytes};
+  return r;
+}
+
+std::vector<std::byte> Comm::recv_payload(int source, int tag) const {
+  require(valid(), ErrorClass::invalid_comm,
+          "recv_payload: invalid communicator");
+  if (source != any_source) check_rank(*impl_, source, "recv_payload");
+  require((tag >= 0 && tag < tag_upper_bound) || tag == any_tag,
+          ErrorClass::invalid_tag,
+          "recv_payload: tag must be in [0, tag_upper_bound) or any_tag");
+  Mailbox& box = *impl_->user_box[static_cast<std::size_t>(rank_)];
+  const int my_world = impl_->group[static_cast<std::size_t>(rank_)];
+  fault_checkpoint(*impl_->world, my_world);
+  Message msg = take(box, *impl_->world, my_world, source, tag);
+  charge_recv(*impl_, rank_, msg);
+  return std::move(msg.payload);
+}
+
+void Comm::release_staging(std::vector<std::byte>&& buf) const {
+  require(valid(), ErrorClass::invalid_comm,
+          "release_staging: invalid communicator");
+  impl_->staging.release(std::move(buf));
+}
+
+bool Comm::same_node(int rank_in_comm) const {
+  require(valid(), ErrorClass::invalid_comm,
+          "same_node: invalid communicator");
+  check_rank(*impl_, rank_in_comm, "same_node");
+  if (rank_in_comm == rank_) return true;
+  const NetworkModel* net = impl_->world->network;
+  if (net == nullptr) return false;  // no model: every rank is its own node
+  const int a = impl_->group[static_cast<std::size_t>(rank_)];
+  const int b = impl_->group[static_cast<std::size_t>(rank_in_comm)];
+  return net->node_of(a) == net->node_of(b);
 }
 
 void Comm::checkpoint() const {

@@ -1,5 +1,7 @@
 #include "minimpi/datatype.hpp"
 
+#include "pack_kernels.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <cstring>
@@ -532,16 +534,15 @@ void Datatype::pack(const std::byte* src, std::size_t count,
   }
   if (detail::g_plan_enabled.load(std::memory_order_relaxed)) {
     const std::vector<detail::Quad>& plan = node_->compiled();
+    const detail::CopyTrainFn train = detail::copy_train_fn();
     std::byte* out = dst;
     for (std::size_t i = 0; i < count; ++i) {
       const std::byte* base = src + i * node_->extent;
       for (const detail::Quad& q : plan) {
-        const std::byte* p = base + q.offset;
-        for (std::size_t k = 0; k < q.count; ++k) {
-          std::memcpy(out, p, q.length);
-          out += q.length;
-          p += q.stride;
-        }
+        // Gather: dense destination runs, strided source runs.
+        train(out, static_cast<std::ptrdiff_t>(q.length), base + q.offset,
+              q.stride, q.length, q.count);
+        out += q.length * q.count;
       }
     }
     return;
@@ -561,16 +562,15 @@ void Datatype::unpack(const std::byte* src, std::size_t count,
   }
   if (detail::g_plan_enabled.load(std::memory_order_relaxed)) {
     const std::vector<detail::Quad>& plan = node_->compiled();
+    const detail::CopyTrainFn train = detail::copy_train_fn();
     const std::byte* in = src;
     for (std::size_t i = 0; i < count; ++i) {
       std::byte* base = dst + i * node_->extent;
       for (const detail::Quad& q : plan) {
-        std::byte* p = base + q.offset;
-        for (std::size_t k = 0; k < q.count; ++k) {
-          std::memcpy(p, in, q.length);
-          in += q.length;
-          p += q.stride;
-        }
+        // Scatter: strided destination runs, dense source runs.
+        train(base + q.offset, q.stride, in,
+              static_cast<std::ptrdiff_t>(q.length), q.length, q.count);
+        in += q.length * q.count;
       }
     }
     return;
@@ -623,14 +623,25 @@ void copy_regions(const Datatype& src_type, const std::byte* src,
     std::memcpy(dst, src, total);
     return;
   }
-  // March the two packed byte streams together, copying the overlap of the
-  // current source run and the current destination run each step. Contiguous
-  // sides behave as one full-size run per element (a synthetic whole-element
-  // quad, so they never pay a plan compile).
+  // One-sided contiguity degrades to pack/unpack: a dense destination region
+  // IS the packed stream of the source (and vice versa), and pack/unpack run
+  // the dispatched copy-train kernel once per quad — strictly better than
+  // marching two cursors run by run.
+  if (dst_type.node_->contiguous) {
+    src_type.pack(src, src_count, dst);
+    return;
+  }
+  if (src_type.node_->contiguous) {
+    dst_type.unpack(src, dst_count, dst);
+    return;
+  }
+  // Both sides strided: march the two packed byte streams together. Whenever
+  // both cursors sit at run starts of equal length, the overlap of the two
+  // current quads is a strided train — one kernel call covers
+  // min(remaining repetitions) runs. Mismatched or partially consumed runs
+  // fall back to copying the overlap of the current runs byte-exactly.
   const detail::TypeNode& sn = *src_type.node_;
   const detail::TypeNode& dn = *dst_type.node_;
-  const detail::Quad s_whole{0, sn.size, 0, 1};
-  const detail::Quad d_whole{0, dn.size, 0, 1};
 
   // Cursor over the expanded run sequence of a quad plan: element index,
   // quad index, repetition within the quad, bytes consumed of that run.
@@ -660,19 +671,42 @@ void copy_regions(const Datatype& src_type, const std::byte* src,
         ++elem;
       }
     }
+    /// Advances past `n` whole runs of the current quad; only valid at a run
+    /// start (done == 0) with n <= remaining repetitions.
+    void advance_runs(std::size_t n) {
+      rep += n;
+      if (rep < quads[qi].count) return;
+      rep = 0;
+      if (++qi == nquads) {
+        qi = 0;
+        ++elem;
+      }
+    }
   };
-  auto make_cursor = [](const detail::TypeNode& n, const detail::Quad& whole) {
-    if (n.contiguous) return Cursor{&whole, 1, n.extent};
+  auto make_cursor = [](const detail::TypeNode& n) {
     const std::vector<detail::Quad>& plan = n.compiled();
     return Cursor{plan.data(), plan.size(), n.extent};
   };
-  Cursor sc = make_cursor(sn, s_whole);
-  Cursor dc = make_cursor(dn, d_whole);
+  Cursor sc = make_cursor(sn);
+  Cursor dc = make_cursor(dn);
+  const detail::CopyTrainFn train = detail::copy_train_fn();
 
   std::size_t copied = 0;
   while (copied < total) {
-    const std::size_t step =
-        std::min(sc.run_len() - sc.done, dc.run_len() - dc.done);
+    const std::size_t slen = sc.run_len();
+    const std::size_t dlen = dc.run_len();
+    if (sc.done == 0 && dc.done == 0 && slen == dlen) {
+      const detail::Quad& sq = sc.quads[sc.qi];
+      const detail::Quad& dq = dc.quads[dc.qi];
+      const std::size_t reps = std::min(sq.count - sc.rep, dq.count - dc.rep);
+      train(dst + dc.offset(), dq.stride, src + sc.offset(), sq.stride, slen,
+            reps);
+      copied += slen * reps;
+      sc.advance_runs(reps);
+      dc.advance_runs(reps);
+      continue;
+    }
+    const std::size_t step = std::min(slen - sc.done, dlen - dc.done);
     std::memcpy(dst + dc.offset(), src + sc.offset(), step);
     copied += step;
     sc.advance(step);

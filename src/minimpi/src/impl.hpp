@@ -7,10 +7,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "minimpi/comm.hpp"
@@ -103,6 +105,125 @@ struct BufferPool {
   std::size_t retained_bytes = 0;  // guarded by m
   std::atomic<std::uint64_t> acquires{0};
   std::atomic<std::uint64_t> heap_allocs{0};
+};
+
+/// A small work-stealing thread pool for packing/unpacking independent
+/// lanes concurrently (Comm::parallel_for_lanes). One executor per rank
+/// thread that opts in (Comm::set_pack_threads), so concurrent jobs from
+/// different ranks never collide. The caller participates: a job over n
+/// lanes is drained by the caller plus `workers()` pool threads pulling
+/// indices from a shared atomic counter. Workers do pure memory work —
+/// virtual-clock charging and fault fates stay on the rank thread
+/// (Comm::isend_packed), which is what keeps the simulation deterministic.
+class PackExecutor {
+ public:
+  explicit PackExecutor(int workers) {
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+      threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  PackExecutor(const PackExecutor&) = delete;
+  PackExecutor& operator=(const PackExecutor&) = delete;
+
+  ~PackExecutor() {
+    {
+      std::lock_guard lk(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  [[nodiscard]] int workers() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+
+  /// Runs fn(i) for every i in [0, n), the caller working alongside the
+  /// pool. Returns the number of lanes each slot processed (slot 0 = the
+  /// caller, slot w+1 = worker w) — callers use it to emit per-worker trace
+  /// events. Blocks until all n lanes are done; fn must be safe to invoke
+  /// concurrently for distinct i.
+  std::vector<std::size_t> parallel_for(
+      std::size_t n, const std::function<void(std::size_t)>& fn) {
+    std::vector<std::size_t> lanes(threads_.size() + 1, 0);
+    if (n == 0) return lanes;
+    if (threads_.empty()) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      lanes[0] = n;
+      return lanes;
+    }
+    {
+      std::lock_guard lk(m_);
+      job_ = &fn;
+      job_n_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      pending_ = n;
+      lanes_ = &lanes;
+      ++gen_;
+    }
+    cv_.notify_all();
+    drain(fn, n, lanes[0]);
+    std::unique_lock lk(m_);
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    job_ = nullptr;
+    lanes_ = nullptr;
+    return lanes;
+  }
+
+ private:
+  /// Pulls indices until the job is exhausted; bumps `count` per lane.
+  void drain(const std::function<void(std::size_t)>& fn, std::size_t n,
+             std::size_t& count) {
+    std::size_t finished = 0;
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i);
+      ++count;
+      ++finished;
+    }
+    if (finished == 0) return;
+    std::lock_guard lk(m_);
+    pending_ -= finished;
+    if (pending_ == 0) done_cv_.notify_all();
+  }
+
+  void worker_loop(int w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      std::size_t n = 0;
+      std::size_t* count = nullptr;
+      {
+        std::unique_lock lk(m_);
+        cv_.wait(lk, [&] { return stop_ || gen_ != seen; });
+        if (stop_) return;
+        seen = gen_;
+        // The job may already be fully drained (and unpublished) by the time
+        // this worker wakes — job_ is nullptr then and there is nothing to
+        // do, so lanes_ must not be touched.
+        fn = job_;
+        if (fn != nullptr) {
+          n = job_n_;
+          count = &(*lanes_)[static_cast<std::size_t>(w) + 1];
+        }
+      }
+      if (fn != nullptr) drain(*fn, n, *count);
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable cv_;       // wakes workers on a new job
+  std::condition_variable done_cv_;  // wakes the caller on completion
+  const std::function<void(std::size_t)>* job_ = nullptr;  // guarded by m_
+  std::size_t job_n_ = 0;                                  // guarded by m_
+  std::size_t pending_ = 0;                                // guarded by m_
+  std::vector<std::size_t>* lanes_ = nullptr;              // guarded by m_
+  std::uint64_t gen_ = 0;                                  // guarded by m_
+  bool stop_ = false;                                      // guarded by m_
+  std::atomic<std::size_t> next_{0};
 };
 
 /// Whole-run shared state. One World per mpi::run().
@@ -241,6 +362,14 @@ struct CommImpl {
   /// ranks of this communicator (sender allocates, receiver releases).
   /// Mutable: the messaging helpers take the impl by const reference.
   mutable BufferPool staging;
+
+  // --- parallel lane packing ----------------------------------------------
+  /// Requested PackExecutor size (Comm::set_pack_threads); 0 = serial.
+  std::atomic<int> pack_threads{0};
+  /// Per-rank executors, created lazily on first parallel_for_lanes call and
+  /// resized when the config changes. Each rank thread only touches its own
+  /// slot, so the slots need no lock (same discipline as coll_seq).
+  mutable std::vector<std::unique_ptr<PackExecutor>> pack_exec;
 };
 
 }  // namespace mpi::detail

@@ -1,0 +1,253 @@
+/// \file pack_kernels.cpp
+/// Runtime-dispatched strided-copy kernels. See pack_kernels.hpp for the
+/// selection rules and the copy-train contract.
+
+#include "pack_kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define MINIMPI_X86 1
+#include <immintrin.h>
+#else
+#define MINIMPI_X86 0
+#endif
+
+namespace mpi {
+namespace detail {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar variant. Fixed-size cases compile to single load/store pairs (the
+// dominant quad shapes: one float/double/pixel per run, or one small brick
+// row); the generic case is the classic memcpy loop.
+// ---------------------------------------------------------------------------
+
+template <std::size_t N>
+void fixed_train(std::byte* dst, std::ptrdiff_t dstride, const std::byte* src,
+                 std::ptrdiff_t sstride, std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k) {
+    std::memcpy(dst, src, N);
+    dst += dstride;
+    src += sstride;
+  }
+}
+
+/// Dispatch over the small fixed run lengths every variant shares. Returns
+/// false when `length` has no fixed-size specialization.
+inline bool small_train(std::byte* dst, std::ptrdiff_t dstride,
+                        const std::byte* src, std::ptrdiff_t sstride,
+                        std::size_t length, std::size_t count) {
+  switch (length) {
+    case 1: fixed_train<1>(dst, dstride, src, sstride, count); return true;
+    case 2: fixed_train<2>(dst, dstride, src, sstride, count); return true;
+    case 4: fixed_train<4>(dst, dstride, src, sstride, count); return true;
+    case 8: fixed_train<8>(dst, dstride, src, sstride, count); return true;
+    case 12: fixed_train<12>(dst, dstride, src, sstride, count); return true;
+    case 16: fixed_train<16>(dst, dstride, src, sstride, count); return true;
+    default: return false;
+  }
+}
+
+void copy_train_scalar(std::byte* dst, std::ptrdiff_t dstride,
+                       const std::byte* src, std::ptrdiff_t sstride,
+                       std::size_t length, std::size_t count) {
+  if (small_train(dst, dstride, src, sstride, length, count)) return;
+  for (std::size_t k = 0; k < count; ++k) {
+    std::memcpy(dst, src, length);
+    dst += dstride;
+    src += sstride;
+  }
+}
+
+#if MINIMPI_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 variant: 16-byte unaligned vector moves. The tail of a run >= 16 B is
+// handled with one overlapping vector store at (length - 16) — overlap within
+// a single run is safe, runs themselves never overlap.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse2"))) void copy_train_sse2(
+    std::byte* dst, std::ptrdiff_t dstride, const std::byte* src,
+    std::ptrdiff_t sstride, std::size_t length, std::size_t count) {
+  if (length < 16) {
+    copy_train_scalar(dst, dstride, src, sstride, length, count);
+    return;
+  }
+  if (length == 16) {
+    for (std::size_t k = 0; k < count; ++k) {
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(dst),
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src)));
+      dst += dstride;
+      src += sstride;
+    }
+    return;
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    std::size_t i = 0;
+    for (; i + 16 <= length; i += 16)
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(dst + i),
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+    if (i < length) {
+      const std::size_t t = length - 16;
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(dst + t),
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + t)));
+    }
+    dst += dstride;
+    src += sstride;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 variant: 32-byte unaligned vector moves, 2x unrolled for long runs;
+// runs in [16, 32) use one 16-byte head + one overlapping 16-byte tail, runs
+// >= 32 use 32-byte chunks + one overlapping 32-byte tail.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void copy_train_avx2(
+    std::byte* dst, std::ptrdiff_t dstride, const std::byte* src,
+    std::ptrdiff_t sstride, std::size_t length, std::size_t count) {
+  if (length < 16) {
+    copy_train_scalar(dst, dstride, src, sstride, length, count);
+    return;
+  }
+  if (length < 32) {
+    const std::size_t t = length - 16;
+    for (std::size_t k = 0; k < count; ++k) {
+      const __m128i head =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
+      const __m128i tail =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + t));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst), head);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + t), tail);
+      dst += dstride;
+      src += sstride;
+    }
+    return;
+  }
+  if (length == 32) {
+    for (std::size_t k = 0; k < count; ++k) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(dst),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src)));
+      dst += dstride;
+      src += sstride;
+    }
+    return;
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    std::size_t i = 0;
+    for (; i + 64 <= length; i += 64) {
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      const __m256i b =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), a);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), b);
+    }
+    if (i + 32 <= length) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(dst + i),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+      i += 32;
+    }
+    if (i < length) {
+      const std::size_t t = length - 32;
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(dst + t),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + t)));
+    }
+    dst += dstride;
+    src += sstride;
+  }
+}
+
+#endif  // MINIMPI_X86
+
+// ---------------------------------------------------------------------------
+// Selection. One table entry per variant; the active entry is published via
+// an atomic pointer so hot paths pay one relaxed load.
+// ---------------------------------------------------------------------------
+
+struct Kernel {
+  const char* name;
+  CopyTrainFn fn;
+};
+
+constexpr Kernel kScalar{"scalar", &copy_train_scalar};
+#if MINIMPI_X86
+constexpr Kernel kSse2{"sse2", &copy_train_sse2};
+constexpr Kernel kAvx2{"avx2", &copy_train_avx2};
+#endif
+
+/// Variant availability on this CPU ("scalar" is always available).
+const Kernel* find_supported(std::string_view name) {
+  if (name == "scalar") return &kScalar;
+#if MINIMPI_X86
+  if (name == "sse2" && __builtin_cpu_supports("sse2")) return &kSse2;
+  if (name == "avx2" && __builtin_cpu_supports("avx2")) return &kAvx2;
+#endif
+  return nullptr;
+}
+
+const Kernel* autodetect() {
+#if MINIMPI_X86
+  if (__builtin_cpu_supports("avx2")) return &kAvx2;
+  if (__builtin_cpu_supports("sse2")) return &kSse2;
+#endif
+  return &kScalar;
+}
+
+std::atomic<const Kernel*> g_kernel{nullptr};
+
+/// First-use selection: MINIMPI_PACK_KERNEL env override (ignored when it
+/// names an unknown or unsupported variant), then CPU detection. Concurrent
+/// first calls race benignly — both compute the same answer.
+const Kernel* current_kernel() noexcept {
+  const Kernel* k = g_kernel.load(std::memory_order_acquire);
+  if (k != nullptr) return k;
+  const Kernel* picked = nullptr;
+  if (const char* env = std::getenv("MINIMPI_PACK_KERNEL");
+      env != nullptr && std::string_view(env) != "auto")
+    picked = find_supported(env);
+  if (picked == nullptr) picked = autodetect();
+  g_kernel.store(picked, std::memory_order_release);
+  return picked;
+}
+
+}  // namespace
+
+CopyTrainFn copy_train_fn() noexcept { return current_kernel()->fn; }
+
+}  // namespace detail
+
+// Public surface (declared in datatype.hpp).
+
+std::string pack_kernel_name() { return detail::current_kernel()->name; }
+
+bool set_pack_kernel(std::string_view name) {
+  const detail::Kernel* k = nullptr;
+  if (name == "auto") {
+    k = [] {
+      if (const char* env = std::getenv("MINIMPI_PACK_KERNEL");
+          env != nullptr && std::string_view(env) != "auto")
+        if (const auto* forced = detail::find_supported(env)) return forced;
+      return detail::autodetect();
+    }();
+  } else {
+    k = detail::find_supported(name);
+  }
+  if (k == nullptr) return false;
+  detail::g_kernel.store(k, std::memory_order_release);
+  return true;
+}
+
+}  // namespace mpi

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file pack_kernels.hpp
+/// Internal strided-copy kernels behind datatype pack/unpack/copy_regions.
+///
+/// The compiled quad plans (datatype.cpp) reduce every pack, unpack, and
+/// zero-copy region transfer to one primitive: copy a *train* of `count`
+/// runs of `length` bytes each, where source run k starts at
+/// `src + k * sstride` and destination run k at `dst + k * dstride`.
+/// Packing is a train with dstride == length (gather into a dense stream),
+/// unpacking one with sstride == length (scatter out of a dense stream),
+/// and copy_regions uses arbitrary strides on both sides.
+///
+/// This header exposes that primitive behind a function pointer selected
+/// once per process: scalar (portable memcpy loops with fixed-size
+/// specializations), SSE2 (16-byte vector moves; baseline on x86-64), and
+/// AVX2 (32-byte vector moves) variants. Selection order:
+///
+///   1. the MINIMPI_PACK_KERNEL env var ("scalar" | "sse2" | "avx2" |
+///      "auto"), read once on first use — a testing/benchmarking hook;
+///   2. otherwise runtime CPU detection via __builtin_cpu_supports, picking
+///      the widest supported variant.
+///
+/// Non-x86 builds compile the scalar variant only. The public surface for
+/// tools and tests (kernel name, forced selection) is mpi::pack_kernel_name
+/// and mpi::set_pack_kernel in datatype.hpp; this header is internal to the
+/// minimpi target.
+
+#include <cstddef>
+
+namespace mpi::detail {
+
+/// Copies `count` runs of `length` bytes: run k moves
+/// src + k*sstride  ->  dst + k*dstride. Runs must not overlap.
+using CopyTrainFn = void (*)(std::byte* dst, std::ptrdiff_t dstride,
+                             const std::byte* src, std::ptrdiff_t sstride,
+                             std::size_t length, std::size_t count);
+
+/// The dispatched kernel for this process (selects on first call; cheap
+/// atomic load afterwards). Hot loops should hoist the returned pointer out
+/// of their inner loops.
+[[nodiscard]] CopyTrainFn copy_train_fn() noexcept;
+
+}  // namespace mpi::detail

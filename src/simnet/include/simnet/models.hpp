@@ -73,11 +73,14 @@ class LinkModel final : public mpi::NetworkModel {
            p_.recv_overhead_s_per_B * static_cast<double>(bytes);
   }
 
- private:
-  [[nodiscard]] int node_of(int world_rank) const noexcept {
+  /// Topology exposed to minimpi (NetworkModel::node_of): consecutive ranks
+  /// share a node in groups of ranks_per_node, matching the blocked
+  /// placement mpirun-style launchers default to.
+  [[nodiscard]] int node_of(int world_rank) const noexcept override {
     return world_rank / p_.ranks_per_node;
   }
 
+ private:
   LinkParams p_;
 };
 

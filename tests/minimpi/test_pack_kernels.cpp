@@ -1,0 +1,262 @@
+// Property tests of the runtime-dispatched copy-train kernels: for every
+// kernel the host supports (scalar always; SSE2/AVX2 when the CPU has them),
+// pack, unpack and copy_regions over randomly generated datatype trees must
+// be byte-identical to the scalar reference — including misaligned buffer
+// bases and odd run lengths that exercise the vector kernels' overlapping
+// tail stores.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "minimpi/minimpi.hpp"
+
+namespace {
+
+using mpi::Datatype;
+
+/// RAII restore of the dispatched kernel: "auto" re-runs the env-then-CPU
+/// detection, so tests cannot leak a forced kernel into other tests (or
+/// override a MINIMPI_PACK_KERNEL the suite was launched with).
+class KernelToggle {
+ public:
+  ~KernelToggle() { mpi::set_pack_kernel("auto"); }
+};
+
+/// Kernels the suite can force on THIS host. "scalar" always works; the
+/// vector kernels are skipped (not failed) where the CPU lacks them, so the
+/// suite is meaningful on any machine while covering every dispatch target
+/// on CI hosts with AVX2.
+std::vector<std::string> available_kernels() {
+  std::vector<std::string> out;
+  for (const char* name : {"scalar", "sse2", "avx2"})
+    if (mpi::set_pack_kernel(name)) out.emplace_back(name);
+  mpi::set_pack_kernel("auto");
+  return out;
+}
+
+/// Same random datatype-tree generator the plan property suite uses: all
+/// constructors reachable, zero-size degenerate forms included.
+Datatype random_type(std::mt19937& rng, int depth) {
+  std::uniform_int_distribution<int> kind_dist(0, depth <= 0 ? 0 : 6);
+  std::uniform_int_distribution<int> small(1, 3);
+  std::uniform_int_distribution<int> tiny(0, 2);
+  switch (kind_dist(rng)) {
+    case 0:
+      return Datatype::bytes(static_cast<std::size_t>(
+          std::uniform_int_distribution<int>(0, 5)(rng)));
+    case 1:
+      return Datatype::contiguous(static_cast<std::size_t>(tiny(rng)),
+                                  random_type(rng, depth - 1));
+    case 2: {
+      const Datatype inner = random_type(rng, depth - 1);
+      const int count = small(rng);
+      const int blocklen = small(rng);
+      const int stride = blocklen + tiny(rng);
+      return Datatype::vector(static_cast<std::size_t>(count),
+                              static_cast<std::size_t>(blocklen), stride,
+                              inner);
+    }
+    case 3: {
+      const Datatype inner = random_type(rng, depth - 1);
+      const int count = small(rng);
+      const int blocklen = small(rng);
+      const auto stride_bytes = static_cast<std::ptrdiff_t>(
+          static_cast<std::size_t>(blocklen) * inner.extent() +
+          static_cast<std::size_t>(tiny(rng)));
+      return Datatype::hvector(static_cast<std::size_t>(count),
+                               static_cast<std::size_t>(blocklen),
+                               stride_bytes, inner);
+    }
+    case 4: {
+      const Datatype inner = random_type(rng, depth - 1);
+      const int ndims = std::uniform_int_distribution<int>(1, 3)(rng);
+      std::vector<int> sizes, subsizes, starts;
+      for (int d = 0; d < ndims; ++d) {
+        const int n = std::uniform_int_distribution<int>(1, 4)(rng);
+        const int sub = std::uniform_int_distribution<int>(0, n)(rng);
+        const int start = std::uniform_int_distribution<int>(0, n - sub)(rng);
+        sizes.push_back(n);
+        subsizes.push_back(sub);
+        starts.push_back(start);
+      }
+      const mpi::Order order =
+          tiny(rng) == 0 ? mpi::Order::fortran : mpi::Order::c;
+      return Datatype::subarray(sizes, subsizes, starts, inner, order);
+    }
+    case 5: {
+      const int nblocks = small(rng);
+      std::vector<int> blocklens;
+      std::vector<std::ptrdiff_t> displs;
+      std::vector<Datatype> types;
+      std::ptrdiff_t cursor = 0;
+      for (int b = 0; b < nblocks; ++b) {
+        const Datatype t = random_type(rng, depth - 1);
+        const int len = tiny(rng);
+        cursor += tiny(rng);  // random gap
+        blocklens.push_back(len);
+        displs.push_back(cursor);
+        types.push_back(t);
+        cursor += static_cast<std::ptrdiff_t>(
+            static_cast<std::size_t>(len) * t.extent());
+      }
+      return Datatype::strukt(blocklens, displs, types);
+    }
+    default: {
+      const Datatype inner = random_type(rng, depth - 1);
+      const int nblocks = small(rng);
+      std::vector<int> blocklens, displs;
+      int cursor = 0;
+      for (int b = 0; b < nblocks; ++b) {
+        const int len = tiny(rng);
+        cursor += tiny(rng);
+        blocklens.push_back(len);
+        displs.push_back(cursor);
+        cursor += len;
+      }
+      return Datatype::indexed(blocklens, displs, inner);
+    }
+  }
+}
+
+std::vector<std::byte> random_bytes(std::mt19937& rng, std::size_t n) {
+  std::vector<std::byte> out(n);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (std::byte& b : out) b = static_cast<std::byte>(byte_dist(rng));
+  return out;
+}
+
+TEST(PackKernels, NameIsAlwaysAValidTarget) {
+  const std::string name = mpi::pack_kernel_name();
+  EXPECT_TRUE(name == "scalar" || name == "sse2" || name == "avx2") << name;
+}
+
+TEST(PackKernels, UnknownKernelIsRejectedWithoutSwitching) {
+  KernelToggle restore;
+  const std::string before = mpi::pack_kernel_name();
+  EXPECT_FALSE(mpi::set_pack_kernel("bogus"));
+  EXPECT_FALSE(mpi::set_pack_kernel(""));
+  EXPECT_EQ(mpi::pack_kernel_name(), before);
+}
+
+TEST(PackKernels, ScalarIsAlwaysAvailable) {
+  KernelToggle restore;
+  EXPECT_TRUE(mpi::set_pack_kernel("scalar"));
+  EXPECT_EQ(mpi::pack_kernel_name(), "scalar");
+}
+
+// Randomized datatype trees: every supported kernel's pack/unpack must be
+// byte-identical to scalar's.
+TEST(PackKernels, RandomTreesPackUnpackIdenticalAcrossKernels) {
+  KernelToggle restore;
+  const std::vector<std::string> kernels = available_kernels();
+  std::mt19937 rng(20260808);
+  for (int trial = 0; trial < 150; ++trial) {
+    const Datatype type = random_type(rng, 3);
+    const std::size_t count =
+        static_cast<std::size_t>(std::uniform_int_distribution<int>(1, 3)(rng));
+    const std::vector<std::byte> src =
+        random_bytes(rng, count * type.extent() + 8);
+    const std::size_t packed_size = count * type.size();
+
+    ASSERT_TRUE(mpi::set_pack_kernel("scalar"));
+    std::vector<std::byte> want(packed_size);
+    type.pack(src.data(), count, want.data());
+    std::vector<std::byte> want_dst = random_bytes(rng, src.size());
+    type.unpack(want.data(), count, want_dst.data());
+
+    for (const std::string& k : kernels) {
+      ASSERT_TRUE(mpi::set_pack_kernel(k));
+      std::vector<std::byte> got(packed_size, std::byte{0x5a});
+      type.pack(src.data(), count, got.data());
+      EXPECT_EQ(got, want) << "pack kernel=" << k << " trial=" << trial;
+
+      // Unpack into a buffer seeded identically to the scalar run, so gaps
+      // the type does not touch must match too.
+      std::vector<std::byte> dst = want_dst;
+      for (std::byte& b : dst) b ^= std::byte{0xff};
+      std::vector<std::byte> ref = dst;
+      ASSERT_TRUE(mpi::set_pack_kernel("scalar"));
+      type.unpack(want.data(), count, ref.data());
+      ASSERT_TRUE(mpi::set_pack_kernel(k));
+      type.unpack(want.data(), count, dst.data());
+      EXPECT_EQ(dst, ref) << "unpack kernel=" << k << " trial=" << trial;
+    }
+  }
+}
+
+// Misaligned bases and odd run lengths: the vector kernels' head/tail
+// handling (overlapping 16/32-byte stores) must never write outside a run.
+TEST(PackKernels, MisalignedOddLengthTrainsMatchScalar) {
+  KernelToggle restore;
+  const std::vector<std::string> kernels = available_kernels();
+  std::mt19937 rng(7);
+  for (const std::size_t len :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+        std::size_t{7}, std::size_t{12}, std::size_t{13}, std::size_t{16},
+        std::size_t{17}, std::size_t{23}, std::size_t{31}, std::size_t{32},
+        std::size_t{33}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{100}}) {
+    // 7 runs of `len` bytes, 3-byte gaps between runs, read from a base
+    // offset 0..7 into an oversized buffer so every alignment is hit.
+    const Datatype type = Datatype::hvector(
+        7, 1, static_cast<std::ptrdiff_t>(len + 3), Datatype::bytes(len));
+    for (std::size_t mis = 0; mis < 8; ++mis) {
+      const std::vector<std::byte> buf =
+          random_bytes(rng, type.extent() + mis + 16);
+      const std::byte* base = buf.data() + mis;
+      ASSERT_TRUE(mpi::set_pack_kernel("scalar"));
+      std::vector<std::byte> want(type.size());
+      type.pack(base, 1, want.data());
+      for (const std::string& k : kernels) {
+        ASSERT_TRUE(mpi::set_pack_kernel(k));
+        std::vector<std::byte> got(type.size(), std::byte{0});
+        type.pack(base, 1, got.data());
+        EXPECT_EQ(got, want) << "kernel=" << k << " len=" << len
+                             << " misalign=" << mis;
+        // Scatter back with a guard band after the extent: the kernel must
+        // reproduce the runs and leave the guard untouched.
+        std::vector<std::byte> dst(type.extent() + mis + 16, std::byte{0xee});
+        type.unpack(want.data(), 1, dst.data() + mis);
+        std::vector<std::byte> ref(dst.size(), std::byte{0xee});
+        ASSERT_TRUE(mpi::set_pack_kernel("scalar"));
+        type.unpack(want.data(), 1, ref.data() + mis);
+        EXPECT_EQ(dst, ref) << "kernel=" << k << " len=" << len
+                            << " misalign=" << mis;
+      }
+    }
+  }
+}
+
+// copy_regions between two different layouts must also be kernel-invariant
+// (it runs batched trains when both cursors agree on run length).
+TEST(PackKernels, CopyRegionsIdenticalAcrossKernels) {
+  KernelToggle restore;
+  const std::vector<std::string> kernels = available_kernels();
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Datatype src_type = random_type(rng, 3);
+    Datatype dst_type = random_type(rng, 3);
+    // copy_regions requires equal total sizes; retry until they match by
+    // construction via a contiguous fallback.
+    if (dst_type.size() != src_type.size())
+      dst_type = Datatype::bytes(src_type.size());
+    const std::vector<std::byte> src =
+        random_bytes(rng, src_type.extent() + 8);
+
+    ASSERT_TRUE(mpi::set_pack_kernel("scalar"));
+    std::vector<std::byte> want(dst_type.extent() + 8, std::byte{0x11});
+    mpi::copy_regions(src_type, src.data(), 1, dst_type, want.data(), 1);
+    for (const std::string& k : kernels) {
+      ASSERT_TRUE(mpi::set_pack_kernel(k));
+      std::vector<std::byte> got(dst_type.extent() + 8, std::byte{0x11});
+      mpi::copy_regions(src_type, src.data(), 1, dst_type, got.data(), 1);
+      EXPECT_EQ(got, want) << "kernel=" << k << " trial=" << trial;
+    }
+  }
+}
+
+}  // namespace

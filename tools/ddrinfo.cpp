@@ -6,7 +6,8 @@
 // Table III quantities), peer counts, and optionally every transfer.
 //
 // Usage:
-//   ddrinfo [-t] [-e] [--validate] [--cost] [--trace out.json] [layout.txt]
+//   ddrinfo [-t] [-e] [--validate] [--cost] [--ranks-per-node N]
+//           [--trace out.json] [layout.txt]
 //     -t          list every (sender -> receiver) transfer
 //     -e          echo the normalized layout back (round-trip check)
 //     --validate  check the layout against the paper's send-side contract
@@ -16,7 +17,14 @@
 //                 message counts, payload bytes, compiled plan segment and
 //                 run-compressed quad totals for the plain per-round p2p
 //                 backend and the fused per-peer backend side by side, plus
-//                 the pipelined backend's per-rank receive-window depth
+//                 the pipelined backend's per-rank receive-window depth,
+//                 each fused lane's locality class (self/intra/inter), and
+//                 the pack kernel runtime dispatch selected on this host
+//     --ranks-per-node N
+//                 node topology for the --cost locality classes: consecutive
+//                 ranks share a node in groups of N (the blocked placement
+//                 simnet::LinkModel models). Default 1: every rank is its
+//                 own node, so every non-self lane is inter-node.
 //     --trace F   actually run one redistribute() per backend (alltoallw,
 //                 p2p, fused, pipelined) under the threaded runtime with
 //                 tracing on, write the merged Chrome-trace JSON to F (load
@@ -32,6 +40,7 @@
 //   rank own 8x1@0,3 own 8x1@0,7 need 4x4@4,4
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -47,7 +56,7 @@ namespace {
 void print_usage() {
   std::fprintf(stderr,
                "usage: ddrinfo [-t] [-e] [--validate] [--cost] "
-               "[--trace out.json] [layout.txt]\n");
+               "[--ranks-per-node N] [--trace out.json] [layout.txt]\n");
 }
 
 /// Detailed check of the paper's send-side contract: owned chunks must be
@@ -148,13 +157,16 @@ int run_validate(const ddr::LayoutSpec& spec) {
 /// Compiles every rank's transfer plans (exactly what Redistributor::setup
 /// builds) and prints what one redistribute() call costs each rank under the
 /// plain per-round p2p backend versus the fused per-peer backend: messages
-/// posted, payload bytes, total compiled plan segments (the number of memcpy
-/// runs the pack/unpack of one call walks), and total run-compressed plan
-/// quads (the number of descriptors the plans actually store). The trailing
-/// column is the pipelined backend's receive-window depth: how many per-peer
-/// lane receives it posts up front (every round stitched per peer) before
-/// any data moves.
-int run_cost(const ddr::LayoutSpec& spec) {
+/// posted, payload bytes, total compiled plan segments (contiguous runs
+/// copied per call — see Datatype::plan_segment_count), and total
+/// run-compressed plan quads (descriptors stored == copy-train kernel calls
+/// per call — see Datatype::plan_quad_count). The trailing column is the
+/// pipelined backend's receive-window depth: how many per-peer lane receives
+/// it posts up front (every round stitched per peer) before any data moves.
+/// After the table, each fused lane's locality class under a
+/// `ranks_per_node`-blocked topology and the pack kernel the runtime
+/// dispatch selected on this host.
+int run_cost(const ddr::LayoutSpec& spec, int ranks_per_node) {
   const ddr::GlobalLayout& layout = spec.layout;
   std::printf("layout: %d ranks, %dD, %zu-byte elements\n", layout.nranks(),
               spec.ndims, spec.elem_size);
@@ -239,10 +251,37 @@ int run_cost(const ddr::LayoutSpec& spec) {
       static_cast<long long>(fused_total.segments),
       static_cast<long long>(fused_total.quads),
       static_cast<long long>(depth_total));
-  std::printf("\nsegment totals count send-side pack runs; quads are the "
-              "run-compressed descriptors those plans store; depth is the "
-              "pipelined backend's up-front receive window; self lanes move "
-              "zero-copy (no message) on all backends.\n");
+  std::printf("\nsegment totals count contiguous runs copied per pack "
+              "(plan_segment_count); quad totals count run-compressed "
+              "descriptors stored == copy-train kernel calls "
+              "(plan_quad_count); depth is the pipelined backend's up-front "
+              "receive window; self lanes move zero-copy (no message) on all "
+              "backends.\n");
+
+  // Fused lane locality under a blocked topology: self lanes never message,
+  // intra-node lanes move zero-copy through shared memory on the fused and
+  // pipelined backends (two tiny control messages replace the payload), and
+  // only inter-node lanes pack and pay the link.
+  std::printf("\nfused lane locality (ranks_per_node=%d):\n", ranks_per_node);
+  for (int r = 0; r < layout.nranks(); ++r) {
+    const ddr::DataMapping m = ddr::build_mapping(layout, r, spec.elem_size);
+    std::printf("  rank %d:", r);
+    bool any = false;
+    for (const ddr::PeerLane& lane : m.fused_send) {
+      const char* cls = lane.peer == r ? "self"
+                        : lane.peer / ranks_per_node == r / ranks_per_node
+                            ? "intra"
+                            : "inter";
+      std::printf("%s ->%d %s%s", any ? "," : "", lane.peer, cls,
+                  std::strcmp(cls, "inter") != 0 ? " (zero-copy)" : "");
+      any = true;
+    }
+    std::printf("%s\n", any ? "" : " (no send lanes)");
+  }
+
+  std::printf("\npack kernel: %s (runtime-dispatched; override with "
+              "MINIMPI_PACK_KERNEL=scalar|sse2|avx2|auto)\n",
+              mpi::pack_kernel_name().c_str());
   return 0;
 }
 
@@ -323,6 +362,7 @@ int main(int argc, char** argv) {
   bool echo = false;
   bool validate = false;
   bool cost = false;
+  int ranks_per_node = 1;
   const char* trace_path = nullptr;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -334,6 +374,11 @@ int main(int argc, char** argv) {
       validate = true;
     } else if (std::strcmp(argv[i], "--cost") == 0) {
       cost = true;
+    } else if (std::strcmp(argv[i], "--ranks-per-node") == 0) {
+      if (i + 1 >= argc || (ranks_per_node = std::atoi(argv[++i])) < 1) {
+        print_usage();
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       if (i + 1 >= argc) {
         print_usage();
@@ -372,7 +417,7 @@ int main(int argc, char** argv) {
 
   if (validate) return run_validate(spec);
 
-  if (cost) return run_cost(spec);
+  if (cost) return run_cost(spec, ranks_per_node);
 
   if (trace_path != nullptr) {
     try {
