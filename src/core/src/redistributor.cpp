@@ -660,15 +660,24 @@ void Redistributor::execute_p2p_fused(std::span<const std::byte> owned_data,
       // pool. Everyone posted their sends before blocking here, so draining
       // in peer order cannot deadlock.
       payloads_.resize(mapping_.fused_recv.size());
-      for (std::size_t i = 0; i < mapping_.fused_recv.size(); ++i) {
-        if (fused_recv_class_[i] != LaneClass::inter) continue;
-        const PeerLane& l = mapping_.fused_recv[i];
-        payloads_[i] = comm_.recv_payload(l.peer, tag);
-        DDR_TRACE_INSTANT("ddr.msg.recv", {.peer = l.peer, .bytes = l.bytes});
-        require(payloads_[i].size() == l.type.size(),
-                "redistribute: fused lane from rank " + std::to_string(l.peer) +
-                    " delivered " + std::to_string(payloads_[i].size()) +
-                    " bytes, expected " + std::to_string(l.type.size()));
+      try {
+        for (std::size_t i = 0; i < mapping_.fused_recv.size(); ++i) {
+          if (fused_recv_class_[i] != LaneClass::inter) continue;
+          const PeerLane& l = mapping_.fused_recv[i];
+          payloads_[i] = comm_.recv_payload(l.peer, tag);
+          DDR_TRACE_INSTANT("ddr.msg.recv", {.peer = l.peer, .bytes = l.bytes});
+          require(
+              payloads_[i].size() == l.type.size(),
+              "redistribute: fused lane from rank " + std::to_string(l.peer) +
+                  " delivered " + std::to_string(payloads_[i].size()) +
+                  " bytes, expected " + std::to_string(l.type.size()));
+        }
+      } catch (...) {
+        // The exchange aborts, but buffers already received must still go
+        // back to the pool instead of stranding in payloads_.
+        for (std::vector<std::byte>& p : payloads_)
+          if (!p.empty()) comm_.release_staging(std::move(p));
+        throw;
       }
       const std::vector<std::size_t> lanes = comm_.parallel_for_lanes(
           mapping_.fused_recv.size(), [&](std::size_t i) {

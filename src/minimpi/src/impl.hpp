@@ -146,70 +146,82 @@ class PackExecutor {
   /// concurrently for distinct i.
   std::vector<std::size_t> parallel_for(
       std::size_t n, const std::function<void(std::size_t)>& fn) {
-    std::vector<std::size_t> lanes(threads_.size() + 1, 0);
-    if (n == 0) return lanes;
-    if (threads_.empty()) {
+    if (n == 0 || threads_.empty()) {
+      std::vector<std::size_t> lanes(threads_.size() + 1, 0);
       for (std::size_t i = 0; i < n; ++i) fn(i);
       lanes[0] = n;
       return lanes;
     }
+    // All job state lives in a shared_ptr'd Job (fn copied in), so a worker
+    // that grabbed the job but stalled before claiming a lane can never
+    // bleed into a later job: its index counter is per-job and exhausted,
+    // so the stalled worker's fetch_add returns >= n and it touches nothing.
+    auto job = std::make_shared<Job>();
+    job->fn = fn;
+    job->n = n;
+    job->pending = n;
+    job->counts.assign(threads_.size() + 1, 0);
     {
       std::lock_guard lk(m_);
-      job_ = &fn;
-      job_n_ = n;
-      next_.store(0, std::memory_order_relaxed);
-      pending_ = n;
-      lanes_ = &lanes;
+      job_ = job;
       ++gen_;
     }
     cv_.notify_all();
-    drain(fn, n, lanes[0]);
-    std::unique_lock lk(m_);
-    done_cv_.wait(lk, [this] { return pending_ == 0; });
-    job_ = nullptr;
-    lanes_ = nullptr;
-    return lanes;
+    drain(*job, 0);
+    {
+      std::unique_lock lk(m_);
+      done_cv_.wait(lk, [&] { return job->pending == 0; });
+      if (job_ == job) job_ = nullptr;
+    }
+    // pending == 0 proves every lane ran and its counts bump happened-before
+    // the final decrement under m_, so reading counts here is race-free; a
+    // stalled worker still holding the shared_ptr finds the counter
+    // exhausted and never writes counts again.
+    return std::move(job->counts);
   }
 
  private:
-  /// Pulls indices until the job is exhausted; bumps `count` per lane.
-  void drain(const std::function<void(std::size_t)>& fn, std::size_t n,
-             std::size_t& count) {
+  /// One parallel_for invocation. Heap-held and shared between the caller
+  /// and the workers so stale references stay valid (and inert) after the
+  /// caller returns.
+  struct Job {
+    std::function<void(std::size_t)> fn;  // copied: outlives the call site
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};  // next lane index to claim
+    std::size_t pending = 0;           // undone lanes, guarded by m_
+    std::vector<std::size_t> counts;   // per-slot lane totals, single-writer
+  };
+
+  /// Pulls indices until the job is exhausted; bumps counts[slot] per lane.
+  void drain(Job& job, std::size_t slot) {
     std::size_t finished = 0;
     for (;;) {
-      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) break;
-      fn(i);
-      ++count;
+      const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.n) break;
+      job.fn(i);
+      ++job.counts[slot];
       ++finished;
     }
     if (finished == 0) return;
     std::lock_guard lk(m_);
-    pending_ -= finished;
-    if (pending_ == 0) done_cv_.notify_all();
+    job.pending -= finished;
+    if (job.pending == 0) done_cv_.notify_all();
   }
 
   void worker_loop(int w) {
     std::uint64_t seen = 0;
     for (;;) {
-      const std::function<void(std::size_t)>* fn = nullptr;
-      std::size_t n = 0;
-      std::size_t* count = nullptr;
+      std::shared_ptr<Job> job;
       {
         std::unique_lock lk(m_);
         cv_.wait(lk, [&] { return stop_ || gen_ != seen; });
         if (stop_) return;
         seen = gen_;
         // The job may already be fully drained (and unpublished) by the time
-        // this worker wakes — job_ is nullptr then and there is nothing to
-        // do, so lanes_ must not be touched.
-        fn = job_;
-        if (fn != nullptr) {
-          n = job_n_;
-          count = &(*lanes_)[static_cast<std::size_t>(w) + 1];
-        }
+        // this worker wakes — job_ is null then and there is nothing to do.
+        job = job_;
       }
-      if (fn != nullptr) drain(*fn, n, *count);
+      if (job) drain(*job, static_cast<std::size_t>(w) + 1);
     }
   }
 
@@ -217,13 +229,9 @@ class PackExecutor {
   std::mutex m_;
   std::condition_variable cv_;       // wakes workers on a new job
   std::condition_variable done_cv_;  // wakes the caller on completion
-  const std::function<void(std::size_t)>* job_ = nullptr;  // guarded by m_
-  std::size_t job_n_ = 0;                                  // guarded by m_
-  std::size_t pending_ = 0;                                // guarded by m_
-  std::vector<std::size_t>* lanes_ = nullptr;              // guarded by m_
-  std::uint64_t gen_ = 0;                                  // guarded by m_
-  bool stop_ = false;                                      // guarded by m_
-  std::atomic<std::size_t> next_{0};
+  std::shared_ptr<Job> job_;         // guarded by m_
+  std::uint64_t gen_ = 0;            // guarded by m_
+  bool stop_ = false;                // guarded by m_
 };
 
 /// Whole-run shared state. One World per mpi::run().

@@ -10,7 +10,10 @@
 #include <string>
 #include <string_view>
 
-#if defined(__x86_64__) || defined(__i386__)
+// The SIMD variants use __attribute__((target(...))) and
+// __builtin_cpu_supports, which MSVC lacks — it gets the scalar-only build.
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
 #define MINIMPI_X86 1
 #include <immintrin.h>
 #else
