@@ -16,6 +16,12 @@
 //   fused_parpack2         fused backend, 2 PackExecutor workers per rank
 //   pipelined_parpack2     pipelined backend, 2 PackExecutor workers
 //
+// then measures elastic resize (Redistributor::resize_rebalance) on the
+// strided3d z-slab shape — growing 8 -> 12 and shrinking 16 -> 8 — and
+// reports the planner's bytes-moved column against the naive full
+// re-scatter (the movement-minimizing headline: moved must stay well under
+// naive),
+//
 // then sweeps rank counts (4/8/16/64) under the simnet Cooley link model,
 // comparing the flat exchange against the topology-aware two-level one by
 // VIRTUAL makespan (max per-rank clock delta over a fixed number of
@@ -233,6 +239,71 @@ ConfigResult run_config(const CaseSetup& cs, const std::string& cfg_name,
 }
 
 // ---------------------------------------------------------------------------
+// Elastic resize: bytes moved by the movement-minimizing planner vs the
+// naive full re-scatter, on the strided3d z-slab shape.
+
+struct ResizePoint {
+  int from = 0;
+  int to = 0;
+  double wall_ms = 0.0;
+  std::int64_t total_bytes = 0;
+  std::int64_t kept_bytes = 0;
+  std::int64_t moved_bytes = 0;
+  std::int64_t naive_bytes = 0;
+};
+
+/// M ranks own z-slabs of a 64^3 float domain; resize_rebalance(N) keeps
+/// every surviving prefix byte in place and ships only the overflow, so
+/// moved_bytes is the planner's cost and naive_bytes what a tear-down,
+/// re-setup() and full re-scatter would ship.
+ResizePoint run_resize_point(int from, int to) {
+  const int side = 64;
+  const int slab = side / from;
+  ResizePoint rp;
+  rp.from = from;
+  rp.to = to;
+
+  mpi::RunOptions opts;
+  opts.max_ranks = std::max(from, to);
+  opts.joiner_main = [](mpi::Comm& comm) {
+    (void)ddr::Redistributor::resize_join(comm, sizeof(float));
+  };
+  mpi::run(
+      from,
+      [&](mpi::Comm& comm) {
+        const int r = comm.rank();
+        const ddr::OwnedLayout own{
+            ddr::Chunk::d3(side, side, slab, 0, 0, slab * r)};
+        std::vector<float> data(
+            static_cast<std::size_t>(own[0].volume()), 1.0f);
+        ddr::Redistributor rd(comm, sizeof(float));
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto out = rd.resize_rebalance(
+            to, own, std::as_bytes(std::span<const float>(data)));
+        const auto t1 = std::chrono::steady_clock::now();
+        if (r == 0) {
+          if (!out.committed) {
+            std::fprintf(stderr, "resize %d -> %d did not commit\n", from, to);
+            std::exit(2);
+          }
+          rp.wall_ms =
+              std::chrono::duration<double, std::milli>(t1 - t0).count();
+          rp.total_bytes = out.stats.total_bytes;
+          rp.kept_bytes = out.stats.kept_bytes;
+          rp.moved_bytes = out.stats.moved_bytes;
+          rp.naive_bytes = out.stats.naive_bytes;
+        }
+      },
+      opts);
+  std::printf("resize     %2d -> %-2d             wall %8.3f ms  moved %lld "
+              "of %lld bytes (naive %lld)\n",
+              from, to, rp.wall_ms, static_cast<long long>(rp.moved_bytes),
+              static_cast<long long>(rp.total_bytes),
+              static_cast<long long>(rp.naive_bytes));
+  return rp;
+}
+
+// ---------------------------------------------------------------------------
 // Ranks sweep: flat vs two-level exchange under the Cooley link model, by
 // virtual makespan.
 
@@ -342,6 +413,7 @@ SweepPoint run_sweep_point(int n, int reps) {
 
 void write_json(const std::string& path, int reps,
                 const std::vector<CaseResult>& cases,
+                const std::vector<ResizePoint>& resize,
                 const std::vector<SweepPoint>& sweep) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -382,6 +454,20 @@ void write_json(const std::string& path, int reps,
                    k + 1 < cr.configs.size() ? "," : "");
     }
     std::fprintf(f, "      ]\n    }%s\n", c + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"resize\": [\n");
+  for (std::size_t i = 0; i < resize.size(); ++i) {
+    const ResizePoint& rp = resize[i];
+    std::fprintf(f,
+                 "    {\"from\": %d, \"to\": %d, \"wall_ms\": %.6f, "
+                 "\"total_bytes\": %lld, \"kept_bytes\": %lld, "
+                 "\"moved_bytes\": %lld, \"naive_bytes\": %lld}%s\n",
+                 rp.from, rp.to, rp.wall_ms,
+                 static_cast<long long>(rp.total_bytes),
+                 static_cast<long long>(rp.kept_bytes),
+                 static_cast<long long>(rp.moved_bytes),
+                 static_cast<long long>(rp.naive_bytes),
+                 i + 1 < resize.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"ranks_sweep\": [\n");
   for (std::size_t i = 0; i < sweep.size(); ++i) {
@@ -445,11 +531,25 @@ int main() {
   }
   mpi::Datatype::set_plan_enabled(true);
 
+  std::vector<ResizePoint> resize;
+  resize.push_back(run_resize_point(8, 12));
+  resize.push_back(run_resize_point(16, 8));
+  bool resize_minimizing = true;
+  for (const ResizePoint& rp : resize)
+    if (rp.moved_bytes * 2 > rp.naive_bytes) resize_minimizing = false;
+
   std::vector<SweepPoint> sweep;
   for (const int n : {4, 8, 16, 64}) sweep.push_back(run_sweep_point(n, 10));
 
-  write_json(out, reps, results, sweep);
+  write_json(out, reps, results, resize, sweep);
   std::printf("wrote %s\n", out.c_str());
+
+  if (!resize_minimizing) {
+    std::fprintf(stderr,
+                 "FAIL: a resize moved more than half of what the naive "
+                 "re-scatter would (see the resize block)\n");
+    return 1;
+  }
 
   if (!alloc_clean) {
     std::fprintf(stderr,

@@ -8,10 +8,11 @@
 // mpi::ErrorClass::deadlock on every blocked survivor. The survivors then:
 //
 //   1. agree on the dead set (Comm::failed_ranks — no messages needed),
-//   2. form a survivors-only communicator (Comm::shrink),
-//   3. re-declare the surviving data and Redistributor::rebuild() the
-//      mapping over the shrunk world,
-//   4. keep redistributing the surviving region.
+//   2. re-declare the surviving data and call the comm-less
+//      Redistributor::rebuild(owned, needed): under
+//      SetupOptions::rebuild_policy == RebuildPolicy::auto_shrink it heals
+//      the communicator itself (Comm::shrink) and remaps in one step,
+//   3. keep redistributing the surviving region.
 //
 // Run: ./failover_rebalance
 
@@ -52,7 +53,12 @@ int main() {
         const ddr::OwnedLayout own{ddr::Chunk::d1(kQuarter, kQuarter * rank)};
         const ddr::Chunk need =
             ddr::Chunk::d1(kQuarter, kQuarter * ((rank + 1) % kRanks));
-        r.setup(own, need);
+        ddr::SetupOptions sopts;
+        // Opt in to communicator-healing rebuilds: after a rank death,
+        // rebuild(owned, needed) shrinks the communicator and remaps in one
+        // call instead of making the caller juggle Comm::shrink herself.
+        sopts.rebuild_policy = ddr::RebuildPolicy::auto_shrink;
+        r.setup(own, need, sopts);
 
         std::vector<float> mine(kQuarter);
         for (int i = 0; i < kQuarter; ++i)
@@ -85,27 +91,31 @@ int main() {
           std::printf("rank %d: watchdog: %s\n", rank, e.what());
         }
 
-        // Recovery on the survivors.
+        // Recovery on the survivors. Derive the post-shrink identity from
+        // the dead set alone (survivors keep their order), declare the new
+        // needed side, and let the comm-less rebuild heal + remap.
         const std::vector<int> dead = comm.failed_ranks();
-        mpi::Comm survivors = comm.shrink();
-        {
-          std::lock_guard lk(print_mutex);
-          std::printf("rank %d: %zu rank(s) lost, continuing as %d/%d\n", rank,
-                      dead.size(), survivors.rank(), survivors.size());
-        }
+        int new_rank = rank;
+        for (int d : dead)
+          if (d < rank) --new_rank;
+        const int new_size = kRanks - static_cast<int>(dead.size());
 
         // The dead rank's quarter is gone; rebalance the surviving region
         // [0, 3*Q) with the same cyclic-shift pattern over three ranks.
-        const int new_rank = survivors.rank();
-        const ddr::Chunk new_need = ddr::Chunk::d1(
-            kQuarter, kQuarter * ((new_rank + 1) % survivors.size()));
-        r.rebuild(survivors, own, new_need);
+        const ddr::Chunk new_need =
+            ddr::Chunk::d1(kQuarter, kQuarter * ((new_rank + 1) % new_size));
+        r.rebuild(own, new_need);
+        {
+          std::lock_guard lk(print_mutex);
+          std::printf("rank %d: %zu rank(s) lost, continuing as %d/%d\n", rank,
+                      dead.size(), r.comm().rank(), r.comm().size());
+        }
         r.redistribute(std::as_bytes(std::span<const float>(mine)),
                        std::as_writable_bytes(std::span<float>(got)));
 
         // Verify: got must hold the neighbour's quarter of the element
         // sequence.
-        const int base = kQuarter * ((new_rank + 1) % survivors.size());
+        const int base = kQuarter * ((new_rank + 1) % new_size);
         for (int i = 0; i < kQuarter; ++i)
           if (got[static_cast<std::size_t>(i)] != element(base + i)) {
             std::lock_guard lk(print_mutex);

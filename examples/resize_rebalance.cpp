@@ -1,0 +1,133 @@
+// Elastic resize: growing a running job from 2 to 4 ranks and shrinking
+// back, with movement-minimizing transactional redistribution.
+//
+// Two ranks own halves of a 1-D domain. Redistributor::resize_rebalance(4)
+// grows the communicator (mpi::Comm::resize activates dormant rank slots,
+// which enter through mpi::RunOptions::joiner_main and call
+// Redistributor::resize_join), computes a balanced target layout that keeps
+// the survivors' prefix bytes in place, ships only the overflow to the
+// joiners, and commits the new layout transactionally — every member
+// applies it, or every member rolls back. The job then shrinks back to 2:
+// the retiring members' data is shipped to the keepers before they retire.
+//
+// The interesting number is bytes moved: growing M -> N only moves the data
+// that changes owner (here half the domain), while a naive full re-scatter
+// would move everything.
+//
+// Run: ./resize_rebalance
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "ddr/ddr.hpp"
+#include "minimpi/minimpi.hpp"
+
+namespace {
+
+constexpr int kTotal = 1024;  // domain elements
+constexpr int kStart = 2;     // initial ranks
+constexpr int kGrown = 4;     // ranks after the grow
+
+float element(int i) { return 0.25f * static_cast<float>(i); }
+
+std::atomic<int> exit_code{0};
+std::mutex print_mutex;
+
+/// Checks that a member's post-resize buffer holds exactly the domain
+/// elements its new chunks cover, packed chunk by chunk.
+bool verify(int rank, const ddr::OwnedLayout& owned,
+            const std::vector<std::byte>& data) {
+  std::size_t off = 0;
+  for (const ddr::Chunk& c : owned) {
+    for (std::int64_t i = 0; i < c.volume(); ++i) {
+      float got = 0.0f;
+      std::memcpy(&got, data.data() + off + static_cast<std::size_t>(i) * 4,
+                  sizeof(float));
+      const float want = element(static_cast<int>(c.offsets[0] + i));
+      if (got != want) {
+        std::lock_guard lk(print_mutex);
+        std::printf("rank %d: MISMATCH at domain element %lld\n", rank,
+                    static_cast<long long>(c.offsets[0] + i));
+        exit_code.store(1);
+        return false;
+      }
+    }
+    off += static_cast<std::size_t>(c.volume()) * sizeof(float);
+  }
+  return true;
+}
+
+void report(const char* what, const ddr::ResizeOutcome& out) {
+  std::lock_guard lk(print_mutex);
+  std::printf(
+      "%s: kept %lld bytes in place, moved %lld (naive re-scatter: %lld)\n",
+      what, static_cast<long long>(out.stats.kept_bytes),
+      static_cast<long long>(out.stats.moved_bytes),
+      static_cast<long long>(out.stats.naive_bytes));
+}
+
+/// Every member of the grown communicator — survivor or joiner — verifies
+/// its slice, then takes part in the shrink back to kStart ranks.
+void continue_after_grow(ddr::ResizeOutcome grown) {
+  if (!verify(grown.comm.rank(), grown.owned, grown.data)) return;
+  if (grown.comm.rank() == 0) report("grow  2 -> 4", grown);
+
+  ddr::Redistributor r(grown.comm, sizeof(float));
+  const auto out = r.resize_rebalance(
+      kStart, grown.owned, std::span<const std::byte>(grown.data));
+  if (!out.committed) {
+    exit_code.store(1);
+    return;
+  }
+  if (out.retired) return;  // this member left the job with the shrink
+  if (!verify(out.comm.rank(), out.owned, out.data)) return;
+  if (out.comm.rank() == 0) report("shrink 4 -> 2", out);
+}
+
+}  // namespace
+
+int main() {
+  mpi::RunOptions opts;
+  opts.max_ranks = kGrown;  // dormant slots resize_rebalance may activate
+  opts.joiner_main = [](mpi::Comm& comm) {
+    auto out = ddr::Redistributor::resize_join(comm, sizeof(float));
+    if (!out.committed) {
+      exit_code.store(1);
+      return;
+    }
+    {
+      std::lock_guard lk(print_mutex);
+      std::printf("rank %d/%d joined and received %zu bytes\n",
+                  out.comm.rank(), out.comm.size(), out.data.size());
+    }
+    continue_after_grow(std::move(out));
+  };
+
+  mpi::run(
+      kStart,
+      [](mpi::Comm& comm) {
+        const int rank = comm.rank();
+        const ddr::OwnedLayout own{
+            ddr::Chunk::d1(kTotal / kStart, rank * (kTotal / kStart))};
+        std::vector<float> data(kTotal / kStart);
+        for (std::size_t i = 0; i < data.size(); ++i)
+          data[i] = element(rank * (kTotal / kStart) + static_cast<int>(i));
+
+        ddr::Redistributor r(comm, sizeof(float));
+        auto out = r.resize_rebalance(
+            kGrown, own, std::as_bytes(std::span<const float>(data)));
+        if (!out.committed) {
+          exit_code.store(1);
+          return;
+        }
+        continue_after_grow(std::move(out));
+      },
+      opts);
+
+  if (exit_code.load() == 0) std::printf("resize_rebalance: OK\n");
+  return exit_code.load();
+}

@@ -15,3 +15,4 @@
 #include "ddr/layout.hpp"         // IWYU pragma: export
 #include "ddr/mapping.hpp"        // IWYU pragma: export
 #include "ddr/redistributor.hpp"  // IWYU pragma: export
+#include "ddr/resize_plan.hpp"    // IWYU pragma: export

@@ -20,9 +20,14 @@
 /// \endcode
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "ddr/mapping.hpp"
+#include "ddr/resize_plan.hpp"
 #include "minimpi/comm.hpp"
 #include "trace/trace.hpp"
 
@@ -68,6 +73,56 @@ enum class Backend {
 /// are inter and behaviour is exactly the flat exchange.
 enum class LaneClass { self, intra, inter };
 
+/// What rebuild() may do on its own when ranks have died.
+enum class RebuildPolicy {
+  /// The application drives recovery: it shrinks the communicator itself and
+  /// calls rebuild(comm, ...) with the survivors' declarations.
+  manual,
+  /// rebuild(owned, needed) — the comm-less overloads — is allowed to heal
+  /// the communicator itself: it calls mpi::Comm::shrink() (excluding the
+  /// ranks the runtime reported dead) and re-runs setup() on the survivors
+  /// in one step.
+  auto_shrink,
+};
+
+/// Options for the transactional elastic resize
+/// (Redistributor::resize_rebalance / Redistributor::resize_join).
+struct ResizeOptions {
+  /// How many times the resize protocol restarts (rendezvous -> plan ->
+  /// transfer -> commit) after a rollback before giving up with an error.
+  int max_attempts = 4;
+
+  /// Test seam: invoked on every member at the start of each protocol phase
+  /// with the phase name ("rendezvous", "plan", "transfer", "commit").
+  /// Fault-injection tests use it to arm a kill at a precise phase; leave
+  /// empty otherwise.
+  std::function<void(const char*)> phase_hook;
+};
+
+/// Result of one elastic resize, per member (see resize_rebalance()).
+struct ResizeOutcome {
+  /// The post-resize communicator. Invalid (`!comm.valid()`) when this
+  /// member retired — a tail rank of a committed shrink, or a joiner whose
+  /// grow rolled back.
+  mpi::Comm comm;
+  /// This member's chunks under the committed layout (empty when retired).
+  OwnedLayout owned;
+  /// The data for `owned`, chunks packed consecutively. Populated from the
+  /// staging buffer only at the commit point, so a rolled-back attempt never
+  /// leaks partial transfers.
+  std::vector<std::byte> data;
+  /// Planner cost model of the committed attempt (identical on all members).
+  ResizePlanStats stats;
+  /// True once an attempt committed. False only for a rolled-back joiner
+  /// (its slot is retired; the surviving members retry without it) — the
+  /// members that initiated the resize either commit or throw.
+  bool committed = false;
+  /// True when this member is no longer part of the resized run.
+  bool retired = false;
+  int attempts = 0;   ///< protocol attempts consumed (>= 1)
+  int rollbacks = 0;  ///< attempts that rolled back
+};
+
 /// Options controlling setup behaviour.
 struct SetupOptions {
   /// Validate the paper's send-side contract (owned chunks mutually
@@ -91,6 +146,10 @@ struct SetupOptions {
   /// sending side, so a run under a lossy-link FaultModel completes
   /// bit-identically whenever every transfer survives within the cap.
   int max_transfer_attempts = 8;
+
+  /// Whether the comm-less rebuild(owned, needed) overloads may shrink the
+  /// communicator themselves when ranks have died (see RebuildPolicy).
+  RebuildPolicy rebuild_policy = RebuildPolicy::manual;
 };
 
 /// Per-rank redistribution engine.
@@ -134,6 +193,67 @@ class Redistributor {
   /// Single-needed-chunk convenience overload of rebuild().
   void rebuild(mpi::Comm comm, const OwnedLayout& owned, const Chunk& needed,
                const SetupOptions& options = {});
+
+  /// Collective over the survivors. Self-healing rebuild: shrinks the
+  /// current communicator (excluding the ranks the runtime reported dead)
+  /// and re-runs setup() with this rank's post-failure declarations, reusing
+  /// the options from the previous setup(). Requires
+  /// SetupOptions::rebuild_policy == RebuildPolicy::auto_shrink — the
+  /// one-call recovery path examples/failover_rebalance.cpp demonstrates.
+  void rebuild(const OwnedLayout& owned, const NeededLayout& needed);
+
+  /// Single-needed-chunk convenience overload of the self-healing rebuild().
+  void rebuild(const OwnedLayout& owned, const Chunk& needed);
+
+  /// Collective over the current communicator (joiners participate via
+  /// resize_join()). Elastically resizes the run from M = comm().size()
+  /// members to `new_size` and rebalances the data with minimal movement:
+  ///
+  ///   1. rendezvous — heal the communicator (shrink around any dead ranks),
+  ///      then grow it (mpi::Comm::resize activates dormant ranks, which
+  ///      enter through RunOptions::joiner_main and must call resize_join)
+  ///      when new_size exceeds the live member count;
+  ///   2. plan — allgather every member's old chunks and derive the
+  ///      movement-minimizing balanced layout (propose_resize_layout;
+  ///      deterministic, so no negotiation round-trips);
+  ///   3. transfer — run the old->new diff as an incremental redistribution
+  ///      into a private staging buffer (data each member keeps moves via
+  ///      the self lane and never touches the network);
+  ///   4. commit — a ULFM-style mpi::Comm::agree decides atomically: commit
+  ///      publishes the staging buffer as ResizeOutcome::data, rollback
+  ///      discards it, shrinks around the casualty, retires the joiners of
+  ///      the failed attempt, and retries (bounded by
+  ///      ResizeOptions::max_attempts).
+  ///
+  /// A member that dies mid-resize therefore never leaves the survivors
+  /// with a partially-applied layout: before the commit decision every
+  /// member still holds exactly its old data, after it exactly its new.
+  /// Death AFTER the commit decision is an ordinary post-resize failure
+  /// (handled like any other, e.g. with the auto_shrink rebuild).
+  ///
+  /// When growing, `new_size` is clamped to the live member count plus
+  /// mpi::Comm::spawnable_ranks(). On return this Redistributor's
+  /// communicator is the resized one and the mapping is stale
+  /// (is_setup() == false): continue with setup() on the new layout.
+  ///
+  /// \param new_size    desired member count (>= 1)
+  /// \param owned       this rank's current chunks (the pre-resize layout;
+  ///                    need not match the last setup())
+  /// \param owned_data  the data for `owned`, chunks packed consecutively
+  [[nodiscard]] ResizeOutcome resize_rebalance(int new_size,
+                                               const OwnedLayout& owned,
+                                               std::span<const std::byte> owned_data,
+                                               const ResizeOptions& options = {});
+
+  /// The joiner half of resize_rebalance(): a rank activated by the grow
+  /// (RunOptions::joiner_main) calls this with the communicator it was
+  /// handed. Participates in plan/transfer/commit with an empty old layout.
+  /// On commit the outcome carries the joiner's share of the data; on
+  /// rollback the joiner retires (retired == true, invalid comm) and the
+  /// surviving members retry with freshly spawned ranks.
+  [[nodiscard]] static ResizeOutcome resize_join(const mpi::Comm& comm,
+                                                 std::size_t elem_size,
+                                                 const ResizeOptions& options = {});
 
   /// Bytes this rank's concatenated owned chunks occupy.
   [[nodiscard]] std::size_t owned_bytes() const { return mapping_.owned_bytes; }
@@ -181,6 +301,39 @@ class Redistributor {
   [[nodiscard]] trace::Recorder* trace_sink() const noexcept { return trace_; }
 
  private:
+  /// The communication-free tail of setup(): layout_ (and options_, comm_,
+  /// elem_size_) are already in place; derives mapping_, stats_, the lane
+  /// classes, the tag budget and the staging prewarm. resize_rebalance()
+  /// reuses it to compile the old->new transition layout directly — the
+  /// transition has empty needed sides for retiring members, which the
+  /// public setup() rejects by design.
+  void finish_setup();
+
+  /// One plan+transfer attempt of the resize protocol, collective over
+  /// `tcomm` (old members and joiners alike). Allgathers the old per-member
+  /// layouts, derives the balanced target layout for the first `new_members`
+  /// ranks, and redistributes into a staging buffer. Communication failures
+  /// are captured in ok/error instead of thrown — the commit vote turns
+  /// them into a collective rollback.
+  struct TransferResult {
+    bool ok = false;
+    OwnedLayout new_owned;        ///< this rank's chunks under the new layout
+    std::vector<std::byte> data;  ///< staging buffer (the new chunks' bytes)
+    ResizePlanStats stats;
+    std::string error;            ///< diagnostic when !ok
+  };
+  static TransferResult resize_transfer(
+      const mpi::Comm& tcomm, int new_members, std::size_t elem_size,
+      const OwnedLayout& my_owned, std::span<const std::byte> owned_data,
+      const std::function<void(const char*)>& phase_hook);
+
+  /// The rollback rendezvous both halves of the protocol share: shrink
+  /// `tcomm` around the casualties, count the surviving pre-resize members
+  /// (they form a prefix, in order), and resize down to exactly them so the
+  /// failed attempt's joiners retire. Returns the healed communicator
+  /// (invalid on a retiring joiner).
+  static mpi::Comm rollback_rendezvous(const mpi::Comm& tcomm, bool is_old);
+
   void execute_alltoallw(std::span<const std::byte> owned_data,
                          std::span<std::byte> needed_data) const;
   void execute_p2p(std::span<const std::byte> owned_data,

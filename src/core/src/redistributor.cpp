@@ -274,8 +274,12 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
                   "D chunks — all ranks must use the same dimensionality");
   }
 
+  finish_setup();
+}
+
+void Redistributor::finish_setup() {
   // 5. Enforce the paper's send-side contract if requested.
-  if (options.validate_owned_layout) {
+  if (options_.validate_owned_layout) {
     DDR_TRACE_SPAN(vspan, "ddr.setup.validate");
     const LayoutValidation v = validate_owned(layout_);
     require(v.ok(), "setup: owned layout violates the DDR contract — " +
@@ -322,7 +326,7 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
   // allgathered layout. The fused backend's extra window is included in the
   // budget for both, so the fused <-> per-round fallback never changes
   // whether a layout is accepted.
-  if (options.backend != Backend::alltoallw) {
+  if (options_.backend != Backend::alltoallw) {
     const auto nrounds = static_cast<std::int64_t>(mapping_.rounds.size());
     const std::int64_t highest =
         kP2pTagBase +
@@ -350,8 +354,8 @@ void Redistributor::setup(const OwnedLayout& owned, const NeededLayout& needed,
       if (rp.sendcounts[q] > 0 && q != self)
         send_bytes.push_back(static_cast<std::size_t>(rp.sendcounts[q]) *
                              rp.sendtypes[q].size());
-  if (options.backend == Backend::point_to_point_fused ||
-      options.backend == Backend::point_to_point_pipelined)
+  if (options_.backend == Backend::point_to_point_fused ||
+      options_.backend == Backend::point_to_point_pipelined)
     for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i) {
       // Intra-node lanes never pack a payload — they publish an 8-byte
       // owned-buffer pointer instead (the ack is zero-byte, poolless).
@@ -384,6 +388,259 @@ void Redistributor::rebuild(mpi::Comm comm, const OwnedLayout& owned,
 void Redistributor::rebuild(mpi::Comm comm, const OwnedLayout& owned,
                             const Chunk& needed, const SetupOptions& options) {
   rebuild(std::move(comm), owned, NeededLayout{needed}, options);
+}
+
+void Redistributor::rebuild(const OwnedLayout& owned,
+                            const NeededLayout& needed) {
+  require(options_.rebuild_policy == RebuildPolicy::auto_shrink,
+          "rebuild: the comm-less overload heals the communicator itself, "
+          "which needs SetupOptions::rebuild_policy == "
+          "RebuildPolicy::auto_shrink — either opt in at setup() time or "
+          "shrink the communicator yourself and call rebuild(comm, ...)");
+  rebuild(comm_.shrink(), owned, needed, options_);
+}
+
+void Redistributor::rebuild(const OwnedLayout& owned, const Chunk& needed) {
+  rebuild(owned, NeededLayout{needed});
+}
+
+// --- elastic resize ----------------------------------------------------------
+
+Redistributor::TransferResult Redistributor::resize_transfer(
+    const mpi::Comm& tcomm, int new_members, std::size_t elem_size,
+    const OwnedLayout& my_owned, std::span<const std::byte> owned_data,
+    const std::function<void(const char*)>& phase_hook) {
+  TransferResult res;
+  try {
+    if (phase_hook) phase_hook("plan");
+    const int p = tcomm.size();
+    const int me = tcomm.rank();
+    ResizePlan plan;
+    {
+      DDR_TRACE_SPAN(
+          pspan, "ddr.resize.plan",
+          trace::Keys{.comm = static_cast<std::int64_t>(tcomm.trace_id()),
+                      .value = new_members});
+
+      // Share how many chunks each member held before the resize, plus its
+      // element size (one header allgather; joiners contribute zero chunks).
+      const mpi::Datatype i64 = mpi::Datatype::of<std::int64_t>();
+      const std::array<std::int64_t, 2> my_hdr{
+          static_cast<std::int64_t>(my_owned.size()),
+          static_cast<std::int64_t>(elem_size)};
+      std::vector<std::int64_t> hdrs(static_cast<std::size_t>(2 * p), 0);
+      tcomm.allgather(my_hdr.data(), 2, i64, hdrs.data(), 2, i64);
+
+      std::vector<int> recvcounts, displs;
+      int total = 0;
+      for (int r = 0; r < p; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        require(hdrs[2 * ri + 1] == static_cast<std::int64_t>(elem_size),
+                "resize: rank " + std::to_string(r) + " declared " +
+                    std::to_string(hdrs[2 * ri + 1]) +
+                    "-byte elements but rank " + std::to_string(me) +
+                    " declared " + std::to_string(elem_size) +
+                    " — all members must agree on the element size");
+        recvcounts.push_back(static_cast<int>(hdrs[2 * ri]));
+        displs.push_back(total);
+        total += recvcounts.back();
+      }
+
+      // Share the chunk geometry itself.
+      const mpi::Datatype wire = mpi::Datatype::bytes(sizeof(ChunkWire));
+      std::vector<ChunkWire> mine;
+      mine.reserve(my_owned.size());
+      for (const Chunk& c : my_owned) mine.push_back(to_wire(c));
+      std::vector<ChunkWire> all(static_cast<std::size_t>(total));
+      ChunkWire none{};  // non-null buffer stand-in for empty contributions
+      tcomm.allgatherv(mine.empty() ? &none : mine.data(), mine.size(), wire,
+                       all.empty() ? &none : all.data(), recvcounts, displs,
+                       wire);
+      std::vector<OwnedLayout> old_owned(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        int cursor = displs[ri];
+        for (int k = 0; k < recvcounts[ri]; ++k)
+          old_owned[ri].push_back(
+              from_wire(all[static_cast<std::size_t>(cursor++)]));
+      }
+
+      // Every member derives the identical balanced target layout and the
+      // identical old->new transition — no negotiation messages.
+      std::vector<OwnedLayout> proposed =
+          propose_resize_layout(old_owned, new_members);
+      plan = plan_resize(old_owned, proposed, elem_size);
+      res.stats = plan.stats;
+      if (me < new_members)
+        res.new_owned = std::move(proposed[static_cast<std::size_t>(me)]);
+    }
+
+    if (phase_hook) phase_hook("transfer");
+    {
+      DDR_TRACE_SPAN(
+          xspan, "ddr.resize.transfer",
+          trace::Keys{.comm = static_cast<std::int64_t>(tcomm.trace_id()),
+                      .bytes = plan.stats.moved_bytes});
+      // Compile the transition with the regular quad machinery and run it
+      // into a private staging buffer; the data a member keeps moves through
+      // the self lane (copy_regions, no message). The transition has empty
+      // needed sides for retiring members and — after a rolled-back attempt
+      // in which a data-holding member died — an owned side with holes, so
+      // the public setup() preconditions are skipped on purpose. Under an
+      // active FaultModel redistribute() degrades to the reliable per-round
+      // protocol, which fails fast when a peer dies mid-exchange.
+      Redistributor trans(tcomm, elem_size);
+      trans.options_.backend = Backend::point_to_point;
+      trans.options_.validate_owned_layout = false;
+      trans.options_.collective_error_agreement = false;
+      trans.layout_ = plan.transition;
+      trans.finish_setup();
+      res.data.resize(trans.needed_bytes());
+      trans.redistribute(owned_data, std::span<std::byte>(res.data));
+    }
+    res.ok = true;
+  } catch (const std::runtime_error& e) {
+    // Both mpi::Error and ddr::Error. Captured, not rethrown: the commit
+    // vote below turns a one-member failure into a collective rollback
+    // instead of a one-sided abort. (The runtime's kill signal is not an
+    // exception type and unwinds through untouched.)
+    res.ok = false;
+    res.error = e.what();
+  }
+  return res;
+}
+
+mpi::Comm Redistributor::rollback_rendezvous(const mpi::Comm& tcomm,
+                                             bool is_old) {
+  DDR_TRACE_INSTANT("ddr.resize.rollback",
+                    {.comm = static_cast<std::int64_t>(tcomm.trace_id())});
+  // Heal around the casualty of the failed attempt, then retire the
+  // attempt's joiners: the surviving pre-resize members form a prefix of the
+  // healed communicator (resize() placed them before the joiners and
+  // shrink() preserves order), so resizing down to their count keeps exactly
+  // them — and their data never moved, so the pre-resize state is intact.
+  mpi::Comm healed = tcomm.shrink();
+  const int mine = is_old ? 1 : 0;
+  int n_old = 0;
+  healed.allreduce(&mine, &n_old, 1, mpi::Datatype::of<int>(),
+                   mpi::Op::sum<int>());
+  require(n_old >= 1,
+          "resize: every pre-resize member died mid-resize — the data is "
+          "lost and there is no layout to roll back to");
+  if (healed.size() == n_old) return healed;
+  return healed.resize(n_old);
+}
+
+ResizeOutcome Redistributor::resize_rebalance(int new_size,
+                                              const OwnedLayout& owned,
+                                              std::span<const std::byte> owned_data,
+                                              const ResizeOptions& options) {
+  require(new_size >= 1, "resize_rebalance: new size must be at least 1");
+  require(options.max_attempts >= 1,
+          "resize_rebalance: max_attempts must be at least 1");
+  trace::ScopedRecorder traced(trace_ != nullptr ? trace_ : trace::current());
+  DDR_TRACE_SPAN(tspan, "ddr.resize",
+                 trace::Keys{.comm = static_cast<std::int64_t>(comm_.trace_id()),
+                             .value = new_size});
+
+  ResizeOutcome out;
+  mpi::Comm cur = comm_;
+  for (int attempt = 1;; ++attempt) {
+    out.attempts = attempt;
+    if (options.phase_hook) options.phase_hook("rendezvous");
+    // Heal around any already-dead ranks; the fresh child communicator also
+    // gives the transfer a pristine tag space. Growing activates dormant
+    // ranks, which enter resize_join() through RunOptions::joiner_main.
+    mpi::Comm base = cur.shrink();
+    const int live = base.size();
+    int target = new_size;
+    if (target > live) target = std::min(target, live + base.spawnable_ranks());
+    mpi::Comm tcomm = target > live ? base.resize(target) : base;
+
+    TransferResult t = resize_transfer(tcomm, target, elem_size_, owned,
+                                       owned_data, options.phase_hook);
+
+    if (options.phase_hook) options.phase_hook("commit");
+    bool committed = false;
+    {
+      DDR_TRACE_SPAN(
+          cspan, "ddr.resize.commit",
+          trace::Keys{.comm = static_cast<std::int64_t>(tcomm.trace_id()),
+                      .value = t.ok ? 1 : 0});
+      // The commit point. agree() proves every member reached the vote and
+      // voted yes — a member that died anywhere before this line forces 0 on
+      // every survivor, so no member can apply a layout another rolled back.
+      committed = (tcomm.agree(t.ok ? 1u : 0u) & 1u) == 1u;
+    }
+
+    if (committed) {
+      // A committed shrink still has its retiring members in tcomm; the
+      // resize retires them (they observe retired == true). A grow already
+      // has exactly the target membership.
+      mpi::Comm final_comm =
+          tcomm.size() == target ? std::move(tcomm) : tcomm.resize(target);
+      comm_ = final_comm;
+      setup_done_ = false;  // the old mapping does not span the new comm
+      out.retired = !final_comm.valid();
+      out.comm = std::move(final_comm);
+      out.owned = std::move(t.new_owned);
+      out.data = std::move(t.data);
+      out.stats = t.stats;
+      out.committed = true;
+      return out;
+    }
+
+    ++out.rollbacks;
+    cur = rollback_rendezvous(tcomm, /*is_old=*/true);
+    comm_ = cur;
+    require(attempt < options.max_attempts,
+            "resize_rebalance: no attempt committed after " +
+                std::to_string(attempt) + " attempt(s) — last failure: " +
+                (t.error.empty() ? std::string("a peer voted to roll back")
+                                 : t.error));
+    DDR_TRACE_INSTANT("ddr.resize.retry", {.value = attempt});
+  }
+}
+
+ResizeOutcome Redistributor::resize_join(const mpi::Comm& comm,
+                                         std::size_t elem_size,
+                                         const ResizeOptions& options) {
+  require(comm.valid(), "resize_join: invalid communicator");
+  require(elem_size > 0, "resize_join: element size must be positive");
+  DDR_TRACE_SPAN(tspan, "ddr.resize",
+                 trace::Keys{.comm = static_cast<std::int64_t>(comm.trace_id()),
+                             .value = comm.size()});
+
+  ResizeOutcome out;
+  out.attempts = 1;
+  TransferResult t = resize_transfer(comm, comm.size(), elem_size,
+                                     OwnedLayout{}, {}, options.phase_hook);
+
+  if (options.phase_hook) options.phase_hook("commit");
+  bool committed = false;
+  {
+    DDR_TRACE_SPAN(
+        cspan, "ddr.resize.commit",
+        trace::Keys{.comm = static_cast<std::int64_t>(comm.trace_id()),
+                    .value = t.ok ? 1 : 0});
+    committed = (comm.agree(t.ok ? 1u : 0u) & 1u) == 1u;
+  }
+
+  if (committed) {
+    out.comm = comm;
+    out.owned = std::move(t.new_owned);
+    out.data = std::move(t.data);
+    out.stats = t.stats;
+    out.committed = true;
+    return out;
+  }
+
+  // A rolled-back joiner retires: it never held data, and the surviving
+  // pre-resize members retry with freshly spawned ranks.
+  ++out.rollbacks;
+  out.comm = rollback_rendezvous(comm, /*is_old=*/false);
+  out.retired = !out.comm.valid();
+  return out;
 }
 
 void Redistributor::redistribute(std::span<const std::byte> owned_data,
@@ -1032,21 +1289,40 @@ void Redistributor::execute_p2p_reliable(
           --ndone_awaited;
         }
       }
+      // A receiver that gives up must not strand its live senders: they sit
+      // in this same poll loop awaiting our done token, and a polling rank
+      // never registers as blocked, so the deadlock watchdog could never
+      // fire for them. Hand every sender still owed a token its done before
+      // throwing — they drain into the epoch barrier (which IS
+      // watchdog-covered) and the failure surfaces through this rank's
+      // exception instead of a silent hang.
+      auto abort_exchange = [&](const std::string& msg) {
+        for (int q = 0; q < mapping_.nranks; ++q) {
+          const auto qi = static_cast<std::size_t>(q);
+          if (missing_from[qi] > 0 && !is_dead(q))
+            comm_.send(nullptr, 0, byte, q, p2p_done_tag(epoch));
+        }
+        require(false, msg);
+      };
       for (auto& pr : pending) {
         if (!pr.req.valid()) continue;
-        require(!is_dead(pr.peer),
-                "redistribute: rank " + std::to_string(pr.peer) +
-                    " was killed before delivering round " +
-                    std::to_string(pr.round) + " to rank " +
-                    std::to_string(comm_.rank()) +
-                    " — shrink the communicator and rebuild the mapping");
+        if (is_dead(pr.peer))
+          abort_exchange(
+              "redistribute: rank " + std::to_string(pr.peer) +
+              " was killed before delivering round " +
+              std::to_string(pr.round) + " to rank " +
+              std::to_string(comm_.rank()) +
+              " — shrink the communicator and rebuild the mapping "
+              "(rebuild(owned, needed) does both in one call under "
+              "SetupOptions::rebuild_policy == RebuildPolicy::"
+              "auto_shrink)");
         ++pr.attempts;
-        require(pr.attempts <= options_.max_transfer_attempts,
-                "redistribute: transfer (round " + std::to_string(pr.round) +
-                    " from rank " + std::to_string(pr.peer) + " to rank " +
-                    std::to_string(comm_.rank()) + ") still missing after " +
-                    std::to_string(pr.attempts) +
-                    " attempts — aborting the exchange");
+        if (pr.attempts > options_.max_transfer_attempts)
+          abort_exchange(
+              "redistribute: transfer (round " + std::to_string(pr.round) +
+              " from rank " + std::to_string(pr.peer) + " to rank " +
+              std::to_string(comm_.rank()) + ") still missing after " +
+              std::to_string(pr.attempts) + " attempts — aborting the exchange");
         DDR_TRACE_INSTANT("ddr.retry.request",
                           {.round = pr.round,
                            .peer = pr.peer,

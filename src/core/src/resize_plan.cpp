@@ -1,0 +1,180 @@
+#include "ddr/resize_plan.hpp"
+
+#include <algorithm>
+
+#include "ddr/error.hpp"
+#include "ddr/mapping.hpp"
+
+namespace ddr {
+
+namespace {
+
+Chunk chunk_from_box(const Box& b) {
+  Chunk c;
+  c.ndims = b.ndims;
+  for (int d = 0; d < b.ndims; ++d) {
+    const auto k = static_cast<std::size_t>(d);
+    c.offsets[k] = static_cast<int>(b.lo[k]);
+    c.dims[k] = static_cast<int>(b.hi[k] - b.lo[k]);
+  }
+  return c;
+}
+
+/// Splits `b` into its first `want` elements in slowest-axis-major order
+/// (whole z-planes first, then y-rows of the straddling plane, then x-runs)
+/// appended to `front`, with the remainder appended to `back`. Both sides
+/// are at most ndims boxes, and the split is exact for any `want` — that is
+/// what lets the planner hit per-member quotas to the element.
+void split_box(const Box& b, std::int64_t want, std::vector<Box>& front,
+               std::vector<Box>& back) {
+  if (want <= 0) {
+    back.push_back(b);
+    return;
+  }
+  if (want >= b.volume()) {
+    front.push_back(b);
+    return;
+  }
+  int axis = 0;
+  for (int d = b.ndims - 1; d >= 0; --d)
+    if (b.extent(d) > 1) {
+      axis = d;
+      break;
+    }
+  const auto ax = static_cast<std::size_t>(axis);
+  const std::int64_t plane = b.volume() / b.extent(axis);
+  const std::int64_t nfull = want / plane;
+  if (nfull > 0) {
+    Box head = b;
+    head.hi[ax] = head.lo[ax] + nfull;
+    front.push_back(head);
+  }
+  Box tail = b;
+  const std::int64_t rem = want - nfull * plane;
+  if (rem > 0) {
+    // The straddling plane splits recursively along the next faster axis.
+    Box mid = b;
+    mid.lo[ax] = b.lo[ax] + nfull;
+    mid.hi[ax] = mid.lo[ax] + 1;
+    split_box(mid, rem, front, back);
+    tail.lo[ax] = b.lo[ax] + nfull + 1;
+  } else {
+    tail.lo[ax] = b.lo[ax] + nfull;
+  }
+  if (tail.volume() > 0) back.push_back(tail);
+}
+
+}  // namespace
+
+std::vector<OwnedLayout> propose_resize_layout(
+    const std::vector<OwnedLayout>& old_owned, int new_members) {
+  require(new_members >= 1,
+          "propose_resize_layout: need at least one new member");
+  const int old_members = static_cast<int>(old_owned.size());
+  require(old_members >= 1,
+          "propose_resize_layout: need at least one old member");
+
+  int ndims = 0;
+  std::int64_t total = 0;
+  for (const OwnedLayout& chunks : old_owned)
+    for (const Chunk& c : chunks) {
+      require(ndims == 0 || c.ndims == ndims,
+              "propose_resize_layout: mixed chunk dimensionality");
+      ndims = c.ndims;
+      total += c.volume();
+    }
+  require(total > 0, "propose_resize_layout: old layout is empty");
+
+  // Exact quotas: total/N each, lower member indices take the remainder.
+  const auto n = static_cast<std::size_t>(new_members);
+  std::vector<std::int64_t> quota(n, total / new_members);
+  for (std::int64_t i = 0; i < total % new_members; ++i)
+    ++quota[static_cast<std::size_t>(i)];
+
+  // Phase 1: members keep a prefix of their own chunks up to quota; the
+  // surplus (and everything a retiring member held) goes to the donation
+  // pool in deterministic (member, chunk) order.
+  std::vector<OwnedLayout> out(n);
+  std::vector<std::int64_t> have(n, 0);
+  std::vector<Box> pool;
+  for (int i = 0; i < old_members; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    // Retiring members (i >= new_members) have no quota/have/out slot — every
+    // byte they hold is donated whole.
+    const bool keeper = i < new_members;
+    for (const Chunk& c : old_owned[k]) {
+      const Box b = c.box();
+      const std::int64_t room = keeper ? quota[k] - have[k] : 0;
+      if (keeper && room >= b.volume()) {
+        out[k].push_back(c);  // kept whole, in place
+        have[k] += b.volume();
+        continue;
+      }
+      std::vector<Box> kept;
+      split_box(b, room, kept, pool);
+      if (keeper) {
+        for (const Box& kb : kept) out[k].push_back(chunk_from_box(kb));
+        have[k] += room;
+      }
+    }
+  }
+
+  // Phase 2: fill every under-quota member (joiners, and keepers whose old
+  // holdings were below quota) from the pool, carving exact volumes.
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (have[i] < quota[i]) {
+      require(next < pool.size(),
+              "propose_resize_layout: donation pool exhausted (internal)");
+      const Box b = pool[next];
+      const std::int64_t deficit = quota[i] - have[i];
+      if (b.volume() <= deficit) {
+        out[i].push_back(chunk_from_box(b));
+        have[i] += b.volume();
+        ++next;
+        continue;
+      }
+      std::vector<Box> taken, rest;
+      split_box(b, deficit, taken, rest);
+      for (const Box& tb : taken) out[i].push_back(chunk_from_box(tb));
+      have[i] = quota[i];
+      // The remainder replaces the pool head; splice multi-box remainders.
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(next));
+      pool.insert(pool.begin() + static_cast<std::ptrdiff_t>(next),
+                  rest.begin(), rest.end());
+    }
+  }
+  require(next == pool.size(),
+          "propose_resize_layout: donation pool not drained (internal)");
+  return out;
+}
+
+ResizePlan plan_resize(const std::vector<OwnedLayout>& old_owned,
+                       const std::vector<OwnedLayout>& new_owned,
+                       std::size_t elem_size) {
+  require(elem_size > 0, "plan_resize: element size must be positive");
+  const std::size_t slots = std::max(old_owned.size(), new_owned.size());
+  require(slots > 0, "plan_resize: no members on either side");
+
+  ResizePlan plan;
+  plan.new_owned = new_owned;
+  plan.transition.owned.resize(slots);
+  plan.transition.needed.resize(slots);
+  for (std::size_t i = 0; i < old_owned.size(); ++i)
+    plan.transition.owned[i] = old_owned[i];
+  for (std::size_t i = 0; i < new_owned.size(); ++i)
+    plan.transition.needed[i] = new_owned[i];
+
+  const MappingStats ms = compute_stats(plan.transition, elem_size);
+  plan.stats.kept_bytes = ms.self_bytes;
+  plan.stats.moved_bytes = ms.network_bytes;
+  std::int64_t total = 0;
+  for (const OwnedLayout& chunks : old_owned)
+    for (const Chunk& c : chunks)
+      total += c.volume() * static_cast<std::int64_t>(elem_size);
+  plan.stats.total_bytes = total;
+  plan.stats.naive_bytes = total;
+  return plan;
+}
+
+}  // namespace ddr

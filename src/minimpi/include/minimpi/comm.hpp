@@ -300,6 +300,38 @@ class Comm {
   /// decide whether to engage retry protocols).
   [[nodiscard]] bool fault_injection_active() const;
 
+  // --- elastic resize --------------------------------------------------------
+
+  /// Elastic resize: builds a communicator of exactly `new_size` ranks.
+  /// Collective over this communicator's LIVE members (like shrink(), it
+  /// exchanges no messages, so it also serves as the recovery step after an
+  /// incident). Growing claims dormant rank slots reserved by
+  /// RunOptions::max_ranks and starts them in RunOptions::joiner_main on the
+  /// child communicator; surviving members keep their relative order and
+  /// occupy ranks [0, live), joiners follow. Shrinking keeps the first
+  /// `new_size` survivors; a retired caller gets an INVALID Comm back
+  /// (valid() == false) and must stop using the old communicator.
+  ///
+  /// Survivors racing a concurrent rank death retry the rendezvous
+  /// internally (bounded, with backoff — "mpi.resize.retry" trace instants);
+  /// growing past the remaining dormant capacity throws
+  /// ErrorClass::invalid_argument on every member identically (see
+  /// spawnable_ranks() to size requests).
+  [[nodiscard]] Comm resize(int new_size) const;
+
+  /// Dormant rank slots still claimable by resize() growth, run-wide.
+  /// Racy by nature (another communicator may claim concurrently) but
+  /// monotone non-increasing, so it is a safe upper bound.
+  [[nodiscard]] int spawnable_ranks() const;
+
+  /// Fault-tolerant agreement on a bit mask (ULFM's MPI_Comm_agree):
+  /// collective over live members, returns the bitwise AND of every member's
+  /// contribution, where a member that died before contributing counts as 0.
+  /// Every survivor returns the SAME value, even when deaths race the call —
+  /// this is the commit/abort primitive for transactional protocols (vote 1
+  /// for commit; a unanimous 1 proves every member reached the vote).
+  [[nodiscard]] std::uint32_t agree(std::uint32_t contribution) const;
+
   // --- instrumentation ------------------------------------------------------
 
   /// Snapshot of this communicator's staging-buffer pool counters.

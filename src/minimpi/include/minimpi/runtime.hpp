@@ -33,11 +33,26 @@ struct RunOptions {
   /// rank throws mpi::Error(ErrorClass::deadlock) instead of hanging the
   /// process forever. Values <= 0 disable the watchdog.
   double deadlock_grace_s = 0.25;
+
+  /// Elastic capacity: total rank-thread slots of the run. The launcher
+  /// spawns this many threads; slots beyond `nranks` park as DORMANT ranks
+  /// that Comm::resize() can activate later to grow a communicator. Values
+  /// <= nranks mean no headroom (resize can only shrink). World-rank slots
+  /// are spent permanently: a retired or killed joiner slot is never reused.
+  int max_ranks = 0;
+
+  /// Entry point for ranks activated by Comm::resize() (the `comm` argument
+  /// is the resized communicator, with this rank already a member). When
+  /// unset, joiners run `rank_main`. Must be race-free with rank_main like
+  /// any SPMD body; a joiner returning normally retires its slot.
+  std::function<void(Comm&)> joiner_main;
 };
 
 /// Result of a completed run.
 struct RunResult {
   /// Final per-rank virtual clock values, seconds (index = world rank).
+  /// With RunOptions::max_ranks headroom this has max_ranks entries;
+  /// never-activated dormant slots report 0.
   std::vector<double> vtimes;
 
   /// Simulated makespan: max over ranks of the virtual clock.

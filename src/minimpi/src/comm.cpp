@@ -61,13 +61,26 @@ void World::declare_deadlock(int declaring_world_rank) {
       dead_list += std::to_string(r);
     }
   const int ngone = gone.load(std::memory_order_acquire);
+  // Name every live rank's wait site: "3:recv@17" is a rank stuck in a
+  // receive for tag 17, "0:shrink"/"2:agree" are ranks parked in agreements
+  // (they consume incidents and retry; receives throw).
+  std::string sites;
+  for (int r = 0; r < size; ++r) {
+    const auto k = static_cast<std::size_t>(r);
+    if (!running[k].load(std::memory_order_acquire)) continue;
+    const char* site = blocked_at[k].load(std::memory_order_acquire);
+    if (!sites.empty()) sites += ", ";
+    sites += std::to_string(r) + ":" + (site != nullptr ? site : "running");
+    const int tag = blocked_tag[k].load(std::memory_order_acquire);
+    if (site != nullptr && tag >= 0) sites += "@" + std::to_string(tag);
+  }
   deadlock_detail =
       "minimpi: deadlock detected — all " + std::to_string(size - ngone) +
       " live rank(s) blocked with no messages in flight (" +
       std::to_string(ndead) +
       (ndead == 1 ? " rank dead" : " ranks dead") +
       (ndead > 0 ? ": [" + dead_list + "]" : "") + ", " +
-      std::to_string(ngone - ndead) + " finished)";
+      std::to_string(ngone - ndead) + " finished; blocked at: " + sites + ")";
 }
 
 void World::throw_if_deadlocked(int world_rank) {
@@ -91,6 +104,8 @@ CommImpl::CommImpl(std::shared_ptr<World> w, std::vector<int> group_world_ranks)
       coll_seq(group.size(), 0),
       split_seq(group.size(), 0),
       shrink_seq(group.size(), 0),
+      resize_seq(group.size(), 0),
+      agree_seq(group.size(), 0),
       pack_exec(group.size()) {
   user_box.reserve(group.size());
   coll_box.reserve(group.size());
@@ -140,14 +155,25 @@ void fault_checkpoint(World& w, int my_world) {
 }
 
 /// Registers this rank thread as blocked for the watchdog, exception-safely.
+/// `where` (a static string) and `tag` label the wait in World::blocked_at /
+/// blocked_tag so a deadlock incident can name every stuck rank's site.
 class BlockGuard {
  public:
-  explicit BlockGuard(World& w) : w_(w) {}
+  BlockGuard(World& w, int my_world, const char* where, int tag = -1)
+      : w_(w),
+        k_(static_cast<std::size_t>(my_world)),
+        where_(where),
+        tag_(tag) {}
   ~BlockGuard() {
-    if (on_) w_.blocked.fetch_sub(1, std::memory_order_release);
+    if (on_) {
+      w_.blocked_at[k_].store(nullptr, std::memory_order_release);
+      w_.blocked.fetch_sub(1, std::memory_order_release);
+    }
   }
   void enter() {
     if (!on_) {
+      w_.blocked_at[k_].store(where_, std::memory_order_release);
+      w_.blocked_tag[k_].store(tag_, std::memory_order_release);
       w_.blocked.fetch_add(1, std::memory_order_release);
       on_ = true;
     }
@@ -157,6 +183,9 @@ class BlockGuard {
 
  private:
   World& w_;
+  std::size_t k_;
+  const char* where_;
+  int tag_;
   bool on_ = false;
 };
 
@@ -170,7 +199,7 @@ class BlockGuard {
 /// ErrorClass::deadlock instead of hanging the process.
 Message take(Mailbox& box, World& w, int my_world, int src, int tag) {
   using steady = std::chrono::steady_clock;
-  BlockGuard guard(w);
+  BlockGuard guard(w, my_world, "recv", tag);
   std::uint64_t seen_progress = w.progress.load(std::memory_order_acquire);
   steady::time_point stable_since = steady::now();
   std::unique_lock lk(box.m);
@@ -419,7 +448,7 @@ Status Comm::probe(int source, int tag) const {
   const int my_world = impl_->group[static_cast<std::size_t>(rank_)];
   fault_checkpoint(w, my_world);
   Mailbox& box = *impl_->user_box[static_cast<std::size_t>(rank_)];
-  BlockGuard guard(w);
+  BlockGuard guard(w, my_world, "probe", tag);
   std::uint64_t seen_progress = w.progress.load(std::memory_order_acquire);
   steady::time_point stable_since = steady::now();
   std::unique_lock lk(box.m);
@@ -948,6 +977,209 @@ void Comm::alltoallw(const void* sendbuf, std::span<const int> sendcounts,
   }
 }
 
+// --- group agreement (shrink / resize / agree) -------------------------------
+
+namespace {
+
+/// Bounded-agreement parameters: how many times a survivor re-derives the
+/// surviving group (or consumes a deadlock incident) while waiting for the
+/// rendezvous to converge before the hard "survivors disagree" error
+/// surfaces, and the backoff window between re-checks.
+constexpr int kGroupRetryBudget = 32;
+constexpr auto kGroupBackoffStart = std::chrono::milliseconds(1);
+constexpr auto kGroupBackoffMax = std::chrono::milliseconds(16);
+
+/// True when world rank `wr` returned from its rank body without dying: it
+/// can never join an agreement, so the rendezvous must not wait for it (it
+/// still occupies its slot in the surviving group, as shrink() always had).
+bool finished_rank(const World& w, int wr) {
+  const auto k = static_cast<std::size_t>(wr);
+  return !w.running[k].load(std::memory_order_acquire) &&
+         !w.dead[k].load(std::memory_order_acquire);
+}
+
+/// Surviving (non-dead) members of `impl`, as comm ranks in rank order.
+std::vector<int> derive_survivors(const CommImpl& impl) {
+  const World& w = *impl.world;
+  std::vector<int> mem;
+  for (int r = 0; r < impl.size; ++r) {
+    const int wr = impl.group[static_cast<std::size_t>(r)];
+    if (!w.dead[static_cast<std::size_t>(wr)].load(std::memory_order_acquire))
+      mem.push_back(r);
+  }
+  return mem;
+}
+
+struct GroupOutcome {
+  std::shared_ptr<CommImpl> child;
+  std::vector<int> member_group;  ///< agreed live members, world ranks
+  std::string error;              ///< agreed failure every member throws
+};
+
+/// The message-free bounded-agreement rendezvous behind shrink() and
+/// resize(). Each member publishes the survivor group it derives from
+/// World::dead into the slot for `seq`, then blocks until every non-finished
+/// member of that group has published the IDENTICAL group (and, for resize,
+/// the identical target size). The dead set growing underneath the
+/// rendezvous re-derives the group — a counted retry with backoff and a
+/// trace instant, replacing the old immediate hard error — and only an
+/// exhausted budget surfaces the historical "survivors disagree" error.
+/// The first member to observe full agreement runs `build` (still holding
+/// agree_m) to construct the child communicator or an agreed error.
+GroupOutcome agree_on_group(
+    const std::shared_ptr<CommImpl>& impl_sp, int my_rank,
+    std::map<std::uint64_t, CommImpl::AgreeSlot>& slots, std::uint64_t seq,
+    int my_target, const char* what, const char* retry_event,
+    const std::function<void(CommImpl::AgreeSlot&, const std::vector<int>&)>&
+        build) {
+  CommImpl& impl = *impl_sp;
+  World& w = *impl.world;
+  const int my_world = impl.group[static_cast<std::size_t>(my_rank)];
+  const auto world_of = [&](int r) {
+    return impl.group[static_cast<std::size_t>(r)];
+  };
+  const auto to_world_group = [&](const std::vector<int>& mem) {
+    std::vector<int> g;
+    g.reserve(mem.size());
+    for (int r : mem) g.push_back(world_of(r));
+    return g;
+  };
+  const std::string disagree_error =
+      std::string(what) +
+      ": survivors disagree on the surviving group (a rank died between two "
+      "ranks' " +
+      what + " calls; retry " + what + ")";
+
+  using steady = std::chrono::steady_clock;
+  BlockGuard guard(w, my_world, what);
+  int retries = 0;
+  auto backoff = kGroupBackoffStart;
+  std::uint64_t seen_progress = w.progress.load(std::memory_order_acquire);
+  steady::time_point stable_since = steady::now();
+
+  std::unique_lock lk(impl.agree_m);
+  CommImpl::AgreeSlot& slot = slots[seq];
+  std::vector<int> mem = derive_survivors(impl);
+  std::vector<int> grp = to_world_group(mem);
+  slot.proposed[my_rank] = grp;
+  if (my_target >= 0) slot.target[my_rank] = my_target;
+  w.note_progress();
+  impl.agree_cv.notify_all();
+
+  const auto count_retry = [&] {
+    ++retries;
+    DDR_TRACE_INSTANT(
+        retry_event,
+        {.comm = static_cast<std::int64_t>(impl.trace_id), .value = retries});
+    require(retries <= kGroupRetryBudget, ErrorClass::internal,
+            disagree_error);
+    backoff = kGroupBackoffStart;
+  };
+
+  for (;;) {
+    if (slot.child != nullptr || !slot.error.empty()) {
+      GroupOutcome out{slot.child, slot.member_group, slot.error};
+      if (--slot.pickups <= 0) slots.erase(seq);
+      w.note_progress();
+      impl.agree_cv.notify_all();
+      // A completed rendezvous is progress. An incident that fired while
+      // this rank converged on the fast path (never reaching the consuming
+      // wait below) must be swallowed here, or it detonates at the rank's
+      // next ordinary blocking call — typically a recovery collective with
+      // no try around it.
+      const std::uint64_t gen = w.deadlock_gen.load(std::memory_order_acquire);
+      const auto mk = static_cast<std::size_t>(my_world);
+      if (gen > w.deadlock_ack[mk].load(std::memory_order_acquire))
+        w.deadlock_ack[mk].store(gen, std::memory_order_release);
+      return out;
+    }
+
+    // The dead set may have grown underneath the rendezvous: re-derive and
+    // re-propose (counted against the retry budget) until views converge.
+    std::vector<int> now_mem = derive_survivors(impl);
+    if (now_mem != mem) {
+      mem = std::move(now_mem);
+      grp = to_world_group(mem);
+      slot.proposed[my_rank] = grp;
+      count_retry();
+      w.note_progress();
+      impl.agree_cv.notify_all();
+    }
+
+    // Agreement: every non-finished member of my derived group must have
+    // proposed exactly this group (finished ranks keep their slot but can
+    // never participate, so they count as implicit acceptors).
+    bool complete = true;
+    int proposers = 0;
+    for (int r : mem) {
+      if (finished_rank(w, world_of(r))) continue;
+      auto it = slot.proposed.find(r);
+      if (it == slot.proposed.end() || it->second != grp) {
+        complete = false;
+        break;
+      }
+      ++proposers;
+    }
+    if (complete && my_target >= 0) {
+      for (int r : mem) {
+        auto it = slot.target.find(r);
+        if (it == slot.target.end()) continue;  // finished member
+        if (it->second != my_target) {
+          slot.member_group = grp;
+          slot.pickups = proposers;
+          slot.error = std::string(what) +
+                       ": members passed different new sizes (" +
+                       std::to_string(my_target) + " vs " +
+                       std::to_string(it->second) + ")";
+          break;
+        }
+      }
+    }
+    if (complete && slot.error.empty()) {
+      slot.member_group = grp;
+      slot.pickups = proposers;
+      build(slot, grp);
+      w.note_progress();
+      impl.agree_cv.notify_all();
+      continue;  // the pickup branch fires on the next iteration
+    }
+    if (complete) continue;  // agreed error: pick it up next iteration
+
+    // Not agreed yet: wait, watchdog-aware. A survivor parked here must not
+    // stall deadlock detection (it registers as blocked and declares like
+    // any take() waiter) nor be torn out of the recovery path by an incident
+    // meant for ranks stuck in dead receives — it consumes incidents
+    // silently, counting them against the same bounded retry budget.
+    guard.enter();
+    const std::uint64_t gen = w.deadlock_gen.load(std::memory_order_acquire);
+    const auto mk = static_cast<std::size_t>(my_world);
+    if (gen > w.deadlock_ack[mk].load(std::memory_order_acquire)) {
+      w.deadlock_ack[mk].store(gen, std::memory_order_release);
+      count_retry();
+    }
+    if (w.aborted.load(std::memory_order_acquire)) throw_aborted();
+    if (w.fault != nullptr &&
+        w.fault->should_kill(my_world,
+                             w.clocks[mk].now()))
+      throw detail::RankKilled{};
+    if (w.deadlock_grace_s > 0.0) {
+      const std::uint64_t p = w.progress.load(std::memory_order_acquire);
+      if (p != seen_progress) {
+        seen_progress = p;
+        stable_since = steady::now();
+      } else if (w.all_live_blocked() &&
+                 std::chrono::duration<double>(steady::now() - stable_since)
+                         .count() > w.deadlock_grace_s) {
+        w.declare_deadlock(my_world);
+      }
+    }
+    impl.agree_cv.wait_for(lk, backoff);
+    backoff = std::min(backoff * 2, kGroupBackoffMax);
+  }
+}
+
+}  // namespace
+
 // --- communicator management -------------------------------------------------
 
 Comm Comm::split(int color, int key) const {
@@ -1024,42 +1256,194 @@ Comm Comm::shrink() const {
               std::memory_order_acquire),
           ErrorClass::internal, "shrink: calling rank is marked dead");
 
-  // Every survivor derives the identical group from World::dead. The dead set
-  // only grows, and the calling rank has already observed the death (that is
-  // why it is shrinking), so all survivors compute the same group without
-  // exchanging a single message — crucial when the old communicator's
-  // collective channel was left half-used by the deadlock incident.
-  std::vector<int> group;
-  int my_new_rank = -1;
-  for (int r = 0; r < impl_->size; ++r) {
-    const int wr = impl_->group[static_cast<std::size_t>(r)];
-    if (w.dead[static_cast<std::size_t>(wr)].load(std::memory_order_acquire))
-      continue;
-    if (r == rank_) my_new_rank = static_cast<int>(group.size());
-    group.push_back(wr);
-  }
-  require(my_new_rank >= 0, ErrorClass::internal, "shrink: self not in group");
-
+  // Every survivor derives its group from World::dead without exchanging a
+  // single message — crucial when the old communicator's collective channel
+  // was left half-used by the deadlock incident. Survivors whose views of
+  // the dead set race converge inside the bounded agreement (the dead set
+  // only grows); see agree_on_group.
   const std::uint64_t seq =
       impl_->shrink_seq[static_cast<std::size_t>(rank_)]++;
-  std::shared_ptr<CommImpl> child;
-  {
-    std::lock_guard lk(impl_->shrink_m);
-    auto it = impl_->shrink_pending.find(seq);
-    if (it == impl_->shrink_pending.end()) {
-      child = std::make_shared<CommImpl>(impl_->world, group);
-      if (group.size() > 1)
-        impl_->shrink_pending.emplace(
-            seq, std::make_pair(child, static_cast<int>(group.size()) - 1));
-    } else {
-      child = it->second.first;
-      require(child->group == group, ErrorClass::internal,
-              "shrink: survivors disagree on the surviving group (a rank died "
-              "between two ranks' shrink calls; retry shrink)");
-      if (--it->second.second == 0) impl_->shrink_pending.erase(it);
+  GroupOutcome out = agree_on_group(
+      impl_, rank_, impl_->shrink_slots, seq, /*my_target=*/-1, "shrink",
+      "mpi.shrink.retry",
+      [&](CommImpl::AgreeSlot& slot, const std::vector<int>& grp) {
+        slot.child = std::make_shared<CommImpl>(impl_->world, grp);
+      });
+  require(out.error.empty(), ErrorClass::invalid_argument, out.error);
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < out.member_group.size(); ++i)
+    if (out.member_group[i] == my_world) my_new_rank = static_cast<int>(i);
+  require(my_new_rank >= 0, ErrorClass::internal, "shrink: self not in group");
+  return Comm(std::move(out.child), my_new_rank);
+}
+
+Comm Comm::resize(int new_size) const {
+  require(valid(), ErrorClass::invalid_comm, "resize: invalid communicator");
+  require(new_size >= 1, ErrorClass::invalid_argument,
+          "resize: new size must be >= 1");
+  World& w = *impl_->world;
+  const int my_world = impl_->group[static_cast<std::size_t>(rank_)];
+  require(!w.dead[static_cast<std::size_t>(my_world)].load(
+              std::memory_order_acquire),
+          ErrorClass::internal, "resize: calling rank is marked dead");
+  DDR_TRACE_SPAN(tspan, "mpi.resize",
+                 trace::Keys{.comm = static_cast<std::int64_t>(impl_->trace_id),
+                             .value = new_size});
+
+  const std::uint64_t seq =
+      impl_->resize_seq[static_cast<std::size_t>(rank_)]++;
+  GroupOutcome out = agree_on_group(
+      impl_, rank_, impl_->resize_slots, seq, new_size, "resize",
+      "mpi.resize.retry",
+      [&](CommImpl::AgreeSlot& slot, const std::vector<int>& grp) {
+        const int live = static_cast<int>(grp.size());
+        if (new_size <= live) {
+          // Shrink: the first new_size survivors carry on, the tail retires.
+          std::vector<int> cg(grp.begin(), grp.begin() + new_size);
+          slot.child = std::make_shared<CommImpl>(impl_->world, std::move(cg));
+          return;
+        }
+        // Grow: claim dormant slots (all-or-nothing) and start them as
+        // members [live, new_size) of the child.
+        const int need = new_size - live;
+        std::vector<int> claimed = w.claim_dormant(need);
+        if (static_cast<int>(claimed.size()) < need) {
+          slot.error = "resize: growing from " + std::to_string(live) +
+                       " to " + std::to_string(new_size) + " needs " +
+                       std::to_string(need) + " fresh rank(s) but only " +
+                       std::to_string(w.dormant_count()) +
+                       " dormant slot(s) remain (RunOptions::max_ranks)";
+          return;
+        }
+        std::vector<int> cg = grp;
+        cg.insert(cg.end(), claimed.begin(), claimed.end());
+        slot.child = std::make_shared<CommImpl>(impl_->world, std::move(cg));
+        DDR_TRACE_INSTANT(
+            "mpi.resize.join",
+            {.comm = static_cast<std::int64_t>(impl_->trace_id),
+             .value = need});
+        w.activate(claimed, slot.child, live,
+                   w.clocks[static_cast<std::size_t>(my_world)].now());
+      });
+  require(out.error.empty(), ErrorClass::invalid_argument, out.error);
+  int my_index = -1;
+  for (std::size_t i = 0; i < out.member_group.size(); ++i)
+    if (out.member_group[i] == my_world) my_index = static_cast<int>(i);
+  require(my_index >= 0, ErrorClass::internal, "resize: self not in group");
+  if (my_index >= new_size) return Comm{};  // retired by the shrink
+  return Comm(std::move(out.child), my_index);
+}
+
+int Comm::spawnable_ranks() const {
+  require(valid(), ErrorClass::invalid_comm,
+          "spawnable_ranks: invalid communicator");
+  return impl_->world->dormant_count();
+}
+
+std::uint32_t Comm::agree(std::uint32_t contribution) const {
+  require(valid(), ErrorClass::invalid_comm, "agree: invalid communicator");
+  World& w = *impl_->world;
+  const int my_world = impl_->group[static_cast<std::size_t>(rank_)];
+  // Entry checkpoint BEFORE the vote is recorded: a rank whose kill is
+  // already pending must count as died-before-voting (forcing 0 on every
+  // survivor), not slip its yes in on the way down — the vote is the commit
+  // point for transactional users like resize_rebalance.
+  fault_checkpoint(w, my_world);
+  const std::uint64_t seq = impl_->agree_seq[static_cast<std::size_t>(rank_)]++;
+
+  using steady = std::chrono::steady_clock;
+  BlockGuard guard(w, my_world, "agree");
+  int incidents = 0;
+  auto backoff = kGroupBackoffStart;
+  std::uint64_t seen_progress = w.progress.load(std::memory_order_acquire);
+  steady::time_point stable_since = steady::now();
+
+  // The dead flags are read while holding agree_m: a vote is recorded under
+  // the same mutex BEFORE the voter's death flag can become visible
+  // (mark_dead is sequenced after the vote's critical section), so no two
+  // survivors can disagree about whether a dead member voted — the result
+  // is deterministic across survivors even when deaths race the call.
+  std::unique_lock lk(impl_->agree_m);
+  CommImpl::VoteSlot& slot = impl_->vote_slots[seq];
+  slot.votes[rank_] = contribution;
+  w.note_progress();
+  impl_->agree_cv.notify_all();
+
+  for (;;) {
+    std::uint32_t result = ~std::uint32_t{0};
+    bool complete = true;
+    for (int r = 0; r < impl_->size; ++r) {
+      auto it = slot.votes.find(r);
+      if (it != slot.votes.end()) {
+        result &= it->second;
+        continue;
+      }
+      const int wr = impl_->group[static_cast<std::size_t>(r)];
+      if (w.dead[static_cast<std::size_t>(wr)].load(
+              std::memory_order_acquire) ||
+          finished_rank(w, wr)) {
+        result = 0;  // died (or left) before contributing
+        continue;
+      }
+      complete = false;
+      break;
     }
+    if (complete) {
+      slot.picked.push_back(rank_);
+      bool all_collected = true;
+      for (int r = 0; r < impl_->size; ++r) {
+        const int wr = impl_->group[static_cast<std::size_t>(r)];
+        if (std::find(slot.picked.begin(), slot.picked.end(), r) !=
+                slot.picked.end() ||
+            w.dead[static_cast<std::size_t>(wr)].load(
+                std::memory_order_acquire) ||
+            finished_rank(w, wr))
+          continue;
+        all_collected = false;
+        break;
+      }
+      if (all_collected) impl_->vote_slots.erase(seq);
+      w.note_progress();
+      impl_->agree_cv.notify_all();
+      // Same fast-path consumption as agree_on_group: the last voter can
+      // complete without ever blocking, and must not carry a stale incident
+      // into its next blocking call (e.g. the rollback allreduce).
+      const std::uint64_t gen = w.deadlock_gen.load(std::memory_order_acquire);
+      const auto mk = static_cast<std::size_t>(my_world);
+      if (gen > w.deadlock_ack[mk].load(std::memory_order_acquire))
+        w.deadlock_ack[mk].store(gen, std::memory_order_release);
+      return result;
+    }
+
+    // Same watchdog discipline as agree_on_group: register blocked, consume
+    // incidents silently (bounded — a member that is alive but never joins
+    // the agreement is a collective-order bug, not a survivable fault).
+    guard.enter();
+    const auto mk = static_cast<std::size_t>(my_world);
+    const std::uint64_t gen = w.deadlock_gen.load(std::memory_order_acquire);
+    if (gen > w.deadlock_ack[mk].load(std::memory_order_acquire)) {
+      w.deadlock_ack[mk].store(gen, std::memory_order_release);
+      require(++incidents <= kGroupRetryBudget, ErrorClass::internal,
+              "agree: agreement cannot complete — a member is alive but never "
+              "joined the agreement (collectives called in different orders?)");
+    }
+    if (w.aborted.load(std::memory_order_acquire)) throw_aborted();
+    if (w.fault != nullptr && w.fault->should_kill(my_world, w.clocks[mk].now()))
+      throw detail::RankKilled{};
+    if (w.deadlock_grace_s > 0.0) {
+      const std::uint64_t p = w.progress.load(std::memory_order_acquire);
+      if (p != seen_progress) {
+        seen_progress = p;
+        stable_since = steady::now();
+      } else if (w.all_live_blocked() &&
+                 std::chrono::duration<double>(steady::now() - stable_since)
+                         .count() > w.deadlock_grace_s) {
+        w.declare_deadlock(my_world);
+      }
+    }
+    impl_->agree_cv.wait_for(lk, backoff);
+    backoff = std::min(backoff * 2, kGroupBackoffMax);
   }
-  return Comm(std::move(child), my_new_rank);
 }
 
 bool Comm::fault_injection_active() const {

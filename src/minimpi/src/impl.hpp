@@ -235,18 +235,35 @@ class PackExecutor {
 };
 
 /// Whole-run shared state. One World per mpi::run().
+///
+/// `size` counts every rank-thread slot of the run, including dormant slots
+/// reserved by RunOptions::max_ranks that no communicator has activated yet.
+/// Dormant slots are pre-counted in `gone` (they cannot act until activated),
+/// so the watchdog's live-set arithmetic needs no special cases.
 struct World {
-  World(int nranks, const NetworkModel* net, FaultModel* fault_model,
-        double grace_s)
-      : size(nranks),
+  World(int nranks, int capacity, const NetworkModel* net,
+        FaultModel* fault_model, double grace_s)
+      : size(capacity),
         network(net),
         fault(fault_model),
         deadlock_grace_s(grace_s),
-        clocks(static_cast<std::size_t>(nranks)),
-        dead(static_cast<std::size_t>(nranks)),
-        running(static_cast<std::size_t>(nranks)),
-        deadlock_ack(static_cast<std::size_t>(nranks)) {
-    for (auto& f : running) f.store(true, std::memory_order_relaxed);
+        clocks(static_cast<std::size_t>(capacity)),
+        dead(static_cast<std::size_t>(capacity)),
+        running(static_cast<std::size_t>(capacity)),
+        deadlock_ack(static_cast<std::size_t>(capacity)),
+        blocked_at(static_cast<std::size_t>(capacity)),
+        blocked_tag(static_cast<std::size_t>(capacity)) {
+    for (int r = 0; r < capacity; ++r) {
+      running[static_cast<std::size_t>(r)].store(r < nranks,
+                                                 std::memory_order_relaxed);
+      blocked_at[static_cast<std::size_t>(r)].store(nullptr,
+                                                    std::memory_order_relaxed);
+      blocked_tag[static_cast<std::size_t>(r)].store(-1,
+                                                     std::memory_order_relaxed);
+    }
+    gone.store(capacity - nranks, std::memory_order_relaxed);
+    live_activated = nranks;
+    for (int r = nranks; r < capacity; ++r) dormant.push_back(r);
   }
 
   int size;
@@ -297,6 +314,15 @@ struct World {
   std::mutex deadlock_m;
   std::string deadlock_detail;
 
+  /// Diagnostic site labels: which wait each blocked rank sits in (static
+  /// string set by BlockGuard::enter, cleared on exit) and the tag it is
+  /// waiting for (receives/probes; -1 for agreements and votes). The
+  /// watchdog's incident message names every live rank's wait, which is the
+  /// difference between "deadlock detected" and knowing which collective
+  /// stranded whom.
+  std::vector<std::atomic<const char*>> blocked_at;
+  std::vector<std::atomic<int>> blocked_tag;
+
   void abort_all();
   void note_progress() {
     progress.fetch_add(1, std::memory_order_release);
@@ -323,6 +349,73 @@ struct World {
   /// Throws ErrorClass::deadlock if an incident this rank has not yet
   /// consumed is pending.
   void throw_if_deadlocked(int world_rank);
+
+  // --- elastic resize: dormant rank slots & the join port ------------------
+  // RunOptions::max_ranks parks (capacity - nranks) rank threads at startup.
+  // Comm::resize() claims dormant slots and publishes a JoinTicket per slot;
+  // the parked thread wakes, enters joiner_main on the child communicator,
+  // and from then on behaves like any other rank. World ranks are spent
+  // permanently: a retired or killed slot never returns to the dormant pool
+  // (the thread has exited), which keeps every rank's view of the world-rank
+  // space monotone.
+
+  /// What a dormant thread needs to start life as a communicator member.
+  struct JoinTicket {
+    std::shared_ptr<CommImpl> comm;
+    int rank_in_comm = -1;
+    double start_vtime = 0.0;  ///< creator's clock, so joiners don't lag
+  };
+
+  std::mutex join_m;
+  std::condition_variable join_cv;       ///< wakes parked dormant threads
+  std::condition_variable run_done_cv;   ///< wakes run() for shutdown
+  std::map<int, JoinTicket> join_tickets;  // world rank -> ticket
+  std::vector<int> dormant;  ///< unclaimed world ranks, ascending
+  /// Activated-and-unfinished rank threads; run() shuts the remaining
+  /// dormant threads down once this reaches zero.
+  int live_activated = 0;
+  bool shutting_down = false;  // guarded by join_m
+
+  /// Claims `n` dormant world ranks (ascending), all-or-nothing: returns
+  /// empty when fewer than `n` remain, so a failed grow never burns slots.
+  /// Claimed slots never return to the pool.
+  [[nodiscard]] std::vector<int> claim_dormant(int n) {
+    std::lock_guard lk(join_m);
+    if (static_cast<int>(dormant.size()) < n) return {};
+    std::vector<int> out(dormant.begin(), dormant.begin() + n);
+    dormant.erase(dormant.begin(), dormant.begin() + n);
+    return out;
+  }
+
+  /// Dormant world ranks still claimable (Comm::spawnable_ranks).
+  [[nodiscard]] int dormant_count() {
+    std::lock_guard lk(join_m);
+    return static_cast<int>(dormant.size());
+  }
+
+  /// Activates previously claimed dormant slots as members of `comm`,
+  /// occupying comm ranks [first_rank, first_rank + ranks.size()). Flips the
+  /// slots live for the watchdog (ack'ed up to the current incident so a
+  /// joiner never consumes a stale deadlock) before waking the threads.
+  void activate(const std::vector<int>& ranks,
+                const std::shared_ptr<CommImpl>& comm, int first_rank,
+                double start_vtime) {
+    const std::uint64_t gen = deadlock_gen.load(std::memory_order_acquire);
+    {
+      std::lock_guard lk(join_m);
+      int next = first_rank;
+      for (int wr : ranks) {
+        const auto s = static_cast<std::size_t>(wr);
+        deadlock_ack[s].store(gen, std::memory_order_release);
+        running[s].store(true, std::memory_order_release);
+        gone.fetch_sub(1, std::memory_order_release);
+        ++live_activated;
+        join_tickets[wr] = JoinTicket{comm, next++, start_vtime};
+      }
+    }
+    join_cv.notify_all();
+    note_progress();
+  }
 };
 
 /// Shared state of one communicator.
@@ -356,15 +449,50 @@ struct CommImpl {
       split_pending;
   std::vector<std::uint64_t> split_seq;
 
-  // --- shrink() rendezvous ------------------------------------------------
-  // Message-free: every survivor derives the identical survivor group from
-  // World::dead, so the rendezvous only needs the per-rank shrink sequence
-  // (aligned because shrink() is collective over the survivors).
-  std::mutex shrink_m;
-  std::map<std::uint64_t,
-           std::pair<std::shared_ptr<CommImpl>, int /*remaining pickups*/>>
-      shrink_pending;
+  // --- shrink() / resize() group agreement ---------------------------------
+  // Message-free bounded agreement: every survivor publishes the survivor
+  // group it derives from World::dead into the slot for its per-rank
+  // sequence number, then blocks until every member of that group has
+  // published the IDENTICAL group (re-deriving, with bounded backoff, when
+  // the dead set grows underneath the rendezvous — that is what the old
+  // hard "survivors disagree" error has become). The first member to observe
+  // full agreement constructs the child communicator; the rest pick it up.
+  // One sequence space per operation so shrink() and resize() can interleave.
+  struct AgreeSlot {
+    /// comm rank -> that rank's latest proposed survivor group (world ranks).
+    std::map<int, std::vector<int>> proposed;
+    /// comm rank -> requested new size (resize only; shrink leaves it empty).
+    std::map<int, int> target;
+    std::shared_ptr<CommImpl> child;
+    /// The agreed member group the child was built from (world ranks). For
+    /// resize this is the OLD live members — the child group may be larger
+    /// (joiners appended) or smaller (tail retired).
+    std::vector<int> member_group;
+    /// Set instead of `child` when the agreed outcome is an error every
+    /// member must throw identically (e.g. resize past capacity).
+    std::string error;
+    int pickups = 0;  ///< members that have not collected the outcome yet
+  };
+  std::mutex agree_m;
+  std::condition_variable agree_cv;
+  std::map<std::uint64_t, AgreeSlot> shrink_slots;
+  std::map<std::uint64_t, AgreeSlot> resize_slots;
   std::vector<std::uint64_t> shrink_seq;
+  std::vector<std::uint64_t> resize_seq;
+
+  // --- agree() ledger (ULFM-style MPI_Comm_agree) --------------------------
+  // Message-free fault-tolerant agreement: each member records its vote in
+  // the slot for its per-rank sequence number; the result is the bitwise AND
+  // over every member's vote, where a member that died before voting
+  // contributes 0. Deterministic across survivors because the dead set only
+  // grows and a vote recorded under agree_m happens-before the rank's death
+  // flag (mark_dead) becomes visible.
+  struct VoteSlot {
+    std::map<int, std::uint32_t> votes;  // comm rank -> contribution
+    std::vector<int> picked;             // comm ranks that collected a result
+  };
+  std::map<std::uint64_t, VoteSlot> vote_slots;
+  std::vector<std::uint64_t> agree_seq;
 
   /// Staging buffers for pack scratch and message payloads, shared by all
   /// ranks of this communicator (sender allocates, receiver releases).

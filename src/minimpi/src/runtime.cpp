@@ -24,8 +24,9 @@ RunResult run(int nranks, const std::function<void(Comm&)>& rank_main,
   require(static_cast<bool>(rank_main), ErrorClass::invalid_argument,
           "run: rank_main must be callable");
 
+  const int capacity = std::max(nranks, opts.max_ranks);
   auto world = std::make_shared<detail::World>(
-      nranks, opts.network, opts.fault, opts.deadlock_grace_s);
+      nranks, capacity, opts.network, opts.fault, opts.deadlock_grace_s);
   std::vector<int> group(static_cast<std::size_t>(nranks));
   std::iota(group.begin(), group.end(), 0);
   auto impl = std::make_shared<detail::CommImpl>(world, std::move(group));
@@ -33,31 +34,71 @@ RunResult run(int nranks, const std::function<void(Comm&)>& rank_main,
   std::mutex err_m;
   std::exception_ptr first_error;
 
+  // Runs one rank body (initial or joiner) with the usual fate handling:
+  // a FaultModel kill dies silently, any other exception aborts the run.
+  auto run_body = [&](const std::function<void(Comm&)>& body, Comm& comm,
+                      int r) {
+    try {
+      body(comm);
+      world->mark_finished(r);
+    } catch (const detail::RankKilled&) {
+      // FaultModel killed this rank: it dies like a crashed process —
+      // silently, without aborting the survivors. They detect the death via
+      // the deadlock watchdog / failed_ranks() / shrink().
+      world->mark_dead(r);
+    } catch (...) {
+      {
+        std::lock_guard lk(err_m);
+        if (!first_error) first_error = std::current_exception();
+      }
+      world->mark_finished(r);
+      // Wake every blocked receive so no rank hangs waiting for a message
+      // the failed rank will never send.
+      world->abort_all();
+    }
+    {
+      std::lock_guard lk(world->join_m);
+      --world->live_activated;
+    }
+    world->run_done_cv.notify_all();
+  };
+
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks));
+  threads.reserve(static_cast<std::size_t>(capacity));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
-      try {
-        Comm comm = detail::make_comm(impl, r);
-        rank_main(comm);
-        world->mark_finished(r);
-      } catch (const detail::RankKilled&) {
-        // FaultModel killed this rank: it dies like a crashed process —
-        // silently, without aborting the survivors. They detect the death via
-        // the deadlock watchdog / failed_ranks() / shrink().
-        world->mark_dead(r);
-      } catch (...) {
-        {
-          std::lock_guard lk(err_m);
-          if (!first_error) first_error = std::current_exception();
-        }
-        world->mark_finished(r);
-        // Wake every blocked receive so no rank hangs waiting for a message
-        // the failed rank will never send.
-        world->abort_all();
-      }
+      Comm comm = detail::make_comm(impl, r);
+      run_body(rank_main, comm, r);
     });
   }
+  // Dormant slots park until Comm::resize() activates them (one activation
+  // per slot, ever) or the run winds down.
+  for (int r = nranks; r < capacity; ++r) {
+    threads.emplace_back([&, r] {
+      detail::World::JoinTicket ticket;
+      {
+        std::unique_lock lk(world->join_m);
+        world->join_cv.wait(lk, [&] {
+          return world->shutting_down || world->join_tickets.count(r) != 0;
+        });
+        if (world->shutting_down) return;  // never activated: stays `gone`
+        ticket = world->join_tickets.at(r);
+        world->join_tickets.erase(r);
+      }
+      world->clocks[static_cast<std::size_t>(r)].sync_to(ticket.start_vtime);
+      Comm comm = detail::make_comm(ticket.comm, ticket.rank_in_comm);
+      run_body(opts.joiner_main ? opts.joiner_main : rank_main, comm, r);
+    });
+  }
+
+  // The run is over when every activated rank thread has finished (joiners
+  // included); only then may the remaining dormant threads be released.
+  {
+    std::unique_lock lk(world->join_m);
+    world->run_done_cv.wait(lk, [&] { return world->live_activated == 0; });
+    world->shutting_down = true;
+  }
+  world->join_cv.notify_all();
   for (auto& t : threads) t.join();
 
   if (first_error) std::rethrow_exception(first_error);

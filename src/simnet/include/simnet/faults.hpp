@@ -106,12 +106,17 @@ class RandomFaultPlan final : public mpi::FaultModel {
 
 /// Kills a chosen set of world ranks. Two trigger modes, composable:
 ///
-///  * arm(): kill as soon as each target rank next reaches an MPI entry
-///    point (or its next poll inside a blocked wait). Arming from test code
-///    after a known synchronization point (e.g. after a barrier completes)
-///    gives precise placement without brittle operation counting.
+///  * arm() / arm(world_rank): kill as soon as each armed target next
+///    reaches an MPI entry point (or its next poll inside a blocked wait).
+///    Arming from test code after a known synchronization point (e.g. after
+///    a barrier completes, or from a resize phase hook) gives precise
+///    placement without brittle operation counting.
 ///  * at_vtime: kill each target the first time its virtual clock reaches
 ///    the threshold (< 0 disables the vtime trigger).
+///
+/// Targets may be ranks that are still dormant (RunOptions::max_ranks
+/// headroom not yet activated by mpi::Comm::resize); such a target dies at
+/// its first MPI entry point after activation.
 class RankKillPlan final : public mpi::FaultModel {
  public:
   explicit RankKillPlan(std::vector<int> target_world_ranks,
@@ -120,6 +125,14 @@ class RankKillPlan final : public mpi::FaultModel {
 
   /// Arms the kill: every target dies at its next fault checkpoint.
   void arm() { armed_.store(true, std::memory_order_release); }
+
+  /// Arms the kill for one target only (a no-op for ranks outside the
+  /// target set); other targets stay dormant until armed themselves. Lets
+  /// one plan drive scenarios where the victim varies per attempt.
+  void arm(int world_rank) {
+    std::lock_guard lk(m_);
+    armed_ranks_.push_back(world_rank);
+  }
 
   bool should_kill(int world_rank, double vtime) override {
     bool is_target = false;
@@ -130,6 +143,11 @@ class RankKillPlan final : public mpi::FaultModel {
       }
     if (!is_target) return false;
     if (armed_.load(std::memory_order_acquire)) return true;
+    {
+      std::lock_guard lk(m_);
+      for (int r : armed_ranks_)
+        if (r == world_rank) return true;
+    }
     return at_vtime_ >= 0.0 && vtime >= at_vtime_;
   }
 
@@ -137,6 +155,8 @@ class RankKillPlan final : public mpi::FaultModel {
   std::vector<int> targets_;
   double at_vtime_;
   std::atomic<bool> armed_{false};
+  std::mutex m_;
+  std::vector<int> armed_ranks_;
 };
 
 /// Charges a one-shot virtual-time stall to chosen ranks: rank `rank` loses

@@ -27,7 +27,13 @@
 /// runs. Timestamps (`ts_us`), sequence numbers across ranks, the `comm`
 /// id, and the `value` field (e.g. pool-hit-vs-heap on staging acquires)
 /// are NOT covered by the contract; structure_string() renders exactly the
-/// covered subset.
+/// covered subset. Events whose timing depends on the deadlock watchdog or
+/// retry clocks — `ddr.exchange.reliable` contents, `mpi.shrink.retry`,
+/// and the elastic-resize family (`mpi.resize`, `mpi.resize.join`,
+/// `mpi.resize.retry`, `ddr.resize`, `ddr.resize.plan`,
+/// `ddr.resize.transfer`, `ddr.resize.commit`, `ddr.resize.rollback`,
+/// `ddr.resize.retry`) — are likewise excluded. The authoritative
+/// name/keys schema lives in DESIGN.md §9.2.
 
 #include <cstddef>
 #include <cstdint>

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <span>
 #include <string>
@@ -430,6 +431,131 @@ TEST(FaultTolerance, MixedDimensionalityAcrossRanksRejectedEverywhere) {
     }
   });
   EXPECT_EQ(agreed.load(), 2);
+}
+
+// --- transactional resize under rank death -----------------------------------
+
+/// One elastic-resize scenario with a death injected in a chosen protocol
+/// phase: 3 ranks each owning 8 elements of [0,24) grow to 5. The victim —
+/// old member (world rank 1) or first-attempt joiner (world rank 3) — arms
+/// its own death at the start of `victim_phase`, so it dies inside that
+/// phase. The resize must either complete (death absorbed before the plan,
+/// e.g. in the rendezvous) or roll back and retry: afterwards the committed
+/// members' layouts must cover exactly the surviving data, every byte
+/// matching the oracle — never a partially-applied layout.
+void run_resize_death(const char* victim_phase, bool victim_is_joiner) {
+  const int victim_world = victim_is_joiner ? 3 : 1;
+  simnet::RankKillPlan plan({victim_world});
+  mpi::RunOptions ropts;
+  ropts.fault = &plan;
+  ropts.deadlock_grace_s = 0.1;
+  ropts.max_ranks = 6;  // headroom for the first attempt AND the retry
+
+  std::atomic<std::int64_t> committed_volume{0};
+  std::atomic<int> committed_members{0};
+  std::atomic<int> retired_joiners{0};
+  std::atomic<int> rollbacks_seen{0};
+
+  const auto check_committed = [&](const ddr::ResizeOutcome& out) {
+    ASSERT_TRUE(out.comm.valid());
+    std::size_t off = 0;
+    std::int64_t vol = 0;
+    for (const Chunk& c : out.owned) {
+      const std::vector<float> want = fill_chunk(c);
+      std::vector<float> got(want.size());
+      ASSERT_LE(off + want.size() * sizeof(float), out.data.size());
+      std::memcpy(got.data(), out.data.data() + off,
+                  want.size() * sizeof(float));
+      EXPECT_EQ(got, want);
+      off += want.size() * sizeof(float);
+      vol += c.volume();
+    }
+    committed_volume.fetch_add(vol);
+    committed_members.fetch_add(1);
+  };
+
+  ropts.joiner_main = [&](mpi::Comm& comm) {
+    ddr::ResizeOptions ropt;
+    // First-attempt joiners sit at comm ranks [3, 5); world rank == comm
+    // rank there, so the victim identifies itself and dies in its phase.
+    const int my_rank = comm.rank();
+    ropt.phase_hook = [&, my_rank](const char* p) {
+      if (victim_is_joiner && my_rank == victim_world &&
+          std::strcmp(p, victim_phase) == 0)
+        plan.arm(victim_world);
+    };
+    const auto out =
+        ddr::Redistributor::resize_join(comm, sizeof(float), ropt);
+    if (out.committed) {
+      check_committed(out);
+    } else {
+      EXPECT_TRUE(out.retired);
+      EXPECT_FALSE(out.comm.valid());
+      EXPECT_TRUE(out.owned.empty());
+      EXPECT_TRUE(out.data.empty());
+      retired_joiners.fetch_add(1);
+    }
+  };
+
+  mpi::run(
+      3,
+      [&](mpi::Comm& comm) {
+        const int rank = comm.rank();
+        const Chunk mine = Chunk::d1(8, 8 * rank);
+        const std::vector<float> data = fill_chunk(mine);
+        ddr::ResizeOptions ropt;
+        ropt.phase_hook = [&, rank](const char* p) {
+          if (!victim_is_joiner && rank == victim_world &&
+              std::strcmp(p, victim_phase) == 0)
+            plan.arm(victim_world);
+        };
+        ddr::Redistributor r(comm, sizeof(float));
+        const auto out = r.resize_rebalance(5, {mine},
+                                            std::as_bytes(std::span(data)),
+                                            ropt);
+        // The victim never reaches here (killed); every surviving initiator
+        // must commit within the attempt budget.
+        ASSERT_TRUE(out.committed) << "rank " << rank;
+        EXPECT_FALSE(out.retired);
+        rollbacks_seen.fetch_add(out.rollbacks);
+        check_committed(out);
+      },
+      ropts);
+
+  // The committed layouts cover exactly the surviving data — the victim's
+  // chunk is lost with it when an old member dies, nothing else.
+  const std::int64_t surviving = victim_is_joiner ? 24 : 16;
+  EXPECT_EQ(committed_volume.load(), surviving)
+      << "phase " << victim_phase
+      << (victim_is_joiner ? " (joiner victim)" : " (old-member victim)");
+  EXPECT_GE(committed_members.load(), 3);
+  // A death after the rendezvous can only resolve through a rollback; a
+  // rendezvous death is absorbed by the healing shrink before any planning.
+  if (std::strcmp(victim_phase, "rendezvous") != 0) {
+    EXPECT_GE(rollbacks_seen.load(), 1) << "phase " << victim_phase;
+    EXPECT_GE(retired_joiners.load(), 1) << "phase " << victim_phase;
+  }
+}
+
+TEST(ResizeFault, OldMemberDeathInEachPhaseCompletesOrRollsBack) {
+  // 5 repetitions per phase: a 20x flake loop over the scheduler
+  // interleavings (run under TSan in the sanitizers workflow).
+  for (const char* phase : {"rendezvous", "plan", "transfer", "commit"})
+    for (int i = 0; i < 5; ++i) {
+      SCOPED_TRACE(std::string(phase) + " #" + std::to_string(i));
+      run_resize_death(phase, /*victim_is_joiner=*/false);
+      if (HasFatalFailure()) return;
+    }
+}
+
+TEST(ResizeFault, JoinerDeathInEachPhaseCompletesOrRollsBack) {
+  // Joiners exist only from the plan phase on.
+  for (const char* phase : {"plan", "transfer", "commit"})
+    for (int i = 0; i < 5; ++i) {
+      SCOPED_TRACE(std::string(phase) + " #" + std::to_string(i));
+      run_resize_death(phase, /*victim_is_joiner=*/true);
+      if (HasFatalFailure()) return;
+    }
 }
 
 TEST(FaultTolerance, WatchdogShrinkRebuildRedistributesSurvivingData) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
 #include <random>
 #include <span>
 #include <vector>
@@ -239,6 +241,96 @@ TEST(PropertyInvariants, TracedBytesConserveDomain) {
     EXPECT_EQ(sent + copied,
               domain.volume() * static_cast<std::int64_t>(sizeof(float)))
         << "trial " << trial;
+  }
+}
+
+TEST(PropertyInvariants, ResizeMatchesFreshSetupOnRandomLayouts) {
+  // M -> N resize equivalence: a committed resize_rebalance must land every
+  // member on exactly the layout an N-rank run would compute offline from
+  // the same pre-resize partition (the planner is deterministic, so the
+  // offline proposal IS the fresh-setup layout), holding oracle-correct
+  // bytes; the plan must conserve bytes (kept + moved == total) and never
+  // move more than the naive full re-scatter.
+  const auto expect_chunks = [](const ddr::OwnedLayout& got,
+                                const ddr::OwnedLayout& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].ndims, want[i].ndims) << "chunk " << i;
+      for (std::size_t d = 0; d < ddr::kMaxDims; ++d) {
+        EXPECT_EQ(got[i].dims[d], want[i].dims[d]) << "chunk " << i;
+        EXPECT_EQ(got[i].offsets[d], want[i].offsets[d]) << "chunk " << i;
+      }
+    }
+  };
+  const auto expect_oracle_data = [](const ddr::OwnedLayout& owned,
+                                     const std::vector<std::byte>& data) {
+    std::size_t off = 0;
+    for (const Chunk& c : owned) {
+      const std::vector<float> want = fill_chunk(c);
+      ASSERT_LE(off + want.size() * sizeof(float), data.size());
+      std::vector<float> got(want.size());
+      std::memcpy(got.data(), data.data() + off, want.size() * sizeof(float));
+      for (std::size_t i = 0; i < want.size(); ++i)
+        ASSERT_EQ(got[i], want[i]) << "element " << i;
+      off += want.size() * sizeof(float);
+    }
+    EXPECT_EQ(off, data.size());
+  };
+
+  std::mt19937 rng(20260808);
+  const int cases[][2] = {{3, 5}, {5, 3}, {4, 4}, {2, 6}, {6, 2}};
+  for (int trial = 0; trial < 5; ++trial) {
+    const int m = cases[trial][0];
+    const int n = cases[trial][1];
+    const Box domain = make_domain(1 + trial % 3, rng);
+    const auto boxes = random_partition(domain, m * 2, rng);
+    std::vector<ddr::OwnedLayout> owned(static_cast<std::size_t>(m));
+    for (std::size_t i = 0; i < boxes.size(); ++i)
+      owned[i % static_cast<std::size_t>(m)].push_back(box_to_chunk(boxes[i]));
+    const std::vector<ddr::OwnedLayout> proposed =
+        ddr::propose_resize_layout(owned, n);
+
+    std::atomic<int> committed{0};
+    const auto check = [&](const ddr::ResizeOutcome& out) {
+      ASSERT_TRUE(out.comm.valid());
+      ASSERT_EQ(out.comm.size(), n);
+      expect_chunks(out.owned,
+                    proposed[static_cast<std::size_t>(out.comm.rank())]);
+      expect_oracle_data(out.owned, out.data);
+      committed.fetch_add(1);
+    };
+    mpi::RunOptions opts;
+    opts.max_ranks = std::max(m, n);
+    opts.joiner_main = [&](mpi::Comm& comm) {
+      const auto out = ddr::Redistributor::resize_join(comm, sizeof(float));
+      ASSERT_TRUE(out.committed) << "trial " << trial;
+      check(out);
+    };
+    mpi::run(
+        m,
+        [&](mpi::Comm& comm) {
+          const auto rank = static_cast<std::size_t>(comm.rank());
+          std::vector<float> data;
+          for (const Chunk& c : owned[rank]) {
+            const auto v = fill_chunk(c);
+            data.insert(data.end(), v.begin(), v.end());
+          }
+          ddr::Redistributor r(comm, sizeof(float));
+          const auto out = r.resize_rebalance(
+              n, owned[rank], std::as_bytes(std::span<const float>(data)));
+          ASSERT_TRUE(out.committed) << "trial " << trial;
+          EXPECT_EQ(out.stats.kept_bytes + out.stats.moved_bytes,
+                    out.stats.total_bytes);
+          EXPECT_LE(out.stats.moved_bytes, out.stats.naive_bytes);
+          if (out.retired) {
+            EXPECT_FALSE(out.comm.valid());
+            EXPECT_TRUE(out.data.empty());
+            return;
+          }
+          check(out);
+        },
+        opts);
+    EXPECT_EQ(committed.load(), n) << "trial " << trial;
   }
 }
 

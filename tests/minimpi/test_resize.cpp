@@ -1,0 +1,220 @@
+// Elastic resize: Comm::resize grow/shrink, dormant-rank activation
+// (RunOptions::max_ranks + joiner_main), the bounded shrink/resize
+// agreement, and the ULFM-style Comm::agree commit primitive.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "minimpi/minimpi.hpp"
+
+namespace {
+
+using mpi::Comm;
+using mpi::Datatype;
+
+/// Kills one world rank at its first MPI entry point.
+class KillRank final : public mpi::FaultModel {
+ public:
+  explicit KillRank(int target) : target_(target) {}
+  bool should_kill(int world_rank, double) override {
+    return world_rank == target_;
+  }
+
+ private:
+  int target_;
+};
+
+TEST(Resize, GrowActivatesJoinersAndKeepsSurvivorOrder) {
+  mpi::RunOptions opts;
+  opts.max_ranks = 5;
+  std::atomic<int> joiners{0};
+  std::atomic<int> sum{0};
+  opts.joiner_main = [&](Comm& comm) {
+    joiners.fetch_add(1);
+    // Joiners are full members: collectives span old ranks and joiners.
+    int v = comm.rank(), total = 0;
+    comm.allreduce(&v, &total, 1, Datatype::of<int>(), mpi::Op::sum<int>());
+    sum.fetch_add(total);
+  };
+  mpi::run(
+      2,
+      [&](Comm& comm) {
+        Comm grown = comm.resize(5);
+        ASSERT_TRUE(grown.valid());
+        EXPECT_EQ(grown.size(), 5);
+        // Survivors keep their relative order and precede the joiners.
+        EXPECT_EQ(grown.rank(), comm.rank());
+        int v = grown.rank(), total = 0;
+        grown.allreduce(&v, &total, 1, Datatype::of<int>(), mpi::Op::sum<int>());
+        sum.fetch_add(total);
+      },
+      opts);
+  EXPECT_EQ(joiners.load(), 3);
+  EXPECT_EQ(sum.load(), 5 * (0 + 1 + 2 + 3 + 4));
+}
+
+TEST(Resize, ShrinkRetiresTailRanks) {
+  std::atomic<int> retired{0};
+  std::atomic<int> kept{0};
+  mpi::run(4, [&](Comm& comm) {
+    Comm small = comm.resize(2);
+    if (comm.rank() >= 2) {
+      EXPECT_FALSE(small.valid());
+      retired.fetch_add(1);
+      return;  // retired ranks stop using the old communicator
+    }
+    ASSERT_TRUE(small.valid());
+    EXPECT_EQ(small.size(), 2);
+    EXPECT_EQ(small.rank(), comm.rank());
+    small.barrier();
+    kept.fetch_add(1);
+  });
+  EXPECT_EQ(retired.load(), 2);
+  EXPECT_EQ(kept.load(), 2);
+}
+
+TEST(Resize, SameSizeIsAFreshCommunicator) {
+  mpi::run(3, [&](Comm& comm) {
+    Comm same = comm.resize(3);
+    ASSERT_TRUE(same.valid());
+    EXPECT_EQ(same.size(), 3);
+    EXPECT_EQ(same.rank(), comm.rank());
+    EXPECT_NE(same.trace_id(), comm.trace_id());
+    same.barrier();
+  });
+}
+
+TEST(Resize, GrowPastCapacityThrowsOnEveryMember) {
+  mpi::RunOptions opts;
+  opts.max_ranks = 3;  // one dormant slot
+  opts.joiner_main = [](Comm&) {};  // the successful grow's joiner just parks
+  std::atomic<int> threw{0};
+  mpi::run(
+      2,
+      [&](Comm& comm) {
+        EXPECT_EQ(comm.spawnable_ranks(), 1);
+        try {
+          (void)comm.resize(4);  // needs 2 fresh ranks, only 1 available
+        } catch (const mpi::Error& e) {
+          EXPECT_EQ(e.error_class(), mpi::ErrorClass::invalid_argument);
+          threw.fetch_add(1);
+        }
+        // The failed grow burned nothing: the slot is still claimable.
+        EXPECT_EQ(comm.spawnable_ranks(), 1);
+        Comm grown = comm.resize(3);
+        ASSERT_TRUE(grown.valid());
+        EXPECT_EQ(grown.size(), 3);
+      },
+      opts);
+  EXPECT_EQ(threw.load(), 2);
+}
+
+TEST(Resize, MismatchedNewSizeThrowsOnEveryMember) {
+  std::atomic<int> threw{0};
+  mpi::run(2, [&](Comm& comm) {
+    try {
+      (void)comm.resize(comm.rank() == 0 ? 1 : 2);
+    } catch (const mpi::Error& e) {
+      EXPECT_EQ(e.error_class(), mpi::ErrorClass::invalid_argument);
+      threw.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(threw.load(), 2);
+}
+
+TEST(Resize, JoinersCanExchangeWithOldRanks) {
+  mpi::RunOptions opts;
+  opts.max_ranks = 4;
+  opts.joiner_main = [&](Comm& comm) {
+    // Joiner (rank 2 or 3): receive from the old rank with the same parity.
+    int v = -1;
+    comm.recv(&v, 1, Datatype::of<int>(), comm.rank() - 2, 9);
+    EXPECT_EQ(v, 100 + comm.rank() - 2);
+    comm.barrier();  // mirrors the old ranks' barrier on the grown comm
+  };
+  mpi::run(
+      2,
+      [&](Comm& comm) {
+        Comm grown = comm.resize(4);
+        const int v = 100 + grown.rank();
+        grown.send(&v, 1, Datatype::of<int>(), grown.rank() + 2, 9);
+        grown.barrier();
+      },
+      opts);
+}
+
+TEST(Resize, ShrinkConvergesWhileDeathRaces) {
+  // Rank 2 dies at its first entry point; ranks 0 and 1 head straight into
+  // shrink() without synchronizing on the death first. The bounded agreement
+  // must converge on {0, 1} regardless of which survivor observes the death
+  // first (this is the retry path that used to be a hard error).
+  KillRank fault(2);
+  mpi::RunOptions opts;
+  opts.fault = &fault;
+  opts.deadlock_grace_s = 0.1;
+  std::atomic<int> shrunk{0};
+  mpi::run(
+      3,
+      [&](Comm& comm) {
+        if (comm.rank() == 2) {
+          comm.checkpoint();  // killed here
+          FAIL() << "rank 2 must be killed at the checkpoint";
+        }
+        // Stagger the survivors to exercise both arrival orders.
+        if (comm.rank() == 1)
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        Comm survivors = comm.shrink();
+        EXPECT_EQ(survivors.size(), 2);
+        EXPECT_EQ(survivors.rank(), comm.rank());
+        survivors.barrier();
+        shrunk.fetch_add(1);
+      },
+      opts);
+  EXPECT_EQ(shrunk.load(), 2);
+}
+
+TEST(Agree, UnanimousAndBitwiseAnd) {
+  mpi::run(3, [&](Comm& comm) {
+    EXPECT_EQ(comm.agree(1u), 1u);
+    // Bitwise AND over contributions.
+    const std::uint32_t mine = comm.rank() == 1 ? 0b110u : 0b011u;
+    EXPECT_EQ(comm.agree(mine), 0b010u);
+    // Any zero vote vetoes.
+    EXPECT_EQ(comm.agree(comm.rank() == 2 ? 0u : 1u), 0u);
+  });
+}
+
+TEST(Agree, DeadMemberContributesZero) {
+  // Rank 1 dies before voting: every survivor must agree on 0 even though
+  // they voted 1 — the primitive proves "every member reached the vote".
+  KillRank fault(1);
+  mpi::RunOptions opts;
+  opts.fault = &fault;
+  opts.deadlock_grace_s = 0.1;
+  std::atomic<int> zeros{0};
+  mpi::run(
+      3,
+      [&](Comm& comm) {
+        if (comm.rank() == 1) {
+          comm.checkpoint();  // killed here, before the vote
+          FAIL() << "rank 1 must be killed at the checkpoint";
+        }
+        if (comm.agree(1u) == 0u) zeros.fetch_add(1);
+      },
+      opts);
+  EXPECT_EQ(zeros.load(), 2);
+}
+
+TEST(Agree, RepeatedCallsStayAligned) {
+  mpi::run(2, [&](Comm& comm) {
+    for (std::uint32_t i = 0; i < 8; ++i)
+      EXPECT_EQ(comm.agree(i), i);
+  });
+}
+
+}  // namespace
