@@ -1,0 +1,203 @@
+#pragma once
+
+/// \file planner.hpp
+/// Cost-model-driven backend planning (ROADMAP item 2).
+///
+/// The bench snapshot shows no single backend dominates: fused p2p wins
+/// strided multi-round exchanges, plain p2p wins small low-round ones, and
+/// parallel packing loses outright below a message-size threshold.
+/// ddr::Planner replaces the manual Backend choice: at setup() time it
+/// consumes the redistribution's compiled-plan statistics — transfer counts,
+/// per-lane bytes, round structure, the self/intra-node/inter-node split
+/// under the installed mpi::NetworkModel, and (when available) the local
+/// mapping's plan_quad_count/plan_segment_count — and emits a PlanDecision:
+/// the backend to run, the parallel-packing thread count, the staging
+/// prewarm size, and the wave schedule of the collective-sequence lowering
+/// under a caller-settable peak-staging budget (the memory-efficient
+/// redistribution axis of Rink et al., arXiv:2112.01075).
+///
+/// Everything the decision depends on is GLOBAL knowledge (the allgathered
+/// layout and the run-wide NetworkModel), so every rank derives the
+/// identical decision with no extra communication — the same discipline that
+/// keeps build_mapping() protocol-consistent.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ddr/layout.hpp"
+#include "minimpi/sim.hpp"
+
+namespace ddr {
+
+struct DataMapping;
+
+/// How redistribute() moves the data.
+enum class Backend {
+  /// MPI_Alltoallw with subarray datatypes, one call per round — the
+  /// algorithm the paper describes (§III-C).
+  alltoallw,
+  /// Direct nonblocking send/recv per non-empty transfer — the paper's
+  /// future-work optimization for sparse mappings (§V).
+  point_to_point,
+  /// Point-to-point with every peer's per-round lanes fused into ONE
+  /// struct-typed message, cutting the message count from rounds x peers to
+  /// peers. Under an active FaultModel this mode is gated off: the reliable
+  /// retry protocol re-requests individual (round, peer) transfers, so
+  /// redistribute() falls back to the per-round point-to-point path (see
+  /// Redistributor::effective_backend).
+  point_to_point_fused,
+  /// Pipelined point-to-point: the full per-peer receive window (every
+  /// peer's fused lane, all rounds stitched) is posted before any byte is
+  /// packed, sends stream lane-by-lane through the staging pool, and
+  /// receives complete out-of-order the moment they land (mpi::wait_any) —
+  /// each lane unpacked on arrival rather than in posting order behind a
+  /// wait_all fence — so total latency approaches the max per-peer transfer
+  /// time instead of rounds x round time. Like fused, an active FaultModel
+  /// gates this mode to the reliable per-round path (see
+  /// Redistributor::effective_backend).
+  point_to_point_pipelined,
+  /// Collective-sequence lowering: the fused per-peer lanes are executed as
+  /// a sequence of fenced waves (mpi::Comm::sequenced_exchange), each wave's
+  /// total payload bounded by SetupOptions::peak_staging_bytes, so the
+  /// staging pool's peak live bytes stay under the budget no matter how much
+  /// data the exchange moves. Trades wall time (one barrier per wave) for
+  /// peak staging — the memory-efficient redistribution axis. Broadcast- and
+  /// scatter-shaped exchanges (see CollectiveShape) lower to an
+  /// allgather/scatter wave sequence naturally. Gated to the reliable
+  /// per-round path under an active FaultModel, like the fused flavours.
+  collective,
+  /// Let ddr::Planner choose: setup() runs the cost model over every
+  /// candidate above and redistribute() executes the winner (see
+  /// Redistributor::plan() for the decision and per-candidate predictions).
+  automatic,
+};
+
+/// Lanes below this many bytes are packed inline on the rank thread even
+/// when a PackExecutor is configured — the thread-handoff overhead costs
+/// more than the pack itself. The SAME constant gates the planner's
+/// parallel-packing decision, so the planner never requests threads the
+/// executor would decline to use.
+inline constexpr std::int64_t kParallelPackThresholdBytes = 32 * 1024;
+
+/// Collective shape detected on the src->dst sharding pair (drives the
+/// explain output and documents which classic collective the wave sequence
+/// of Backend::collective corresponds to).
+enum class CollectiveShape {
+  /// No special structure; the wave sequence is a generic bounded scatter
+  /// sequence over the fused lanes.
+  none,
+  /// Every rank needs the identical chunk set (broadcast shape): the lane
+  /// streams per sender are identical for every receiver and the sequence
+  /// is an allgather executed as one scatter wave per sender.
+  allgather,
+  /// A single rank feeds everyone (scatter shape).
+  scatter,
+  /// A single rank drains everyone (gather / reduce-scatter shape).
+  gather,
+};
+
+/// One directed non-self lane of the exchange: everything rank `sender`
+/// sends rank `receiver`, all rounds fused (the unit Backend::collective
+/// schedules). Derived identically on every rank from the global layout.
+struct CollectiveLane {
+  int sender = -1;
+  int receiver = -1;
+  std::int64_t bytes = 0;  ///< packed payload size of the lane
+  int wave = 0;            ///< fence group assigned by the wave planner
+};
+
+/// Enumerates the directed non-self lanes of `layout` in (sender, receiver)
+/// order with their packed payload sizes. Deterministic global knowledge.
+[[nodiscard]] std::vector<CollectiveLane> collective_lanes(
+    const GlobalLayout& layout, std::size_t elem_size);
+
+/// Partitions `lanes` into fenced waves whose per-wave payload total stays
+/// within `peak_staging_bytes` (0 = unlimited -> one wave). The budget is
+/// floored at the largest single lane — a lane is the smallest schedulable
+/// unit, so no budget can push the peak below it. Fills each lane's `wave`
+/// (greedy, in the deterministic lane order) and returns the wave count.
+int assign_collective_waves(std::vector<CollectiveLane>& lanes,
+                            std::size_t peak_staging_bytes);
+
+/// One evaluated backend candidate: the predicted cost and footprint the
+/// planner compared (ddrinfo --plan prints these against measured numbers).
+struct CandidateCost {
+  Backend backend = Backend::point_to_point;
+  /// Predicted makespan of one redistribute() call, in seconds: the max
+  /// over ranks of modeled per-rank cost (NetworkModel-derived when a model
+  /// is installed, calibrated software constants otherwise).
+  double predicted_s = 0.0;
+  std::int64_t messages = 0;          ///< data messages posted per call
+  std::int64_t inter_node_bytes = 0;  ///< payload bytes crossing nodes
+  std::int64_t intra_node_bytes = 0;  ///< payload bytes staying on-node
+  std::int64_t self_bytes = 0;        ///< bytes that never leave the rank
+  /// Predicted pool-wide peak of concurrently live staging bytes.
+  std::size_t predicted_peak_staging = 0;
+  /// False when a peak_staging_bytes budget is set and this candidate's
+  /// predicted peak exceeds it (the planner then may not choose it).
+  bool feasible = true;
+};
+
+/// The planner's verdict, identical on every rank of the communicator.
+struct PlanDecision {
+  Backend backend = Backend::point_to_point;
+  /// PackExecutor threads redistribute() should use (0 = inline packing).
+  /// Nonzero only when the chosen backend parallel-packs and some lane
+  /// clears kParallelPackThresholdBytes.
+  int pack_threads = 0;
+  /// Staging bytes setup() prewarms for the chosen backend (the predicted
+  /// peak concurrent payload set).
+  std::size_t staging_prewarm_bytes = 0;
+  /// Predicted pool-wide peak staging of the chosen backend.
+  std::size_t predicted_peak_staging = 0;
+  /// Predicted makespan of the chosen backend (see CandidateCost).
+  double predicted_s = 0.0;
+  /// Detected collective shape of the sharding pair.
+  CollectiveShape shape = CollectiveShape::none;
+  /// Wave count of the collective-sequence lowering under the budget (1
+  /// when no budget is set).
+  int waves = 1;
+  /// Stored quads / memcpy segments of this rank's compiled fused lane
+  /// plans (0 when decide() ran without a local mapping). Consumed for the
+  /// local pack-walk refinement of predicted_s; never for the backend
+  /// choice, which must stay rank-independent.
+  std::int64_t local_plan_quads = 0;
+  std::int64_t local_plan_segments = 0;
+  /// Every candidate evaluated, in evaluation order (ddrinfo --plan).
+  std::vector<CandidateCost> candidates;
+};
+
+/// Cost-model-driven backend planner (see file comment).
+class Planner {
+ public:
+  /// Derives the plan for `layout`. Deterministic and rank-independent in
+  /// everything that must be protocol-consistent (the backend, the wave
+  /// schedule, the thread count); `local_mapping`, when given, only refines
+  /// this rank's predicted_s with its compiled-plan quad/segment counts and
+  /// sizes the staging prewarm to this rank's lanes.
+  ///
+  /// \param net                the run's NetworkModel (nullptr = cost-free
+  ///                           run; all non-self lanes count as inter-node
+  ///                           and calibrated software constants price them)
+  /// \param peak_staging_bytes staging budget (SetupOptions), 0 = unlimited
+  /// \param world_ranks        world rank per COMMUNICATOR rank (for
+  ///                           sub-communicators whose ranks are not world
+  ///                           ranks — Redistributor derives it via
+  ///                           Comm::world_rank). nullptr: comm ranks ARE
+  ///                           world ranks.
+  [[nodiscard]] static PlanDecision decide(const GlobalLayout& layout,
+                                           std::size_t elem_size,
+                                           const mpi::NetworkModel* net,
+                                           std::size_t peak_staging_bytes,
+                                           const DataMapping* local_mapping =
+                                               nullptr,
+                                           const std::vector<int>* world_ranks =
+                                               nullptr);
+};
+
+/// Human-readable backend name ("alltoallw", "point_to_point", ...), for
+/// explain output and test diagnostics.
+[[nodiscard]] const char* backend_name(Backend b);
+
+}  // namespace ddr

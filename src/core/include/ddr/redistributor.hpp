@@ -27,38 +27,15 @@
 #include <vector>
 
 #include "ddr/mapping.hpp"
+#include "ddr/planner.hpp"
 #include "ddr/resize_plan.hpp"
 #include "minimpi/comm.hpp"
 #include "trace/trace.hpp"
 
 namespace ddr {
 
-/// How redistribute() moves the data.
-enum class Backend {
-  /// MPI_Alltoallw with subarray datatypes, one call per round — the
-  /// algorithm the paper describes (§III-C).
-  alltoallw,
-  /// Direct nonblocking send/recv per non-empty transfer — the paper's
-  /// future-work optimization for sparse mappings (§V).
-  point_to_point,
-  /// Point-to-point with every peer's per-round lanes fused into ONE
-  /// struct-typed message, cutting the message count from rounds x peers to
-  /// peers. Under an active FaultModel this mode is gated off: the reliable
-  /// retry protocol re-requests individual (round, peer) transfers, so
-  /// redistribute() falls back to the per-round point-to-point path (see
-  /// Redistributor::effective_backend).
-  point_to_point_fused,
-  /// Pipelined point-to-point: the full per-peer receive window (every
-  /// peer's fused lane, all rounds stitched) is posted before any byte is
-  /// packed, sends stream lane-by-lane through the staging pool, and
-  /// receives complete out-of-order the moment they land (mpi::wait_any) —
-  /// each lane unpacked on arrival rather than in posting order behind a
-  /// wait_all fence — so total latency approaches the max per-peer transfer
-  /// time instead of rounds x round time. Like fused, an active FaultModel
-  /// gates this mode to the reliable per-round path (see
-  /// Redistributor::effective_backend).
-  point_to_point_pipelined,
-};
+// Backend (how redistribute() moves the data) lives in ddr/planner.hpp,
+// next to the planner that chooses between its values.
 
 /// Locality class of a fused per-peer lane, derived at setup() time from the
 /// installed NetworkModel's node mapping (mpi::Comm::same_node):
@@ -150,6 +127,15 @@ struct SetupOptions {
   /// Whether the comm-less rebuild(owned, needed) overloads may shrink the
   /// communicator themselves when ranks have died (see RebuildPolicy).
   RebuildPolicy rebuild_policy = RebuildPolicy::manual;
+
+  /// Peak-staging budget in bytes, 0 = unlimited. Consumed two ways:
+  ///  * Backend::collective schedules its fenced waves so no wave's total
+  ///    payload exceeds the budget (floored at the largest single lane —
+  ///    the smallest schedulable unit);
+  ///  * Backend::automatic treats candidates whose predicted peak staging
+  ///    exceeds the budget as infeasible, falling back to the collective
+  ///    sequence (always feasible) when nothing else fits.
+  std::size_t peak_staging_bytes = 0;
 };
 
 /// Per-rank redistribution engine.
@@ -279,11 +265,18 @@ class Redistributor {
   [[nodiscard]] const mpi::Comm& comm() const { return comm_; }
 
   /// The backend redistribute() actually runs. Differs from the requested
-  /// one in exactly one case: point_to_point_fused under an active
-  /// FaultModel degrades to point_to_point (whose reliable per-round retry
-  /// protocol handles message loss; fused messages cannot be re-requested
-  /// per round).
+  /// one in two cases: Backend::automatic resolves to the planner's choice
+  /// at setup() time (see plan()), and the fused flavours (fused, pipelined,
+  /// collective) under an active FaultModel degrade to point_to_point
+  /// (whose reliable per-round retry protocol handles message loss; fused
+  /// messages cannot be re-requested per round).
   [[nodiscard]] Backend effective_backend() const;
+
+  /// The planner's decision for the current mapping. Populated by every
+  /// setup() (so --plan style diagnostics can compare any requested backend
+  /// against the prediction), authoritative when the requested backend is
+  /// Backend::automatic.
+  [[nodiscard]] const PlanDecision& plan() const { return plan_; }
 
   /// Number of this rank's fused SEND lanes in the given locality class
   /// (see LaneClass; counts follow the node mapping the NetworkModel
@@ -344,6 +337,11 @@ class Redistributor {
                              std::span<std::byte> needed_data) const;
   void execute_p2p_reliable(std::span<const std::byte> owned_data,
                             std::span<std::byte> needed_data) const;
+  /// Backend::collective — the fused lanes executed as a fenced wave
+  /// sequence (mpi::Comm::sequenced_exchange) whose per-wave payload stays
+  /// within SetupOptions::peak_staging_bytes.
+  void execute_collective(std::span<const std::byte> owned_data,
+                          std::span<std::byte> needed_data) const;
 
   mpi::Comm comm_;
   std::size_t elem_size_;
@@ -352,6 +350,25 @@ class Redistributor {
   GlobalLayout layout_;
   DataMapping mapping_;
   MappingStats stats_;
+  /// The planner's verdict for the current mapping (see plan()).
+  PlanDecision plan_;
+  /// What redistribute() dispatches on: the requested backend, or the
+  /// planner's choice when the request was Backend::automatic. Identical on
+  /// every rank — derived only from the allgathered layout and the run-wide
+  /// NetworkModel.
+  Backend resolved_backend_ = Backend::alltoallw;
+  /// Wave index per fused send / recv lane (parallel to mapping_.fused_send
+  /// / fused_recv) and the wave count, for Backend::collective. Self lanes
+  /// carry wave -1 (they move via copy_regions, outside the sequence).
+  std::vector<int> coll_send_wave_, coll_recv_wave_;
+  int coll_nwaves_ = 1;
+  /// Whether parallel packing can pay off on this mapping: true only when
+  /// some inter-node lane clears kParallelPackThresholdBytes. When false,
+  /// the fused/pipelined executors pack inline even if the application
+  /// configured PackExecutor threads — the thread handoff costs more than
+  /// the pack below the threshold (the fused_parpack2 small-message
+  /// regression in BENCH_redistribute.json).
+  bool parpack_effective_ = false;
   /// Epoch counter for the reliable p2p protocol: every redistribute() call
   /// gets its own tag window so duplicated or re-sent messages from one call
   /// can never be mistaken for another call's traffic.

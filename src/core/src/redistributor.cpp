@@ -54,8 +54,9 @@ Chunk from_wire(const ChunkWire& w) {
 //   fused data message          : kP2pTagBase + W*(1 + 2R)    + e
 //   intra-node pointer publish  : kP2pTagBase + W*(2 + 2R)    + e
 //   intra-node copy ack         : kP2pTagBase + W*(3 + 2R)    + e
+//   collective wave sequence    : kP2pTagBase + W*(4 + 2R)    + e
 //
-// Highest tag used: kP2pTagBase + W*(4 + 2R) - 1; setup() rejects mappings
+// Highest tag used: kP2pTagBase + W*(5 + 2R) - 1; setup() rejects mappings
 // whose round count would exceed the ceiling. Epochs scope one
 // redistribute() call's traffic: re-sent or duplicated messages of one call
 // can never be mistaken for another call's (the window would have to wrap
@@ -68,7 +69,9 @@ Chunk from_wire(const ChunkWire& w) {
 // pointer and one ack per peer pair per epoch, so the two-level exchange
 // costs two windows regardless of the round count. Only inter-node data
 // messages consume the per-round data windows — intra lanes move zero-copy
-// and never touch them.
+// and never touch them. The collective-sequence backend moves the same
+// one-message-per-peer lanes as fused, just fenced into waves, so it too
+// costs one window regardless of the round or wave count.
 
 /// Tag base for the point-to-point backend, chosen high so it cannot collide
 /// with typical application tags.
@@ -91,6 +94,9 @@ int p2p_intra_ptr_tag(int nrounds, int epoch) {
 }
 int p2p_intra_ack_tag(int nrounds, int epoch) {
   return kP2pTagBase + kP2pEpochWindow * (3 + 2 * nrounds) + epoch;
+}
+int p2p_coll_tag(int nrounds, int epoch) {
+  return kP2pTagBase + kP2pEpochWindow * (4 + 2 * nrounds) + epoch;
 }
 
 // --- fail-safe collective error agreement ------------------------------------
@@ -321,16 +327,80 @@ void Redistributor::finish_setup() {
                            l.displ, l.type, l.bytes});
   }
 
+  // 6c. Plan. Every setup() runs the cost model — so plan() can always be
+  // compared against a manually requested backend (ddrinfo --plan) — and
+  // Backend::automatic resolves to its choice. Everything the resolution
+  // depends on (the allgathered layout, the run-wide NetworkModel, the
+  // world-rank node mapping) is identical on every rank, so the resolved
+  // backend and wave schedule are protocol-consistent with no extra
+  // communication. The local mapping only refines this rank's predicted_s
+  // and prewarm size — never the backend choice.
+  {
+    DDR_TRACE_SPAN(dspan, "ddr.plan.decide");
+    std::vector<int> world_ranks(static_cast<std::size_t>(mapping_.nranks));
+    for (int r = 0; r < mapping_.nranks; ++r)
+      world_ranks[static_cast<std::size_t>(r)] = comm_.world_rank(r);
+    plan_ = Planner::decide(layout_, elem_size_, comm_.network_model(),
+                            options_.peak_staging_bytes, &mapping_,
+                            &world_ranks);
+    resolved_backend_ = options_.backend == Backend::automatic
+                            ? plan_.backend
+                            : options_.backend;
+    if (options_.backend == Backend::automatic)
+      comm_.set_pack_threads(plan_.pack_threads);
+    DDR_TRACE_INSTANT(
+        "ddr.plan.decision",
+        {.bytes = static_cast<std::int64_t>(plan_.predicted_peak_staging),
+         .value = static_cast<std::int64_t>(resolved_backend_)});
+  }
+
+  // 6d. Wave schedule for the collective-sequence backend: assign each
+  // non-self fused lane (send and recv side) its fence group under the
+  // peak-staging budget. Derived from the allgathered layout, so the wave a
+  // lane carries matches on its sender and receiver.
+  parpack_effective_ = false;
+  coll_send_wave_.assign(mapping_.fused_send.size(), -1);
+  coll_recv_wave_.assign(mapping_.fused_recv.size(), -1);
+  coll_nwaves_ = 1;
+  if (resolved_backend_ == Backend::collective) {
+    std::vector<CollectiveLane> lanes = collective_lanes(layout_, elem_size_);
+    coll_nwaves_ = assign_collective_waves(lanes, options_.peak_staging_bytes);
+    for (const CollectiveLane& l : lanes) {
+      if (l.sender == mapping_.rank)
+        for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i)
+          if (mapping_.fused_send[i].peer == l.receiver)
+            coll_send_wave_[i] = l.wave;
+      if (l.receiver == mapping_.rank)
+        for (std::size_t i = 0; i < mapping_.fused_recv.size(); ++i)
+          if (mapping_.fused_recv[i].peer == l.sender)
+            coll_recv_wave_[i] = l.wave;
+    }
+  }
+  // Whether parallel packing can pay off on this mapping: only when some
+  // inter-node lane clears the inline threshold. Below it the executor
+  // handoff costs more than the pack it offloads (the fused_parpack2
+  // small-message regression), so the fused/pipelined executors stay fully
+  // serial even if the application configured PackExecutor threads.
+  for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i)
+    if (fused_send_class_[i] == LaneClass::inter &&
+        mapping_.fused_send[i].bytes >= kParallelPackThresholdBytes)
+      parpack_effective_ = true;
+  for (std::size_t i = 0; i < mapping_.fused_recv.size(); ++i)
+    if (fused_recv_class_[i] == LaneClass::inter &&
+        mapping_.fused_recv[i].bytes >= kParallelPackThresholdBytes)
+      parpack_effective_ = true;
+
   // 7. Tag-space budget for the p2p backends (see the tag layout comment
   // above): identical on every rank because the round count derives from the
-  // allgathered layout. The fused backend's extra window is included in the
-  // budget for both, so the fused <-> per-round fallback never changes
-  // whether a layout is accepted.
-  if (options_.backend != Backend::alltoallw) {
+  // allgathered layout and the resolved backend from global knowledge only.
+  // The fused and collective windows are included in the budget for all p2p
+  // flavours, so neither the fused <-> per-round fallback nor the planner's
+  // choice ever changes whether a layout is accepted.
+  if (resolved_backend_ != Backend::alltoallw) {
     const auto nrounds = static_cast<std::int64_t>(mapping_.rounds.size());
     const std::int64_t highest =
         kP2pTagBase +
-        static_cast<std::int64_t>(kP2pEpochWindow) * (4 + 2 * nrounds) - 1;
+        static_cast<std::int64_t>(kP2pEpochWindow) * (5 + 2 * nrounds) - 1;
     require(highest < mpi::tag_upper_bound,
             "setup: point-to-point backend needs " + std::to_string(nrounds) +
                 " rounds, whose highest tag " + std::to_string(highest) +
@@ -354,8 +424,8 @@ void Redistributor::finish_setup() {
       if (rp.sendcounts[q] > 0 && q != self)
         send_bytes.push_back(static_cast<std::size_t>(rp.sendcounts[q]) *
                              rp.sendtypes[q].size());
-  if (options_.backend == Backend::point_to_point_fused ||
-      options_.backend == Backend::point_to_point_pipelined)
+  if (resolved_backend_ == Backend::point_to_point_fused ||
+      resolved_backend_ == Backend::point_to_point_pipelined)
     for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i) {
       // Intra-node lanes never pack a payload — they publish an 8-byte
       // owned-buffer pointer instead (the ack is zero-byte, poolless).
@@ -370,6 +440,13 @@ void Redistributor::finish_setup() {
           break;
       }
     }
+  if (resolved_backend_ == Backend::collective)
+    // Every non-self lane packs a payload here — intra lanes are sent like
+    // inter ones, since zero-copy pointer publication does not compose with
+    // the wave fences.
+    for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i)
+      if (fused_send_class_[i] != LaneClass::self)
+        send_bytes.push_back(mapping_.fused_send[i].type.size());
   comm_.reserve_staging(send_bytes);
 
   p2p_epoch_ = 0;
@@ -663,29 +740,33 @@ void Redistributor::redistribute(std::span<const std::byte> owned_data,
     require(code == kPrecondOk, precond_message(code, comm_.rank()));
   }
 
-  if (options_.backend == Backend::alltoallw) {
+  if (resolved_backend_ == Backend::alltoallw) {
     execute_alltoallw(owned_data, needed_data);
   } else if (comm_.fault_injection_active()) {
     // All p2p flavours degrade to the reliable per-round protocol here —
     // fused messages cannot be re-requested per (round, peer), which is the
-    // unit the retry protocol operates on, and the pipelined executor's
-    // wait_any drain would spin forever on a dropped message.
+    // unit the retry protocol operates on, the pipelined executor's
+    // wait_any drain would spin forever on a dropped message, and the
+    // collective sequence's wave fences assume lossless delivery.
     execute_p2p_reliable(owned_data, needed_data);
-  } else if (options_.backend == Backend::point_to_point_fused) {
+  } else if (resolved_backend_ == Backend::point_to_point_fused) {
     execute_p2p_fused(owned_data, needed_data);
-  } else if (options_.backend == Backend::point_to_point_pipelined) {
+  } else if (resolved_backend_ == Backend::point_to_point_pipelined) {
     execute_p2p_pipelined(owned_data, needed_data);
+  } else if (resolved_backend_ == Backend::collective) {
+    execute_collective(owned_data, needed_data);
   } else {
     execute_p2p(owned_data, needed_data);
   }
 }
 
 Backend Redistributor::effective_backend() const {
-  if ((options_.backend == Backend::point_to_point_fused ||
-       options_.backend == Backend::point_to_point_pipelined) &&
+  if ((resolved_backend_ == Backend::point_to_point_fused ||
+       resolved_backend_ == Backend::point_to_point_pipelined ||
+       resolved_backend_ == Backend::collective) &&
       comm_.fault_injection_active())
     return Backend::point_to_point;
-  return options_.backend;
+  return setup_done_ ? resolved_backend_ : options_.backend;
 }
 
 void Redistributor::execute_alltoallw(std::span<const std::byte> owned_data,
@@ -847,7 +928,11 @@ void Redistributor::execute_p2p_fused(std::span<const std::byte> owned_data,
   const int nrounds = static_cast<int>(mapping_.rounds.size());
   const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
   const int tag = p2p_fused_tag(nrounds, epoch);
-  const bool parallel = comm_.pack_threads() > 0;
+  // Parallel packing is gated on the mapping actually profiting from it:
+  // when no inter lane clears kParallelPackThresholdBytes, the executor
+  // handoff costs more than the packs it offloads, so the serial path runs
+  // even with PackExecutor threads configured.
+  const bool parallel = comm_.pack_threads() > 0 && parpack_effective_;
   reqs_.clear();
   {
     DDR_TRACE_SPAN(fspan, "ddr.exchange.fused");
@@ -867,13 +952,25 @@ void Redistributor::execute_p2p_fused(std::span<const std::byte> owned_data,
     // so no receiver can wait on a pointer its sender has not yet sent.
     publish_intra(owned_data, epoch);
     if (parallel) {
-      // Pack every inter lane concurrently into staging, then post from this
-      // thread (posting charges the clock and runs fault fates, which must
-      // stay serialized on the rank thread).
+      // Pack the big inter lanes concurrently into staging, then post from
+      // this thread (posting charges the clock and runs fault fates, which
+      // must stay serialized on the rank thread). Lanes below the inline
+      // threshold are packed right here on the rank thread first — the
+      // executor handoff costs more than such a pack.
       payloads_.resize(mapping_.fused_send.size());
+      for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i) {
+        if (fused_send_class_[i] != LaneClass::inter ||
+            mapping_.fused_send[i].bytes >= kParallelPackThresholdBytes)
+          continue;
+        const PeerLane& l = mapping_.fused_send[i];
+        payloads_[i] =
+            comm_.pack_to_staging(owned_data.data() + l.displ, 1, l.type);
+      }
       const std::vector<std::size_t> lanes = comm_.parallel_for_lanes(
           mapping_.fused_send.size(), [&](std::size_t i) {
-            if (fused_send_class_[i] != LaneClass::inter) return;
+            if (fused_send_class_[i] != LaneClass::inter ||
+                mapping_.fused_send[i].bytes < kParallelPackThresholdBytes)
+              return;
             const PeerLane& l = mapping_.fused_send[i];
             payloads_[i] =
                 comm_.pack_to_staging(owned_data.data() + l.displ, 1, l.type);
@@ -928,6 +1025,15 @@ void Redistributor::execute_p2p_fused(std::span<const std::byte> owned_data,
               "redistribute: fused lane from rank " + std::to_string(l.peer) +
                   " delivered " + std::to_string(payloads_[i].size()) +
                   " bytes, expected " + std::to_string(l.type.size()));
+          // Small lanes unpack inline right here — the executor handoff
+          // costs more than such an unpack — and their buffers go back to
+          // the pool immediately.
+          if (l.bytes < kParallelPackThresholdBytes) {
+            l.type.unpack(payloads_[i].data(), 1,
+                          needed_data.data() + l.displ);
+            comm_.release_staging(std::move(payloads_[i]));
+            payloads_[i].clear();
+          }
         }
       } catch (...) {
         // The exchange aborts, but buffers already received must still go
@@ -938,7 +1044,9 @@ void Redistributor::execute_p2p_fused(std::span<const std::byte> owned_data,
       }
       const std::vector<std::size_t> lanes = comm_.parallel_for_lanes(
           mapping_.fused_recv.size(), [&](std::size_t i) {
-            if (fused_recv_class_[i] != LaneClass::inter) return;
+            if (fused_recv_class_[i] != LaneClass::inter ||
+                payloads_[i].empty())
+              return;
             const PeerLane& l = mapping_.fused_recv[i];
             l.type.unpack(payloads_[i].data(), 1,
                           needed_data.data() + l.displ);
@@ -976,7 +1084,9 @@ void Redistributor::execute_p2p_pipelined(
   const int nrounds = static_cast<int>(mapping_.rounds.size());
   const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
   const int tag = p2p_fused_tag(nrounds, epoch);
-  const bool parallel = comm_.pack_threads() > 0;
+  // Same gate as the fused executor: parallel packing only when some inter
+  // lane clears the inline threshold (see parpack_effective_).
+  const bool parallel = comm_.pack_threads() > 0 && parpack_effective_;
   reqs_.clear();
   recv_meta_.clear();
 
@@ -1030,9 +1140,20 @@ void Redistributor::execute_p2p_pipelined(
   const std::vector<PeerLane>& lanes = mapping_.fused_send;
   if (parallel) {
     payloads_.resize(lanes.size());
+    // Lanes below the inline threshold pack on the rank thread; only the
+    // big ones are worth the executor handoff (see parpack_effective_).
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      if (fused_send_class_[i] != LaneClass::inter ||
+          lanes[i].bytes >= kParallelPackThresholdBytes)
+        continue;
+      payloads_[i] = comm_.pack_to_staging(owned_data.data() + lanes[i].displ,
+                                           1, lanes[i].type);
+    }
     const std::vector<std::size_t> counts = comm_.parallel_for_lanes(
         lanes.size(), [&](std::size_t i) {
-          if (fused_send_class_[i] != LaneClass::inter) return;
+          if (fused_send_class_[i] != LaneClass::inter ||
+              lanes[i].bytes < kParallelPackThresholdBytes)
+            return;
           const PeerLane& l = lanes[i];
           payloads_[i] =
               comm_.pack_to_staging(owned_data.data() + l.displ, 1, l.type);
@@ -1100,6 +1221,52 @@ void Redistributor::execute_p2p_pipelined(
   wait_intra_acks(epoch);
   reqs_.clear();
   recv_meta_.clear();
+}
+
+void Redistributor::execute_collective(std::span<const std::byte> owned_data,
+                                       std::span<std::byte> needed_data) const {
+  // Collective-sequence lowering: the fused per-peer lanes run as a fenced
+  // wave sequence (mpi::Comm::sequenced_exchange). Within a wave every lane
+  // is packed, sent, received, unpacked and its staging returned before the
+  // closing barrier, so the pool's live bytes never exceed one wave's total
+  // payload — the peak_staging_bytes budget finish_setup() scheduled the
+  // waves under. Broadcast-shaped exchanges (identical needed layouts)
+  // thereby execute as an allgather sequence, single-source ones as a
+  // scatter sequence (see PlanDecision::shape). Intra-node lanes are packed
+  // and sent like inter lanes: zero-copy pointer publication does not
+  // compose with the wave fences, and bounded staging is the point here.
+  const int nrounds = static_cast<int>(mapping_.rounds.size());
+  const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
+  const int tag = p2p_coll_tag(nrounds, epoch);
+  DDR_TRACE_SPAN(espan, "ddr.exchange.collective",
+                 trace::Keys{.value = coll_nwaves_});
+  std::vector<mpi::PackedSendLane> sends;
+  std::vector<mpi::PackedRecvLane> recvs;
+  sends.reserve(mapping_.fused_send.size());
+  recvs.reserve(mapping_.fused_recv.size());
+  for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i) {
+    const PeerLane& l = mapping_.fused_send[i];
+    if (l.peer == mapping_.rank) continue;
+    DDR_TRACE_INSTANT("ddr.msg.send", {.peer = l.peer, .bytes = l.bytes});
+    sends.push_back(
+        {l.peer, owned_data.data() + l.displ, &l.type, coll_send_wave_[i]});
+  }
+  for (std::size_t i = 0; i < mapping_.fused_recv.size(); ++i) {
+    const PeerLane& l = mapping_.fused_recv[i];
+    if (l.peer == mapping_.rank) continue;
+    DDR_TRACE_INSTANT("ddr.msg.recv", {.peer = l.peer, .bytes = l.bytes});
+    recvs.push_back({l.peer, needed_data.data() + l.displ, &l.type,
+                     coll_recv_wave_[i], l.type.size()});
+  }
+  // Self lane: copy_regions, outside the wave sequence (no staging).
+  for (const PeerLane& s : mapping_.fused_send) {
+    if (s.peer != mapping_.rank) continue;
+    for (const PeerLane& r : mapping_.fused_recv)
+      if (r.peer == mapping_.rank)
+        mpi::copy_regions(s.type, owned_data.data() + s.displ, 1, r.type,
+                          needed_data.data() + r.displ, 1);
+  }
+  comm_.sequenced_exchange(sends, recvs, coll_nwaves_, tag);
 }
 
 void Redistributor::execute_p2p_reliable(

@@ -94,6 +94,37 @@ class Request {
 struct StagingStats {
   std::uint64_t acquires = 0;
   std::uint64_t heap_allocations = 0;
+  /// Bytes currently handed out of the pool (acquired, not yet released).
+  std::uint64_t live_bytes = 0;
+  /// High-water mark of live_bytes over the communicator's lifetime. This is
+  /// the exchange's true concurrent staging footprint — the quantity a
+  /// peak-staging budget (ddr::SetupOptions::peak_staging_bytes) bounds and
+  /// the number benches report per backend. Monotone: snapshot it before and
+  /// after an operation to attribute a peak. Prewarmed buffers
+  /// (Comm::reserve_staging) are planted in the free list without ever being
+  /// live, so they do not inflate it.
+  std::uint64_t peak_live_bytes = 0;
+};
+
+/// One send lane of Comm::sequenced_exchange: `1` element of `*type` at
+/// `base`, packed into one staging payload and sent to `peer` during fence
+/// group `wave`.
+struct PackedSendLane {
+  int peer = -1;
+  const void* base = nullptr;
+  const Datatype* type = nullptr;
+  int wave = 0;
+};
+
+/// One receive lane of Comm::sequenced_exchange: one packed payload of
+/// exactly `bytes` from `peer`, unpacked as `1` element of `*type` at `base`
+/// during fence group `wave`.
+struct PackedRecvLane {
+  int peer = -1;
+  void* base = nullptr;
+  const Datatype* type = nullptr;
+  int wave = 0;
+  std::size_t bytes = 0;
 };
 
 /// Waits for every request; returns their statuses in order.
@@ -276,12 +307,38 @@ class Comm {
   /// communicator pool. Thread-safe.
   void release_staging(std::vector<std::byte>&& buf) const;
 
+  /// Collective. Executes a whole packed exchange as a sequence of fenced
+  /// waves built from the existing primitives (pack_to_staging, isend_packed,
+  /// recv_payload, barrier) — the memory-efficient lowering DDR's
+  /// Backend::collective uses. Lanes carry a `wave` index in [0, nwaves);
+  /// wave w packs and posts every send lane of that wave, then drains and
+  /// unpacks every receive lane of that wave, then fences the communicator
+  /// with a barrier. The fence proves every wave-w payload has been released
+  /// before any wave-(w+1) payload is packed, so the staging pool's live
+  /// bytes never exceed the largest single wave (plus whatever the caller
+  /// already holds) regardless of the exchange's total volume.
+  ///
+  /// Wave assignment must be identical on every rank (it is derived from
+  /// globally shared knowledge in DDR) and a lane's wave must match on its
+  /// sender and receiver. Throws ErrorClass::truncate-flavoured Error when a
+  /// received payload's size differs from the lane's declared bytes.
+  void sequenced_exchange(std::span<const PackedSendLane> sends,
+                          std::span<const PackedRecvLane> recvs, int nwaves,
+                          int tag) const;
+
   // --- topology -------------------------------------------------------------
 
   /// True when `rank_in_comm` is mapped to the same node as this rank by the
   /// installed NetworkModel (NetworkModel::node_of). Without a network model
   /// every rank is its own node, so this is true only for the rank itself.
   [[nodiscard]] bool same_node(int rank_in_comm) const;
+
+  /// The NetworkModel installed at mpi::run() time, or nullptr when the run
+  /// is cost-free. Planners use it for cost and topology queries
+  /// (send_overhead/transfer_time/recv_overhead/node_of); it is identical
+  /// for every rank of the run, so decisions derived from it are
+  /// protocol-consistent across the communicator.
+  [[nodiscard]] const NetworkModel* network_model() const;
 
   // --- failure handling ----------------------------------------------------
 

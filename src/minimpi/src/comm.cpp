@@ -1455,9 +1455,14 @@ bool Comm::fault_injection_active() const {
 StagingStats Comm::staging_stats() const {
   require(valid(), ErrorClass::invalid_comm,
           "staging_stats: invalid communicator");
+  const auto live = impl_->staging.live_bytes.load(std::memory_order_relaxed);
+  const auto peak =
+      impl_->staging.peak_live_bytes.load(std::memory_order_relaxed);
   return StagingStats{
       impl_->staging.acquires.load(std::memory_order_relaxed),
-      impl_->staging.heap_allocs.load(std::memory_order_relaxed)};
+      impl_->staging.heap_allocs.load(std::memory_order_relaxed),
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, live)),
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, peak))};
 }
 
 std::uint64_t Comm::messages_posted() const {
@@ -1485,8 +1490,10 @@ void Comm::reserve_staging(const std::vector<std::size_t>& sizes) const {
   DDR_TRACE_SPAN(tspan, "mpi.staging.reserve",
                  trace::Keys{.comm = static_cast<std::int64_t>(impl_->trace_id),
                              .bytes = total});
+  // deposit(), not release(): these buffers were never acquired, so they
+  // must not perturb the pool's live/peak-byte accounting (StagingStats).
   for (const std::size_t n : sizes)
-    if (n > 0) impl_->staging.release(std::vector<std::byte>(n));
+    if (n > 0) impl_->staging.deposit(std::vector<std::byte>(n));
 }
 
 void Comm::set_pack_threads(int n) const {
@@ -1562,6 +1569,50 @@ void Comm::release_staging(std::vector<std::byte>&& buf) const {
   require(valid(), ErrorClass::invalid_comm,
           "release_staging: invalid communicator");
   impl_->staging.release(std::move(buf));
+}
+
+const NetworkModel* Comm::network_model() const {
+  require(valid(), ErrorClass::invalid_comm,
+          "network_model: invalid communicator");
+  return impl_->world->network;
+}
+
+void Comm::sequenced_exchange(std::span<const PackedSendLane> sends,
+                              std::span<const PackedRecvLane> recvs,
+                              int nwaves, int tag) const {
+  require(valid(), ErrorClass::invalid_comm,
+          "sequenced_exchange: invalid communicator");
+  require(nwaves >= 1, ErrorClass::invalid_argument,
+          "sequenced_exchange: need at least one wave");
+  for (int w = 0; w < nwaves; ++w) {
+    DDR_TRACE_SPAN(wspan, "mpi.seq.wave", trace::Keys{.round = w});
+    // Post every send of this wave first (buffered-eager, never blocks),
+    // then drain the wave's receives: every peer's sends are already in
+    // flight by the time anyone blocks, so draining in input order cannot
+    // deadlock. Each payload is released the moment it is unpacked — the
+    // barrier below then proves the whole wave's staging is back in the pool
+    // before the next wave packs a byte.
+    for (const PackedSendLane& l : sends) {
+      if (l.wave != w) continue;
+      isend_packed(pack_to_staging(l.base, 1, *l.type), l.peer, tag);
+    }
+    for (const PackedRecvLane& l : recvs) {
+      if (l.wave != w) continue;
+      std::vector<std::byte> payload = recv_payload(l.peer, tag);
+      if (payload.size() != l.bytes) {
+        const std::size_t got = payload.size();
+        release_staging(std::move(payload));
+        require(false, ErrorClass::truncate,
+                "sequenced_exchange: lane from rank " +
+                    std::to_string(l.peer) + " delivered " +
+                    std::to_string(got) + " bytes, expected " +
+                    std::to_string(l.bytes));
+      }
+      l.type->unpack(payload.data(), 1, static_cast<std::byte*>(l.base));
+      release_staging(std::move(payload));
+    }
+    barrier();
+  }
 }
 
 bool Comm::same_node(int rank_in_comm) const {

@@ -56,6 +56,7 @@ struct BufferPool {
   std::vector<std::byte> acquire(std::size_t bytes) {
     if (bytes == 0) return {};  // a zero-size vector never touches the heap
     acquires.fetch_add(1, std::memory_order_relaxed);
+    note_acquired(bytes);
     {
       std::lock_guard lk(m);
       auto best = free.end();
@@ -90,8 +91,31 @@ struct BufferPool {
   /// (drop on release, reallocate next call) on larger exchanges.
   void release(std::vector<std::byte>&& buf) {
     if (buf.capacity() == 0) return;
+    // Live-byte accounting mirrors acquire(): a buffer handed out is "live"
+    // until its storage comes back here. Clamped at zero so a buffer whose
+    // size changed in user hands (or was planted by deposit()) can never
+    // drive the counter negative.
+    const auto sz = static_cast<std::int64_t>(buf.size());
+    std::int64_t live = live_bytes.load(std::memory_order_relaxed);
+    while (!live_bytes.compare_exchange_weak(live, std::max<std::int64_t>(
+                                                       0, live - sz),
+                                             std::memory_order_relaxed)) {
+    }
     DDR_TRACE_INSTANT("mpi.staging.release",
                       {.bytes = static_cast<std::int64_t>(buf.size())});
+    buf.clear();
+    std::lock_guard lk(m);
+    if (retained_bytes + buf.capacity() > kMaxPooledBytes) return;
+    retained_bytes += buf.capacity();
+    free.push_back(std::move(buf));
+  }
+
+  /// Plants never-acquired storage in the pool (Comm::reserve_staging
+  /// prewarm). Unlike release(), a deposit never touches the live-byte
+  /// accounting: the buffer was never handed out, so it contributes to the
+  /// free list only.
+  void deposit(std::vector<std::byte>&& buf) {
+    if (buf.capacity() == 0) return;
     buf.clear();
     std::lock_guard lk(m);
     if (retained_bytes + buf.capacity() > kMaxPooledBytes) return;
@@ -105,6 +129,24 @@ struct BufferPool {
   std::size_t retained_bytes = 0;  // guarded by m
   std::atomic<std::uint64_t> acquires{0};
   std::atomic<std::uint64_t> heap_allocs{0};
+  /// Bytes currently handed out (acquired, not yet released) and the
+  /// high-water mark of that quantity. The peak is what the collective-
+  /// sequence backend's peak_staging_bytes budget bounds and what benches
+  /// report as the exchange's true staging footprint.
+  std::atomic<std::int64_t> live_bytes{0};
+  std::atomic<std::int64_t> peak_live_bytes{0};
+
+ private:
+  void note_acquired(std::size_t bytes) {
+    const std::int64_t now =
+        live_bytes.fetch_add(static_cast<std::int64_t>(bytes),
+                             std::memory_order_relaxed) +
+        static_cast<std::int64_t>(bytes);
+    std::int64_t peak = peak_live_bytes.load(std::memory_order_relaxed);
+    while (now > peak && !peak_live_bytes.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
 };
 
 /// A small work-stealing thread pool for packing/unpacking independent

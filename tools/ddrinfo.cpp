@@ -6,8 +6,8 @@
 // Table III quantities), peer counts, and optionally every transfer.
 //
 // Usage:
-//   ddrinfo [-t] [-e] [--validate] [--cost] [--ranks-per-node N]
-//           [--trace out.json] [layout.txt]
+//   ddrinfo [-t] [-e] [--validate] [--cost] [--plan] [--budget BYTES]
+//           [--ranks-per-node N] [--trace out.json] [layout.txt]
 //     -t          list every (sender -> receiver) transfer
 //     -e          echo the normalized layout back (round-trip check)
 //     --validate  check the layout against the paper's send-side contract
@@ -18,13 +18,33 @@
 //                 run-compressed quad totals for the plain per-round p2p
 //                 backend and the fused per-peer backend side by side, plus
 //                 the pipelined backend's per-rank receive-window depth,
-//                 each fused lane's locality class (self/intra/inter), and
-//                 the pack kernel runtime dispatch selected on this host
+//                 each fused lane's locality class (self/intra/inter), the
+//                 pack kernel runtime dispatch selected on this host, and
+//                 the planner's per-candidate self/intra/inter byte split
+//                 (the same ddr::Planner numbers --plan decides from, so
+//                 the two views reconcile by construction)
+//     --plan      run the cost-model planner (ddr::Planner) over the layout
+//                 and print its decision — chosen backend, collective shape,
+//                 pack threads, wave schedule — plus a per-candidate table of
+//                 predicted vs MEASURED cost: each candidate backend is
+//                 actually executed under the threaded runtime and its
+//                 median wall-clock (or virtual makespan when a link model
+//                 is installed via --ranks-per-node > 1) and measured peak
+//                 staging are printed next to the predictions
+//     --budget BYTES
+//                 peak-staging budget handed to the planner and to every
+//                 measured run (SetupOptions::peak_staging_bytes): bounds
+//                 the collective-sequence wave payloads and marks
+//                 over-budget candidates infeasible
 //     --ranks-per-node N
-//                 node topology for the --cost locality classes: consecutive
-//                 ranks share a node in groups of N (the blocked placement
-//                 simnet::LinkModel models). Default 1: every rank is its
-//                 own node, so every non-self lane is inter-node.
+//                 node topology for the --cost locality classes and the
+//                 --plan cost model: consecutive ranks share a node in
+//                 groups of N (the blocked placement simnet::LinkModel
+//                 models). Default 1: every rank is its own node, so every
+//                 non-self lane is inter-node and --plan prices with the
+//                 calibrated software constants. With N > 1 a Cooley-preset
+//                 simnet::LinkModel drives both the planner and the
+//                 measured runs' virtual clocks.
 //     --trace F   actually run one redistribute() per backend (alltoallw,
 //                 p2p, fused, pipelined) under the threaded runtime with
 //                 tracing on, write the merged Chrome-trace JSON to F (load
@@ -39,6 +59,8 @@
 //   rank own 8x1@0,2 own 8x1@0,6 need 4x4@0,4
 //   rank own 8x1@0,3 own 8x1@0,7 need 4x4@4,4
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,16 +69,33 @@
 #include <vector>
 
 #include "ddr/ddr.hpp"
+#include "ddr/planner.hpp"
 #include "ddr/textio.hpp"
 #include "minimpi/runtime.hpp"
+#include "simnet/models.hpp"
 #include "trace/trace.hpp"
 
 namespace {
 
 void print_usage() {
   std::fprintf(stderr,
-               "usage: ddrinfo [-t] [-e] [--validate] [--cost] "
-               "[--ranks-per-node N] [--trace out.json] [layout.txt]\n");
+               "usage: ddrinfo [-t] [-e] [--validate] [--cost] [--plan] "
+               "[--budget BYTES] [--ranks-per-node N] [--trace out.json] "
+               "[layout.txt]\n");
+}
+
+const char* shape_name(ddr::CollectiveShape s) {
+  switch (s) {
+    case ddr::CollectiveShape::none:
+      return "none";
+    case ddr::CollectiveShape::allgather:
+      return "allgather";
+    case ddr::CollectiveShape::scatter:
+      return "scatter";
+    case ddr::CollectiveShape::gather:
+      return "gather";
+  }
+  return "unknown";
 }
 
 /// Detailed check of the paper's send-side contract: owned chunks must be
@@ -282,6 +321,152 @@ int run_cost(const ddr::LayoutSpec& spec, int ranks_per_node) {
   std::printf("\npack kernel: %s (runtime-dispatched; override with "
               "MINIMPI_PACK_KERNEL=scalar|sse2|avx2|auto)\n",
               mpi::pack_kernel_name().c_str());
+
+  // Planner's per-candidate byte split under the same blocked topology as
+  // the locality section above. --cost's static accounting and --plan's
+  // decision come from the same ddr::Planner call, so the self/intra/inter
+  // partition printed here is exactly what the planner priced.
+  simnet::LinkParams lp = simnet::cooley_params();
+  lp.ranks_per_node = ranks_per_node;
+  const simnet::LinkModel lm(lp);
+  const ddr::PlanDecision d = ddr::Planner::decide(
+      layout, spec.elem_size, ranks_per_node > 1 ? &lm : nullptr, 0);
+  std::printf("\ncandidate byte split (ranks_per_node=%d):\n", ranks_per_node);
+  std::printf("  %-26s %6s %10s %10s %10s %12s\n", "backend", "msgs", "self B",
+              "intra B", "inter B", "pred peak B");
+  for (const ddr::CandidateCost& c : d.candidates)
+    std::printf("  %c %-24s %6lld %10lld %10lld %10lld %12zu\n",
+                c.backend == d.backend ? '*' : ' ',
+                ddr::backend_name(c.backend),
+                static_cast<long long>(c.messages),
+                static_cast<long long>(c.self_bytes),
+                static_cast<long long>(c.intra_node_bytes),
+                static_cast<long long>(c.inter_node_bytes),
+                c.predicted_peak_staging);
+  std::printf("  * = the backend --plan chooses here (shape %s); intra-node "
+              "bytes move zero-copy on the fused flavours, so only inter-node "
+              "bytes are packed and pay the link\n",
+              shape_name(d.shape));
+  return 0;
+}
+
+/// --plan: runs the cost-model planner over the layout, prints its decision,
+/// then EXECUTES every candidate backend under the threaded runtime to put a
+/// measured number next to each prediction. Without --ranks-per-node the
+/// measurement is median host wall-clock per call (compare rankings, not
+/// magnitudes — the predictions use the calibrated software constants); with
+/// --ranks-per-node N > 1 a Cooley-preset simnet::LinkModel is installed and
+/// both columns live in the same regime: predicted model cost vs the virtual
+/// makespan the model's clocks actually charged. The measured peak column is
+/// the staging pool's high-water mark (mpi::StagingStats::peak_live_bytes),
+/// the quantity a --budget bounds.
+int run_plan(const ddr::LayoutSpec& spec, int ranks_per_node,
+             std::size_t budget) {
+  const ddr::GlobalLayout& layout = spec.layout;
+  const int nranks = layout.nranks();
+  std::printf("layout: %d ranks, %dD, %zu-byte elements\n", nranks, spec.ndims,
+              spec.elem_size);
+
+  simnet::LinkParams lp = simnet::cooley_params();
+  lp.ranks_per_node = ranks_per_node;
+  const simnet::LinkModel lm(lp);
+  const mpi::NetworkModel* net = ranks_per_node > 1 ? &lm : nullptr;
+
+  const ddr::PlanDecision d =
+      ddr::Planner::decide(layout, spec.elem_size, net, budget);
+
+  if (net != nullptr)
+    std::printf("\nplan (cooley link model, ranks_per_node=%d):\n",
+                ranks_per_node);
+  else
+    std::printf("\nplan (software-regime constants; every rank its own "
+                "node):\n");
+  std::printf("  chosen backend   : %s\n", ddr::backend_name(d.backend));
+  std::printf("  collective shape : %s\n", shape_name(d.shape));
+  std::printf("  pack threads     : %d\n", d.pack_threads);
+  if (budget > 0)
+    std::printf("  staging budget   : %zu B -> %d wave(s)\n", budget, d.waves);
+  else
+    std::printf("  staging budget   : unlimited -> %d wave(s)\n", d.waves);
+  std::printf("  predicted        : %.3f ms/call, peak staging %zu B\n",
+              d.predicted_s * 1e3, d.predicted_peak_staging);
+
+  const int reps = 15;
+  struct Measured {
+    double ms = 0.0;
+    std::uint64_t peak = 0;
+  };
+  auto measure = [&](ddr::Backend b) {
+    Measured out;
+    std::vector<double> wall_ms;
+    std::vector<double> vdelta(static_cast<std::size_t>(nranks), 0.0);
+    mpi::RunOptions ro;
+    ro.network = net;
+    mpi::run(
+        nranks,
+        [&](mpi::Comm& comm) {
+          const auto ri = static_cast<std::size_t>(comm.rank());
+          ddr::Redistributor rd(comm, spec.elem_size);
+          ddr::SetupOptions opt;
+          opt.backend = b;
+          opt.peak_staging_bytes = budget;
+          opt.collective_error_agreement = false;
+          rd.setup(layout.owned[ri], layout.needed[ri], opt);
+          std::vector<std::byte> owned(rd.owned_bytes());
+          std::vector<std::byte> needed(rd.needed_bytes());
+          comm.barrier();
+          rd.redistribute(owned, needed);  // warm the staging pool
+          comm.barrier();
+          const double c0 = comm.clock().now();
+          for (int i = 0; i < reps; ++i) {
+            comm.barrier();
+            const auto t0 = std::chrono::steady_clock::now();
+            rd.redistribute(owned, needed);
+            const auto t1 = std::chrono::steady_clock::now();
+            if (ri == 0)
+              wall_ms.push_back(
+                  std::chrono::duration<double, std::milli>(t1 - t0).count());
+          }
+          vdelta[ri] = comm.clock().now() - c0;
+          comm.barrier();
+          if (ri == 0) out.peak = comm.staging_stats().peak_live_bytes;
+        },
+        ro);
+    if (net != nullptr) {
+      // Virtual makespan per call (inter-rep barriers included): the same
+      // quantity the model's clocks charge, directly comparable to the
+      // planner's prediction under the same model.
+      double mk = 0.0;
+      for (const double x : vdelta) mk = std::max(mk, x);
+      out.ms = mk / reps * 1e3;
+    } else {
+      std::sort(wall_ms.begin(), wall_ms.end());
+      out.ms = wall_ms[wall_ms.size() / 2];
+    }
+    return out;
+  };
+
+  std::printf("\ncandidates (measured = %s over %d calls; peak = staging-pool "
+              "high-water bytes):\n",
+              net != nullptr ? "virtual makespan" : "median wall-clock", reps);
+  std::printf("  %-26s %9s %9s %6s %10s %10s %12s %12s\n", "backend",
+              "pred ms", "meas ms", "msgs", "inter B", "intra B", "pred peak",
+              "meas peak");
+  for (const ddr::CandidateCost& c : d.candidates) {
+    const Measured m = measure(c.backend);
+    std::printf("  %c %-24s %9.3f %9.3f %6lld %10lld %10lld %12zu %12llu%s\n",
+                c.backend == d.backend ? '*' : ' ',
+                ddr::backend_name(c.backend), c.predicted_s * 1e3, m.ms,
+                static_cast<long long>(c.messages),
+                static_cast<long long>(c.inter_node_bytes),
+                static_cast<long long>(c.intra_node_bytes),
+                c.predicted_peak_staging,
+                static_cast<unsigned long long>(m.peak),
+                c.feasible ? "" : "  (over budget)");
+  }
+  std::printf("\n* = chosen backend. Without a link model the predictions use "
+              "calibrated software constants while measurements are host "
+              "wall-clock: compare the ordering, not the magnitudes.\n");
   return 0;
 }
 
@@ -362,6 +547,8 @@ int main(int argc, char** argv) {
   bool echo = false;
   bool validate = false;
   bool cost = false;
+  bool plan = false;
+  std::size_t budget = 0;
   int ranks_per_node = 1;
   const char* trace_path = nullptr;
   const char* path = nullptr;
@@ -374,6 +561,19 @@ int main(int argc, char** argv) {
       validate = true;
     } else if (std::strcmp(argv[i], "--cost") == 0) {
       cost = true;
+    } else if (std::strcmp(argv[i], "--plan") == 0) {
+      plan = true;
+    } else if (std::strcmp(argv[i], "--budget") == 0) {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 2;
+      }
+      char* end = nullptr;
+      budget = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        print_usage();
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--ranks-per-node") == 0) {
       if (i + 1 >= argc || (ranks_per_node = std::atoi(argv[++i])) < 1) {
         print_usage();
@@ -418,6 +618,15 @@ int main(int argc, char** argv) {
   if (validate) return run_validate(spec);
 
   if (cost) return run_cost(spec, ranks_per_node);
+
+  if (plan) {
+    try {
+      return run_plan(spec, ranks_per_node, budget);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ddrinfo: %s\n", e.what());
+      return 1;
+    }
+  }
 
   if (trace_path != nullptr) {
     try {
