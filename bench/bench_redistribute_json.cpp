@@ -1,8 +1,11 @@
 // Machine-readable redistribute() micro-benchmark.
 //
 // Runs the hot path the paper's use case B executes every timestep — a
-// strided 3D multi-chunk redistribution, a 2D rows-to-quadrants one, and a
-// broadcast-shaped slab allgather — under nine configurations:
+// strided 3D multi-chunk redistribution, a 2D rows-to-quadrants one, a
+// broadcast-shaped slab allgather, plus the two workload-suite shapes of
+// src/workloads (the slab -> y-pencil FFT transpose and a tiny-message
+// SPMD resharding over 8 ranks, both carrying closed-form analytic byte
+// accounting the bench gates against) — under nine configurations:
 //
 //   legacy_alltoallw       recursive-walker pack path (plans disabled)
 //   compiled_alltoallw     compiled segment plans, alltoallw backend
@@ -45,8 +48,12 @@
 // allocation — CI runs this binary as the zero-allocation gate of the data
 // path.
 //
-// Environment: DDR_BENCH_REPS (timed calls per config, default 60),
-//              DDR_BENCH_OUT  (output path, default BENCH_redistribute.json).
+// Environment: DDR_BENCH_REPS  (timed calls per config, default 60),
+//              DDR_BENCH_OUT   (output path, default BENCH_redistribute.json),
+//              DDR_BENCH_CASES (comma-separated case-name filter; when set,
+//                               only matching cases run and the resize /
+//                               peak-staging / ranks-sweep blocks are
+//                               skipped — the CI smoke mode).
 
 #include <algorithm>
 #include <chrono>
@@ -60,6 +67,7 @@
 #include "minimpi/minimpi.hpp"
 #include "simnet/models.hpp"
 #include "trace/trace.hpp"
+#include "workloads/workloads.hpp"
 
 namespace {
 
@@ -114,6 +122,52 @@ ddr::Chunk bcast3d_needed(int) {
   return ddr::Chunk::d3(kSide, kSide, kSide, 0, 0, 0);
 }
 
+// The workload-suite cases (src/workloads): each carries closed-form
+// analytic accounting that the bench gates against the measured
+// MappingStats and the traced bytes — three independent derivations of the
+// same exchange.
+
+/// The slab -> y-pencil transpose of a 64^3 float FFT over 4 ranks (2x2
+/// process grid): the first transpose a spectral solver runs every timestep.
+const workloads::PencilTranspose& pencil_gen() {
+  static const workloads::PencilTranspose gen(
+      workloads::PencilParams{64, 64, 64, 4, sizeof(float)});
+  return gen;
+}
+ddr::OwnedLayout pencil_owned(int rank) {
+  return {pencil_gen().chunk(workloads::Stage::slab, rank)};
+}
+ddr::Chunk pencil_needed(int rank) {
+  return pencil_gen().chunk(workloads::Stage::pencil_y, rank);
+}
+
+/// SPMD resharding in the tiny-message / high-lane-count regime: a 32^3
+/// float tensor moves from x tiled over an 8-long mesh to (y, z) tiled over
+/// a 2x4 mesh — every destination shard intersects every source shard, 56
+/// cross-rank lanes of 2 KB each.
+const workloads::ReshardSuite& reshard_suite() {
+  static const workloads::ReshardSuite suite = [] {
+    workloads::ReshardParams p;
+    p.ndims = 3;
+    p.dims = {32, 32, 32};
+    p.elem_size = sizeof(float);
+    p.src.mesh = {8, 1, 1};
+    p.src.tile = {0, -1, -1};  // x across the 8-long mesh axis
+    p.dst.mesh = {2, 4, 1};
+    p.dst.tile = {-1, 0, 1};  // y across 2, z across 4
+    return workloads::ReshardSuite(p);
+  }();
+  return suite;
+}
+ddr::OwnedLayout reshard_owned(int rank) {
+  const auto& p = reshard_suite().params();
+  return {workloads::ReshardSuite::chunk(p.src, p.ndims, p.dims, rank)};
+}
+ddr::Chunk reshard_needed(int rank) {
+  const auto& p = reshard_suite().params();
+  return workloads::ReshardSuite::chunk(p.dst, p.ndims, p.dims, rank);
+}
+
 struct ConfigResult {
   std::string name;
   /// For the "automatic" config: the backend ddr::Planner resolved to.
@@ -137,6 +191,10 @@ struct CaseResult {
   int rounds = 0;
   std::int64_t network_bytes_per_call = 0;
   std::int64_t self_bytes_per_call = 0;
+  /// Closed-form accounting for the workload-suite cases (pencil, reshard);
+  /// has_analytic gates the analytic == measured == traced byte check.
+  bool has_analytic = false;
+  workloads::Accounting analytic;
   std::vector<ConfigResult> configs;
   // Planner exit gate: automatic's median vs the best hand-picked config
   // (ablation configs excluded — see main).
@@ -149,6 +207,23 @@ struct CaseResult {
 int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// DDR_BENCH_CASES filter: unset/empty runs everything; otherwise a
+/// comma-separated list of case names to run (the CI smoke mode).
+bool case_enabled(const std::string& name) {
+  const char* v = std::getenv("DDR_BENCH_CASES");
+  if (v == nullptr || *v == '\0') return true;
+  const std::string s(v);
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (s.substr(pos, end - pos) == name) return true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return false;
 }
 
 /// `kernel` forces a copy-train kernel for the duration of the config
@@ -624,11 +699,21 @@ void write_json(const std::string& path, int reps,
                  "    {\n      \"name\": \"%s\",\n      \"ranks\": %d,\n"
                  "      \"rounds\": %d,\n"
                  "      \"network_bytes_per_call\": %lld,\n"
-                 "      \"self_bytes_per_call\": %lld,\n"
-                 "      \"configs\": [\n",
+                 "      \"self_bytes_per_call\": %lld,\n",
                  cr.name.c_str(), cr.nranks, cr.rounds,
                  static_cast<long long>(cr.network_bytes_per_call),
                  static_cast<long long>(cr.self_bytes_per_call));
+    if (cr.has_analytic)
+      std::fprintf(f,
+                   "      \"analytic\": {\"network_bytes\": %lld, "
+                   "\"self_bytes\": %lld, \"total_bytes\": %lld, "
+                   "\"messages\": %lld, \"rounds\": %d},\n",
+                   static_cast<long long>(cr.analytic.network_bytes),
+                   static_cast<long long>(cr.analytic.self_bytes),
+                   static_cast<long long>(cr.analytic.total_bytes),
+                   static_cast<long long>(cr.analytic.messages),
+                   cr.analytic.rounds);
+    std::fprintf(f, "      \"configs\": [\n");
     for (std::size_t k = 0; k < cr.configs.size(); ++k) {
       const ConfigResult& cf = cr.configs[k];
       if (!cf.planned_backend.empty())
@@ -663,6 +748,12 @@ void write_json(const std::string& path, int reps,
                  cr.best_median_ms,
                  cr.automatic_within_tolerance ? "true" : "false",
                  c + 1 < cases.size() ? "," : "");
+  }
+  if (peak.budget == 0) {
+    // Filtered (smoke) run: the peak/resize/sweep blocks were skipped.
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return;
   }
   std::fprintf(f,
                "  ],\n  \"peak_staging\": {\"case\": \"bcast3d\", "
@@ -717,15 +808,29 @@ int main() {
       {"strided3d", 4, strided3d_owned, strided3d_needed},
       {"rows2d", 4, rows2d_owned, rows2d_needed},
       {"bcast3d", 4, bcast3d_owned, bcast3d_needed},
+      {"pencil", 4, pencil_owned, pencil_needed},
+      {"reshard", 8, reshard_owned, reshard_needed},
   };
+  const bool full_run = std::getenv("DDR_BENCH_CASES") == nullptr ||
+                        *std::getenv("DDR_BENCH_CASES") == '\0';
 
   std::vector<CaseResult> results;
   bool alloc_clean = true;
   bool planner_competitive = true;
+  bool accounting_exact = true;
   for (const CaseSetup& cs : cases_setup) {
+    if (!case_enabled(cs.name)) continue;
     CaseResult cr;
     cr.name = cs.name;
     cr.nranks = cs.nranks;
+    if (cs.name == "pencil") {
+      cr.has_analytic = true;
+      cr.analytic = pencil_gen().accounting(workloads::Stage::slab,
+                                            workloads::Stage::pencil_y);
+    } else if (cs.name == "reshard") {
+      cr.has_analytic = true;
+      cr.analytic = reshard_suite().accounting();
+    }
     cr.configs.push_back(run_config(cs, "legacy_alltoallw", false,
                                     ddr::Backend::alltoallw, reps, cr));
     cr.configs.push_back(run_config(cs, "compiled_alltoallw", true,
@@ -752,23 +857,55 @@ int main() {
     for (const ConfigResult& cf : cr.configs)
       if (cf.staging_heap_allocs_steady != 0) alloc_clean = false;
 
+    // Workload-accounting exit gate: the closed-form accounting, the
+    // mapping machinery's MappingStats and the traced bytes of one call
+    // must agree EXACTLY, on every config that traced anything.
+    if (cr.has_analytic) {
+      if (cr.network_bytes_per_call != cr.analytic.network_bytes ||
+          cr.self_bytes_per_call != cr.analytic.self_bytes) {
+        std::fprintf(stderr,
+                     "%s: analytic accounting (network %lld, self %lld) != "
+                     "MappingStats (network %lld, self %lld)\n",
+                     cs.name.c_str(),
+                     static_cast<long long>(cr.analytic.network_bytes),
+                     static_cast<long long>(cr.analytic.self_bytes),
+                     static_cast<long long>(cr.network_bytes_per_call),
+                     static_cast<long long>(cr.self_bytes_per_call));
+        accounting_exact = false;
+      }
+      for (const ConfigResult& cf : cr.configs)
+        if (cf.trace_events != 0 &&
+            cf.trace_send_bytes != cr.analytic.network_bytes) {
+          std::fprintf(stderr,
+                       "%s/%s: traced %lld bytes, analytic %lld\n",
+                       cs.name.c_str(), cf.name.c_str(),
+                       static_cast<long long>(cf.trace_send_bytes),
+                       static_cast<long long>(cr.analytic.network_bytes));
+          accounting_exact = false;
+        }
+    }
+
     if (!run_planner_gate(cs, reps, cr)) planner_competitive = false;
     results.push_back(std::move(cr));
   }
   mpi::Datatype::set_plan_enabled(true);
 
   std::vector<ResizePoint> resize;
-  resize.push_back(run_resize_point(8, 12));
-  resize.push_back(run_resize_point(16, 8));
   bool resize_minimizing = true;
-  for (const ResizePoint& rp : resize)
-    if (rp.moved_bytes * 2 > rp.naive_bytes) resize_minimizing = false;
-
-  const PeakPoint peak = run_peak_point(std::min(reps, 20));
-  const bool peak_reduced = peak.peak_collective * 2 <= peak.peak_fused;
-
+  PeakPoint peak;
+  bool peak_reduced = true;
   std::vector<SweepPoint> sweep;
-  for (const int n : {4, 8, 16, 64}) sweep.push_back(run_sweep_point(n, 10));
+  if (full_run) {
+    resize.push_back(run_resize_point(8, 12));
+    resize.push_back(run_resize_point(16, 8));
+    for (const ResizePoint& rp : resize)
+      if (rp.moved_bytes * 2 > rp.naive_bytes) resize_minimizing = false;
+
+    peak = run_peak_point(std::min(reps, 20));
+    peak_reduced = peak.peak_collective * 2 <= peak.peak_fused;
+
+    for (const int n : {4, 8, 16, 64}) sweep.push_back(run_sweep_point(n, 10));
+  }
 
   write_json(out, reps, results, resize, peak, sweep);
   std::printf("wrote %s\n", out.c_str());
@@ -800,6 +937,14 @@ int main() {
     std::fprintf(stderr,
                  "FAIL: steady-state redistribute() allocated staging "
                  "buffers on the heap (see staging_heap_allocs_steady)\n");
+    return 1;
+  }
+
+  if (!accounting_exact) {
+    std::fprintf(stderr,
+                 "FAIL: a workload case's closed-form analytic accounting "
+                 "disagreed with the measured MappingStats or the traced "
+                 "bytes (see the analytic blocks)\n");
     return 1;
   }
   return 0;

@@ -1,0 +1,261 @@
+#include "workloads/workloads.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "ddr/error.hpp"
+
+namespace workloads {
+
+namespace {
+
+// Same remainder-to-the-front quota split as the pencil generator (and
+// propose_resize_layout): block i of `blocks` over `extent` covers
+// [start(i), start(i+1)).
+std::int64_t block_start(std::int64_t extent, int blocks, int i) {
+  const std::int64_t base = extent / blocks;
+  const std::int64_t rem = extent % blocks;
+  return static_cast<std::int64_t>(i) * base + std::min<std::int64_t>(i, rem);
+}
+
+std::int64_t block_overlap(std::int64_t extent, int ba, int a, int bb, int b) {
+  const std::int64_t lo =
+      std::max(block_start(extent, ba, a), block_start(extent, bb, b));
+  const std::int64_t hi = std::min(block_start(extent, ba, a + 1),
+                                   block_start(extent, bb, b + 1));
+  return hi > lo ? hi - lo : 0;
+}
+
+/// Mesh coordinates of a rank, mesh axis 0 fastest.
+std::array<int, 3> mesh_coords(const ShardingSpec& spec, int rank) {
+  std::array<int, 3> c{{0, 0, 0}};
+  int rest = rank;
+  for (std::size_t m = 0; m < 3; ++m) {
+    c[m] = rest % spec.mesh[m];
+    rest /= spec.mesh[m];
+  }
+  return c;
+}
+
+/// Per-tensor-axis (blocks, block index) of a rank under a spec.
+struct AxisBlocks {
+  std::array<int, 3> blocks{{1, 1, 1}};
+  std::array<int, 3> index{{0, 0, 0}};
+};
+
+AxisBlocks axis_blocks(const ShardingSpec& spec, int ndims, int rank) {
+  const std::array<int, 3> c = mesh_coords(spec, rank);
+  AxisBlocks ab;
+  for (int a = 0; a < ndims; ++a) {
+    const auto k = static_cast<std::size_t>(a);
+    const int m = spec.tile[k];
+    if (m < 0) continue;
+    ab.blocks[k] = spec.mesh[static_cast<std::size_t>(m)];
+    ab.index[k] = c[static_cast<std::size_t>(m)];
+  }
+  return ab;
+}
+
+void validate_spec(const ShardingSpec& spec, int ndims, const char* side) {
+  for (std::size_t m = 0; m < 3; ++m)
+    ddr::require(spec.mesh[m] >= 1, std::string("ReshardSuite: ") + side +
+                                        " mesh extents must be >= 1");
+  std::array<int, 3> uses{{0, 0, 0}};
+  for (int a = 0; a < ndims; ++a) {
+    const int m = spec.tile[static_cast<std::size_t>(a)];
+    ddr::require(m >= -1 && m < 3, std::string("ReshardSuite: ") + side +
+                                       " tile axis out of range");
+    if (m >= 0) ++uses[static_cast<std::size_t>(m)];
+  }
+  for (std::size_t m = 0; m < 3; ++m)
+    ddr::require(uses[m] <= 1, std::string("ReshardSuite: ") + side +
+                                   " mesh axis tiles more than one tensor "
+                                   "axis");
+}
+
+}  // namespace
+
+bool ShardingSpec::exact_partition(int tensor_ndims) const {
+  std::array<bool, 3> used{{false, false, false}};
+  for (int a = 0; a < tensor_ndims; ++a) {
+    const int m = tile[static_cast<std::size_t>(a)];
+    if (m >= 0) used[static_cast<std::size_t>(m)] = true;
+  }
+  for (std::size_t m = 0; m < 3; ++m)
+    if (mesh[m] > 1 && !used[m]) return false;
+  return true;
+}
+
+std::string ShardingSpec::describe(int tensor_ndims) const {
+  std::ostringstream os;
+  os << "mesh " << mesh[0];
+  for (int m = 1; m < 3; ++m)
+    if (mesh[static_cast<std::size_t>(m)] > 1 || m < 2)
+      os << "x" << mesh[static_cast<std::size_t>(m)];
+  static const char* axis = "xyz";
+  bool any = false;
+  for (int a = 0; a < tensor_ndims; ++a) {
+    const int m = tile[static_cast<std::size_t>(a)];
+    if (m < 0) continue;
+    os << (any ? " " : " tile ") << axis[a] << "->m" << m;
+    any = true;
+  }
+  if (!any) os << " tile none";
+  if (!exact_partition(tensor_ndims)) os << " (replicated)";
+  return os.str();
+}
+
+ReshardSuite::ReshardSuite(const ReshardParams& params) : p_(params) {
+  ddr::require(p_.ndims >= 1 && p_.ndims <= 3,
+               "ReshardSuite: tensor rank must be 1..3");
+  for (int a = 0; a < p_.ndims; ++a)
+    ddr::require(p_.dims[static_cast<std::size_t>(a)] >= 1,
+                 "ReshardSuite: tensor extents must be >= 1");
+  ddr::require(p_.elem_size >= 1, "ReshardSuite: elem_size must be >= 1");
+  validate_spec(p_.src, p_.ndims, "src");
+  validate_spec(p_.dst, p_.ndims, "dst");
+  ddr::require(p_.src.nranks() == p_.dst.nranks(),
+               "ReshardSuite: src and dst meshes must have the same device "
+               "count");
+  ddr::require(p_.src.exact_partition(p_.ndims),
+               "ReshardSuite: src sharding must be an exact partition (no "
+               "replication on the owned side)");
+  for (int a = 0; a < p_.ndims; ++a) {
+    const auto k = static_cast<std::size_t>(a);
+    if (p_.src.tile[k] >= 0)
+      ddr::require(
+          p_.dims[k] >= p_.src.mesh[static_cast<std::size_t>(p_.src.tile[k])],
+          "ReshardSuite: tensor axis shorter than its src mesh axis");
+    if (p_.dst.tile[k] >= 0)
+      ddr::require(
+          p_.dims[k] >= p_.dst.mesh[static_cast<std::size_t>(p_.dst.tile[k])],
+          "ReshardSuite: tensor axis shorter than its dst mesh axis");
+  }
+}
+
+ddr::Chunk ReshardSuite::chunk(const ShardingSpec& spec, int ndims,
+                               const std::array<int, 3>& dims, int rank) {
+  const AxisBlocks ab = axis_blocks(spec, ndims, rank);
+  ddr::Chunk c;
+  c.ndims = ndims;
+  for (int a = 0; a < ndims; ++a) {
+    const auto k = static_cast<std::size_t>(a);
+    const std::int64_t lo = block_start(dims[k], ab.blocks[k], ab.index[k]);
+    const std::int64_t hi =
+        block_start(dims[k], ab.blocks[k], ab.index[k] + 1);
+    c.dims[k] = static_cast<int>(hi - lo);
+    c.offsets[k] = static_cast<int>(lo);
+  }
+  return c;
+}
+
+ddr::GlobalLayout ReshardSuite::layout() const {
+  ddr::GlobalLayout g;
+  const int n = nranks();
+  g.owned.reserve(static_cast<std::size_t>(n));
+  g.needed.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    g.owned.push_back({chunk(p_.src, p_.ndims, p_.dims, r)});
+    g.needed.push_back({chunk(p_.dst, p_.ndims, p_.dims, r)});
+  }
+  return g;
+}
+
+Accounting ReshardSuite::accounting() const {
+  const int n = nranks();
+  Accounting a;
+  a.rounds = 1;  // one chunk per rank on the owned side
+  for (int s = 0; s < n; ++s) {
+    const AxisBlocks db = axis_blocks(p_.dst, p_.ndims, s);
+    std::int64_t need = static_cast<std::int64_t>(p_.elem_size);
+    for (int ax = 0; ax < p_.ndims; ++ax) {
+      const auto k = static_cast<std::size_t>(ax);
+      need *= block_start(p_.dims[k], db.blocks[k], db.index[k] + 1) -
+              block_start(p_.dims[k], db.blocks[k], db.index[k]);
+    }
+    a.total_bytes += need;
+    for (int r = 0; r < n; ++r) {
+      const AxisBlocks sb = axis_blocks(p_.src, p_.ndims, r);
+      std::int64_t v = 1;
+      for (int ax = 0; ax < p_.ndims; ++ax) {
+        const auto k = static_cast<std::size_t>(ax);
+        v *= block_overlap(p_.dims[k], sb.blocks[k], sb.index[k],
+                           db.blocks[k], db.index[k]);
+      }
+      if (v == 0) continue;
+      const std::int64_t bytes = v * static_cast<std::int64_t>(p_.elem_size);
+      if (r == s) {
+        a.self_bytes += bytes;
+      } else {
+        a.network_bytes += bytes;
+        a.messages += 1;
+      }
+    }
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+
+ReshardSampler::ReshardSampler(unsigned seed, int nranks, int ndims,
+                               std::array<int, 3> dims, std::size_t elem_size,
+                               bool allow_replication)
+    : rng_(seed),
+      nranks_(nranks),
+      ndims_(ndims),
+      dims_(dims),
+      elem_size_(elem_size),
+      allow_replication_(allow_replication) {
+  ddr::require(nranks_ >= 1, "ReshardSampler: nranks must be >= 1");
+  ddr::require(ndims_ >= 1 && ndims_ <= 3,
+               "ReshardSampler: ndims must be 1..3");
+  for (int a = 0; a < ndims_; ++a)
+    ddr::require(dims_[static_cast<std::size_t>(a)] >= nranks_,
+                 "ReshardSampler: every tensor extent must be >= nranks so "
+                 "any mesh factorization yields nonempty blocks");
+}
+
+ShardingSpec ReshardSampler::random_spec(bool must_partition) {
+  // Deal the prime factors of nranks into ndims buckets at random: the mesh
+  // has at most ndims nontrivial axes, so an exact partition always exists.
+  std::array<int, 3> mesh{{1, 1, 1}};
+  int rest = nranks_;
+  std::uniform_int_distribution<int> bucket(0, ndims_ - 1);
+  for (int f = 2; f * f <= rest;) {
+    if (rest % f == 0) {
+      mesh[static_cast<std::size_t>(bucket(rng_))] *= f;
+      rest /= f;
+    } else {
+      ++f;
+    }
+  }
+  if (rest > 1) mesh[static_cast<std::size_t>(bucket(rng_))] *= rest;
+
+  // Assign every nontrivial mesh axis a distinct tensor axis; under
+  // allow_replication a non-partition spec may leave some unassigned.
+  std::array<int, 3> axes{{0, 1, 2}};
+  std::shuffle(axes.begin(), axes.begin() + ndims_, rng_);
+  ShardingSpec spec;
+  spec.mesh = mesh;
+  std::size_t next_axis = 0;
+  std::bernoulli_distribution replicate(0.25);
+  for (int m = 0; m < 3; ++m) {
+    if (mesh[static_cast<std::size_t>(m)] == 1) continue;
+    if (!must_partition && allow_replication_ && replicate(rng_)) continue;
+    spec.tile[static_cast<std::size_t>(axes[next_axis++])] = m;
+  }
+  return spec;
+}
+
+ReshardParams ReshardSampler::next() {
+  ReshardParams p;
+  p.ndims = ndims_;
+  p.dims = dims_;
+  p.elem_size = elem_size_;
+  p.src = random_spec(true);
+  p.dst = random_spec(false);
+  return p;
+}
+
+}  // namespace workloads

@@ -50,6 +50,18 @@
 //                 tracing on, write the merged Chrome-trace JSON to F (load
 //                 it at https://ui.perfetto.dev), and print per-backend
 //                 message and byte totals (comparable to --cost)
+//     --workload pencil|reshard
+//                 generate the layout from the src/workloads suite instead
+//                 of reading a file: `pencil` emits the slab -> y-pencil FFT
+//                 transpose pair, `reshard` a seeded random SPMD
+//                 sharding -> sharding change. Composes with every mode
+//                 above (--cost/--plan/--trace/--validate/-e/-t); with -e
+//                 the echoed fixture is prefixed by '#' comment lines
+//                 carrying the workload's closed-form analytic accounting,
+//                 so the emitted file stays parseable and self-describing.
+//     --grid XxYxZ   workload grid / tensor extents     (default 16x16x16)
+//     --nranks N     workload rank count                (default 4)
+//     --seed S       reshard sampler seed               (default 1)
 //
 // Example input (the paper's E1):
 //   ndims 2
@@ -74,6 +86,7 @@
 #include "minimpi/runtime.hpp"
 #include "simnet/models.hpp"
 #include "trace/trace.hpp"
+#include "workloads/workloads.hpp"
 
 namespace {
 
@@ -81,7 +94,65 @@ void print_usage() {
   std::fprintf(stderr,
                "usage: ddrinfo [-t] [-e] [--validate] [--cost] [--plan] "
                "[--budget BYTES] [--ranks-per-node N] [--trace out.json] "
-               "[layout.txt]\n");
+               "[--workload pencil|reshard [--grid XxYxZ] [--nranks N] "
+               "[--seed S]] [layout.txt]\n");
+}
+
+/// Builds the LayoutSpec for --workload NAME and the '#' comment header the
+/// -e fixture emission carries (one string, newline-terminated lines).
+ddr::LayoutSpec make_workload(const std::string& name, int gx, int gy, int gz,
+                              int nranks, unsigned seed, std::string* header) {
+  ddr::LayoutSpec spec;
+  spec.ndims = 3;
+  spec.elem_size = sizeof(float);
+  char line[256];
+  if (name == "pencil") {
+    const workloads::PencilTranspose gen(
+        workloads::PencilParams{gx, gy, gz, nranks, sizeof(float)});
+    spec.layout = gen.transpose_layout(workloads::Stage::slab,
+                                       workloads::Stage::pencil_y);
+    const workloads::Accounting a =
+        gen.accounting(workloads::Stage::slab, workloads::Stage::pencil_y);
+    std::snprintf(line, sizeof(line),
+                  "# workload pencil %dx%dx%d over %d ranks (process grid "
+                  "%dx%d): slab -> pencil_y\n",
+                  gx, gy, gz, nranks, gen.p1(), gen.p2());
+    *header = line;
+    std::snprintf(line, sizeof(line),
+                  "# analytic: network %lld B, self %lld B, messages %lld, "
+                  "rounds %d\n",
+                  static_cast<long long>(a.network_bytes),
+                  static_cast<long long>(a.self_bytes),
+                  static_cast<long long>(a.messages), a.rounds);
+    *header += line;
+    return spec;
+  }
+  if (name == "reshard") {
+    workloads::ReshardSampler sampler(seed, nranks, 3, {gx, gy, gz},
+                                      sizeof(float));
+    const workloads::ReshardParams p = sampler.next();
+    const workloads::ReshardSuite suite(p);
+    spec.layout = suite.layout();
+    const workloads::Accounting a = suite.accounting();
+    std::snprintf(line, sizeof(line),
+                  "# workload reshard %dx%dx%d over %d ranks, seed %u\n", gx,
+                  gy, gz, nranks, seed);
+    *header = line;
+    std::snprintf(line, sizeof(line), "# src: %s\n# dst: %s\n",
+                  p.src.describe(p.ndims).c_str(),
+                  p.dst.describe(p.ndims).c_str());
+    *header += line;
+    std::snprintf(line, sizeof(line),
+                  "# analytic: network %lld B, self %lld B, messages %lld, "
+                  "rounds %d\n",
+                  static_cast<long long>(a.network_bytes),
+                  static_cast<long long>(a.self_bytes),
+                  static_cast<long long>(a.messages), a.rounds);
+    *header += line;
+    return spec;
+  }
+  throw ddr::Error("unknown --workload '" + name +
+                   "' (expected pencil or reshard)");
 }
 
 const char* shape_name(ddr::CollectiveShape s) {
@@ -552,6 +623,10 @@ int main(int argc, char** argv) {
   int ranks_per_node = 1;
   const char* trace_path = nullptr;
   const char* path = nullptr;
+  const char* workload = nullptr;
+  int grid[3] = {16, 16, 16};
+  int wl_ranks = 4;
+  unsigned seed = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-t") == 0) {
       list_transfers = true;
@@ -585,6 +660,31 @@ int main(int argc, char** argv) {
         return 2;
       }
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--workload") == 0) {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 2;
+      }
+      workload = argv[++i];
+    } else if (std::strcmp(argv[i], "--grid") == 0) {
+      if (i + 1 >= argc ||
+          std::sscanf(argv[++i], "%dx%dx%d", &grid[0], &grid[1], &grid[2]) !=
+              3 ||
+          grid[0] < 1 || grid[1] < 1 || grid[2] < 1) {
+        print_usage();
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--nranks") == 0) {
+      if (i + 1 >= argc || (wl_ranks = std::atoi(argv[++i])) < 1) {
+        print_usage();
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 2;
+      }
+      seed = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (argv[i][0] == '-') {
       print_usage();
       return 2;
@@ -594,8 +694,12 @@ int main(int argc, char** argv) {
   }
 
   ddr::LayoutSpec spec;
+  std::string workload_header;
   try {
-    if (path != nullptr) {
+    if (workload != nullptr) {
+      spec = make_workload(workload, grid[0], grid[1], grid[2], wl_ranks,
+                           seed, &workload_header);
+    } else if (path != nullptr) {
       std::ifstream in(path);
       if (!in) {
         std::fprintf(stderr, "ddrinfo: cannot open %s\n", path);
@@ -611,9 +715,11 @@ int main(int argc, char** argv) {
   }
 
   if (echo) {
+    std::fputs(workload_header.c_str(), stdout);
     std::fputs(ddr::format_layout(spec).c_str(), stdout);
     return 0;
   }
+  if (!workload_header.empty()) std::fputs(workload_header.c_str(), stdout);
 
   if (validate) return run_validate(spec);
 
