@@ -39,7 +39,24 @@
 // comparing the flat exchange against the topology-aware two-level one by
 // VIRTUAL makespan (max per-rank clock delta over a fixed number of
 // redistributions) — wall time on this 1-core host says nothing about
-// cluster behaviour, the charged clocks do.
+// cluster behaviour, the charged clocks do,
+//
+// then runs the "mixed" block: the 8-rank shifted-window halo shape under
+// the Cooley model (2 ranks/node, so every rank has self, intra-node and
+// inter-node lanes at once), judging fused / pipelined / collective /
+// hybrid / automatic by virtual makespan under a peak-staging budget. Exit
+// gates: the hybrid composition must land within 5% of the best
+// budget-respecting single backend (the collective wave lowering — fused
+// and pipelined ignore the budget and run as the unbudgeted reference),
+// and automatic under the staging budget must resolve to hybrid,
+//
+// and the "amortize" block: multi-step pencil runs under
+// Backend::automatic, reporting setup cost and first-step wall separately
+// from the steady-state per-step median, against two re-planning
+// baselines — a fresh PencilTimestepper per step (decide-per-step) and a
+// fresh timestepper per step resolving through one shared ddr::PlanCache
+// (decide-once, replayed). Exit gate: steady-state median <= 0.75 x the
+// decide-per-step median — the plan-reuse amortization headline.
 //
 // Emits BENCH_redistribute.json (schema: EXPERIMENTS.md) with median and
 // p95 per-call wall time, bytes moved, messages posted per call, and the
@@ -53,7 +70,9 @@
 //              DDR_BENCH_CASES (comma-separated case-name filter; when set,
 //                               only matching cases run and the resize /
 //                               peak-staging / ranks-sweep blocks are
-//                               skipped — the CI smoke mode).
+//                               skipped — the CI smoke mode. The pseudo-case
+//                               names "mixed" and "amortize" select those
+//                               blocks alone, gates included).
 
 #include <algorithm>
 #include <chrono>
@@ -444,6 +463,12 @@ struct ResizePoint {
   std::int64_t kept_bytes = 0;
   std::int64_t moved_bytes = 0;
   std::int64_t naive_bytes = 0;
+  // Offline propose_resize_layout comparison on the same shape: moved bytes
+  // of the topology-blind proposal vs the node-aware one (2 ranks/node).
+  // The node-aware permutation must never move MORE — its whole contract is
+  // re-aiming donations at same-node receivers at unchanged volume.
+  std::int64_t proposal_moved_flat = 0;
+  std::int64_t proposal_moved_aware = 0;
 };
 
 /// M ranks own z-slabs of a 64^3 float domain; resize_rebalance(N) keeps
@@ -489,11 +514,31 @@ ResizePoint run_resize_point(int from, int to) {
         }
       },
       opts);
+
+  // Satellite gate (offline, no runtime needed): the node-aware proposal on
+  // this exact shape must move the same bytes as the flat one — preferring
+  // intra-node receivers permutes the donation pool, never the quotas.
+  std::vector<ddr::OwnedLayout> old_layout;
+  for (int i = 0; i < from; ++i)
+    old_layout.push_back({ddr::Chunk::d3(side, side, slab, 0, 0, slab * i)});
+  std::vector<int> nodes(static_cast<std::size_t>(std::max(from, to)));
+  for (std::size_t m = 0; m < nodes.size(); ++m)
+    nodes[m] = static_cast<int>(m) / 2;
+  const auto moved_of = [&](const std::vector<ddr::OwnedLayout>& proposed) {
+    return ddr::plan_resize(old_layout, proposed, sizeof(float))
+        .stats.moved_bytes;
+  };
+  rp.proposal_moved_flat =
+      moved_of(ddr::propose_resize_layout(old_layout, to));
+  rp.proposal_moved_aware =
+      moved_of(ddr::propose_resize_layout(old_layout, to, &nodes));
+
   std::printf("resize     %2d -> %-2d             wall %8.3f ms  moved %lld "
-              "of %lld bytes (naive %lld)\n",
+              "of %lld bytes (naive %lld, node-aware proposal %lld)\n",
               from, to, rp.wall_ms, static_cast<long long>(rp.moved_bytes),
               static_cast<long long>(rp.total_bytes),
-              static_cast<long long>(rp.naive_bytes));
+              static_cast<long long>(rp.naive_bytes),
+              static_cast<long long>(rp.proposal_moved_aware));
   return rp;
 }
 
@@ -681,11 +726,279 @@ SweepPoint run_sweep_point(int n, int reps) {
   return sp;
 }
 
+// ---------------------------------------------------------------------------
+// Mixed-locality composition gate: the 8-rank shifted-window halo shape of
+// run_sweep_point under the real Cooley model (2 ranks/node), where every
+// rank carries self, intra-node and inter-node lanes at once — the shape
+// Backend::hybrid exists for. Each candidate (fused / pipelined /
+// collective / hybrid / automatic) runs the identical layout and is judged
+// by VIRTUAL makespan — the same discipline as the ranks sweep, because
+// wall time on this shared-memory host cannot see locality: every lane is
+// a memcpy here, and the wave fences that bound staging cost real sync
+// while buying nothing locally. The charged clocks price intra-node lanes
+// at intra-node cost, which is the regime the composition targets.
+//
+// The comparison is constrained-vs-constrained: under a peak_staging_bytes
+// budget the fused/pipelined backends are INFEASIBLE (they stage every
+// lane at once — that is exactly what the budget forbids), so the single
+// backend hybrid must beat is the collective wave lowering, the only other
+// candidate that honors the budget. The unbudgeted fused/pipelined
+// makespans are still measured and reported as the no-budget reference.
+// Exit gates: hybrid's makespan lands within 5% of the budget-respecting
+// best (in practice: hybrid must at least match collective, typically it
+// is well below — the intra-node lanes it routes around the fences are
+// pure profit), and automatic under the same budget resolves to hybrid.
+
+struct MixedPoint {
+  bool ran = false;
+  int ranks = 0;
+  std::size_t budget = 0;
+  int hybrid_waves = 0;
+  std::int64_t intra_lanes = 0;  ///< fused intra-node send lanes, all ranks
+  std::string automatic_backend;
+  double fused_makespan_s = 0.0;
+  double pipelined_makespan_s = 0.0;
+  double collective_makespan_s = 0.0;
+  double hybrid_makespan_s = 0.0;
+  double automatic_makespan_s = 0.0;
+  std::string best_config;
+  double best_makespan_s = 0.0;
+  bool hybrid_within_tolerance = true;
+  bool automatic_chose_hybrid = true;
+};
+
+MixedPoint run_mixed_point(int reps) {
+  constexpr int kRanks = 8;
+  const int side = 32 * kRanks;
+  const int band_h = 32;
+  MixedPoint mp;
+  mp.ran = true;
+  mp.ranks = kRanks;
+  mp.budget = std::size_t{64} * 1024;
+
+  struct Cfg {
+    const char* name;
+    ddr::Backend backend;
+    bool budgeted;  ///< gets peak_staging_bytes (wave-lowering backends)
+    double* out;
+  };
+  const Cfg cfgs[] = {
+      {"compiled_p2p_fused", ddr::Backend::point_to_point_fused, false,
+       &mp.fused_makespan_s},
+      {"compiled_p2p_pipelined", ddr::Backend::point_to_point_pipelined,
+       false, &mp.pipelined_makespan_s},
+      {"collective", ddr::Backend::collective, true,
+       &mp.collective_makespan_s},
+      {"hybrid", ddr::Backend::hybrid, true, &mp.hybrid_makespan_s},
+      {"automatic", ddr::Backend::automatic, true, &mp.automatic_makespan_s},
+  };
+
+  const simnet::LinkParams p = simnet::cooley_params();
+  const simnet::LinkModel net(p);
+  ddr::Backend resolved = ddr::Backend::automatic;
+  std::vector<int> intra(kRanks, 0);
+  for (const Cfg& cfg : cfgs) {
+    std::vector<double> deltas(kRanks, 0.0);
+    mpi::RunOptions opts;
+    opts.network = &net;
+    mpi::run(
+        kRanks,
+        [&](mpi::Comm& comm) {
+          const int r = comm.rank();
+          const ddr::OwnedLayout own{
+              ddr::Chunk::d2(side, band_h, 0, band_h * r)};
+          const int node = r / 2;
+          int y0 = 2 * band_h * node + band_h;
+          if (y0 + 2 * band_h > side) y0 = side - 2 * band_h;  // domain edge
+          const ddr::Chunk need =
+              ddr::Chunk::d2(side / 2, 2 * band_h, (r % 2) * side / 2, y0);
+          ddr::Redistributor rd(comm, sizeof(float));
+          ddr::SetupOptions so;
+          so.backend = cfg.backend;
+          if (cfg.budgeted) so.peak_staging_bytes = mp.budget;
+          so.collective_error_agreement = false;
+          rd.setup(own, need, so);
+          if (r == 0 && cfg.backend == ddr::Backend::automatic)
+            resolved = rd.effective_backend();
+          if (cfg.backend == ddr::Backend::hybrid) {
+            if (r == 0) mp.hybrid_waves = rd.plan().hybrid_waves;
+            intra[static_cast<std::size_t>(r)] =
+                rd.fused_lane_count(ddr::LaneClass::intra);
+          }
+          std::vector<float> src(rd.owned_bytes() / sizeof(float), 1.0f);
+          std::vector<float> dst(rd.needed_bytes() / sizeof(float));
+          const auto src_b = std::as_bytes(std::span<const float>(src));
+          const auto dst_b = std::as_writable_bytes(std::span<float>(dst));
+          rd.redistribute(src_b, dst_b);  // warm the staging pool
+          comm.barrier();
+          const double c0 = comm.clock().now();
+          for (int i = 0; i < reps; ++i) rd.redistribute(src_b, dst_b);
+          deltas[static_cast<std::size_t>(r)] = comm.clock().now() - c0;
+        },
+        opts);
+    double makespan = 0.0;
+    for (const double d : deltas) makespan = std::max(makespan, d);
+    *cfg.out = makespan;
+  }
+  for (const int i : intra) mp.intra_lanes += i;
+  mp.automatic_backend = ddr::backend_name(resolved);
+  mp.automatic_chose_hybrid = resolved == ddr::Backend::hybrid;
+
+  // The only other budget-respecting single backend is the collective wave
+  // lowering; fused/pipelined run unbudgeted and are reference-only.
+  mp.best_config = "collective";
+  mp.best_makespan_s = mp.collective_makespan_s;
+  mp.hybrid_within_tolerance =
+      mp.hybrid_makespan_s <= mp.best_makespan_s * 1.05;
+  std::printf("mixed      ranks %d budget %zu  hybrid %9.3f ms (%d inter "
+              "wave(s), %lld intra lanes) vs budgeted best (%s) %9.3f ms "
+              "(unbudgeted fused %9.3f ms), automatic chose %s -> %s\n",
+              kRanks, mp.budget, mp.hybrid_makespan_s * 1e3, mp.hybrid_waves,
+              static_cast<long long>(mp.intra_lanes), mp.best_config.c_str(),
+              mp.best_makespan_s * 1e3, mp.fused_makespan_s * 1e3,
+              mp.automatic_backend.c_str(),
+              mp.hybrid_within_tolerance && mp.automatic_chose_hybrid
+                  ? "PASS"
+                  : "FAIL");
+  return mp;
+}
+
+// ---------------------------------------------------------------------------
+// Plan-reuse amortization: multi-step pencil runs under Backend::automatic.
+// A real spectral solver pays setup once and steps thousands of times; the
+// baseline it beats is deciding again every step. Three regimes:
+//   steady          one persistent PencilTimestepper, per-step median
+//   replan_per_step a fresh timestepper per step (construct + 1 step),
+//                   embedded cache, so every step re-runs the cost model
+//                   and recompiles all four transposes — decide-per-step
+//   replan_cached   a fresh timestepper per step resolving through ONE
+//                   shared ddr::PlanCache — decide-once, replayed; isolates
+//                   how much of the replan bill the cache alone recovers
+// Exit gate: steady <= 0.75 x replan_per_step.
+
+struct AmortizePoint {
+  bool ran = false;
+  int nranks = 0;
+  int grid = 0;
+  int steps = 0;  ///< timed steady-state steps
+  int iters = 0;  ///< fresh-instance iterations per replan regime
+  std::string planned_backend;
+  double setup_ms = 0.0;       ///< persistent construction (4 setups)
+  double first_step_ms = 0.0;  ///< construction + first step, cold
+  double steady_median_ms = 0.0;
+  double replan_per_step_median_ms = 0.0;
+  double replan_cached_median_ms = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  bool amortized = true;
+};
+
+AmortizePoint run_amortize_point(int reps) {
+  AmortizePoint ap;
+  ap.ran = true;
+  workloads::PencilParams pp{64, 64, 64, 4, sizeof(float)};
+  ap.nranks = pp.nranks;
+  ap.grid = pp.nx;
+  ap.steps = reps;
+  // Each replan iteration pays 4 full setups; cap the loop so the block
+  // stays a few seconds.
+  ap.iters = std::min(reps, 20);
+
+  std::vector<double> steady, replan, cached;
+  mpi::run(pp.nranks, [&](mpi::Comm& comm) {
+    const int r = comm.rank();
+    ddr::SetupOptions so;
+    so.backend = ddr::Backend::automatic;
+    so.collective_error_agreement = false;
+
+    // Steady: pay construction once, then step repeatedly.
+    comm.barrier();
+    const auto c0 = std::chrono::steady_clock::now();
+    workloads::PencilTimestepper ts(comm, pp, so);
+    const auto c1 = std::chrono::steady_clock::now();
+    std::vector<float> data(ts.slab_bytes() / sizeof(float), 1.0f);
+    const auto bytes = std::as_writable_bytes(std::span<float>(data));
+    ts.run(1, bytes);
+    const auto c2 = std::chrono::steady_clock::now();
+    if (r == 0) {
+      ap.setup_ms =
+          std::chrono::duration<double, std::milli>(c1 - c0).count();
+      ap.first_step_ms =
+          std::chrono::duration<double, std::milli>(c2 - c0).count();
+      ap.planned_backend = ddr::backend_name(ts.transpose(0).effective_backend());
+    }
+    for (int i = 0; i < kWarmup; ++i) ts.run(1, bytes);
+    for (int i = 0; i < reps; ++i) {
+      comm.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      ts.run(1, bytes);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (r == 0)
+        steady.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+
+    // Decide-per-step: a fresh chain every step, embedded (cold) cache.
+    for (int i = 0; i < ap.iters; ++i) {
+      comm.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      workloads::PencilTimestepper fresh(comm, pp, so);
+      fresh.run(1, bytes);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (r == 0)
+        replan.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+
+    // Decide-once: fresh chains resolving through one shared cache. The
+    // priming instance eats the 4 misses; every timed instance replays.
+    ddr::PlanCache cache;
+    ddr::SetupOptions soc = so;
+    soc.plan_cache = &cache;
+    {
+      workloads::PencilTimestepper prime(comm, pp, soc);
+      prime.run(1, bytes);
+    }
+    for (int i = 0; i < ap.iters; ++i) {
+      comm.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      workloads::PencilTimestepper fresh(comm, pp, soc);
+      fresh.run(1, bytes);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (r == 0)
+        cached.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    if (r == 0) {
+      ap.cache_hits = cache.stats().hits;
+      ap.cache_misses = cache.stats().misses;
+    }
+  });
+
+  const auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  ap.steady_median_ms = median(steady);
+  ap.replan_per_step_median_ms = median(replan);
+  ap.replan_cached_median_ms = median(cached);
+  ap.amortized = ap.steady_median_ms <= 0.75 * ap.replan_per_step_median_ms;
+  std::printf("amortize   pencil %d^3/%d (%s)  setup %.3f ms  first step "
+              "%.3f ms  steady %.3f ms  replan/step %.3f ms  replan+cache "
+              "%.3f ms -> %s\n",
+              ap.grid, ap.nranks, ap.planned_backend.c_str(), ap.setup_ms,
+              ap.first_step_ms, ap.steady_median_ms,
+              ap.replan_per_step_median_ms, ap.replan_cached_median_ms,
+              ap.amortized ? "PASS" : "FAIL");
+  return ap;
+}
+
 void write_json(const std::string& path, int reps,
                 const std::vector<CaseResult>& cases,
                 const std::vector<ResizePoint>& resize,
                 const PeakPoint& peak,
-                const std::vector<SweepPoint>& sweep) {
+                const std::vector<SweepPoint>& sweep,
+                const MixedPoint& mixed, const AmortizePoint& amortize) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -749,50 +1062,95 @@ void write_json(const std::string& path, int reps,
                  cr.automatic_within_tolerance ? "true" : "false",
                  c + 1 < cases.size() ? "," : "");
   }
-  if (peak.budget == 0) {
-    // Filtered (smoke) run: the peak/resize/sweep blocks were skipped.
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    return;
-  }
-  std::fprintf(f,
-               "  ],\n  \"peak_staging\": {\"case\": \"bcast3d\", "
-               "\"budget_bytes\": %zu, \"waves\": %d, "
-               "\"network_bytes_per_call\": %lld, \"fused_peak_bytes\": %llu, "
-               "\"collective_peak_bytes\": %llu, \"fused_median_ms\": %.6f, "
-               "\"collective_median_ms\": %.6f},\n",
-               peak.budget, peak.waves,
-               static_cast<long long>(peak.network_bytes_per_call),
-               static_cast<unsigned long long>(peak.peak_fused),
-               static_cast<unsigned long long>(peak.peak_collective),
-               peak.fused_median_ms, peak.collective_median_ms);
-  std::fprintf(f, "  \"resize\": [\n");
-  for (std::size_t i = 0; i < resize.size(); ++i) {
-    const ResizePoint& rp = resize[i];
+  // Every block below is optional (skipped blocks are simply absent): a
+  // filtered smoke run carries only what it measured.
+  std::fprintf(f, "  ]");
+  if (peak.budget != 0)
     std::fprintf(f,
-                 "    {\"from\": %d, \"to\": %d, \"wall_ms\": %.6f, "
-                 "\"total_bytes\": %lld, \"kept_bytes\": %lld, "
-                 "\"moved_bytes\": %lld, \"naive_bytes\": %lld}%s\n",
-                 rp.from, rp.to, rp.wall_ms,
-                 static_cast<long long>(rp.total_bytes),
-                 static_cast<long long>(rp.kept_bytes),
-                 static_cast<long long>(rp.moved_bytes),
-                 static_cast<long long>(rp.naive_bytes),
-                 i + 1 < resize.size() ? "," : "");
+                 ",\n  \"peak_staging\": {\"case\": \"bcast3d\", "
+                 "\"budget_bytes\": %zu, \"waves\": %d, "
+                 "\"network_bytes_per_call\": %lld, \"fused_peak_bytes\": "
+                 "%llu, \"collective_peak_bytes\": %llu, "
+                 "\"fused_median_ms\": %.6f, \"collective_median_ms\": %.6f}",
+                 peak.budget, peak.waves,
+                 static_cast<long long>(peak.network_bytes_per_call),
+                 static_cast<unsigned long long>(peak.peak_fused),
+                 static_cast<unsigned long long>(peak.peak_collective),
+                 peak.fused_median_ms, peak.collective_median_ms);
+  if (!resize.empty()) {
+    std::fprintf(f, ",\n  \"resize\": [\n");
+    for (std::size_t i = 0; i < resize.size(); ++i) {
+      const ResizePoint& rp = resize[i];
+      std::fprintf(f,
+                   "    {\"from\": %d, \"to\": %d, \"wall_ms\": %.6f, "
+                   "\"total_bytes\": %lld, \"kept_bytes\": %lld, "
+                   "\"moved_bytes\": %lld, \"naive_bytes\": %lld, "
+                   "\"proposal_moved_flat\": %lld, "
+                   "\"proposal_moved_node_aware\": %lld}%s\n",
+                   rp.from, rp.to, rp.wall_ms,
+                   static_cast<long long>(rp.total_bytes),
+                   static_cast<long long>(rp.kept_bytes),
+                   static_cast<long long>(rp.moved_bytes),
+                   static_cast<long long>(rp.naive_bytes),
+                   static_cast<long long>(rp.proposal_moved_flat),
+                   static_cast<long long>(rp.proposal_moved_aware),
+                   i + 1 < resize.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]");
   }
-  std::fprintf(f, "  ],\n  \"ranks_sweep\": [\n");
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    const SweepPoint& sp = sweep[i];
+  if (!sweep.empty()) {
+    std::fprintf(f, ",\n  \"ranks_sweep\": [\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& sp = sweep[i];
+      std::fprintf(f,
+                   "    {\"ranks\": %d, \"redistributions\": %d, "
+                   "\"flat_makespan_s\": %.6f, \"twolevel_makespan_s\": %.6f, "
+                   "\"intra_lanes\": %lld}%s\n",
+                   sp.ranks, sp.reps, sp.flat_makespan_s,
+                   sp.twolevel_makespan_s,
+                   static_cast<long long>(sp.intra_lanes),
+                   i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]");
+  }
+  if (mixed.ran)
     std::fprintf(f,
-                 "    {\"ranks\": %d, \"redistributions\": %d, "
-                 "\"flat_makespan_s\": %.6f, \"twolevel_makespan_s\": %.6f, "
-                 "\"intra_lanes\": %lld}%s\n",
-                 sp.ranks, sp.reps, sp.flat_makespan_s,
-                 sp.twolevel_makespan_s,
-                 static_cast<long long>(sp.intra_lanes),
-                 i + 1 < sweep.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
+                 ",\n  \"mixed\": {\"ranks\": %d, \"budget_bytes\": %zu, "
+                 "\"hybrid_waves\": %d, \"intra_lanes\": %lld, "
+                 "\"fused_makespan_s\": %.6f, \"pipelined_makespan_s\": "
+                 "%.6f, \"collective_makespan_s\": %.6f, "
+                 "\"hybrid_makespan_s\": %.6f, \"automatic_makespan_s\": "
+                 "%.6f, \"automatic_backend\": \"%s\", \"best_config\": "
+                 "\"%s\", \"best_makespan_s\": %.6f, \"within_tolerance\": "
+                 "%s}",
+                 mixed.ranks, mixed.budget, mixed.hybrid_waves,
+                 static_cast<long long>(mixed.intra_lanes),
+                 mixed.fused_makespan_s, mixed.pipelined_makespan_s,
+                 mixed.collective_makespan_s, mixed.hybrid_makespan_s,
+                 mixed.automatic_makespan_s, mixed.automatic_backend.c_str(),
+                 mixed.best_config.c_str(), mixed.best_makespan_s,
+                 mixed.hybrid_within_tolerance && mixed.automatic_chose_hybrid
+                     ? "true"
+                     : "false");
+  if (amortize.ran)
+    std::fprintf(f,
+                 ",\n  \"amortize\": {\"case\": \"pencil\", \"grid\": %d, "
+                 "\"ranks\": %d, \"steps\": %d, \"replan_iters\": %d, "
+                 "\"planned_backend\": \"%s\", \"setup_ms\": %.6f, "
+                 "\"first_step_ms\": %.6f, \"steady_median_ms\": %.6f, "
+                 "\"replan_per_step_median_ms\": %.6f, "
+                 "\"replan_cached_median_ms\": %.6f, \"cache_hits\": %llu, "
+                 "\"cache_misses\": %llu, \"amortized\": %s}",
+                 amortize.grid, amortize.nranks, amortize.steps,
+                 amortize.iters, amortize.planned_backend.c_str(),
+                 amortize.setup_ms, amortize.first_step_ms,
+                 amortize.steady_median_ms,
+                 amortize.replan_per_step_median_ms,
+                 amortize.replan_cached_median_ms,
+                 static_cast<unsigned long long>(amortize.cache_hits),
+                 static_cast<unsigned long long>(amortize.cache_misses),
+                 amortize.amortized ? "true" : "false");
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
 }
 
@@ -892,14 +1250,18 @@ int main() {
 
   std::vector<ResizePoint> resize;
   bool resize_minimizing = true;
+  bool resize_node_aware_ok = true;
   PeakPoint peak;
   bool peak_reduced = true;
   std::vector<SweepPoint> sweep;
   if (full_run) {
     resize.push_back(run_resize_point(8, 12));
     resize.push_back(run_resize_point(16, 8));
-    for (const ResizePoint& rp : resize)
+    for (const ResizePoint& rp : resize) {
       if (rp.moved_bytes * 2 > rp.naive_bytes) resize_minimizing = false;
+      if (rp.proposal_moved_aware > rp.proposal_moved_flat)
+        resize_node_aware_ok = false;
+    }
 
     peak = run_peak_point(std::min(reps, 20));
     peak_reduced = peak.peak_collective * 2 <= peak.peak_fused;
@@ -907,7 +1269,14 @@ int main() {
     for (const int n : {4, 8, 16, 64}) sweep.push_back(run_sweep_point(n, 10));
   }
 
-  write_json(out, reps, results, resize, peak, sweep);
+  MixedPoint mixed;
+  if (full_run || case_enabled("mixed"))
+    mixed = run_mixed_point(std::min(reps, 30));
+  AmortizePoint amortize;
+  if (full_run || case_enabled("amortize"))
+    amortize = run_amortize_point(std::min(reps, 30));
+
+  write_json(out, reps, results, resize, peak, sweep, mixed, amortize);
   std::printf("wrote %s\n", out.c_str());
 
   if (!planner_competitive) {
@@ -930,6 +1299,38 @@ int main() {
     std::fprintf(stderr,
                  "FAIL: a resize moved more than half of what the naive "
                  "re-scatter would (see the resize block)\n");
+    return 1;
+  }
+
+  if (!resize_node_aware_ok) {
+    std::fprintf(stderr,
+                 "FAIL: the node-aware resize proposal moved MORE bytes than "
+                 "the topology-blind one on a resize shape — the donation "
+                 "permutation regressed total movement (see the resize "
+                 "block)\n");
+    return 1;
+  }
+
+  if (mixed.ran && !(mixed.hybrid_within_tolerance &&
+                     mixed.automatic_chose_hybrid)) {
+    std::fprintf(stderr,
+                 "FAIL: the hybrid composition missed the mixed-locality "
+                 "gate — either its charged makespan exceeded the best "
+                 "budget-respecting single backend's by more than 5%%, or "
+                 "automatic under the staging budget resolved to %s instead "
+                 "of hybrid (see the mixed block)\n",
+                 mixed.automatic_backend.c_str());
+    return 1;
+  }
+
+  if (amortize.ran && !amortize.amortized) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state pencil stepping (%.3f ms) did not land "
+                 "at or below 0.75x the decide-per-step median (%.3f ms) — "
+                 "plan reuse is not amortizing setup (see the amortize "
+                 "block)\n",
+                 amortize.steady_median_ms,
+                 amortize.replan_per_step_median_ms);
     return 1;
   }
 

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file plan_cache.hpp
+/// Execution-plan cache: amortizes Planner::decide across repeated setups.
+///
+/// Repeated redistributions over the same layout geometry (the FFT pencil
+/// timestepper's 4-transpose chain, benchmark loops, resharding services
+/// that cycle through a fixed spec set) re-derive the identical PlanDecision
+/// every setup(). A PlanCache keyed by the layout fingerprint returns the
+/// stored decision instead, skipping the global cost-model pass — the
+/// decision is a pure function of (layout, elem_size, budget, topology,
+/// rank), so replaying it is exact, not approximate.
+///
+/// Epoch protocol: the cache carries a monotonically increasing plan_epoch.
+/// Every Redistributor that resolves its plan through the cache records the
+/// epoch it planned under; structural events that change what a correct plan
+/// looks like (Redistributor::rebuild, resize_rebalance commit) call
+/// invalidate(), which bumps the epoch and drops every entry. A later
+/// redistribute() on a Redistributor still holding a stale epoch fails with
+/// a descriptive ddr::Error on every rank — stale-plan reuse is an ERROR,
+/// never a silently wrong answer (the plan might no longer match the
+/// communicator the caller rebuilt around it).
+///
+/// Ownership and threading: one PlanCache per rank. The threaded minimpi
+/// runtime runs every rank in one process, so a cache shared across rank
+/// threads would race and cross-pollinate per-rank refinement state; give
+/// each rank its own instance (PencilTimestepper embeds one per instance,
+/// which is per-rank by construction). Not thread-safe by design.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ddr/layout.hpp"
+#include "ddr/planner.hpp"
+
+namespace ddr {
+
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;
+    std::size_t entries = 0;
+  };
+
+  /// The current plan epoch. Starts at 0; bumped by invalidate().
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Drops every entry and bumps the epoch: decisions resolved through this
+  /// cache before the call may no longer be executed (redistribute() on a
+  /// holder of the old epoch throws).
+  void invalidate();
+
+  /// Returns the stored decision for `key`, or nullptr. Counts a hit or a
+  /// miss. The pointer stays valid until the next store()/invalidate().
+  [[nodiscard]] const PlanDecision* lookup(std::uint64_t key);
+
+  /// Stores `decision` under `key` (overwrites an existing entry).
+  void store(std::uint64_t key, const PlanDecision& decision);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// FNV-1a fingerprint of everything a PlanDecision is a function of: the
+  /// full layout geometry (every rank's owned and needed chunks), the
+  /// element size, the staging budget, the planning rank (its local
+  /// refinement is rank-specific), and `node_salt` — the node id of each
+  /// communicator rank under the installed NetworkModel, so decisions made
+  /// under different topologies never collide.
+  [[nodiscard]] static std::uint64_t fingerprint(
+      const GlobalLayout& layout, std::size_t elem_size,
+      std::size_t peak_staging_bytes, int rank,
+      const std::vector<int>& node_salt = {});
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::unordered_map<std::uint64_t, PlanDecision> entries_;
+  Stats stats_;
+};
+
+}  // namespace ddr

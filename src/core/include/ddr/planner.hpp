@@ -67,11 +67,31 @@ enum class Backend {
   /// allgather/scatter wave sequence naturally. Gated to the reliable
   /// per-round path under an active FaultModel, like the fused flavours.
   collective,
+  /// Hybrid per-peer-class composition: the fused lane set is partitioned by
+  /// LaneClass under NetworkModel::node_of and each class gets the lowering
+  /// that wins for it — self lanes stay copy_regions zero-copy, intra-node
+  /// lanes go through the ptr-publish zero-copy path (two control messages,
+  /// no packed payload, no staging beyond the pointer), and ONLY the
+  /// inter-node lanes are lowered to a fenced collective wave sequence whose
+  /// per-wave payload respects SetupOptions::peak_staging_bytes. Compared to
+  /// Backend::collective the intra-node bytes never pack, never stage, and
+  /// never count against the budget, so the same budget needs fewer fences.
+  /// Only meaningful under an installed NetworkModel with mixed locality:
+  /// with zero intra-node lanes it degenerates to the collective sequence
+  /// and the planner marks it infeasible. Gated to the reliable per-round
+  /// path under an active FaultModel, like the fused flavours.
+  hybrid,
   /// Let ddr::Planner choose: setup() runs the cost model over every
   /// candidate above and redistribute() executes the winner (see
   /// Redistributor::plan() for the decision and per-candidate predictions).
   automatic,
 };
+
+/// Locality class of a fused per-peer lane under the installed
+/// mpi::NetworkModel — the partition Backend::hybrid composes lowerings
+/// over (self lanes copy in place, intra-node lanes publish a pointer,
+/// inter-node lanes pack and pay the link).
+enum class LaneClass { self, intra, inter };
 
 /// Lanes below this many bytes are packed inline on the rank thread even
 /// when a PackExecutor is configured — the thread-handoff overhead costs
@@ -120,6 +140,17 @@ struct CollectiveLane {
 int assign_collective_waves(std::vector<CollectiveLane>& lanes,
                             std::size_t peak_staging_bytes);
 
+/// The inter-node subset of collective_lanes() under `net`'s node map — the
+/// lanes Backend::hybrid runs through the fenced wave sequence (its intra
+/// lanes move zero-copy and are not scheduled). With net == nullptr every
+/// rank is its own node and this equals collective_lanes(). Deterministic
+/// global knowledge; `world_ranks` maps communicator ranks to world ranks
+/// as in Planner::decide.
+[[nodiscard]] std::vector<CollectiveLane> hybrid_inter_lanes(
+    const GlobalLayout& layout, std::size_t elem_size,
+    const mpi::NetworkModel* net,
+    const std::vector<int>* world_ranks = nullptr);
+
 /// One evaluated backend candidate: the predicted cost and footprint the
 /// planner compared (ddrinfo --plan prints these against measured numbers).
 struct CandidateCost {
@@ -137,6 +168,21 @@ struct CandidateCost {
   /// False when a peak_staging_bytes budget is set and this candidate's
   /// predicted peak exceeds it (the planner then may not choose it).
   bool feasible = true;
+};
+
+/// Per-peer-class row of a decision: how many fused lanes fall in the class,
+/// the payload bytes they carry, the lowering the hybrid composition gives
+/// them, and the predicted per-class makespan contribution. Derived from
+/// global aggregates only, so identical on every rank (the cross-rank
+/// agreement contract extends to composite decisions).
+struct ClassPlan {
+  LaneClass cls = LaneClass::self;
+  std::int64_t lanes = 0;       ///< fused lanes in this class (self: ranks
+                                ///< with self traffic)
+  std::int64_t bytes = 0;       ///< payload bytes the class carries
+  double predicted_s = 0.0;     ///< predicted makespan of this class alone
+  const char* lowering = "";    ///< "copy_regions" / "ptr_publish" /
+                                ///< "collective_waves"
 };
 
 /// The planner's verdict, identical on every rank of the communicator.
@@ -158,6 +204,14 @@ struct PlanDecision {
   /// Wave count of the collective-sequence lowering under the budget (1
   /// when no budget is set).
   int waves = 1;
+  /// Wave count of Backend::hybrid's inter-node-only wave sequence under
+  /// the same budget (<= waves: the intra lanes it excludes stop competing
+  /// for the budget). 1 when no budget is set or no inter lanes exist.
+  int hybrid_waves = 1;
+  /// The self/intra/inter partition of the fused lane set, in that order
+  /// (always 3 entries), with the lowering Backend::hybrid composes per
+  /// class. Populated from global aggregates on every decision.
+  std::vector<ClassPlan> class_plans;
   /// Stored quads / memcpy segments of this rank's compiled fused lane
   /// plans (0 when decide() ran without a local mapping). Consumed for the
   /// local pack-walk refinement of predicted_s; never for the backend

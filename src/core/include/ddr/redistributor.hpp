@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "ddr/mapping.hpp"
+#include "ddr/plan_cache.hpp"
 #include "ddr/planner.hpp"
 #include "ddr/resize_plan.hpp"
 #include "minimpi/comm.hpp"
@@ -34,21 +35,13 @@
 
 namespace ddr {
 
-// Backend (how redistribute() moves the data) lives in ddr/planner.hpp,
-// next to the planner that chooses between its values.
-
-/// Locality class of a fused per-peer lane, derived at setup() time from the
-/// installed NetworkModel's node mapping (mpi::Comm::same_node):
-///   * self  — this rank's own lane; moves via copy_regions, no message.
-///   * intra — peer on the same node; the fused and pipelined backends move
-///     it zero-copy through shared memory (the receiver copies straight out
-///     of the sender's owned buffer), paying only two tiny control messages
-///     instead of the packed payload.
-///   * inter — peer on another node; packed and sent normally, the only
-///     class that pays the link model and the data-tag budget.
-/// Without a network model every rank is its own node, so all non-self lanes
-/// are inter and behaviour is exactly the flat exchange.
-enum class LaneClass { self, intra, inter };
+// Backend (how redistribute() moves the data) and LaneClass (the self/
+// intra/inter locality partition of the fused lanes, derived at setup()
+// time from the installed NetworkModel's node mapping via
+// mpi::Comm::same_node) live in ddr/planner.hpp, next to the planner that
+// chooses between backends and composes lowerings per lane class. Without a
+// network model every rank is its own node, so all non-self lanes are inter
+// and behaviour is exactly the flat exchange.
 
 /// What rebuild() may do on its own when ranks have died.
 enum class RebuildPolicy {
@@ -128,14 +121,26 @@ struct SetupOptions {
   /// communicator themselves when ranks have died (see RebuildPolicy).
   RebuildPolicy rebuild_policy = RebuildPolicy::manual;
 
-  /// Peak-staging budget in bytes, 0 = unlimited. Consumed two ways:
+  /// Peak-staging budget in bytes, 0 = unlimited. Consumed three ways:
   ///  * Backend::collective schedules its fenced waves so no wave's total
   ///    payload exceeds the budget (floored at the largest single lane —
   ///    the smallest schedulable unit);
+  ///  * Backend::hybrid does the same, but only over its inter-node lanes
+  ///    (its intra lanes move zero-copy and never stage);
   ///  * Backend::automatic treats candidates whose predicted peak staging
   ///    exceeds the budget as infeasible, falling back to the collective
   ///    sequence (always feasible) when nothing else fits.
   std::size_t peak_staging_bytes = 0;
+
+  /// Optional execution-plan cache (not owned; one instance PER RANK — see
+  /// plan_cache.hpp). When set, setup() resolves the plan through the cache:
+  /// a fingerprint hit replays the stored PlanDecision and skips the global
+  /// cost-model pass, a miss decides and stores. The Redistributor records
+  /// the cache's plan_epoch; rebuild() and a committed resize_rebalance()
+  /// invalidate the cache, and a redistribute() under a stale epoch throws
+  /// a descriptive ddr::Error on every rank (stale-plan reuse is an error,
+  /// never a silently wrong answer).
+  PlanCache* plan_cache = nullptr;
 };
 
 /// Per-rank redistribution engine.
@@ -267,9 +272,9 @@ class Redistributor {
   /// The backend redistribute() actually runs. Differs from the requested
   /// one in two cases: Backend::automatic resolves to the planner's choice
   /// at setup() time (see plan()), and the fused flavours (fused, pipelined,
-  /// collective) under an active FaultModel degrade to point_to_point
-  /// (whose reliable per-round retry protocol handles message loss; fused
-  /// messages cannot be re-requested per round).
+  /// collective, hybrid) under an active FaultModel degrade to
+  /// point_to_point (whose reliable per-round retry protocol handles
+  /// message loss; fused messages cannot be re-requested per round).
   [[nodiscard]] Backend effective_backend() const;
 
   /// The planner's decision for the current mapping. Populated by every
@@ -342,6 +347,12 @@ class Redistributor {
   /// within SetupOptions::peak_staging_bytes.
   void execute_collective(std::span<const std::byte> owned_data,
                           std::span<std::byte> needed_data) const;
+  /// Backend::hybrid — per-peer-class composition: self lanes copy_regions,
+  /// intra lanes the ptr-publish zero-copy path, inter lanes a fenced wave
+  /// sequence over ONLY those lanes (waves from the planner's inter-only
+  /// schedule, so intra bytes never count against the staging budget).
+  void execute_hybrid(std::span<const std::byte> owned_data,
+                      std::span<std::byte> needed_data) const;
 
   mpi::Comm comm_;
   std::size_t elem_size_;
@@ -358,10 +369,15 @@ class Redistributor {
   /// NetworkModel.
   Backend resolved_backend_ = Backend::alltoallw;
   /// Wave index per fused send / recv lane (parallel to mapping_.fused_send
-  /// / fused_recv) and the wave count, for Backend::collective. Self lanes
-  /// carry wave -1 (they move via copy_regions, outside the sequence).
+  /// / fused_recv) and the wave count, for Backend::collective and
+  /// Backend::hybrid (hybrid schedules only its inter lanes: self lanes
+  /// carry wave -1 on both, and intra lanes carry -1 under hybrid).
   std::vector<int> coll_send_wave_, coll_recv_wave_;
   int coll_nwaves_ = 1;
+  /// The cache plan_epoch this mapping's decision was resolved under (only
+  /// meaningful when options_.plan_cache != nullptr; redistribute() rejects
+  /// execution once the cache has been invalidated past it).
+  std::uint64_t plan_cache_epoch_ = 0;
   /// Whether parallel packing can pay off on this mapping: true only when
   /// some inter-node lane clears kParallelPackThresholdBytes. When false,
   /// the fused/pipelined executors pack inline even if the application

@@ -56,8 +56,19 @@ struct ResizePlan {
 /// (member, chunk) order, to members below quota. Purely geometric and
 /// deterministic: every caller derives the identical proposal, so no layout
 /// negotiation messages are needed.
+///
+/// `member_node`, when non-null, gives the node id of each member slot
+/// (old member i and new member i are the same process slot; index up to
+/// max(old, new) members). Each under-quota member then prefers donations
+/// whose DONOR shares its node — the transfer's cross-member bytes are
+/// unchanged (kept bytes and per-member quotas don't depend on pool order;
+/// a donor at or above quota never receives, so no donation ever returns
+/// home), but as many of them as the pool allows become intra-node traffic
+/// the hybrid/fused executors move zero-copy. Must be identical on every
+/// caller (derive it from the shared NetworkModel), like the layout itself.
 [[nodiscard]] std::vector<OwnedLayout> propose_resize_layout(
-    const std::vector<OwnedLayout>& old_owned, int new_members);
+    const std::vector<OwnedLayout>& old_owned, int new_members,
+    const std::vector<int>* member_node = nullptr);
 
 /// Builds the incremental plan from an old and a (typically proposed) new
 /// per-member layout, with the cost accounting filled in.

@@ -1,0 +1,74 @@
+#include "ddr/plan_cache.hpp"
+
+namespace ddr {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a over the value's 8 bytes, little-endian.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void mix_chunk(std::uint64_t& h, const Chunk& c) {
+  mix(h, static_cast<std::uint64_t>(c.ndims));
+  for (int k = 0; k < c.ndims; ++k) {
+    mix(h, static_cast<std::uint64_t>(
+               c.dims[static_cast<std::size_t>(k)]));
+    mix(h, static_cast<std::uint64_t>(
+               c.offsets[static_cast<std::size_t>(k)]));
+  }
+}
+
+}  // namespace
+
+void PlanCache::invalidate() {
+  ++epoch_;
+  entries_.clear();
+  ++stats_.invalidations;
+  stats_.entries = 0;
+}
+
+const PlanDecision* PlanCache::lookup(std::uint64_t key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+void PlanCache::store(std::uint64_t key, const PlanDecision& decision) {
+  entries_[key] = decision;
+  stats_.entries = entries_.size();
+}
+
+std::uint64_t PlanCache::fingerprint(const GlobalLayout& layout,
+                                     std::size_t elem_size,
+                                     std::size_t peak_staging_bytes, int rank,
+                                     const std::vector<int>& node_salt) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(layout.nranks()));
+  for (const OwnedLayout& o : layout.owned) {
+    mix(h, static_cast<std::uint64_t>(o.size()));
+    for (const Chunk& c : o) mix_chunk(h, c);
+  }
+  for (const NeededLayout& n : layout.needed) {
+    mix(h, static_cast<std::uint64_t>(n.size()));
+    for (const Chunk& c : n) mix_chunk(h, c);
+  }
+  mix(h, static_cast<std::uint64_t>(elem_size));
+  mix(h, static_cast<std::uint64_t>(peak_staging_bytes));
+  mix(h, static_cast<std::uint64_t>(rank));
+  mix(h, static_cast<std::uint64_t>(node_salt.size()));
+  for (const int n : node_salt) mix(h, static_cast<std::uint64_t>(n));
+  return h;
+}
+
+}  // namespace ddr

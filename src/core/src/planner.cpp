@@ -63,6 +63,7 @@ struct Aggregates {
   std::vector<std::int64_t> bytes_out, bytes_in;
   std::vector<std::int64_t> inter_bytes_out, inter_bytes_in;
   std::vector<std::int64_t> intra_lanes_out, intra_lanes_in;
+  std::vector<std::int64_t> self_bytes_rank;
 };
 
 int to_world(int comm_rank, const std::vector<int>* world_ranks) {
@@ -90,6 +91,7 @@ Aggregates aggregate(const GlobalLayout& layout, std::size_t elem_size,
   a.inter_bytes_in.assign(p, 0);
   a.intra_lanes_out.assign(p, 0);
   a.intra_lanes_in.assign(p, 0);
+  a.self_bytes_rank.assign(p, 0);
 
   auto node_of = [&](int rank) {
     if (net == nullptr) return rank;  // every rank its own node
@@ -100,6 +102,7 @@ Aggregates aggregate(const GlobalLayout& layout, std::size_t elem_size,
   for (const Transfer& t : enumerate_transfers(layout, elem_size)) {
     if (t.sender == t.receiver) {
       a.self_bytes += t.bytes;
+      a.self_bytes_rank[static_cast<std::size_t>(t.sender)] += t.bytes;
       continue;
     }
     auto& [bytes, pieces] = pair_agg[{t.sender, t.receiver}];
@@ -212,6 +215,8 @@ const char* backend_name(Backend b) {
       return "point_to_point_pipelined";
     case Backend::collective:
       return "collective";
+    case Backend::hybrid:
+      return "hybrid";
     case Backend::automatic:
       return "automatic";
   }
@@ -229,6 +234,18 @@ std::vector<CollectiveLane> collective_lanes(const GlobalLayout& layout,
   lanes.reserve(pair_bytes.size());
   for (const auto& [key, bytes] : pair_bytes)
     lanes.push_back({key.first, key.second, bytes, 0});
+  return lanes;
+}
+
+std::vector<CollectiveLane> hybrid_inter_lanes(
+    const GlobalLayout& layout, std::size_t elem_size,
+    const mpi::NetworkModel* net, const std::vector<int>* world_ranks) {
+  std::vector<CollectiveLane> lanes = collective_lanes(layout, elem_size);
+  if (net == nullptr) return lanes;  // every rank its own node: all inter
+  std::erase_if(lanes, [&](const CollectiveLane& l) {
+    return net->node_of(to_world(l.sender, world_ranks)) ==
+           net->node_of(to_world(l.receiver, world_ranks));
+  });
   return lanes;
 }
 
@@ -283,6 +300,28 @@ PlanDecision Planner::decide(const GlobalLayout& layout, std::size_t elem_size,
       max_wave_bytes = std::max(max_wave_bytes, b);
   }
 
+  // Hybrid's inter-node-only wave schedule: the intra lanes it excludes stop
+  // competing for the budget, so hybrid_waves <= waves.
+  std::vector<CollectiveLane> hybrid_lanes;
+  std::int64_t intra_lane_count = 0;
+  for (std::size_t i = 0; i < a.lanes.size(); ++i) {
+    if (a.lane_inter[i])
+      hybrid_lanes.push_back(a.lanes[i]);
+    else
+      ++intra_lane_count;
+  }
+  const auto inter_lane_count = static_cast<std::int64_t>(hybrid_lanes.size());
+  d.hybrid_waves = assign_collective_waves(hybrid_lanes, peak_staging_bytes);
+  std::int64_t max_hybrid_wave_bytes = 0;
+  {
+    std::vector<std::int64_t> per_wave(
+        static_cast<std::size_t>(d.hybrid_waves), 0);
+    for (const CollectiveLane& l : hybrid_lanes)
+      per_wave[static_cast<std::size_t>(l.wave)] += l.bytes;
+    for (const std::int64_t b : per_wave)
+      max_hybrid_wave_bytes = std::max(max_hybrid_wave_bytes, b);
+  }
+
   // Per-rank cost of the plain per-(round, pair) schedule: p2p and
   // alltoallw move the same pieces; they differ in loop structure only.
   std::vector<double> plain(p, 0.0);
@@ -329,6 +368,11 @@ PlanDecision Planner::decide(const GlobalLayout& layout, std::size_t elem_size,
     c.feasible = peak_staging_bytes == 0 ||
                  peak <= peak_staging_bytes ||
                  b == Backend::collective;
+    // Hybrid's waves enforce the budget like collective's, but with zero
+    // intra-node lanes it degenerates to the plain collective sequence —
+    // nothing composite is left to win on, so it is marked infeasible and
+    // every single-backend golden decision is preserved.
+    if (b == Backend::hybrid) c.feasible = intra_lane_count > 0;
     d.candidates.push_back(c);
   };
 
@@ -403,12 +447,75 @@ PlanDecision Planner::decide(const GlobalLayout& layout, std::size_t elem_size,
                   static_cast<std::size_t>(max_wave_bytes));
   }
 
+  // hybrid: per-peer-class composition. Self lanes copy in place, intra
+  // lanes keep the fused flavours' ptr-publish zero-copy path (two control
+  // messages, one copy_regions pass), and only the inter lanes run through
+  // the fenced wave sequence — over hybrid_waves, not waves, because the
+  // intra bytes no longer compete for the budget. The per-class makespans
+  // are kept for class_plans below.
+  std::vector<double> hybrid_intra(p, 0.0), hybrid_inter(p, 0.0);
+  {
+    for (std::size_t i = 0; i < a.lanes.size(); ++i) {
+      const CollectiveLane& l = a.lanes[i];
+      const auto si = static_cast<std::size_t>(l.sender);
+      const auto ri = static_cast<std::size_t>(l.receiver);
+      if (a.lane_inter[i]) {
+        hybrid_inter[si] += price.send_side(l.bytes) + kLaneStitchS;
+        hybrid_inter[ri] += price.recv_side(l.bytes, l.sender, l.receiver) +
+                            kLaneStitchS;
+      } else {
+        const double ctrl = price.send_side(0) + price.recv_side(0, l.sender,
+                                                                 l.receiver);
+        hybrid_intra[si] += ctrl;
+        hybrid_intra[ri] += ctrl +
+                            static_cast<double>(l.bytes) * kIntraByteCostS;
+      }
+    }
+    const double fence =
+        static_cast<double>(d.hybrid_waves) *
+        (std::ceil(std::log2(std::max(2, a.nranks))) * 2.0 * kBarrierHopS);
+    for (double& x : hybrid_inter) x += fence;
+    std::vector<double> cost(p, 0.0);
+    for (std::size_t r = 0; r < p; ++r)
+      cost[r] = hybrid_intra[r] + hybrid_inter[r];
+    // Peak: the largest inter wave's staged payloads plus the intra lanes'
+    // published pointers.
+    const std::int64_t peak =
+        max_hybrid_wave_bytes +
+        intra_lane_count * static_cast<std::int64_t>(sizeof(std::uintptr_t));
+    add_candidate(Backend::hybrid, max_of(cost),
+                  inter_lane_count + 2 * intra_lane_count,
+                  static_cast<std::size_t>(peak));
+  }
+
+  // The per-peer-class partition with the lowering hybrid composes per
+  // class — global aggregates only, so identical on every rank.
+  {
+    std::int64_t self_lanes = 0;
+    double self_cost = 0.0;
+    for (std::size_t r = 0; r < p; ++r) {
+      if (a.self_bytes_rank[r] > 0) ++self_lanes;
+      self_cost = std::max(
+          self_cost, static_cast<double>(a.self_bytes_rank[r]) *
+                         kIntraByteCostS);
+    }
+    d.class_plans = {
+        {LaneClass::self, self_lanes, a.self_bytes, self_cost,
+         "copy_regions"},
+        {LaneClass::intra, intra_lane_count, a.intra_bytes,
+         max_of(hybrid_intra), "ptr_publish"},
+        {LaneClass::inter, inter_lane_count, a.inter_bytes,
+         max_of(hybrid_inter), "collective_waves"},
+    };
+  }
+
   // Selection: among budget-feasible candidates, the smallest predicted
   // cost wins; ties (within 0.1%) go to the earlier entry of the preference
   // order, which ranks simpler machinery first.
   const Backend preference[] = {
-      Backend::point_to_point, Backend::point_to_point_pipelined,
-      Backend::point_to_point_fused, Backend::alltoallw, Backend::collective};
+      Backend::point_to_point,       Backend::point_to_point_pipelined,
+      Backend::point_to_point_fused, Backend::hybrid,
+      Backend::alltoallw,            Backend::collective};
   const CandidateCost* best = nullptr;
   for (const Backend b : preference) {
     for (const CandidateCost& c : d.candidates) {

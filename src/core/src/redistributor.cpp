@@ -115,6 +115,7 @@ enum PrecondCode : int {
   kPrecondNotSetup = 4,
   kPrecondOwnedBufferShort = 5,
   kPrecondNeededBufferShort = 6,
+  kPrecondStalePlanEpoch = 7,
 };
 
 std::string precond_message(int code, int rank) {
@@ -136,6 +137,11 @@ std::string precond_message(int code, int rank) {
     case kPrecondNeededBufferShort:
       return "redistribute: " + who +
              "'s needed buffer is smaller than its layout requires";
+    case kPrecondStalePlanEpoch:
+      return "redistribute: " + who +
+             "'s plan was resolved under a plan-cache epoch that has since "
+             "been invalidated (a rebuild or committed resize changed the "
+             "run) — call setup() again before redistributing";
     default:
       return "precondition failure on " + who;
   }
@@ -340,9 +346,38 @@ void Redistributor::finish_setup() {
     std::vector<int> world_ranks(static_cast<std::size_t>(mapping_.nranks));
     for (int r = 0; r < mapping_.nranks; ++r)
       world_ranks[static_cast<std::size_t>(r)] = comm_.world_rank(r);
-    plan_ = Planner::decide(layout_, elem_size_, comm_.network_model(),
-                            options_.peak_staging_bytes, &mapping_,
-                            &world_ranks);
+    // Resolve through the execution-plan cache when one is attached: the
+    // decision is a pure function of (layout, elem_size, budget, topology,
+    // rank), so a fingerprint hit replays it exactly and skips the global
+    // cost-model pass. Stored decisions were cross-rank identical when
+    // decided, and every rank's cache sees the same deterministic
+    // setup sequence, so hits preserve the agreement contract.
+    bool cache_hit = false;
+    std::uint64_t cache_key = 0;
+    if (options_.plan_cache != nullptr) {
+      std::vector<int> node_salt;
+      if (const mpi::NetworkModel* net = comm_.network_model()) {
+        node_salt.reserve(world_ranks.size());
+        for (const int wr : world_ranks) node_salt.push_back(net->node_of(wr));
+      }
+      cache_key = PlanCache::fingerprint(layout_, elem_size_,
+                                         options_.peak_staging_bytes,
+                                         mapping_.rank, node_salt);
+      if (const PlanDecision* hit = options_.plan_cache->lookup(cache_key)) {
+        plan_ = *hit;
+        cache_hit = true;
+      }
+      DDR_TRACE_INSTANT("ddr.plan.cache", {.value = cache_hit ? 1 : 0});
+    }
+    if (!cache_hit) {
+      plan_ = Planner::decide(layout_, elem_size_, comm_.network_model(),
+                              options_.peak_staging_bytes, &mapping_,
+                              &world_ranks);
+      if (options_.plan_cache != nullptr)
+        options_.plan_cache->store(cache_key, plan_);
+    }
+    if (options_.plan_cache != nullptr)
+      plan_cache_epoch_ = options_.plan_cache->epoch();
     resolved_backend_ = options_.backend == Backend::automatic
                             ? plan_.backend
                             : options_.backend;
@@ -354,16 +389,28 @@ void Redistributor::finish_setup() {
          .value = static_cast<std::int64_t>(resolved_backend_)});
   }
 
-  // 6d. Wave schedule for the collective-sequence backend: assign each
-  // non-self fused lane (send and recv side) its fence group under the
-  // peak-staging budget. Derived from the allgathered layout, so the wave a
-  // lane carries matches on its sender and receiver.
+  // 6d. Wave schedule for the collective-sequence backends: assign each
+  // scheduled fused lane (send and recv side) its fence group under the
+  // peak-staging budget. Backend::collective schedules every non-self lane;
+  // Backend::hybrid schedules only the inter-node lanes (its intra lanes
+  // move zero-copy outside the sequence, so they neither stage nor count
+  // against the budget — unscheduled lanes keep wave -1). Derived from the
+  // allgathered layout, so the wave a lane carries matches on its sender
+  // and receiver.
   parpack_effective_ = false;
   coll_send_wave_.assign(mapping_.fused_send.size(), -1);
   coll_recv_wave_.assign(mapping_.fused_recv.size(), -1);
   coll_nwaves_ = 1;
-  if (resolved_backend_ == Backend::collective) {
-    std::vector<CollectiveLane> lanes = collective_lanes(layout_, elem_size_);
+  if (resolved_backend_ == Backend::collective ||
+      resolved_backend_ == Backend::hybrid) {
+    std::vector<int> world_ranks(static_cast<std::size_t>(mapping_.nranks));
+    for (int r = 0; r < mapping_.nranks; ++r)
+      world_ranks[static_cast<std::size_t>(r)] = comm_.world_rank(r);
+    std::vector<CollectiveLane> lanes =
+        resolved_backend_ == Backend::hybrid
+            ? hybrid_inter_lanes(layout_, elem_size_, comm_.network_model(),
+                                 &world_ranks)
+            : collective_lanes(layout_, elem_size_);
     coll_nwaves_ = assign_collective_waves(lanes, options_.peak_staging_bytes);
     for (const CollectiveLane& l : lanes) {
       if (l.sender == mapping_.rank)
@@ -447,6 +494,23 @@ void Redistributor::finish_setup() {
     for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i)
       if (fused_send_class_[i] != LaneClass::self)
         send_bytes.push_back(mapping_.fused_send[i].type.size());
+  if (resolved_backend_ == Backend::hybrid)
+    // Per-class prewarm: intra lanes publish an 8-byte pointer, only inter
+    // lanes pack wave payloads. Reserving every inter lane's full payload is
+    // conservative across any wave schedule, so steady-state calls stay
+    // heap-allocation-free under the zero-alloc contract.
+    for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i) {
+      switch (fused_send_class_[i]) {
+        case LaneClass::self:
+          break;
+        case LaneClass::intra:
+          send_bytes.push_back(sizeof(std::uintptr_t));
+          break;
+        case LaneClass::inter:
+          send_bytes.push_back(mapping_.fused_send[i].type.size());
+          break;
+      }
+    }
   comm_.reserve_staging(send_bytes);
 
   p2p_epoch_ = 0;
@@ -457,6 +521,10 @@ void Redistributor::rebuild(mpi::Comm comm, const OwnedLayout& owned,
                             const NeededLayout& needed,
                             const SetupOptions& options) {
   require(comm.valid(), "rebuild: invalid communicator");
+  // A rebuild changes what a correct plan looks like (new communicator, new
+  // declarations): decisions cached before it may no longer be executed.
+  // The subsequent setup() re-resolves under the bumped epoch.
+  if (options_.plan_cache != nullptr) options_.plan_cache->invalidate();
   comm_ = std::move(comm);
   setup_done_ = false;
   setup(owned, needed, options);
@@ -543,9 +611,21 @@ Redistributor::TransferResult Redistributor::resize_transfer(
       }
 
       // Every member derives the identical balanced target layout and the
-      // identical old->new transition — no negotiation messages.
-      std::vector<OwnedLayout> proposed =
-          propose_resize_layout(old_owned, new_members);
+      // identical old->new transition — no negotiation messages. Under a
+      // NetworkModel the proposal is node-aware: donated bytes prefer
+      // receivers on the donor's node, so the transfer's moved bytes lean
+      // intra-node (zero-copy under the fused/hybrid executors) without
+      // changing how many bytes move. The node map derives from the shared
+      // model + world-rank mapping, so it is identical on every member.
+      std::vector<int> member_node;
+      if (const mpi::NetworkModel* net = tcomm.network_model()) {
+        member_node.reserve(static_cast<std::size_t>(p));
+        for (int r = 0; r < p; ++r)
+          member_node.push_back(net->node_of(tcomm.world_rank(r)));
+      }
+      std::vector<OwnedLayout> proposed = propose_resize_layout(
+          old_owned, new_members,
+          member_node.empty() ? nullptr : &member_node);
       plan = plan_resize(old_owned, proposed, elem_size);
       res.stats = plan.stats;
       if (me < new_members)
@@ -658,6 +738,10 @@ ResizeOutcome Redistributor::resize_rebalance(int new_size,
           tcomm.size() == target ? std::move(tcomm) : tcomm.resize(target);
       comm_ = final_comm;
       setup_done_ = false;  // the old mapping does not span the new comm
+      // A committed resize changes the run's membership: every plan cached
+      // before it is void. Holders of the old epoch fail fast on their next
+      // redistribute() instead of executing a plan for the wrong world.
+      if (options_.plan_cache != nullptr) options_.plan_cache->invalidate();
       out.retired = !final_comm.valid();
       out.comm = std::move(final_comm);
       out.owned = std::move(t.new_owned);
@@ -729,6 +813,9 @@ void Redistributor::redistribute(std::span<const std::byte> owned_data,
   int code = kPrecondOk;
   if (!setup_done_)
     code = kPrecondNotSetup;
+  else if (options_.plan_cache != nullptr &&
+           options_.plan_cache->epoch() != plan_cache_epoch_)
+    code = kPrecondStalePlanEpoch;
   else if (owned_data.size() < mapping_.owned_bytes)
     code = kPrecondOwnedBufferShort;
   else if (needed_data.size() < mapping_.needed_bytes)
@@ -755,6 +842,8 @@ void Redistributor::redistribute(std::span<const std::byte> owned_data,
     execute_p2p_pipelined(owned_data, needed_data);
   } else if (resolved_backend_ == Backend::collective) {
     execute_collective(owned_data, needed_data);
+  } else if (resolved_backend_ == Backend::hybrid) {
+    execute_hybrid(owned_data, needed_data);
   } else {
     execute_p2p(owned_data, needed_data);
   }
@@ -763,7 +852,8 @@ void Redistributor::redistribute(std::span<const std::byte> owned_data,
 Backend Redistributor::effective_backend() const {
   if ((resolved_backend_ == Backend::point_to_point_fused ||
        resolved_backend_ == Backend::point_to_point_pipelined ||
-       resolved_backend_ == Backend::collective) &&
+       resolved_backend_ == Backend::collective ||
+       resolved_backend_ == Backend::hybrid) &&
       comm_.fault_injection_active())
     return Backend::point_to_point;
   return setup_done_ ? resolved_backend_ : options_.backend;
@@ -1267,6 +1357,72 @@ void Redistributor::execute_collective(std::span<const std::byte> owned_data,
                           needed_data.data() + r.displ, 1);
   }
   comm_.sequenced_exchange(sends, recvs, coll_nwaves_, tag);
+}
+
+void Redistributor::execute_hybrid(std::span<const std::byte> owned_data,
+                                   std::span<std::byte> needed_data) const {
+  // Hybrid per-peer-class composition: each fused lane runs under the
+  // cheapest lowering its locality admits. The self lane is a direct
+  // copy_regions (no messages, no staging); intra-node lanes ride the fused
+  // path's zero-copy pointer-publication protocol (the receiver copies
+  // straight out of the sender's owned buffer — those bytes never touch the
+  // staging pool, so they don't count against peak_staging_bytes); only the
+  // inter-node lanes are lowered to the fenced collective wave sequence
+  // finish_setup() scheduled under the budget (coll_*_wave_ holds -1 for
+  // non-inter lanes; coll_nwaves_ covers the inter set alone).
+  //
+  // Deadlock freedom: pointer publication is buffered-eager (a uintptr_t
+  // send never blocks), so every rank publishes before anyone blocks in
+  // complete_intra_recvs; the intra copies complete before the wave
+  // sequence's first barrier, and the acks are drained after the sequence —
+  // the sender's owned buffer is stable for the whole exchange (it is const
+  // here), so deferring the acks past the fences is safe and keeps the
+  // intra protocol entirely outside the wave synchronization.
+  const int nrounds = static_cast<int>(mapping_.rounds.size());
+  const int epoch = static_cast<int>(p2p_epoch_++ % kP2pEpochWindow);
+  const int tag = p2p_coll_tag(nrounds, epoch);
+  DDR_TRACE_SPAN(espan, "ddr.exchange.hybrid",
+                 trace::Keys{.value = coll_nwaves_});
+  publish_intra(owned_data, epoch);
+  {
+    DDR_TRACE_SPAN(sspan, "ddr.hybrid.self", trace::Keys{.peer = mapping_.rank});
+    for (const PeerLane& s : mapping_.fused_send) {
+      if (s.peer != mapping_.rank) continue;
+      for (const PeerLane& r : mapping_.fused_recv)
+        if (r.peer == mapping_.rank)
+          mpi::copy_regions(s.type, owned_data.data() + s.displ, 1, r.type,
+                            needed_data.data() + r.displ, 1);
+    }
+  }
+  {
+    DDR_TRACE_SPAN(ispan, "ddr.hybrid.intra",
+                   trace::Keys{.value = fused_lane_count(LaneClass::intra)});
+    complete_intra_recvs(needed_data, epoch);
+  }
+  {
+    DDR_TRACE_SPAN(xspan, "ddr.hybrid.inter",
+                   trace::Keys{.value = coll_nwaves_});
+    std::vector<mpi::PackedSendLane> sends;
+    std::vector<mpi::PackedRecvLane> recvs;
+    sends.reserve(mapping_.fused_send.size());
+    recvs.reserve(mapping_.fused_recv.size());
+    for (std::size_t i = 0; i < mapping_.fused_send.size(); ++i) {
+      if (fused_send_class_[i] != LaneClass::inter) continue;
+      const PeerLane& l = mapping_.fused_send[i];
+      DDR_TRACE_INSTANT("ddr.msg.send", {.peer = l.peer, .bytes = l.bytes});
+      sends.push_back(
+          {l.peer, owned_data.data() + l.displ, &l.type, coll_send_wave_[i]});
+    }
+    for (std::size_t i = 0; i < mapping_.fused_recv.size(); ++i) {
+      if (fused_recv_class_[i] != LaneClass::inter) continue;
+      const PeerLane& l = mapping_.fused_recv[i];
+      DDR_TRACE_INSTANT("ddr.msg.recv", {.peer = l.peer, .bytes = l.bytes});
+      recvs.push_back({l.peer, needed_data.data() + l.displ, &l.type,
+                       coll_recv_wave_[i], l.type.size()});
+    }
+    comm_.sequenced_exchange(sends, recvs, coll_nwaves_, tag);
+  }
+  wait_intra_acks(epoch);
 }
 
 void Redistributor::execute_p2p_reliable(

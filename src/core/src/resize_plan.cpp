@@ -67,7 +67,8 @@ void split_box(const Box& b, std::int64_t want, std::vector<Box>& front,
 }  // namespace
 
 std::vector<OwnedLayout> propose_resize_layout(
-    const std::vector<OwnedLayout>& old_owned, int new_members) {
+    const std::vector<OwnedLayout>& old_owned, int new_members,
+    const std::vector<int>* member_node) {
   require(new_members >= 1,
           "propose_resize_layout: need at least one new member");
   const int old_members = static_cast<int>(old_owned.size());
@@ -96,7 +97,11 @@ std::vector<OwnedLayout> propose_resize_layout(
   // pool in deterministic (member, chunk) order.
   std::vector<OwnedLayout> out(n);
   std::vector<std::int64_t> have(n, 0);
-  std::vector<Box> pool;
+  struct Donation {
+    Box box;
+    int donor;  ///< old member index the box came from
+  };
+  std::vector<Donation> pool;
   for (int i = 0; i < old_members; ++i) {
     const auto k = static_cast<std::size_t>(i);
     // Retiring members (i >= new_members) have no quota/have/out slot — every
@@ -110,38 +115,63 @@ std::vector<OwnedLayout> propose_resize_layout(
         have[k] += b.volume();
         continue;
       }
-      std::vector<Box> kept;
-      split_box(b, room, kept, pool);
+      std::vector<Box> kept, donated;
+      split_box(b, room, kept, donated);
       if (keeper) {
         for (const Box& kb : kept) out[k].push_back(chunk_from_box(kb));
         have[k] += room;
       }
+      for (const Box& db : donated) pool.push_back({db, i});
     }
   }
 
+  // Node id of member slot m, or -1 when unknown (no topology given, or the
+  // vector does not cover the slot).
+  const auto node_of = [&](std::size_t m) -> int {
+    if (member_node == nullptr || m >= member_node->size()) return -1;
+    return (*member_node)[m];
+  };
+
   // Phase 2: fill every under-quota member (joiners, and keepers whose old
-  // holdings were below quota) from the pool, carving exact volumes.
+  // holdings were below quota) from the pool, carving exact volumes. With a
+  // node map, each receiver first rotates a same-node donation (if any
+  // remains) to the pool head: the carved volumes — and so the cross-member
+  // byte total — are unaffected, but the bytes land on receivers that share
+  // the donor's node wherever the pool allows, turning the transfer's moved
+  // bytes into intra-node traffic.
   std::size_t next = 0;
   for (std::size_t i = 0; i < n; ++i) {
     while (have[i] < quota[i]) {
       require(next < pool.size(),
               "propose_resize_layout: donation pool exhausted (internal)");
-      const Box b = pool[next];
+      if (node_of(i) >= 0 &&
+          node_of(static_cast<std::size_t>(pool[next].donor)) != node_of(i)) {
+        for (std::size_t j = next + 1; j < pool.size(); ++j)
+          if (node_of(static_cast<std::size_t>(pool[j].donor)) == node_of(i)) {
+            std::rotate(pool.begin() + static_cast<std::ptrdiff_t>(next),
+                        pool.begin() + static_cast<std::ptrdiff_t>(j),
+                        pool.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+            break;
+          }
+      }
+      const Donation d = pool[next];
       const std::int64_t deficit = quota[i] - have[i];
-      if (b.volume() <= deficit) {
-        out[i].push_back(chunk_from_box(b));
-        have[i] += b.volume();
+      if (d.box.volume() <= deficit) {
+        out[i].push_back(chunk_from_box(d.box));
+        have[i] += d.box.volume();
         ++next;
         continue;
       }
       std::vector<Box> taken, rest;
-      split_box(b, deficit, taken, rest);
+      split_box(d.box, deficit, taken, rest);
       for (const Box& tb : taken) out[i].push_back(chunk_from_box(tb));
       have[i] = quota[i];
-      // The remainder replaces the pool head; splice multi-box remainders.
+      // The remainder (same donor) replaces the pool head; splice multi-box
+      // remainders.
       pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(next));
-      pool.insert(pool.begin() + static_cast<std::ptrdiff_t>(next),
-                  rest.begin(), rest.end());
+      for (std::size_t j = 0; j < rest.size(); ++j)
+        pool.insert(pool.begin() + static_cast<std::ptrdiff_t>(next + j),
+                    {rest[j], d.donor});
     }
   }
   require(next == pool.size(),

@@ -84,9 +84,15 @@ TEST(PlannerGolden, Strided3dPicksPipelined) {
   // floor: threads would cost more than they save (the fused_parpack2
   // regression the bench measured).
   EXPECT_EQ(d.pack_threads, 0);
-  ASSERT_EQ(d.candidates.size(), 5u);
+  ASSERT_EQ(d.candidates.size(), 6u);
   for (const ddr::CandidateCost& c : d.candidates) {
-    EXPECT_TRUE(c.feasible) << ddr::backend_name(c.backend);
+    // Without a NetworkModel every peer is a different node: hybrid has no
+    // intra lanes to exploit and is marked infeasible; every other backend
+    // stays feasible and the decision is identical to the pre-hybrid one.
+    if (c.backend == Backend::hybrid)
+      EXPECT_FALSE(c.feasible);
+    else
+      EXPECT_TRUE(c.feasible) << ddr::backend_name(c.backend);
     EXPECT_EQ(c.inter_node_bytes, 786432) << ddr::backend_name(c.backend);
     EXPECT_EQ(c.intra_node_bytes, 0) << ddr::backend_name(c.backend);
   }
@@ -363,7 +369,7 @@ TEST(PlannerProperty, AutomaticMatchesOracleAndExposesPlan) {
       rd.setup(owned[rank], needed[rank], opts);
       EXPECT_EQ(rd.effective_backend(), rd.plan().backend);
       EXPECT_NE(rd.plan().backend, Backend::automatic);
-      EXPECT_EQ(rd.plan().candidates.size(), 5u);
+      EXPECT_EQ(rd.plan().candidates.size(), 6u);
 
       std::vector<float> own_data;
       for (const auto& c : owned[rank]) {
@@ -392,6 +398,202 @@ TEST(PlannerProperty, AutomaticMatchesOracleAndExposesPlan) {
             ++i;
           }
     });
+  }
+}
+
+// run_backend under a NetworkModel: same contract, but the rank threads run
+// with `net` installed so same_node()/node_of() see a multi-rank-per-node
+// topology (what the hybrid composition needs to have intra lanes at all).
+std::vector<std::vector<std::byte>> run_backend_net(
+    const ddr::GlobalLayout& layout, Backend backend, std::size_t budget,
+    const mpi::NetworkModel* net, std::uint64_t* peak_out = nullptr) {
+  const int nranks = layout.nranks();
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(nranks));
+  std::uint64_t peak = 0;
+  mpi::RunOptions ropts;
+  ropts.network = net;
+  mpi::run(
+      nranks,
+      [&](mpi::Comm& comm) {
+        const auto rank = static_cast<std::size_t>(comm.rank());
+        ddr::Redistributor rd(comm, sizeof(float));
+        ddr::SetupOptions opts;
+        opts.backend = backend;
+        opts.peak_staging_bytes = budget;
+        rd.setup(layout.owned[rank], layout.needed[rank], opts);
+
+        std::vector<float> own_data;
+        for (const auto& c : layout.owned[rank]) {
+          const auto v = fill_chunk(c);
+          own_data.insert(own_data.end(), v.begin(), v.end());
+        }
+        out[rank].resize(rd.needed_bytes());
+        rd.redistribute(std::as_bytes(std::span<const float>(own_data)),
+                        std::span<std::byte>(out[rank]));
+        comm.barrier();
+        if (rank == 0) peak = comm.staging_stats().peak_live_bytes;
+      },
+      ropts);
+  if (peak_out != nullptr) *peak_out = peak;
+  return out;
+}
+
+TEST(PlannerHybrid, InfeasibleWithoutTopology) {
+  // No NetworkModel -> every non-self peer is a different node -> the hybrid
+  // composition has nothing to compose and must be priced infeasible, so no
+  // flat-topology decision ever changes because hybrid exists.
+  for (const ddr::GlobalLayout& layout :
+       {strided3d_layout(), rows2d_layout(), bcast3d_layout(32)}) {
+    const ddr::PlanDecision d =
+        ddr::Planner::decide(layout, sizeof(float), nullptr, 0);
+    bool saw_hybrid = false;
+    for (const ddr::CandidateCost& c : d.candidates)
+      if (c.backend == Backend::hybrid) {
+        saw_hybrid = true;
+        EXPECT_FALSE(c.feasible);
+      }
+    EXPECT_TRUE(saw_hybrid);
+    EXPECT_NE(d.backend, Backend::hybrid);
+    // The per-class partition is still reported: everything lands in self
+    // or inter, intra stays empty.
+    ASSERT_EQ(d.class_plans.size(), 3u);
+    EXPECT_EQ(d.class_plans[1].cls, ddr::LaneClass::intra);
+    EXPECT_EQ(d.class_plans[1].lanes, 0);
+    EXPECT_EQ(d.class_plans[1].bytes, 0);
+  }
+}
+
+TEST(PlannerHybrid, CompositeDecisionUnderTwoRanksPerNode) {
+  // Two ranks per node on strided3d: the fused lane set splits across all
+  // three classes and the decision must expose a consistent composite —
+  // class rows in self/intra/inter order, bytes partitioning the total
+  // payload, the documented lowering per class, and an inter-only wave
+  // count no larger than the all-lane collective one.
+  simnet::LinkParams p = simnet::cooley_params();
+  p.ranks_per_node = 2;
+  const simnet::LinkModel model(p);
+  const ddr::PlanDecision d = ddr::Planner::decide(
+      strided3d_layout(), sizeof(float), &model, 200000);
+  const ddr::CandidateCost* hybrid = nullptr;
+  for (const ddr::CandidateCost& c : d.candidates)
+    if (c.backend == Backend::hybrid) hybrid = &c;
+  ASSERT_NE(hybrid, nullptr);
+  EXPECT_TRUE(hybrid->feasible);
+
+  ASSERT_EQ(d.class_plans.size(), 3u);
+  EXPECT_EQ(d.class_plans[0].cls, ddr::LaneClass::self);
+  EXPECT_EQ(d.class_plans[1].cls, ddr::LaneClass::intra);
+  EXPECT_EQ(d.class_plans[2].cls, ddr::LaneClass::inter);
+  EXPECT_STREQ(d.class_plans[0].lowering, "copy_regions");
+  EXPECT_STREQ(d.class_plans[1].lowering, "ptr_publish");
+  EXPECT_STREQ(d.class_plans[2].lowering, "collective_waves");
+  EXPECT_GT(d.class_plans[1].lanes, 0);
+  EXPECT_GT(d.class_plans[2].lanes, 0);
+  // Each rank's gathered brick covers its own interleaved slabs too: 64 KB
+  // of self traffic per rank, 256 KB across the communicator. Self + intra
+  // + inter partition the full 64^3 float payload.
+  EXPECT_EQ(d.class_plans[0].bytes, 262144);
+  EXPECT_EQ(d.class_plans[0].bytes + d.class_plans[1].bytes +
+                d.class_plans[2].bytes,
+            1048576);
+  // The intra/inter rows partition the non-self payload exactly as the
+  // candidate table's locality split does.
+  EXPECT_EQ(d.class_plans[1].bytes, hybrid->intra_node_bytes);
+  EXPECT_EQ(d.class_plans[2].bytes, hybrid->inter_node_bytes);
+  EXPECT_GE(d.hybrid_waves, 1);
+  EXPECT_LE(d.hybrid_waves, d.waves);
+}
+
+TEST(PlannerHybrid, AutomaticUnderBudgetPicksHybrid) {
+  // The selection story: under a staging budget that rules out the
+  // fused-pool backends, mixed locality makes hybrid beat the all-lane
+  // collective sequence — its intra bytes move zero-copy (no pack, no
+  // staging, no budget pressure), so it needs fewer fence waves and prices
+  // below collective. This is the case the mixed-locality bench gates.
+  simnet::LinkParams p = simnet::cooley_params();
+  p.ranks_per_node = 2;
+  const simnet::LinkModel model(p);
+  const ddr::PlanDecision d = ddr::Planner::decide(
+      strided3d_layout(), sizeof(float), &model, 200000);
+  EXPECT_EQ(d.backend, Backend::hybrid);
+  double hybrid_s = 0.0, coll_s = 0.0;
+  for (const ddr::CandidateCost& c : d.candidates) {
+    if (c.backend == Backend::hybrid) hybrid_s = c.predicted_s;
+    if (c.backend == Backend::collective) coll_s = c.predicted_s;
+  }
+  EXPECT_LT(hybrid_s, coll_s);
+}
+
+TEST(PlannerHybrid, ByteIdenticalToFusedOnBenchCases) {
+  // The correctness contract: forced hybrid delivers exactly the bytes the
+  // fused path delivers on every bench-fixture layout, over a simulated
+  // two-ranks-per-node topology, with and without a multi-wave budget.
+  simnet::LinkParams p = simnet::cooley_params();
+  p.ranks_per_node = 2;
+  const simnet::LinkModel model(p);
+  for (const ddr::GlobalLayout& layout :
+       {strided3d_layout(), rows2d_layout(), bcast3d_layout(32)}) {
+    const auto want =
+        run_backend_net(layout, Backend::point_to_point_fused, 0, &model);
+    for (const std::size_t budget : {std::size_t{0}, std::size_t{65536}}) {
+      std::uint64_t peak = 0;
+      const auto got =
+          run_backend_net(layout, Backend::hybrid, budget, &model, &peak);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t r = 0; r < got.size(); ++r) {
+        ASSERT_EQ(got[r].size(), want[r].size()) << "rank " << r;
+        EXPECT_EQ(std::memcmp(got[r].data(), want[r].data(), got[r].size()),
+                  0)
+            << "budget " << budget << " rank " << r;
+      }
+      if (budget != 0) {
+        // Only the inter lanes stage; the budget plus pointer-message slack
+        // bounds the pool even though the intra bytes exceed it.
+        EXPECT_LE(peak, budget + 4096) << "budget " << budget;
+      }
+    }
+  }
+}
+
+TEST(PlannerHybrid, CrossRankCompositeAgreement) {
+  // Protocol consistency for the composite decision: every rank must
+  // resolve the identical backend, wave counts and per-class partition —
+  // a divergent composite would deadlock the mixed execution paths.
+  simnet::LinkParams p = simnet::cooley_params();
+  p.ranks_per_node = 2;
+  const simnet::LinkModel model(p);
+  const ddr::GlobalLayout layout = strided3d_layout();
+  const int nranks = layout.nranks();
+  std::vector<ddr::PlanDecision> plans(static_cast<std::size_t>(nranks));
+  mpi::RunOptions ropts;
+  ropts.network = &model;
+  mpi::run(
+      nranks,
+      [&](mpi::Comm& comm) {
+        const auto rank = static_cast<std::size_t>(comm.rank());
+        ddr::Redistributor rd(comm, sizeof(float));
+        ddr::SetupOptions opts;
+        opts.backend = Backend::automatic;
+        opts.peak_staging_bytes = 200000;
+        rd.setup(layout.owned[rank], layout.needed[rank], opts);
+        plans[rank] = rd.plan();
+        EXPECT_EQ(rd.effective_backend(), rd.plan().backend);
+      },
+      ropts);
+  for (int r = 1; r < nranks; ++r) {
+    const auto& a = plans[0];
+    const auto& b = plans[static_cast<std::size_t>(r)];
+    EXPECT_EQ(a.backend, b.backend) << "rank " << r;
+    EXPECT_EQ(a.waves, b.waves) << "rank " << r;
+    EXPECT_EQ(a.hybrid_waves, b.hybrid_waves) << "rank " << r;
+    ASSERT_EQ(a.class_plans.size(), b.class_plans.size());
+    for (std::size_t i = 0; i < a.class_plans.size(); ++i) {
+      EXPECT_EQ(a.class_plans[i].lanes, b.class_plans[i].lanes);
+      EXPECT_EQ(a.class_plans[i].bytes, b.class_plans[i].bytes);
+      EXPECT_DOUBLE_EQ(a.class_plans[i].predicted_s,
+                       b.class_plans[i].predicted_s);
+      EXPECT_STREQ(a.class_plans[i].lowering, b.class_plans[i].lowering);
+    }
   }
 }
 

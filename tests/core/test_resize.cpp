@@ -158,6 +158,54 @@ TEST(ResizePlan, MovementBeatsNaiveTwofoldOnThePaperShapes) {
   EXPECT_GE(fplan.stats.naive_bytes, 2 * fplan.stats.moved_bytes);
 }
 
+TEST(ResizePlan, NodeAwareProposalShiftsMovedBytesIntraNodeAtEqualMovement) {
+  // Fold 16 -> 8 under a node map that pairs receiver i with retiring donor
+  // 15-i. The flat proposal hands receiver i donor 8+i's chunk (pool
+  // order), which crosses nodes everywhere except the middle pair; the
+  // node-aware proposal rotates each receiver's same-node donation to the
+  // pool head instead. The cross-member byte total must be IDENTICAL — the
+  // preference only re-routes donations — while the intra-node share goes
+  // from near-zero to all of it.
+  std::vector<OwnedLayout> old_owned(16);
+  for (int r = 0; r < 16; ++r)
+    old_owned[static_cast<std::size_t>(r)] = {Chunk::d1(8, 8 * r)};
+  std::vector<int> node(16);
+  for (int m = 0; m < 16; ++m)
+    node[static_cast<std::size_t>(m)] = m < 8 ? m : 15 - m;
+
+  const auto flat = ddr::propose_resize_layout(old_owned, 8);
+  const auto aware = ddr::propose_resize_layout(old_owned, 8, &node);
+  for (const auto* proposed : {&flat, &aware}) {
+    const auto v = validate_proposal(*proposed);
+    EXPECT_TRUE(v.ok()) << v.detail;
+    EXPECT_EQ(layout_volume(*proposed), 128);
+  }
+  // Determinism extends to the node-aware variant.
+  EXPECT_EQ(aware, ddr::propose_resize_layout(old_owned, 8, &node));
+
+  const auto classify = [&](const std::vector<OwnedLayout>& proposed) {
+    ddr::GlobalLayout g;
+    g.owned = old_owned;
+    g.needed.resize(16);
+    for (std::size_t i = 0; i < proposed.size(); ++i)
+      g.needed[i] = proposed[i];
+    std::int64_t moved = 0, intra = 0;
+    for (const auto& t : ddr::enumerate_transfers(g, sizeof(float))) {
+      if (t.sender == t.receiver) continue;
+      moved += t.bytes;
+      if (node[static_cast<std::size_t>(t.sender)] ==
+          node[static_cast<std::size_t>(t.receiver)])
+        intra += t.bytes;
+    }
+    return std::pair<std::int64_t, std::int64_t>{moved, intra};
+  };
+  const auto [flat_moved, flat_intra] = classify(flat);
+  const auto [aware_moved, aware_intra] = classify(aware);
+  EXPECT_EQ(aware_moved, flat_moved);  // bytes moved never regress
+  EXPECT_GT(aware_intra, flat_intra);
+  EXPECT_EQ(aware_intra, aware_moved);  // every donation found its node here
+}
+
 TEST(ResizePlan, RejectsDegenerateInputs) {
   std::vector<OwnedLayout> ok{{Chunk::d1(4, 0)}};
   EXPECT_THROW((void)ddr::propose_resize_layout(ok, 0), ddr::Error);

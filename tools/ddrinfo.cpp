@@ -462,6 +462,24 @@ int run_plan(const ddr::LayoutSpec& spec, int ranks_per_node,
   std::printf("  predicted        : %.3f ms/call, peak staging %zu B\n",
               d.predicted_s * 1e3, d.predicted_peak_staging);
 
+  // The per-peer-class partition of the fused lane set and the lowering the
+  // hybrid composition gives each class (self lanes count ranks with self
+  // traffic; intra lanes ride the zero-copy pointer publication; inter
+  // lanes run as the budgeted wave sequence).
+  std::printf("\nper-peer-class partition (hybrid lowering, %d inter "
+              "wave(s)):\n",
+              d.hybrid_waves);
+  std::printf("  %-6s %6s %12s %9s  %s\n", "class", "lanes", "bytes",
+              "pred ms", "lowering");
+  const char* cls_names[] = {"self", "intra", "inter"};
+  for (std::size_t i = 0; i < d.class_plans.size() && i < 3; ++i) {
+    const ddr::ClassPlan& cp = d.class_plans[i];
+    std::printf("  %-6s %6lld %12lld %9.3f  %s\n", cls_names[i],
+                static_cast<long long>(cp.lanes),
+                static_cast<long long>(cp.bytes), cp.predicted_s * 1e3,
+                cp.lowering);
+  }
+
   const int reps = 15;
   struct Measured {
     double ms = 0.0;
